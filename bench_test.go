@@ -1,0 +1,233 @@
+package gostorm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/gostorm/gostorm/internal/core"
+	"github.com/gostorm/gostorm/internal/fabric"
+	"github.com/gostorm/gostorm/internal/mtable"
+	mharness "github.com/gostorm/gostorm/internal/mtable/harness"
+	"github.com/gostorm/gostorm/internal/replsys"
+	vharness "github.com/gostorm/gostorm/internal/vnext/harness"
+)
+
+// --- Engine micro-benchmarks: the cost of systematic exploration ---
+
+// pingPongTest builds a minimal two-machine workload that ping-pongs
+// until the step bound, exercising nothing but the runtime itself.
+func pingPongTest() core.Test {
+	return core.Test{
+		Name: "bench-pingpong",
+		Entry: func(ctx *core.Context) {
+			ponger := ctx.CreateMachine(&core.FuncMachine{
+				OnEvent: func(ctx *core.Context, ev core.Event) {
+					ctx.Send(ev.(pingEv).From, core.Signal("pong"))
+				},
+			}, "ponger")
+			ctx.CreateMachine(&core.FuncMachine{
+				OnInit: func(ctx *core.Context) { ctx.Send(ponger, pingEv{From: ctx.ID()}) },
+				OnEvent: func(ctx *core.Context, ev core.Event) {
+					ctx.Send(ponger, pingEv{From: ctx.ID()})
+				},
+			}, "pinger")
+		},
+	}
+}
+
+type pingEv struct {
+	From core.MachineID
+}
+
+func (pingEv) Name() string { return "ping" }
+
+// BenchmarkRuntimeSteps measures raw scheduling throughput: cooperative
+// handoffs per second on a ping-pong workload.
+func BenchmarkRuntimeSteps(b *testing.B) {
+	test := pingPongTest()
+	opts := core.Options{Scheduler: "rr", Iterations: 1, MaxSteps: 10000, Seed: 1, NoLivenessBoundCheck: true}
+	b.ResetTimer()
+	totalSteps := int64(0)
+	for i := 0; i < b.N; i++ {
+		res := core.Run(test, opts)
+		totalSteps += res.TotalSteps
+	}
+	b.StopTimer()
+	if totalSteps > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalSteps), "ns/step")
+	}
+}
+
+// BenchmarkSchedulers compares per-execution cost across schedulers on the
+// §2 example system (fixed configuration, bounded executions).
+func BenchmarkSchedulers(b *testing.B) {
+	test := replsys.Scenario(replsys.ScenarioConfig{
+		Server: replsys.Config{FixUniqueReplicas: true, FixCounterReset: true},
+	})
+	for _, sched := range []string{"random", "pct", "rr"} {
+		b.Run(sched, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := core.Run(test, core.Options{
+					Scheduler: sched, Iterations: 5, MaxSteps: 2000,
+					Seed: int64(i), NoLivenessBoundCheck: true, NoReplayLog: true,
+				})
+				if res.BugFound {
+					b.Fatalf("unexpected bug: %v", res.Report.Error())
+				}
+			}
+		})
+	}
+}
+
+// --- Table 1 ---
+
+// BenchmarkTable1 regenerates the modeling statistics (machine metadata
+// aggregation; the LoC side lives in cmd/table1).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, m := range vharness.Metadata() {
+			total += m.States + m.Transitions + m.Handlers
+		}
+		for _, m := range mharness.Metadata() {
+			total += m.States + m.Transitions + m.Handlers
+		}
+		for _, m := range fabric.Metadata() {
+			total += m.States + m.Transitions + m.Handlers
+		}
+		if total == 0 {
+			b.Fatal("no metadata")
+		}
+	}
+}
+
+// --- Table 2: time-to-bug per row and scheduler ---
+
+// table2Row describes one benchmarkable Table 2 cell family.
+type table2Row struct {
+	name     string
+	build    func() core.Test
+	maxSteps int
+	budget   int
+}
+
+func table2Rows() []table2Row {
+	rows := []table2Row{{
+		name: "ExtentNodeLivenessViolation",
+		build: func() core.Test {
+			return vharness.Test(vharness.HarnessConfig{Scenario: vharness.ScenarioFailAndRepair})
+		},
+		maxSteps: 3000,
+		budget:   5000,
+	}}
+	customOnly := map[string]bool{
+		"QueryStreamedFilterShadowing":    true,
+		"MigrateSkipPreferOld":            true,
+		"MigrateSkipUseNewWithTombstones": true,
+		"InsertBehindMigrator":            true,
+	}
+	for _, name := range mtable.AllBugs() {
+		bug, _ := mtable.BugByName(name)
+		r := table2Row{name: name, maxSteps: 30000, budget: 20000}
+		if customOnly[name] {
+			r.build = func() core.Test { return mharness.CustomTest(bug) }
+		} else {
+			r.build = func() core.Test { return mharness.Test(mharness.HarnessConfig{Bugs: bug}) }
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// BenchmarkTable2 measures time-to-bug for every Table 2 row under both
+// schedulers. Each benchmark iteration is one full search from a fresh
+// seed; the reported metric is executions-to-bug.
+func BenchmarkTable2(b *testing.B) {
+	for _, row := range table2Rows() {
+		for _, sched := range []string{"random", "pct"} {
+			b.Run(fmt.Sprintf("%s/%s", row.name, sched), func(b *testing.B) {
+				execs := 0
+				found := 0
+				for i := 0; i < b.N; i++ {
+					res := core.Run(row.build(), core.Options{
+						Scheduler:   sched,
+						Iterations:  row.budget,
+						MaxSteps:    row.maxSteps,
+						Seed:        int64(i + 1),
+						NoReplayLog: true,
+					})
+					execs += res.Executions
+					if res.BugFound {
+						found++
+					}
+				}
+				b.ReportMetric(float64(execs)/float64(b.N), "execs-to-bug")
+				b.ReportMetric(float64(found)/float64(b.N), "found-rate")
+			})
+		}
+	}
+}
+
+// --- Ablations (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationPCTDepth sweeps the PCT priority-change budget on the
+// vNext liveness bug: the paper used depth 2.
+func BenchmarkAblationPCTDepth(b *testing.B) {
+	test := vharness.Test(vharness.HarnessConfig{Scenario: vharness.ScenarioFailAndRepair})
+	for _, depth := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			execs := 0
+			for i := 0; i < b.N; i++ {
+				res := core.Run(test, core.Options{
+					Scheduler: "pct", PCTDepth: depth,
+					Iterations: 5000, MaxSteps: 3000, Seed: int64(i + 1), NoReplayLog: true,
+				})
+				execs += res.Executions
+			}
+			b.ReportMetric(float64(execs)/float64(b.N), "execs-to-bug")
+		})
+	}
+}
+
+// BenchmarkAblationLivenessDetection compares the bounded-infinite-
+// execution heuristic against the temperature heuristic on the vNext
+// liveness bug: temperature flags the hot monitor long before the bound.
+func BenchmarkAblationLivenessDetection(b *testing.B) {
+	test := vharness.Test(vharness.HarnessConfig{Scenario: vharness.ScenarioFailAndRepair})
+	cases := []struct {
+		name string
+		opts core.Options
+	}{
+		{"bound", core.Options{Scheduler: "random", Iterations: 5000, MaxSteps: 3000}},
+		{"temperature", core.Options{Scheduler: "random", Iterations: 5000, MaxSteps: 3000, Temperature: 600}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := c.opts
+				opts.Seed = int64(i + 1)
+				opts.NoReplayLog = true
+				res := core.Run(test, opts)
+				if !res.BugFound {
+					b.Fatal("liveness bug not found")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMTableCleanExecution measures the cost of one clean
+// MigratingTable execution (the unit the 100,000-execution budget is made
+// of).
+func BenchmarkMTableCleanExecution(b *testing.B) {
+	test := mharness.Test(mharness.HarnessConfig{})
+	for i := 0; i < b.N; i++ {
+		res := core.Run(test, core.Options{
+			Scheduler: "random", Iterations: 1, MaxSteps: 30000,
+			Seed: int64(i + 1), NoReplayLog: true,
+		})
+		if res.BugFound {
+			b.Fatalf("unexpected bug: %v", res.Report.Error())
+		}
+	}
+}

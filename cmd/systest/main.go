@@ -1,0 +1,119 @@
+// Command systest runs a registered systematic test under a chosen
+// scheduler, reports any violation with its decision trace, and can replay
+// a previously recorded trace to reproduce a bug exactly.
+//
+// Usage:
+//
+//	systest -list
+//	systest -test ExtentNodeLivenessViolation -scheduler random -iterations 20000
+//	systest -test DeletePrimaryKey -trace-out bug.trace
+//	systest -test DeletePrimaryKey -replay bug.trace -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/gostorm/gostorm/internal/catalog"
+	"github.com/gostorm/gostorm/internal/core"
+)
+
+func main() {
+	var (
+		list        = flag.Bool("list", false, "list registered scenarios and exit")
+		test        = flag.String("test", "", "scenario name (see -list)")
+		scheduler   = flag.String("scheduler", "random", "scheduler: random, pct, rr or dfs")
+		pctDepth    = flag.Int("pct-depth", 2, "priority change points for the pct scheduler")
+		iterations  = flag.Int("iterations", 0, "maximum executions (0 = scenario default)")
+		maxSteps    = flag.Int("max-steps", 0, "scheduling steps per execution (0 = scenario default)")
+		seed        = flag.Int64("seed", 0, "base random seed")
+		temperature = flag.Int("temperature", 0, "liveness temperature threshold (0 = bound check only)")
+		traceOut    = flag.String("trace-out", "", "write the buggy trace to this file")
+		replay      = flag.String("replay", "", "replay a trace file instead of exploring")
+		verbose     = flag.Bool("v", false, "print the detailed execution log of the violation")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Print(catalog.Describe())
+		return
+	}
+	if *test == "" {
+		fmt.Fprintln(os.Stderr, "systest: -test is required (use -list to see scenarios)")
+		os.Exit(2)
+	}
+	entry, err := catalog.Get(*test)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "systest:", err)
+		os.Exit(2)
+	}
+	opts := entry.Options
+	opts.Scheduler = *scheduler
+	opts.PCTDepth = *pctDepth
+	opts.Seed = *seed
+	opts.Temperature = *temperature
+	if *iterations > 0 {
+		opts.Iterations = *iterations
+	}
+	if *maxSteps > 0 {
+		opts.MaxSteps = *maxSteps
+	}
+
+	if *replay != "" {
+		data, err := os.ReadFile(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "systest:", err)
+			os.Exit(1)
+		}
+		tr, err := core.DecodeTrace(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "systest:", err)
+			os.Exit(1)
+		}
+		rep, err := core.Replay(entry.Build(), tr, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "systest: replay diverged:", err)
+			os.Exit(1)
+		}
+		if rep == nil {
+			fmt.Println("replay completed without a violation")
+			return
+		}
+		fmt.Println("replay reproduced:", rep.Error())
+		if *verbose {
+			fmt.Println(rep.FormatLog())
+		}
+		return
+	}
+
+	fmt.Printf("exploring %s with the %s scheduler (up to %d executions of %d steps, seed %d)\n",
+		entry.Name, opts.Scheduler, orDefault(opts.Iterations, 10000), orDefault(opts.MaxSteps, 10000), opts.Seed)
+	res := core.Run(entry.Build(), opts)
+	fmt.Println(res.String())
+	if !res.BugFound {
+		return
+	}
+	if *verbose {
+		fmt.Println(res.Report.FormatLog())
+	}
+	if *traceOut != "" {
+		data, err := res.Report.Trace.Encode()
+		if err == nil {
+			err = os.WriteFile(*traceOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "systest: writing trace:", err)
+			os.Exit(1)
+		}
+		fmt.Println("trace written to", *traceOut)
+	}
+	os.Exit(1)
+}
+
+func orDefault(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
+}

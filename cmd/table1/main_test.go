@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCountLoC(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.go", "package p\n\nfunc A() {}\n") // 2 non-blank lines
+	write("a_test.go", "package p\n\nfunc TestA() {}\n")
+	write("b.txt", "not go\n")
+
+	n, err := countLoC(dir, []string{"."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("countLoC = %d, want 2 (test files and non-Go files excluded)", n)
+	}
+
+	// A single file path counts just that file.
+	n, err = countLoC(dir, []string{"a.go"})
+	if err != nil || n != 2 {
+		t.Fatalf("file count = %d, %v", n, err)
+	}
+
+	if _, err := countLoC(dir, []string{"missing"}); err == nil {
+		t.Fatal("missing path should error")
+	}
+}

@@ -1,0 +1,112 @@
+// Command table2 regenerates the paper's Table 2: for every seeded bug it
+// runs the random and the priority-based (PCT) systematic-testing
+// schedulers for a bounded number of executions and reports whether the
+// bug was found (BF?), the time to the first buggy execution, and the
+// number of nondeterministic choices (#NDC) in that execution.
+//
+// The paper ran 100,000 executions per cell; that remains available via
+// -iterations 100000, while the default keeps a full table affordable.
+// Rows marked (c) use the custom test case that pins the bug's rare
+// triggering inputs, exactly as the paper's ◐ rows did.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"github.com/gostorm/gostorm/internal/core"
+	"github.com/gostorm/gostorm/internal/mtable"
+	mharness "github.com/gostorm/gostorm/internal/mtable/harness"
+	vharness "github.com/gostorm/gostorm/internal/vnext/harness"
+)
+
+// tableRow is one Table 2 line.
+type tableRow struct {
+	cs     string
+	name   string
+	custom bool // run as a custom test case (the paper's ◐ rows)
+	star   bool // notional bug (the paper's ∗ rows)
+	build  func() core.Test
+	// maxSteps bounds each execution (liveness rows need long ones).
+	maxSteps int
+}
+
+func main() {
+	var (
+		iterations = flag.Int("iterations", 20000, "execution budget per cell (paper: 100000)")
+		seed       = flag.Int64("seed", 1, "base random seed")
+		pctDepth   = flag.Int("pct-depth", 2, "priority change points per execution (paper: 2)")
+	)
+	flag.Parse()
+
+	rows := []tableRow{{
+		cs:   "1",
+		name: "ExtentNodeLivenessViolation",
+		build: func() core.Test {
+			return vharness.Test(vharness.HarnessConfig{Scenario: vharness.ScenarioFailAndRepair})
+		},
+		maxSteps: 3000,
+	}}
+	customOnly := map[string]bool{
+		"QueryStreamedFilterShadowing":    true,
+		"MigrateSkipPreferOld":            true,
+		"MigrateSkipUseNewWithTombstones": true,
+		"InsertBehindMigrator":            true,
+	}
+	notional := map[string]bool{
+		"MigrateSkipPreferOld":            true,
+		"MigrateSkipUseNewWithTombstones": true,
+		"InsertBehindMigrator":            true,
+	}
+	for _, name := range mtable.AllBugs() {
+		bug, _ := mtable.BugByName(name)
+		r := tableRow{
+			cs:       "2",
+			name:     name,
+			custom:   customOnly[name],
+			star:     notional[name],
+			maxSteps: 30000,
+		}
+		if r.custom {
+			r.build = func() core.Test { return mharness.CustomTest(bug) }
+		} else {
+			r.build = func() core.Test { return mharness.Test(mharness.HarnessConfig{Bugs: bug}) }
+		}
+		rows = append(rows, r)
+	}
+
+	fmt.Printf("Table 2: random and priority-based schedulers, up to %d executions per cell\n", *iterations)
+	fmt.Println("(c) = custom test case pinning the triggering inputs; (*) = notional bug")
+	fmt.Println()
+	fmt.Printf("%-2s %-38s | %-3s %12s %8s | %-3s %12s %8s\n",
+		"CS", "Bug Identifier", "BF?", "Time(s)", "#NDC", "BF?", "Time(s)", "#NDC")
+	fmt.Printf("%-2s %-38s | %26s | %26s\n", "", "", "random scheduler", "priority-based scheduler")
+	for _, r := range rows {
+		label := r.name
+		if r.star {
+			label = "*" + label
+		}
+		if r.custom {
+			label += " (c)"
+		}
+		randCell := runCell(r, "random", *iterations, *seed, *pctDepth)
+		pctCell := runCell(r, "pct", *iterations, *seed, *pctDepth)
+		fmt.Printf("%-2s %-38s | %s | %s\n", r.cs, label, randCell, pctCell)
+	}
+}
+
+// runCell runs one (bug, scheduler) cell and formats it.
+func runCell(r tableRow, scheduler string, iterations int, seed int64, pctDepth int) string {
+	res := core.Run(r.build(), core.Options{
+		Scheduler:   scheduler,
+		PCTDepth:    pctDepth,
+		Iterations:  iterations,
+		MaxSteps:    r.maxSteps,
+		Seed:        seed,
+		NoReplayLog: true,
+	})
+	if !res.BugFound {
+		return fmt.Sprintf("%-3s %12s %8s", "no", "-", "-")
+	}
+	return fmt.Sprintf("%-3s %12.2f %8d", "yes", res.Elapsed.Seconds(), res.Choices)
+}

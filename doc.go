@@ -1,0 +1,12 @@
+// Package gostorm is a Go reproduction of "Uncovering Bugs in Distributed
+// Storage Systems during Testing (not in Production!)" (Deligiannis et
+// al., FAST 2016): a P#-style systematic testing runtime for distributed
+// systems modeled as communicating state machines, together with the
+// paper's three case-study systems — the Azure Storage vNext extent
+// manager, Live Table Migration (MigratingTable), and an Azure Service
+// Fabric replica-management model — their test harnesses, seeded bugs,
+// and the benchmark harnesses that regenerate the paper's tables.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for measured results.
+package gostorm

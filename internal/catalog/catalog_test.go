@@ -1,0 +1,79 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gostorm/gostorm/internal/core"
+)
+
+func TestCatalogNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.Name] {
+			t.Fatalf("duplicate scenario name %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.About == "" {
+			t.Fatalf("scenario %q lacks a description", e.Name)
+		}
+		if e.Build == nil {
+			t.Fatalf("scenario %q lacks a builder", e.Name)
+		}
+	}
+}
+
+func TestCatalogEntriesBuildAndRun(t *testing.T) {
+	// Every scenario must build and survive one short execution without
+	// crashing the engine (bugs are fine; panics in the harness wiring
+	// are not — they'd show up as safety bugs mentioning the harness).
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			opts := e.Options
+			opts.Scheduler = "random"
+			opts.Iterations = 2
+			opts.Seed = 1
+			opts.NoReplayLog = true
+			res := core.Run(e.Build(), opts)
+			if res.BugFound && strings.Contains(res.Report.Message, "panic in harness") {
+				t.Fatalf("harness wiring panicked: %s", res.Report.Message)
+			}
+		})
+	}
+}
+
+func TestCatalogGet(t *testing.T) {
+	if _, err := Get("mtable"); err != nil {
+		t.Fatalf("known scenario not found: %v", err)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown scenario resolved")
+	}
+	if len(Names()) != len(All()) {
+		t.Fatal("Names / All mismatch")
+	}
+	if !strings.Contains(Describe(), "mtable") {
+		t.Fatal("Describe lacks scenarios")
+	}
+}
+
+func TestCleanScenariosAreClean(t *testing.T) {
+	// The scenarios documented as "expected clean" must not report bugs
+	// under a modest budget.
+	for _, name := range []string{"replsys-fixed", "vnext-repair", "vnext-replicate", "mtable", "fabric-failover", "fabric-pipeline"} {
+		e, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := e.Options
+		opts.Scheduler = "random"
+		opts.Iterations = 20
+		opts.Seed = 2
+		opts.NoReplayLog = true
+		res := core.Run(e.Build(), opts)
+		if res.BugFound {
+			t.Fatalf("%s reported a bug: %v", name, res.Report.Error())
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import "fmt"
+
+// Context is the API surface available to machine code. All interaction
+// between a machine and the rest of the system must go through it so the
+// scheduler observes (and controls) every source of nondeterminism.
+type Context struct {
+	r *Runtime
+	m *machine
+}
+
+// ID returns the executing machine's identifier.
+func (c *Context) ID() MachineID { return c.m.id }
+
+// MachineName returns the executing machine's registered name.
+func (c *Context) MachineName() string { return c.m.name }
+
+// Step returns the current global scheduling step, useful for harness
+// bookkeeping (never use it to influence behavior — that would be hidden
+// nondeterminism under schedule-dependent step counts).
+func (c *Context) Step() int { return c.r.steps }
+
+// Send enqueues ev into target's inbox and yields to the scheduler. Send
+// never blocks; events sent to halted machines are dropped, which is how
+// messages to failed nodes disappear.
+func (c *Context) Send(target MachineID, ev Event) {
+	r := c.r
+	if target < 0 || int(target) >= len(r.machines) {
+		c.Assert(false, "send of %s to unknown machine %d", ev.Name(), target)
+	}
+	t := r.machines[target]
+	if t.status != statusHalted {
+		t.queue = append(t.queue, ev)
+		r.logf("%s send %s -> %s", c.m.label(), ev.Name(), t.label())
+	} else {
+		r.logf("%s send %s -> %s (dropped: target halted)", c.m.label(), ev.Name(), t.label())
+	}
+	r.schedulingPoint(c.m)
+}
+
+// CreateMachine registers a new machine and yields. The machine's Init
+// runs when the scheduler first picks it.
+func (c *Context) CreateMachine(impl Machine, name string) MachineID {
+	id := c.r.createMachine(impl, name)
+	c.r.logf("%s created %s(%d)", c.m.label(), name, id)
+	c.r.schedulingPoint(c.m)
+	return id
+}
+
+// RandomBool returns a scheduler-controlled boolean — the P# Nondet().
+// Harnesses use it to model timeouts firing or not, messages dropping or
+// not, and workload choices. Every outcome is recorded in the trace.
+func (c *Context) RandomBool() bool {
+	b := c.r.sched.NextBool()
+	c.r.decisions = append(c.r.decisions, Decision{Kind: DecisionBool, Bool: b})
+	return b
+}
+
+// RandomInt returns a scheduler-controlled value in [0, n).
+func (c *Context) RandomInt(n int) int {
+	if n <= 0 {
+		c.Assert(false, "RandomInt bound must be positive, got %d", n)
+	}
+	v := c.r.sched.NextInt(n)
+	c.r.decisions = append(c.r.decisions, Decision{Kind: DecisionInt, Int: v, N: n})
+	return v
+}
+
+// Receive blocks the machine until an event whose name is one of names
+// arrives, removes it from the inbox (other events stay queued in order),
+// and returns it. Mirrors the P# receive statement.
+func (c *Context) Receive(names ...string) Event {
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	return c.ReceiveWhere(fmt.Sprintf("%v", names), func(ev Event) bool { return set[ev.Name()] })
+}
+
+// ReceiveWhere blocks until an event satisfying pred arrives and returns
+// it. desc appears in deadlock reports.
+func (c *Context) ReceiveWhere(desc string, pred func(Event) bool) Event {
+	m := c.m
+	m.recvPred = pred
+	m.status = statusWaitReceive
+	c.r.logf("%s waiting to receive %s", m.label(), desc)
+	c.r.yield <- struct{}{}
+	<-m.resume
+	m.status = statusRunning
+	if c.r.killed {
+		panic(killSignal{})
+	}
+	ev := m.popMatch(pred)
+	m.recvPred = nil
+	c.r.logf("%s received %s", m.label(), ev.Name())
+	return ev
+}
+
+// Halt terminates the executing machine: its queue is discarded and future
+// events to it are dropped. Harnesses use it to model node failures.
+func (c *Context) Halt() {
+	c.r.logf("%s halt", c.m.label())
+	panic(haltSignal{})
+}
+
+// Monitor delivers a notification event to the named specification
+// monitor, synchronously. Monitors are registered on the Test.
+func (c *Context) Monitor(name string, ev Event) {
+	e := c.r.monByName[name]
+	if e == nil {
+		c.Assert(false, "notify of unknown monitor %q", name)
+	}
+	c.r.logf("%s notify %s: %s", c.m.label(), name, ev.Name())
+	e.mon.Handle(e.mc, ev)
+}
+
+// Assert flags a safety violation if cond is false.
+func (c *Context) Assert(cond bool, format string, args ...any) {
+	if !cond {
+		c.r.failSafety(fmt.Sprintf(format, args...))
+	}
+}
+
+// Logf appends a line to the execution log. Logging is free when the
+// engine is exploring (collection is off) and enabled during replay, so
+// harnesses can log liberally — exactly the paper's workflow of iterating
+// on a buggy trace with richer debug output.
+func (c *Context) Logf(format string, args ...any) {
+	c.r.logf("%s: %s", c.m.label(), fmt.Sprintf(format, args...))
+}

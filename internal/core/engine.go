@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Test describes one systematic test: an entry function that builds the
+// harness (creating machines, wiring monitors' subjects) plus constructors
+// for the specification monitors, fresh per execution.
+type Test struct {
+	Name string
+	// Entry runs as machine 0. It typically creates the harness machines
+	// and returns; it may also drive a scenario itself using Receive.
+	Entry func(ctx *Context)
+	// Monitors are constructors invoked before each execution.
+	Monitors []func() Monitor
+}
+
+// Options bounds and configures an engine run. The zero value is usable:
+// random scheduler, 10,000 executions of up to 10,000 steps each.
+type Options struct {
+	// Scheduler is "random" (default), "pct", "rr" or "dfs".
+	Scheduler string
+	// PCTDepth is the number of priority change points for "pct"
+	// (default 2, the paper's configuration).
+	PCTDepth int
+	// Seed selects the pseudo-random schedule sequence. Each execution i
+	// derives its own sub-seed, so runs are reproducible end to end.
+	Seed int64
+	// Iterations is the maximum number of executions (default 10,000).
+	Iterations int
+	// MaxSteps bounds each execution; reaching it treats the execution as
+	// infinite for liveness checking (default 10,000).
+	MaxSteps int
+	// Temperature, when positive, reports a liveness violation as soon as
+	// a monitor stays hot for that many consecutive steps, instead of
+	// waiting for the full bound.
+	Temperature int
+	// StopAfter, when positive, bounds the total wall-clock time.
+	StopAfter time.Duration
+	// NoDeadlockDetection disables reporting machines stuck in Receive.
+	NoDeadlockDetection bool
+	// NoLivenessBoundCheck disables the treat-bound-as-infinite liveness
+	// heuristic (hot-at-termination is still checked).
+	NoLivenessBoundCheck bool
+	// NoReplayLog skips the confirmation replay that re-runs a buggy
+	// schedule to collect the detailed execution log.
+	NoReplayLog bool
+	// Progress, if non-nil, is called after every execution with the
+	// number completed so far.
+	Progress func(executions int)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scheduler == "" {
+		o.Scheduler = "random"
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 10000
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 10000
+	}
+	if o.PCTDepth <= 0 {
+		o.PCTDepth = 2
+	}
+	return o
+}
+
+func (o Options) runtimeConfig(collectLog bool) runtimeConfig {
+	return runtimeConfig{
+		maxSteps:          o.MaxSteps,
+		temperature:       o.Temperature,
+		livenessAtBound:   !o.NoLivenessBoundCheck,
+		deadlockDetection: !o.NoDeadlockDetection,
+		collectLog:        collectLog,
+	}
+}
+
+// Result summarizes an engine run.
+type Result struct {
+	// BugFound reports whether a violation was found.
+	BugFound bool
+	// Report describes the violation (nil if none). Report.Trace replays
+	// it; Report.Log holds the detailed event log from the confirmation
+	// replay.
+	Report *BugReport
+	// Executions is the number of executions performed (including the
+	// buggy one).
+	Executions int
+	// TotalSteps is the number of scheduling steps across all executions.
+	TotalSteps int64
+	// Choices is the number of nondeterministic choices in the first
+	// buggy execution — the paper's #NDC column.
+	Choices int
+	// Elapsed is the wall-clock time of the run.
+	Elapsed time.Duration
+	// Exhausted reports that the scheduler covered its entire schedule
+	// space (only the dfs scheduler does).
+	Exhausted bool
+}
+
+// String renders a one-line summary.
+func (res Result) String() string {
+	if res.BugFound {
+		return fmt.Sprintf("bug found after %d execution(s), %.2fs, %d choices: %s",
+			res.Executions, res.Elapsed.Seconds(), res.Choices, res.Report.Error())
+	}
+	suffix := ""
+	if res.Exhausted {
+		suffix = " (schedule space exhausted)"
+	}
+	return fmt.Sprintf("no bug in %d execution(s), %.2fs%s", res.Executions, res.Elapsed.Seconds(), suffix)
+}
+
+// Run systematically tests t: it executes the harness repeatedly, each time
+// under a different schedule, until a safety or liveness violation is
+// found, the iteration/time budget is exhausted, or the schedule space is
+// fully covered. This is the testing process of the paper's §2: fully
+// automatic, no false positives (assuming an accurate harness), every bug
+// witnessed by a replayable trace.
+func Run(t Test, o Options) Result {
+	o = o.withDefaults()
+	sched, err := NewScheduler(o.Scheduler, o.PCTDepth)
+	if err != nil {
+		panic(err)
+	}
+	return runWith(t, o, sched)
+}
+
+func runWith(t Test, o Options, sched Scheduler) Result {
+	start := time.Now()
+	var res Result
+	for i := 0; i < o.Iterations; i++ {
+		execSeed := splitmix64(uint64(o.Seed) + uint64(i)*0x9E3779B97F4A7C15)
+		if !sched.Prepare(int64(execSeed), o.MaxSteps) {
+			res.Exhausted = true
+			break
+		}
+		r := newRuntime(sched, o.runtimeConfig(false))
+		rep := r.execute(t)
+		res.Executions++
+		res.TotalSteps += int64(r.steps)
+		if rep != nil {
+			rep.Trace = &Trace{
+				Test:      t.Name,
+				Scheduler: sched.Name(),
+				Seed:      int64(execSeed),
+				Decisions: r.decisions,
+			}
+			res.BugFound = true
+			res.Report = rep
+			res.Choices = len(r.decisions)
+			res.Elapsed = time.Since(start)
+			if !o.NoReplayLog {
+				attachReplayLog(t, o, rep)
+			}
+			return res
+		}
+		if o.Progress != nil {
+			o.Progress(res.Executions)
+		}
+		if o.StopAfter > 0 && time.Since(start) > o.StopAfter {
+			break
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// attachReplayLog re-runs the buggy schedule with log collection to give
+// the report a detailed, human-readable event log — and doubles as a
+// determinism check: the replay must reproduce the same violation.
+func attachReplayLog(t Test, o Options, rep *BugReport) {
+	confirm, err := Replay(t, rep.Trace, o)
+	if err != nil {
+		rep.Log = []string{fmt.Sprintf("replay failed: %v (is the system-under-test deterministic?)", err)}
+		return
+	}
+	if confirm == nil {
+		rep.Log = []string{"replay did not reproduce the violation (is the system-under-test deterministic?)"}
+		return
+	}
+	rep.Log = confirm.Log
+}
+
+// Replay re-executes a recorded trace and returns the violation it
+// reproduces (nil if the execution completes cleanly — which for a trace
+// recorded from a bug indicates nondeterminism in the system-under-test).
+// The Options must match the recording run's bounds.
+func Replay(t Test, tr *Trace, o Options) (*BugReport, error) {
+	o = o.withDefaults()
+	sched := newReplayScheduler(tr)
+	sched.Prepare(0, o.MaxSteps)
+	r := newRuntime(sched, o.runtimeConfig(true))
+	rep := r.execute(t)
+	if r.divergence != nil {
+		return nil, r.divergence
+	}
+	if rep != nil {
+		rep.Log = r.log
+		rep.Trace = tr
+	}
+	return rep, nil
+}
+
+// splitmix64 is the SplitMix64 mixing function, used to derive independent
+// per-execution seeds from (base seed, iteration).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

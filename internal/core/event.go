@@ -1,0 +1,47 @@
+// Package core implements a systematic testing runtime for distributed
+// systems modeled as communicating state machines, in the style of P#
+// (Deligiannis et al., PLDI 2015; FAST 2016).
+//
+// A system under test is expressed as a set of Machines that exchange
+// Events through FIFO inboxes. During testing the runtime serializes the
+// whole system: machines run on dedicated goroutines, but exactly one is
+// runnable at any instant, and control passes through explicit handoff
+// points. Every source of nondeterminism — which machine runs next, the
+// outcome of RandomBool/RandomInt choices — is resolved by a pluggable
+// Scheduler and recorded in a Trace, which makes every execution exactly
+// reproducible with the replay scheduler.
+//
+// Correctness criteria are expressed as safety monitors (global assertions
+// over notification events) and liveness monitors (hot/cold states; an
+// execution that ends, or exceeds the step bound, while a monitor is hot is
+// a liveness violation — the bounded-infinite-execution heuristic of the
+// paper's §2.5).
+//
+// The Engine (see Run) repeatedly executes a Test from start to completion,
+// each time exploring a potentially different schedule, until it finds a
+// violation or exhausts its budget.
+package core
+
+// Event is a message exchanged between machines, delivered to monitors, or
+// used to model failures and timeouts. Concrete event types are ordinary
+// structs carrying payload fields; Name returns a stable identifier used
+// for handler dispatch, receive filters, and trace output.
+type Event interface {
+	Name() string
+}
+
+// haltEvent is enqueued internally when a machine is asked to halt
+// asynchronously via Runtime-level failure injection. It is not exported;
+// harnesses model failures with their own events and call Context.Halt.
+type haltEvent struct{}
+
+func (haltEvent) Name() string { return "core.halt" }
+
+// namedEvent is a convenience event carrying nothing but its name. It is
+// useful for simple signals (timer ticks, triggers) in tests and harnesses.
+type namedEvent struct{ name string }
+
+func (e namedEvent) Name() string { return e.name }
+
+// Signal returns an Event with the given name and no payload.
+func Signal(name string) Event { return namedEvent{name: name} }

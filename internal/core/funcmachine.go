@@ -1,0 +1,26 @@
+package core
+
+// FuncMachine adapts plain functions to the Machine interface. It is handy
+// for drivers and simple models that don't need the full state-machine
+// structure (e.g. a harness's TestingDriver).
+type FuncMachine struct {
+	// OnInit runs when the machine starts (may be nil).
+	OnInit func(ctx *Context)
+	// OnEvent runs for every dequeued event. A nil OnEvent drops events
+	// silently.
+	OnEvent func(ctx *Context, ev Event)
+}
+
+// Init implements Machine.
+func (f *FuncMachine) Init(ctx *Context) {
+	if f.OnInit != nil {
+		f.OnInit(ctx)
+	}
+}
+
+// Handle implements Machine.
+func (f *FuncMachine) Handle(ctx *Context, ev Event) {
+	if f.OnEvent != nil {
+		f.OnEvent(ctx, ev)
+	}
+}

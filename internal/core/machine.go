@@ -1,0 +1,136 @@
+package core
+
+import "fmt"
+
+// MachineID identifies a machine within one execution. IDs are assigned in
+// creation order, so they are deterministic for a fixed schedule.
+type MachineID int32
+
+// NoMachine is the zero-value "no machine" identifier.
+const NoMachine MachineID = -1
+
+func (id MachineID) String() string { return fmt.Sprintf("#%d", int32(id)) }
+
+// Machine is the behavior of one concurrently executing component. A
+// machine's Init runs once when the machine starts; Handle runs for every
+// event dequeued from its inbox. Both receive a Context through which all
+// interaction with the rest of the system must go (Send, CreateMachine,
+// Receive, RandomBool, Halt, ...). Calling into another machine directly
+// bypasses the scheduler and breaks systematic exploration; don't do it.
+//
+// A machine's inbox is FIFO. Handlers run to completion, but every Context
+// operation inside a handler is a scheduling point where other machines may
+// be interleaved.
+type Machine interface {
+	Init(ctx *Context)
+	Handle(ctx *Context, ev Event)
+}
+
+// Deferrer is an optional interface a Machine can implement to defer
+// events: a deferred event stays in the inbox (preserving order) and is
+// skipped by dequeue until the machine stops deferring it, mirroring P#'s
+// defer declaration. StateMachine implements it from per-state Defer lists.
+type Deferrer interface {
+	Deferred(ev Event) bool
+}
+
+// MachineStats describes the static shape of a state-machine-based
+// component: the numbers reported in the paper's Table 1 (#states is folded
+// into transitions there; we keep all three).
+type MachineStats struct {
+	Machine     string
+	States      int
+	Transitions int
+	Handlers    int
+}
+
+// machineStatus tracks where a machine is in its lifecycle; it determines
+// whether the machine is enabled (can be scheduled).
+type machineStatus int8
+
+const (
+	// statusCreated: CreateMachine ran but the machine has not been
+	// scheduled yet; its goroutine does not exist. Always enabled (its
+	// first step runs Init).
+	statusCreated machineStatus = iota
+	// statusRunning: mid-handler, parked at a scheduling point. Always
+	// enabled (the continuation can run).
+	statusRunning
+	// statusWaitDequeue: the event loop is waiting for the next event.
+	// Enabled iff the inbox holds a non-deferred event.
+	statusWaitDequeue
+	// statusWaitReceive: blocked in Receive. Enabled iff the inbox holds an
+	// event matching the receive predicate.
+	statusWaitReceive
+	// statusHalted: the machine is gone; events sent to it are dropped.
+	statusHalted
+)
+
+// machine is the runtime's per-machine bookkeeping.
+type machine struct {
+	id     MachineID
+	name   string
+	impl   Machine
+	defr   Deferrer // impl.(Deferrer), or nil
+	queue  []Event
+	status machineStatus
+	resume chan struct{}
+	// recvPred is non-nil while status == statusWaitReceive.
+	recvPred func(Event) bool
+}
+
+func (m *machine) label() string {
+	return fmt.Sprintf("%s(%d)", m.name, m.id)
+}
+
+// hasDequeuable reports whether the inbox holds an event the machine's
+// event loop would accept (i.e. not deferred in its current state).
+func (m *machine) hasDequeuable() bool {
+	if m.defr == nil {
+		return len(m.queue) > 0
+	}
+	for _, ev := range m.queue {
+		if !m.defr.Deferred(ev) {
+			return true
+		}
+	}
+	return false
+}
+
+// popDequeuable removes and returns the first non-deferred event.
+// It must only be called when hasDequeuable() is true.
+func (m *machine) popDequeuable() Event {
+	for i, ev := range m.queue {
+		if m.defr == nil || !m.defr.Deferred(ev) {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			return ev
+		}
+	}
+	panic("core: popDequeuable on machine with no dequeuable event")
+}
+
+// hasMatch reports whether the inbox holds an event satisfying the pending
+// receive predicate.
+func (m *machine) hasMatch() bool {
+	if m.recvPred == nil {
+		return false
+	}
+	for _, ev := range m.queue {
+		if m.recvPred(ev) {
+			return true
+		}
+	}
+	return false
+}
+
+// popMatch removes and returns the first event satisfying pred.
+// It must only be called when hasMatch() is true.
+func (m *machine) popMatch(pred func(Event) bool) Event {
+	for i, ev := range m.queue {
+		if pred(ev) {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			return ev
+		}
+	}
+	panic("core: popMatch on machine with no matching event")
+}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Runtime executes one test run from start to completion under the control
+// of a Scheduler. A fresh Runtime is built for every execution; it owns the
+// machines, the monitors, the decision trace, and the bug report (if any).
+//
+// Concurrency model: every machine runs on its own goroutine, but the
+// runtime enforces that exactly one goroutine — either the engine loop or a
+// single machine — is runnable at a time. Control moves from the engine to
+// a machine through the machine's resume channel and back through the
+// shared yield channel. Every Context operation is therefore a
+// deterministic scheduling point.
+type Runtime struct {
+	sched     Scheduler
+	machines  []*machine
+	monitors  []*monitorEntry
+	monByName map[string]*monitorEntry
+
+	yield   chan struct{}
+	current *machine
+	killed  bool
+
+	steps     int
+	maxSteps  int
+	decisions []Decision
+	bug       *BugReport
+	// divergence is set when a replay scheduler detects that the program
+	// departed from the recorded trace; it aborts the execution.
+	divergence error
+
+	// temperature, when positive, flags a liveness violation as soon as a
+	// monitor has been hot for that many consecutive scheduling steps.
+	temperature int
+	// livenessAtBound treats an execution that reaches maxSteps as an
+	// infinite execution and checks hot monitors (§2.5 heuristic).
+	livenessAtBound bool
+	// deadlockDetection reports machines stuck in Receive at quiescence.
+	deadlockDetection bool
+
+	collectLog bool
+	log        []string
+	logCap     int
+
+	enabledBuf []MachineID
+}
+
+// runtimeConfig carries the per-execution knobs from Options to newRuntime.
+type runtimeConfig struct {
+	maxSteps          int
+	temperature       int
+	livenessAtBound   bool
+	deadlockDetection bool
+	collectLog        bool
+}
+
+func newRuntime(sched Scheduler, cfg runtimeConfig) *Runtime {
+	return &Runtime{
+		sched:             sched,
+		monByName:         make(map[string]*monitorEntry),
+		yield:             make(chan struct{}),
+		maxSteps:          cfg.maxSteps,
+		temperature:       cfg.temperature,
+		livenessAtBound:   cfg.livenessAtBound,
+		deadlockDetection: cfg.deadlockDetection,
+		collectLog:        cfg.collectLog,
+		logCap:            100000,
+	}
+}
+
+// execute runs the test to completion and returns the violation found, or
+// nil for a clean execution. It always reaps all machine goroutines before
+// returning.
+func (r *Runtime) execute(t Test) (rep *BugReport) {
+	defer func() {
+		if p := recover(); p != nil {
+			switch v := p.(type) {
+			case bugSignal:
+				// r.bug is already set (monitor assert on the engine
+				// goroutine, e.g. during monitor Init).
+			case replayDivergence:
+				r.divergence = v
+			default:
+				panic(p)
+			}
+		}
+		r.shutdown()
+		rep = r.bug
+	}()
+	for _, mk := range t.Monitors {
+		r.addMonitor(mk())
+	}
+	r.createMachine(&entryMachine{entry: t.Entry}, "harness")
+	r.loop()
+	return r.bug
+}
+
+// loop is the engine loop: pick an enabled machine, step it, repeat.
+func (r *Runtime) loop() {
+	for r.bug == nil && r.divergence == nil {
+		if r.steps >= r.maxSteps {
+			if r.livenessAtBound {
+				r.checkLiveness("execution exceeded the step bound and is treated as infinite")
+			}
+			return
+		}
+		enabled := r.enabledMachines()
+		if len(enabled) == 0 {
+			r.checkTermination()
+			return
+		}
+		cur := NoMachine
+		if r.current != nil {
+			cur = r.current.id
+		}
+		next := r.sched.NextMachine(enabled, cur)
+		r.decisions = append(r.decisions, Decision{Kind: DecisionSchedule, Machine: next})
+		r.steps++
+		r.stepMachine(r.machines[next])
+		if r.bug == nil && r.temperature > 0 {
+			r.checkTemperature()
+		}
+	}
+}
+
+// enabledMachines returns the IDs of all schedulable machines in ID order.
+func (r *Runtime) enabledMachines() []MachineID {
+	r.enabledBuf = r.enabledBuf[:0]
+	for _, m := range r.machines {
+		switch m.status {
+		case statusCreated, statusRunning:
+			r.enabledBuf = append(r.enabledBuf, m.id)
+		case statusWaitDequeue:
+			if m.hasDequeuable() {
+				r.enabledBuf = append(r.enabledBuf, m.id)
+			}
+		case statusWaitReceive:
+			if m.hasMatch() {
+				r.enabledBuf = append(r.enabledBuf, m.id)
+			}
+		}
+	}
+	return r.enabledBuf
+}
+
+// stepMachine transfers control to m until its next scheduling point.
+func (r *Runtime) stepMachine(m *machine) {
+	r.current = m
+	if m.status == statusCreated {
+		m.status = statusRunning
+		go r.machineLoop(m)
+	} else {
+		m.resume <- struct{}{}
+	}
+	<-r.yield
+}
+
+// machineLoop is the body of a machine goroutine: Init, then the event
+// loop. It unwinds via panic signals (halt, kill, bug) and always hands
+// control back to the engine exactly once on exit.
+func (r *Runtime) machineLoop(m *machine) {
+	defer func() {
+		switch p := recover().(type) {
+		case nil, haltSignal, killSignal:
+			// Normal terminations.
+		case bugSignal:
+			// Violation already recorded on the runtime.
+		case replayDivergence:
+			r.divergence = p
+		default:
+			r.setBug(&BugReport{
+				Kind:    SafetyBug,
+				Message: fmt.Sprintf("panic in %s: %v\n%s", m.label(), p, debug.Stack()),
+				Machine: m.label(),
+				Step:    r.steps,
+			})
+		}
+		m.status = statusHalted
+		m.queue = nil
+		m.recvPred = nil
+		r.yield <- struct{}{}
+	}()
+	ctx := &Context{r: r, m: m}
+	m.impl.Init(ctx)
+	for {
+		m.status = statusWaitDequeue
+		r.yieldToEngine(m)
+		ev := m.popDequeuable()
+		r.logf("%s dequeued %s", m.label(), ev.Name())
+		m.impl.Handle(ctx, ev)
+	}
+}
+
+// yieldToEngine parks the calling machine goroutine until the engine steps
+// it again. Must be called with m == the goroutine's own machine.
+func (r *Runtime) yieldToEngine(m *machine) {
+	r.yield <- struct{}{}
+	<-m.resume
+	m.status = statusRunning
+	if r.killed {
+		panic(killSignal{})
+	}
+}
+
+// schedulingPoint is a voluntary yield mid-handler (after Send, Create...).
+func (r *Runtime) schedulingPoint(m *machine) {
+	m.status = statusRunning
+	r.yieldToEngine(m)
+}
+
+// createMachine registers a machine; its goroutine starts lazily on its
+// first scheduling step.
+func (r *Runtime) createMachine(impl Machine, name string) MachineID {
+	id := MachineID(len(r.machines))
+	m := &machine{
+		id:     id,
+		name:   name,
+		impl:   impl,
+		status: statusCreated,
+		resume: make(chan struct{}),
+	}
+	if d, ok := impl.(Deferrer); ok {
+		m.defr = d
+	}
+	r.machines = append(r.machines, m)
+	return id
+}
+
+// addMonitor registers and initializes a specification monitor.
+func (r *Runtime) addMonitor(mon Monitor) {
+	if _, dup := r.monByName[mon.Name()]; dup {
+		panic(fmt.Sprintf("core: duplicate monitor %q", mon.Name()))
+	}
+	e := &monitorEntry{mon: mon, mc: &MonitorContext{r: r}}
+	e.mc.mon = mon
+	r.monitors = append(r.monitors, e)
+	r.monByName[mon.Name()] = e
+	mon.Init(e.mc)
+}
+
+// shutdown reaps every live machine goroutine. After it returns no
+// goroutine of this runtime remains.
+func (r *Runtime) shutdown() {
+	r.killed = true
+	for _, m := range r.machines {
+		switch m.status {
+		case statusCreated, statusHalted:
+			m.status = statusHalted
+		default:
+			m.resume <- struct{}{}
+			<-r.yield
+		}
+	}
+}
+
+// setBug records the first violation; later ones are ignored.
+func (r *Runtime) setBug(b *BugReport) {
+	if r.bug == nil {
+		r.bug = b
+	}
+}
+
+// failSafety records a safety violation attributed to the currently
+// executing machine and unwinds the calling goroutine.
+func (r *Runtime) failSafety(msg string) {
+	label := ""
+	if r.current != nil {
+		label = r.current.label()
+	}
+	r.setBug(&BugReport{Kind: SafetyBug, Message: msg, Machine: label, Step: r.steps})
+	panic(bugSignal{})
+}
+
+// checkTermination runs when no machine is enabled: either a clean
+// quiescent termination, a deadlock, or a liveness violation (terminating
+// while a monitor is hot).
+func (r *Runtime) checkTermination() {
+	if r.deadlockDetection {
+		blocked := ""
+		for _, m := range r.machines {
+			if m.status == statusWaitReceive {
+				if blocked != "" {
+					blocked += ", "
+				}
+				blocked += m.label()
+			}
+		}
+		if blocked != "" {
+			r.setBug(&BugReport{
+				Kind:    DeadlockBug,
+				Message: "deadlock: machines blocked in Receive with no pending matching event: " + blocked,
+				Step:    r.steps,
+			})
+			return
+		}
+	}
+	r.checkLiveness("execution terminated")
+}
+
+// checkLiveness flags any monitor still hot.
+func (r *Runtime) checkLiveness(when string) {
+	for _, e := range r.monitors {
+		if e.mc.hot {
+			r.setBug(&BugReport{
+				Kind: LivenessBug,
+				Message: fmt.Sprintf("monitor %s hot in state %q since step %d; %s without progress",
+					e.mon.Name(), e.mc.hotName, e.mc.hotStep, when),
+				Step: r.steps,
+			})
+			return
+		}
+	}
+}
+
+// checkTemperature flags monitors that stayed hot beyond the threshold.
+func (r *Runtime) checkTemperature() {
+	for _, e := range r.monitors {
+		if e.mc.hot && r.steps-e.mc.hotStep >= r.temperature {
+			r.setBug(&BugReport{
+				Kind: LivenessBug,
+				Message: fmt.Sprintf("monitor %s hot in state %q for %d steps (temperature threshold %d)",
+					e.mon.Name(), e.mc.hotName, r.steps-e.mc.hotStep, r.temperature),
+				Step: r.steps,
+			})
+			return
+		}
+	}
+}
+
+// logf appends to the execution log when collection is enabled.
+func (r *Runtime) logf(format string, args ...any) {
+	if !r.collectLog || len(r.log) >= r.logCap {
+		return
+	}
+	r.log = append(r.log, fmt.Sprintf("[%6d] ", r.steps)+fmt.Sprintf(format, args...))
+}
+
+// entryMachine runs the test's entry function as machine 0 and silently
+// drops any events sent to it afterwards (harness entry functions usually
+// finish after setting up the system).
+type entryMachine struct {
+	entry func(ctx *Context)
+}
+
+func (e *entryMachine) Init(ctx *Context)      { e.entry(ctx) }
+func (e *entryMachine) Handle(*Context, Event) {}

@@ -1,0 +1,90 @@
+package core
+
+import "math/rand"
+
+// delayScheduler implements randomized delay-bounded scheduling (Emmi,
+// Qadeer, Rakamarić, POPL 2011), a third exploration strategy beyond the
+// paper's two: execution follows a deterministic baseline (round-robin by
+// machine ID) except at d randomly chosen steps, where the machine that
+// would run is "delayed" and the baseline continues without it. Small
+// delay budgets cover a surprising number of bugs because many bugs need
+// only a few out-of-order steps.
+type delayScheduler struct {
+	budget int
+	rng    *rand.Rand
+
+	delays  map[int]bool
+	step    int
+	last    MachineID
+	delayed map[MachineID]bool
+	// prevSteps is the previous execution's observed length; delay points
+	// are sampled within it so they actually land inside the execution
+	// (the same program-length adaptation as the PCT scheduler).
+	prevSteps int
+}
+
+// NewDelayScheduler returns a delay-bounded scheduler with the given
+// number of delay points per execution (a typical budget is 2).
+func NewDelayScheduler(budget int) Scheduler {
+	return &delayScheduler{budget: budget}
+}
+
+func (s *delayScheduler) Name() string { return "delay" }
+
+func (s *delayScheduler) Prepare(seed int64, maxSteps int) bool {
+	s.rng = rand.New(rand.NewSource(seed))
+	if maxSteps <= 0 {
+		maxSteps = 10000
+	}
+	s.prevSteps = s.step
+	bound := s.prevSteps
+	if bound < 10 {
+		bound = maxSteps
+	}
+	s.delays = make(map[int]bool, s.budget)
+	for i := 0; i < s.budget; i++ {
+		s.delays[1+s.rng.Intn(bound)] = true
+	}
+	s.step = 0
+	s.last = NoMachine
+	s.delayed = make(map[MachineID]bool)
+	return true
+}
+
+// pickBaseline returns the round-robin choice among enabled machines that
+// are not currently delayed; if all are delayed, the delay set is cleared
+// (the delayed machines have "caught up to the front").
+func (s *delayScheduler) pickBaseline(enabled []MachineID) MachineID {
+	candidate := NoMachine
+	for _, id := range enabled {
+		if !s.delayed[id] {
+			if id > s.last && (candidate == NoMachine || candidate <= s.last) {
+				candidate = id
+			} else if candidate == NoMachine || (candidate <= s.last && id < candidate) ||
+				(candidate > s.last && id > s.last && id < candidate) {
+				candidate = id
+			}
+		}
+	}
+	if candidate == NoMachine {
+		s.delayed = make(map[MachineID]bool)
+		return s.pickBaseline(enabled)
+	}
+	return candidate
+}
+
+func (s *delayScheduler) NextMachine(enabled []MachineID, _ MachineID) MachineID {
+	s.step++
+	choice := s.pickBaseline(enabled)
+	if s.delays[s.step] {
+		// Delay the machine that would have run and advance past it.
+		s.delayed[choice] = true
+		choice = s.pickBaseline(enabled)
+	}
+	s.last = choice
+	delete(s.delayed, choice)
+	return choice
+}
+
+func (s *delayScheduler) NextBool() bool    { return s.rng.Intn(2) == 0 }
+func (s *delayScheduler) NextInt(n int) int { return s.rng.Intn(n) }

@@ -1,0 +1,77 @@
+package core
+
+import "testing"
+
+func TestDelaySchedulerFindsOrderingBug(t *testing.T) {
+	res := Run(raceTest(), Options{Scheduler: "delay", Iterations: 2000, Seed: 42})
+	if !res.BugFound {
+		t.Fatal("delay scheduler did not find the ordering bug")
+	}
+}
+
+func TestDelaySchedulerCompletesCleanPrograms(t *testing.T) {
+	res := Run(pingPongTest(10, false), Options{Scheduler: "delay", Iterations: 100, Seed: 7})
+	if res.BugFound {
+		t.Fatalf("unexpected bug: %v", res.Report.Error())
+	}
+}
+
+func TestDelaySchedulerZeroBudgetIsDeterministicBaseline(t *testing.T) {
+	// With no delay points the schedule is the round-robin baseline, so
+	// two runs with different seeds explore the same schedule.
+	s1 := NewDelayScheduler(0)
+	s2 := NewDelayScheduler(0)
+	s1.Prepare(1, 100)
+	s2.Prepare(999, 100)
+	enabled := []MachineID{0, 1, 2}
+	for i := 0; i < 20; i++ {
+		a := s1.NextMachine(enabled, NoMachine)
+		b := s2.NextMachine(enabled, NoMachine)
+		if a != b {
+			t.Fatalf("step %d: baseline diverged: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestDelaySchedulerRespectsEnabledSet(t *testing.T) {
+	s := NewDelayScheduler(3)
+	s.Prepare(5, 100)
+	for i := 0; i < 200; i++ {
+		enabled := []MachineID{MachineID(1 + i%3), MachineID(5 + i%2)}
+		got := s.NextMachine(enabled, NoMachine)
+		found := false
+		for _, id := range enabled {
+			if id == got {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("scheduler picked %v, not in enabled set %v", got, enabled)
+		}
+	}
+}
+
+func TestNewSchedulerKnowsDelay(t *testing.T) {
+	s, err := NewScheduler("delay", 0)
+	if err != nil || s.Name() != "delay" {
+		t.Fatalf("delay scheduler not registered: %v %v", s, err)
+	}
+}
+
+// TestPCTAdaptiveChangePoints checks that after a short execution, the
+// next execution's change points fall within the observed length.
+func TestPCTAdaptiveChangePoints(t *testing.T) {
+	s := NewPCTScheduler(3).(*pctScheduler)
+	s.Prepare(1, 100000)
+	// Simulate a short execution of 50 steps.
+	enabled := []MachineID{0, 1}
+	for i := 0; i < 50; i++ {
+		s.NextMachine(enabled, NoMachine)
+	}
+	s.Prepare(2, 100000)
+	for cp := range s.changePoints {
+		if cp > 50 {
+			t.Fatalf("change point %d beyond the observed execution length 50", cp)
+		}
+	}
+}

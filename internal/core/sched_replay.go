@@ -1,0 +1,64 @@
+package core
+
+import "fmt"
+
+// replayDivergence is panicked (on the engine goroutine) when a recorded
+// trace cannot be replayed against the current program, which indicates the
+// program is not deterministic or the trace belongs to a different test.
+type replayDivergence struct{ msg string }
+
+func (d replayDivergence) Error() string { return "core: replay divergence: " + d.msg }
+
+// replayScheduler feeds back a recorded decision sequence, reproducing the
+// recorded execution exactly. Any mismatch between the trace and the
+// choices the program asks for is a divergence error.
+type replayScheduler struct {
+	decisions []Decision
+	pos       int
+}
+
+func newReplayScheduler(t *Trace) *replayScheduler {
+	return &replayScheduler{decisions: t.Decisions}
+}
+
+func (s *replayScheduler) Name() string { return "replay" }
+
+func (s *replayScheduler) Prepare(_ int64, _ int) bool {
+	// A replay scheduler runs exactly one execution.
+	if s.pos > 0 {
+		return false
+	}
+	return true
+}
+
+func (s *replayScheduler) next(kind DecisionKind) Decision {
+	if s.pos >= len(s.decisions) {
+		panic(replayDivergence{msg: fmt.Sprintf("program asked for a %q decision beyond the %d recorded", byte(kind), len(s.decisions))})
+	}
+	d := s.decisions[s.pos]
+	s.pos++
+	if d.Kind != kind {
+		panic(replayDivergence{msg: fmt.Sprintf("decision %d: program asked for %q, trace holds %s", s.pos-1, byte(kind), d)})
+	}
+	return d
+}
+
+func (s *replayScheduler) NextMachine(enabled []MachineID, _ MachineID) MachineID {
+	d := s.next(DecisionSchedule)
+	for _, id := range enabled {
+		if id == d.Machine {
+			return id
+		}
+	}
+	panic(replayDivergence{msg: fmt.Sprintf("decision %d: machine %d not enabled (enabled: %v)", s.pos-1, d.Machine, enabled)})
+}
+
+func (s *replayScheduler) NextBool() bool { return s.next(DecisionBool).Bool }
+
+func (s *replayScheduler) NextInt(n int) int {
+	d := s.next(DecisionInt)
+	if d.Int >= n {
+		panic(replayDivergence{msg: fmt.Sprintf("decision %d: int choice %d out of range %d", s.pos-1, d.Int, n)})
+	}
+	return d.Int
+}

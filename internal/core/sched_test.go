@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+)
+
+// boolComboTest triggers a bug iff all three RandomBool choices are true.
+// With a single machine there is no schedule nondeterminism, so the choice
+// tree has exactly 2^3 = 8 leaves.
+func boolComboTest() Test {
+	return Test{
+		Name: "bools",
+		Entry: func(ctx *Context) {
+			a, b, c := ctx.RandomBool(), ctx.RandomBool(), ctx.RandomBool()
+			ctx.Assert(!(a && b && c), "all true")
+		},
+	}
+}
+
+func TestDFSEnumeratesChoiceTree(t *testing.T) {
+	res := Run(boolComboTest(), Options{Scheduler: "dfs", Iterations: 100})
+	if !res.BugFound {
+		t.Fatal("dfs did not find the all-true combination")
+	}
+	if res.Executions != 8 {
+		t.Fatalf("executions = %d, want 8 (the all-true leaf is explored last)", res.Executions)
+	}
+}
+
+func TestDFSExhaustsCleanProgram(t *testing.T) {
+	test := Test{
+		Name: "bools-clean",
+		Entry: func(ctx *Context) {
+			ctx.RandomBool()
+			ctx.RandomBool()
+		},
+	}
+	res := Run(test, Options{Scheduler: "dfs", Iterations: 100})
+	if res.BugFound {
+		t.Fatalf("unexpected bug: %v", res.Report.Error())
+	}
+	if !res.Exhausted {
+		t.Fatal("dfs did not report exhaustion")
+	}
+	if res.Executions != 4 {
+		t.Fatalf("executions = %d, want 4", res.Executions)
+	}
+}
+
+// raceTest reports a bug when machine b's event reaches the collector
+// before machine a's — a purely schedule-dependent outcome.
+func raceTest() Test {
+	return Test{
+		Name: "race",
+		Entry: func(ctx *Context) {
+			collector := ctx.CreateMachine(&FuncMachine{
+				OnEvent: func(ctx *Context, ev Event) {
+					ctx.Assert(ev.Name() != "b", "b arrived first")
+					ctx.Halt()
+				},
+			}, "collector")
+			ctx.CreateMachine(&FuncMachine{
+				OnInit: func(ctx *Context) { ctx.Send(collector, Signal("a")) },
+			}, "a-sender")
+			ctx.CreateMachine(&FuncMachine{
+				OnInit: func(ctx *Context) { ctx.Send(collector, Signal("b")) },
+			}, "b-sender")
+		},
+	}
+}
+
+func TestDFSFindsOrderingBug(t *testing.T) {
+	res := Run(raceTest(), Options{Scheduler: "dfs", Iterations: 10000})
+	if !res.BugFound {
+		t.Fatal("dfs did not find the ordering bug")
+	}
+}
+
+func TestRandomFindsOrderingBug(t *testing.T) {
+	res := Run(raceTest(), Options{Scheduler: "random", Iterations: 1000, Seed: 42})
+	if !res.BugFound {
+		t.Fatal("random did not find the ordering bug")
+	}
+}
+
+func TestPCTFindsOrderingBug(t *testing.T) {
+	res := Run(raceTest(), Options{Scheduler: "pct", Iterations: 1000, Seed: 42})
+	if !res.BugFound {
+		t.Fatal("pct did not find the ordering bug")
+	}
+}
+
+func TestRoundRobinIsDeterministic(t *testing.T) {
+	// Two runs with different seeds take identical schedules (round-robin
+	// ignores the RNG for machine selection), so results must match.
+	r1 := Run(raceTest(), Options{Scheduler: "rr", Iterations: 1, Seed: 1})
+	r2 := Run(raceTest(), Options{Scheduler: "rr", Iterations: 1, Seed: 999})
+	if r1.BugFound != r2.BugFound {
+		t.Fatalf("rr nondeterministic: %v vs %v", r1.BugFound, r2.BugFound)
+	}
+}
+
+func TestNewSchedulerUnknown(t *testing.T) {
+	if _, err := NewScheduler("quantum", 0); err == nil {
+		t.Fatal("expected error for unknown scheduler")
+	}
+}
+
+func TestSeedReproducibility(t *testing.T) {
+	a := Run(raceTest(), Options{Scheduler: "random", Iterations: 500, Seed: 123})
+	b := Run(raceTest(), Options{Scheduler: "random", Iterations: 500, Seed: 123})
+	if a.BugFound != b.BugFound || a.Executions != b.Executions {
+		t.Fatalf("same seed, different outcomes: %+v vs %+v", a, b)
+	}
+	if a.BugFound && a.Choices != b.Choices {
+		t.Fatalf("same seed, different choice counts: %d vs %d", a.Choices, b.Choices)
+	}
+}
+
+func TestPCTChangePointsRespectBudget(t *testing.T) {
+	s := NewPCTScheduler(3).(*pctScheduler)
+	s.Prepare(99, 1000)
+	if len(s.changePoints) > 3 {
+		t.Fatalf("change points = %d, want <= 3", len(s.changePoints))
+	}
+}

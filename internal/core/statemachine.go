@@ -1,0 +1,201 @@
+package core
+
+import "fmt"
+
+// State describes one state of a StateMachine. The context type parameter C
+// is *Context for ordinary machines and *MonitorContext for monitors.
+//
+// Event dispatch order within a state: a handler in On runs first (if any);
+// then a pure transition in Transitions fires (if any). Events in Defer stay
+// queued until a state stops deferring them; events in Ignore are dropped.
+// An event with none of the above is an unhandled-event error, which the
+// runtime reports as a safety violation (P# semantics).
+type State[C any] struct {
+	Name    string
+	OnEntry func(c C)
+	OnExit  func(c C)
+	// On maps event names to handler functions.
+	On map[string]func(c C, ev Event)
+	// Transitions maps event names to target state names ("goto on event").
+	Transitions map[string]string
+	Defer       []string
+	Ignore      []string
+	// Hot marks a liveness-monitor state as "progress required": an
+	// execution must not end (or run forever) with a monitor in a hot
+	// state. It has no meaning for ordinary machines.
+	Hot bool
+
+	deferSet  map[string]bool
+	ignoreSet map[string]bool
+}
+
+// StateMachine is a reusable state-machine skeleton in the style of a P#
+// machine declaration: named states with entry/exit actions, per-event
+// handlers, goto-transitions, deferred and ignored events. Machines and
+// monitors embed one and delegate Init/Handle/Deferred to it.
+type StateMachine[C any] struct {
+	name    string
+	initial string
+	states  map[string]*State[C]
+	current *State[C]
+	// onTransition, if set, observes every state change (including entry
+	// into the initial state). Monitors use it to track hot/cold states.
+	onTransition func(c C, s *State[C])
+}
+
+// NewStateMachine builds a state machine that starts in initial. It panics
+// on malformed specs (duplicate or missing states) since those are
+// programming errors in the harness, not runtime conditions.
+func NewStateMachine[C any](name, initial string, states ...*State[C]) *StateMachine[C] {
+	sm := &StateMachine[C]{
+		name:    name,
+		initial: initial,
+		states:  make(map[string]*State[C], len(states)),
+	}
+	for _, s := range states {
+		if _, dup := sm.states[s.Name]; dup {
+			panic(fmt.Sprintf("core: duplicate state %q in machine %q", s.Name, name))
+		}
+		s.deferSet = make(map[string]bool, len(s.Defer))
+		for _, d := range s.Defer {
+			s.deferSet[d] = true
+		}
+		s.ignoreSet = make(map[string]bool, len(s.Ignore))
+		for _, ig := range s.Ignore {
+			s.ignoreSet[ig] = true
+		}
+		sm.states[s.Name] = s
+	}
+	if _, ok := sm.states[initial]; !ok {
+		panic(fmt.Sprintf("core: machine %q: initial state %q not declared", name, initial))
+	}
+	for _, s := range states {
+		for ev, tgt := range s.Transitions {
+			if _, ok := sm.states[tgt]; !ok {
+				panic(fmt.Sprintf("core: machine %q: state %q transitions on %q to undeclared state %q",
+					name, s.Name, ev, tgt))
+			}
+		}
+	}
+	return sm
+}
+
+// Start enters the initial state, running its OnEntry action.
+func (sm *StateMachine[C]) Start(c C) {
+	sm.enter(c, sm.initial)
+}
+
+// Current returns the name of the current state ("" before Start).
+func (sm *StateMachine[C]) Current() string {
+	if sm.current == nil {
+		return ""
+	}
+	return sm.current.Name
+}
+
+// Goto leaves the current state (running OnExit) and enters the named state
+// (running OnEntry). Handlers call it for data-dependent transitions.
+func (sm *StateMachine[C]) Goto(c C, state string) {
+	if sm.current != nil && sm.current.OnExit != nil {
+		sm.current.OnExit(c)
+	}
+	sm.enter(c, state)
+}
+
+func (sm *StateMachine[C]) enter(c C, state string) {
+	s, ok := sm.states[state]
+	if !ok {
+		panic(fmt.Sprintf("core: machine %q: goto undeclared state %q", sm.name, state))
+	}
+	sm.current = s
+	if sm.onTransition != nil {
+		sm.onTransition(c, s)
+	}
+	if s.OnEntry != nil {
+		s.OnEntry(c)
+	}
+}
+
+// Handle dispatches ev in the current state. It returns a non-nil error for
+// an unhandled event; the caller converts that into an assertion failure.
+func (sm *StateMachine[C]) Handle(c C, ev Event) error {
+	s := sm.current
+	if s == nil {
+		return fmt.Errorf("machine %q handled %q before Start", sm.name, ev.Name())
+	}
+	name := ev.Name()
+	handled := false
+	if h, ok := s.On[name]; ok {
+		h(c, ev)
+		handled = true
+	}
+	// The handler may have performed a Goto; only fire the declared
+	// transition if we are still in the state that declared it.
+	if sm.current == s {
+		if tgt, ok := s.Transitions[name]; ok {
+			sm.Goto(c, tgt)
+			handled = true
+		}
+	}
+	if handled || s.ignoreSet[name] {
+		return nil
+	}
+	return fmt.Errorf("machine %q: unhandled event %q in state %q", sm.name, name, s.Name)
+}
+
+// Deferred reports whether ev is deferred in the current state.
+func (sm *StateMachine[C]) Deferred(ev Event) bool {
+	if sm.current == nil {
+		return false
+	}
+	return sm.current.deferSet[ev.Name()]
+}
+
+// Stats reports the machine's static shape for Table 1 style accounting:
+// number of states, declared transitions, and action handlers (entry/exit
+// actions and event handlers).
+func (sm *StateMachine[C]) Stats() MachineStats {
+	st := MachineStats{Machine: sm.name, States: len(sm.states)}
+	for _, s := range sm.states {
+		st.Transitions += len(s.Transitions)
+		st.Handlers += len(s.On)
+		if s.OnEntry != nil {
+			st.Handlers++
+		}
+		if s.OnExit != nil {
+			st.Handlers++
+		}
+	}
+	return st
+}
+
+// SMachine adapts a StateMachine[*Context] to the Machine interface.
+// Concrete machines build their state machine in a constructor (capturing
+// the machine's fields in handler closures) and embed SMachine:
+//
+//	type server struct{ SMachine; count int }
+//	func newServer() *server {
+//		s := &server{}
+//		s.SM = NewStateMachine[*Context]("Server", "Init", ...)
+//		return s
+//	}
+type SMachine struct {
+	SM *StateMachine[*Context]
+}
+
+// Init enters the state machine's initial state.
+func (a *SMachine) Init(ctx *Context) { a.SM.Start(ctx) }
+
+// Handle dispatches the event and converts unhandled events into safety
+// violations, matching P#'s unhandled-event error.
+func (a *SMachine) Handle(ctx *Context, ev Event) {
+	if err := a.SM.Handle(ctx, ev); err != nil {
+		ctx.Assert(false, "%v", err)
+	}
+}
+
+// Deferred implements Deferrer using the current state's defer list.
+func (a *SMachine) Deferred(ev Event) bool { return a.SM.Deferred(ev) }
+
+// Goto transitions the underlying state machine.
+func (a *SMachine) Goto(ctx *Context, state string) { a.SM.Goto(ctx, state) }

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// trafficLight is a small state machine used across these tests.
+type trafficLight struct {
+	SMachine
+	entries []string
+	exits   []string
+}
+
+func newTrafficLight() *trafficLight {
+	tl := &trafficLight{}
+	mk := func(name, next string) *State[*Context] {
+		return &State[*Context]{
+			Name:        name,
+			OnEntry:     func(*Context) { tl.entries = append(tl.entries, name) },
+			OnExit:      func(*Context) { tl.exits = append(tl.exits, name) },
+			Transitions: map[string]string{"advance": next},
+		}
+	}
+	tl.SM = NewStateMachine[*Context]("light", "Red",
+		mk("Red", "Green"), mk("Green", "Yellow"), mk("Yellow", "Red"))
+	return tl
+}
+
+func runSingleMachine(t *testing.T, m Machine, events ...Event) Result {
+	t.Helper()
+	test := Test{
+		Name: "sm",
+		Entry: func(ctx *Context) {
+			id := ctx.CreateMachine(m, "sm")
+			for _, ev := range events {
+				ctx.Send(id, ev)
+			}
+		},
+	}
+	return Run(test, Options{Scheduler: "rr", Iterations: 1, Seed: 1})
+}
+
+func TestStateMachineTransitions(t *testing.T) {
+	tl := newTrafficLight()
+	res := runSingleMachine(t, tl, Signal("advance"), Signal("advance"))
+	if res.BugFound {
+		t.Fatalf("unexpected bug: %v", res.Report.Error())
+	}
+	if got := tl.SM.Current(); got != "Yellow" {
+		t.Fatalf("state = %q, want Yellow", got)
+	}
+	wantEntries := []string{"Red", "Green", "Yellow"}
+	if len(tl.entries) != 3 || tl.entries[0] != wantEntries[0] || tl.entries[1] != wantEntries[1] || tl.entries[2] != wantEntries[2] {
+		t.Fatalf("entries = %v, want %v", tl.entries, wantEntries)
+	}
+	if len(tl.exits) != 2 || tl.exits[0] != "Red" || tl.exits[1] != "Green" {
+		t.Fatalf("exits = %v", tl.exits)
+	}
+}
+
+func TestStateMachineUnhandledEventIsSafetyBug(t *testing.T) {
+	res := runSingleMachine(t, newTrafficLight(), Signal("explode"))
+	if !res.BugFound || res.Report.Kind != SafetyBug {
+		t.Fatalf("want safety bug for unhandled event, got %+v", res)
+	}
+	if !strings.Contains(res.Report.Message, "unhandled") {
+		t.Fatalf("message %q lacks 'unhandled'", res.Report.Message)
+	}
+}
+
+func TestStateMachineIgnore(t *testing.T) {
+	tl := newTrafficLight()
+	tl.SM.states["Red"].ignoreSet["noise"] = true
+	res := runSingleMachine(t, tl, Signal("noise"))
+	if res.BugFound {
+		t.Fatalf("ignored event caused bug: %v", res.Report.Error())
+	}
+}
+
+// defMachine defers "work" while in Busy state; a "finish" event moves it
+// to Idle where the deferred work is finally handled.
+type defMachine struct {
+	SMachine
+	handled []string
+}
+
+func newDefMachine() *defMachine {
+	d := &defMachine{}
+	d.SM = NewStateMachine[*Context]("deferer", "Busy",
+		&State[*Context]{
+			Name:        "Busy",
+			Defer:       []string{"work"},
+			Transitions: map[string]string{"finish": "Idle"},
+		},
+		&State[*Context]{
+			Name: "Idle",
+			On: map[string]func(*Context, Event){
+				"work": func(_ *Context, ev Event) { d.handled = append(d.handled, ev.Name()) },
+			},
+			Ignore: []string{"finish"},
+		},
+	)
+	return d
+}
+
+func TestStateMachineDefer(t *testing.T) {
+	d := newDefMachine()
+	res := runSingleMachine(t, d, Signal("work"), Signal("work"), Signal("finish"))
+	if res.BugFound {
+		t.Fatalf("unexpected bug: %v\n%s", res.Report.Error(), res.Report.FormatLog())
+	}
+	if len(d.handled) != 2 {
+		t.Fatalf("handled %d deferred events, want 2 (got %v)", len(d.handled), d.handled)
+	}
+}
+
+func TestStateMachineHandlerThenTransition(t *testing.T) {
+	var order []string
+	sm := NewStateMachine[*Context]("ht", "A",
+		&State[*Context]{
+			Name: "A",
+			On: map[string]func(*Context, Event){
+				"go": func(*Context, Event) { order = append(order, "handler") },
+			},
+			Transitions: map[string]string{"go": "B"},
+		},
+		&State[*Context]{
+			Name:    "B",
+			OnEntry: func(*Context) { order = append(order, "entryB") },
+		},
+	)
+	m := &SMachine{SM: sm}
+	res := runSingleMachine(t, m, Signal("go"))
+	if res.BugFound {
+		t.Fatalf("unexpected bug: %v", res.Report.Error())
+	}
+	if len(order) != 2 || order[0] != "handler" || order[1] != "entryB" {
+		t.Fatalf("order = %v, want [handler entryB]", order)
+	}
+}
+
+func TestStateMachineGotoInHandlerSuppressesDeclaredTransition(t *testing.T) {
+	var m *SMachine
+	sm := NewStateMachine[*Context]("gt", "A",
+		&State[*Context]{
+			Name: "A",
+			On: map[string]func(*Context, Event){
+				"go": func(ctx *Context, _ Event) { m.Goto(ctx, "C") },
+			},
+			Transitions: map[string]string{"go": "B"},
+		},
+		&State[*Context]{Name: "B"},
+		&State[*Context]{Name: "C"},
+	)
+	m = &SMachine{SM: sm}
+	res := runSingleMachine(t, m, Signal("go"))
+	if res.BugFound {
+		t.Fatalf("unexpected bug: %v", res.Report.Error())
+	}
+	if got := sm.Current(); got != "C" {
+		t.Fatalf("state = %q, want C (handler Goto wins)", got)
+	}
+}
+
+func TestStateMachineStats(t *testing.T) {
+	tl := newTrafficLight()
+	st := tl.SM.Stats()
+	if st.States != 3 {
+		t.Fatalf("states = %d, want 3", st.States)
+	}
+	if st.Transitions != 3 {
+		t.Fatalf("transitions = %d, want 3", st.Transitions)
+	}
+	if st.Handlers != 6 { // 3 OnEntry + 3 OnExit
+		t.Fatalf("handlers = %d, want 6", st.Handlers)
+	}
+}
+
+func TestStateMachinePanicsOnBadSpec(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("missing initial", func() {
+		NewStateMachine[*Context]("x", "Nope", &State[*Context]{Name: "A"})
+	})
+	mustPanic("duplicate state", func() {
+		NewStateMachine[*Context]("x", "A", &State[*Context]{Name: "A"}, &State[*Context]{Name: "A"})
+	})
+	mustPanic("dangling transition", func() {
+		NewStateMachine[*Context]("x", "A",
+			&State[*Context]{Name: "A", Transitions: map[string]string{"e": "Ghost"}})
+	})
+}
+
+func TestMonitorSMHotColdTracking(t *testing.T) {
+	m := &MonitorSM{SM: NewStateMachine[*MonitorContext]("hc", "Cold",
+		&State[*MonitorContext]{Name: "Cold", Transitions: map[string]string{"up": "Hot"}},
+		&State[*MonitorContext]{Name: "Hot", Hot: true, Transitions: map[string]string{"down": "Cold"}},
+	)}
+	mc := &MonitorContext{r: &Runtime{}, mon: m}
+	m.Init(mc)
+	if mc.IsHot() {
+		t.Fatal("hot after init")
+	}
+	m.Handle(mc, Signal("up"))
+	if !mc.IsHot() {
+		t.Fatal("not hot after up")
+	}
+	m.Handle(mc, Signal("down"))
+	if mc.IsHot() {
+		t.Fatal("hot after down")
+	}
+}

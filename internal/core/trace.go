@@ -1,0 +1,119 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// DecisionKind distinguishes the three kinds of nondeterministic choices an
+// execution makes.
+type DecisionKind byte
+
+const (
+	// DecisionSchedule records which machine was scheduled at a step.
+	DecisionSchedule DecisionKind = 's'
+	// DecisionBool records the outcome of a RandomBool.
+	DecisionBool DecisionKind = 'b'
+	// DecisionInt records the outcome of a RandomInt.
+	DecisionInt DecisionKind = 'i'
+)
+
+// Decision is one resolved nondeterministic choice. The paper's "#NDC"
+// column (nondeterministic choices in the first buggy execution) counts
+// exactly these.
+type Decision struct {
+	Kind DecisionKind
+	// Machine is set for DecisionSchedule.
+	Machine MachineID
+	// Bool is set for DecisionBool.
+	Bool bool
+	// Int and N (the exclusive bound) are set for DecisionInt.
+	Int int
+	N   int
+}
+
+func (d Decision) String() string {
+	switch d.Kind {
+	case DecisionSchedule:
+		return fmt.Sprintf("sched(%d)", d.Machine)
+	case DecisionBool:
+		return fmt.Sprintf("bool(%t)", d.Bool)
+	case DecisionInt:
+		return fmt.Sprintf("int(%d/%d)", d.Int, d.N)
+	default:
+		return fmt.Sprintf("decision(%q)", byte(d.Kind))
+	}
+}
+
+// Trace is the complete decision sequence of one execution, sufficient to
+// replay it exactly. In contrast to logs collected from a production
+// system, a trace fixes a global order of all events, which is what makes
+// the paper's replay-debugging loop work.
+type Trace struct {
+	Test      string     `json:"test"`
+	Scheduler string     `json:"scheduler"`
+	Seed      int64      `json:"seed"`
+	Decisions []Decision `json:"decisions"`
+}
+
+// traceDecisionJSON is the compact wire form of a Decision.
+type traceDecisionJSON struct {
+	K string `json:"k"`
+	M int32  `json:"m,omitempty"`
+	B bool   `json:"b,omitempty"`
+	V int    `json:"v,omitempty"`
+	N int    `json:"n,omitempty"`
+}
+
+// MarshalJSON encodes the decision compactly.
+func (d Decision) MarshalJSON() ([]byte, error) {
+	j := traceDecisionJSON{K: string(d.Kind)}
+	switch d.Kind {
+	case DecisionSchedule:
+		j.M = int32(d.Machine)
+	case DecisionBool:
+		j.B = d.Bool
+	case DecisionInt:
+		j.V = d.Int
+		j.N = d.N
+	default:
+		return nil, fmt.Errorf("core: cannot marshal decision kind %q", byte(d.Kind))
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes the compact wire form.
+func (d *Decision) UnmarshalJSON(b []byte) error {
+	var j traceDecisionJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	if len(j.K) != 1 {
+		return fmt.Errorf("core: bad decision kind %q", j.K)
+	}
+	d.Kind = DecisionKind(j.K[0])
+	switch d.Kind {
+	case DecisionSchedule:
+		d.Machine = MachineID(j.M)
+	case DecisionBool:
+		d.Bool = j.B
+	case DecisionInt:
+		d.Int = j.V
+		d.N = j.N
+	default:
+		return fmt.Errorf("core: bad decision kind %q", j.K)
+	}
+	return nil
+}
+
+// Encode serializes the trace to JSON.
+func (t *Trace) Encode() ([]byte, error) { return json.MarshalIndent(t, "", " ") }
+
+// DecodeTrace parses a trace previously produced by Encode.
+func DecodeTrace(data []byte) (*Trace, error) {
+	var t Trace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("core: decoding trace: %w", err)
+	}
+	return &t, nil
+}

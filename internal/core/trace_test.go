@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := &Trace{
+		Test:      "x",
+		Scheduler: "random",
+		Seed:      42,
+		Decisions: []Decision{
+			{Kind: DecisionSchedule, Machine: 3},
+			{Kind: DecisionBool, Bool: true},
+			{Kind: DecisionBool, Bool: false},
+			{Kind: DecisionInt, Int: 7, N: 10},
+		},
+	}
+	data, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", tr, got)
+	}
+}
+
+// TestTraceRoundTripProperty checks encode/decode over randomly generated
+// decision sequences.
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &Trace{Test: "p", Scheduler: "random", Seed: seed}
+		for i := 0; i < int(n); i++ {
+			switch rng.Intn(3) {
+			case 0:
+				tr.Decisions = append(tr.Decisions, Decision{Kind: DecisionSchedule, Machine: MachineID(rng.Intn(100))})
+			case 1:
+				tr.Decisions = append(tr.Decisions, Decision{Kind: DecisionBool, Bool: rng.Intn(2) == 0})
+			default:
+				bound := 1 + rng.Intn(50)
+				tr.Decisions = append(tr.Decisions, Decision{Kind: DecisionInt, Int: rng.Intn(bound), N: bound})
+			}
+		}
+		data, err := tr.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeTrace(data)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(tr, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayReproducesBug(t *testing.T) {
+	opts := Options{Scheduler: "random", Iterations: 2000, Seed: 5, NoReplayLog: true}
+	res := Run(raceTest(), opts)
+	if !res.BugFound {
+		t.Fatal("setup: bug not found")
+	}
+	rep, err := Replay(raceTest(), res.Report.Trace, opts)
+	if err != nil {
+		t.Fatalf("replay error: %v", err)
+	}
+	if rep == nil {
+		t.Fatal("replay reproduced no bug")
+	}
+	if rep.Message != res.Report.Message || rep.Step != res.Report.Step {
+		t.Fatalf("replay mismatch: (%q, %d) vs (%q, %d)", rep.Message, rep.Step, res.Report.Message, res.Report.Step)
+	}
+	if len(rep.Log) == 0 {
+		t.Fatal("replay collected no log")
+	}
+}
+
+// TestReplayDeterminismProperty: for any seed, if a run finds a bug, its
+// trace replays to the identical violation.
+func TestReplayDeterminismProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		opts := Options{Scheduler: "random", Iterations: 50, Seed: seed, NoReplayLog: true}
+		res := Run(raceTest(), opts)
+		if !res.BugFound {
+			return true // nothing to replay
+		}
+		rep, err := Replay(raceTest(), res.Report.Trace, opts)
+		if err != nil || rep == nil {
+			return false
+		}
+		return rep.Message == res.Report.Message && rep.Step == res.Report.Step
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayDivergenceDetected(t *testing.T) {
+	opts := Options{Scheduler: "random", Iterations: 2000, Seed: 5, NoReplayLog: true}
+	res := Run(raceTest(), opts)
+	if !res.BugFound {
+		t.Fatal("setup: bug not found")
+	}
+	// Replaying the trace against a different program must diverge (or at
+	// minimum not panic the process).
+	_, err := Replay(boolComboTest(), res.Report.Trace, opts)
+	if err == nil {
+		t.Fatal("expected divergence error replaying a foreign trace")
+	}
+	if !strings.Contains(err.Error(), "divergence") {
+		t.Fatalf("error %q does not mention divergence", err)
+	}
+}
+
+func TestRunAttachesReplayLog(t *testing.T) {
+	res := Run(raceTest(), Options{Scheduler: "random", Iterations: 2000, Seed: 5})
+	if !res.BugFound {
+		t.Fatal("bug not found")
+	}
+	if len(res.Report.Log) == 0 {
+		t.Fatal("no replay log attached")
+	}
+	joined := strings.Join(res.Report.Log, "\n")
+	if !strings.Contains(joined, "send") {
+		t.Fatalf("log lacks send records:\n%s", joined)
+	}
+}

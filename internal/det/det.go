@@ -1,0 +1,38 @@
+// Package det provides helpers for writing deterministic code under the
+// systematic testing runtime. Systems tested with internal/core must behave
+// identically when replayed with the same decision trace; Go's randomized
+// map iteration order is the most common accidental source of
+// nondeterminism, so this package offers sorted iteration primitives.
+package det
+
+import (
+	"cmp"
+	"sort"
+)
+
+// Keys returns the keys of m in ascending order.
+func Keys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Each calls f for every entry of m in ascending key order.
+func Each[K cmp.Ordered, V any](m map[K]V, f func(k K, v V)) {
+	for _, k := range Keys(m) {
+		f(k, m[k])
+	}
+}
+
+// Values returns the values of m in ascending key order.
+func Values[K cmp.Ordered, V any](m map[K]V) []V {
+	keys := Keys(m)
+	vals := make([]V, 0, len(keys))
+	for _, k := range keys {
+		vals = append(vals, m[k])
+	}
+	return vals
+}

@@ -1,0 +1,55 @@
+package det
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeysSorted(t *testing.T) {
+	m := map[string]int{"b": 2, "a": 1, "c": 3}
+	if got := Keys(m); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("Keys = %v", got)
+	}
+}
+
+func TestEachVisitsInOrder(t *testing.T) {
+	m := map[int]string{3: "c", 1: "a", 2: "b"}
+	var ks []int
+	var vs []string
+	Each(m, func(k int, v string) { ks = append(ks, k); vs = append(vs, v) })
+	if !reflect.DeepEqual(ks, []int{1, 2, 3}) || !reflect.DeepEqual(vs, []string{"a", "b", "c"}) {
+		t.Fatalf("Each order: %v %v", ks, vs)
+	}
+}
+
+func TestValuesFollowKeyOrder(t *testing.T) {
+	m := map[int]string{2: "b", 1: "a"}
+	if got := Values(m); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("Values = %v", got)
+	}
+}
+
+// Property: Keys is a permutation of the map's keys and is sorted.
+func TestKeysProperty(t *testing.T) {
+	f := func(m map[int16]bool) bool {
+		ks := Keys(m)
+		if len(ks) != len(m) {
+			return false
+		}
+		for i := 1; i < len(ks); i++ {
+			if ks[i-1] >= ks[i] {
+				return false
+			}
+		}
+		for _, k := range ks {
+			if _, ok := m[k]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

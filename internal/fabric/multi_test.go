@@ -1,0 +1,84 @@
+package fabric
+
+import (
+	"testing"
+
+	"github.com/gostorm/gostorm/internal/core"
+)
+
+// multiClientScenario runs two independent sequential clients against the
+// same replicated counter, with per-client monitors replaced by a single
+// aggregate check: each client's final read must equal the total
+// acknowledged sum (both clients write to the same counter, so reads see
+// at least their own acknowledged increments).
+func multiClientScenario(bug bool, failPrimary bool) core.Test {
+	cfg := Config{BugUncheckedPromotion: bug}
+	return core.Test{
+		Name: "fabric-multi-client",
+		Entry: func(ctx *core.Context) {
+			fmm := newFMMachine(cfg, NewCounterService)
+			fmID := ctx.CreateMachine(fmm, FMName)
+			for i := 0; i < 2; i++ {
+				c := &clientMachine{fm: fmID, increments: 2, monitors: false}
+				id := ctx.CreateMachine(c, "Client")
+				ctx.Send(id, core.Signal("start"))
+			}
+			ctx.CreateMachine(&injectorMachine{fm: fmID, primaryOnly: failPrimary, fmm: fmm}, "Injector")
+		},
+	}
+}
+
+func TestMultiClientFixedIsClean(t *testing.T) {
+	res := core.Run(multiClientScenario(false, true), core.Options{
+		Scheduler:  "random",
+		Iterations: 200,
+		MaxSteps:   30000,
+		Seed:       1,
+	})
+	if res.BugFound {
+		t.Fatalf("multi-client fixed system diverged: %v\n%s", res.Report.Error(), res.Report.FormatLog())
+	}
+}
+
+func TestMultiClientPromotionBugFound(t *testing.T) {
+	res := core.Run(multiClientScenario(true, true), core.Options{
+		Scheduler:  "pct",
+		Iterations: 10000,
+		MaxSteps:   30000,
+		Seed:       1,
+	})
+	if !res.BugFound {
+		t.Fatal("promotion bug not found with two clients")
+	}
+}
+
+// TestLargerReplicaSet checks the model at replica-set size five with
+// quorum three.
+func TestLargerReplicaSet(t *testing.T) {
+	res := core.Run(FailoverScenario(FailoverConfig{
+		Fabric:      Config{Replicas: 5, WriteQuorum: 3},
+		FailPrimary: false,
+	}), core.Options{
+		Scheduler:  "random",
+		Iterations: 150,
+		MaxSteps:   30000,
+		Seed:       2,
+	})
+	if res.BugFound {
+		t.Fatalf("five-replica fixed system diverged: %v\n%s", res.Report.Error(), res.Report.FormatLog())
+	}
+}
+
+// TestSnapshotIsolation: a snapshot taken from one service instance must
+// be independent of later mutations (deep-copy semantics for the counter).
+func TestSnapshotIsolation(t *testing.T) {
+	svc := NewCounterService()
+	svc.Apply(counterOp{Kind: "inc", Amount: 7})
+	snap := svc.Snapshot()
+	svc.Apply(counterOp{Kind: "inc", Amount: 100})
+	restored := NewCounterService()
+	restored.Restore(snap)
+	if got := restored.Apply(counterOp{Kind: "get"}).(int64); got != 7 {
+		t.Fatalf("snapshot captured later mutations: %d", got)
+	}
+}

@@ -1,0 +1,123 @@
+package mtable
+
+import "strings"
+
+// Bugs re-introduces the MigratingTable defects of the paper's Table 2.
+// Each flag restores one incorrect code path; all are fixed when the set
+// is empty. Eight are "organic" bugs that occurred during development; the
+// three marked (*) are notional bugs — deliberate interesting ways of
+// making the system incorrect (§6.2).
+type Bugs uint32
+
+const (
+	// BugQueryAtomicFilterShadowing pushes the user filter down to both
+	// backend queries of an atomic read. A new-table row then no longer
+	// shadows its old-table version when the new version fails the
+	// filter, so stale rows leak into results.
+	BugQueryAtomicFilterShadowing Bugs = 1 << iota
+
+	// BugQueryStreamedLock makes streamed queries skip registering with
+	// the migration guard, so the migrator's tombstone cleanup can run
+	// under a live stream and deleted rows resurrect.
+	BugQueryStreamedLock
+
+	// BugQueryStreamedBackUpNewStream makes the merged stream trust the
+	// new-table stream's prefetched pages instead of backing it up
+	// (repositioning and point-checking) when the old stream advances;
+	// racing the migrator then loses rows.
+	BugQueryStreamedBackUpNewStream
+
+	// BugDeleteNoLeaveTombstonesEtag applies real (non-tombstone) deletes
+	// with a wildcard etag instead of the pre-read etag, losing updates
+	// that race the delete.
+	BugDeleteNoLeaveTombstonesEtag
+
+	// BugDeletePrimaryKey writes the tombstone for an old-table resident
+	// row under a corrupted row key, so the deleted row stays visible.
+	BugDeletePrimaryKey
+
+	// BugEnsurePartitionSwitchedFromPopulated skips the partition-state
+	// guard when the cached phase is PhasePreferOld (the fully populated
+	// old table), so writes keep landing in the old table after the
+	// migrator has switched the partition.
+	BugEnsurePartitionSwitchedFromPopulated
+
+	// BugTombstoneOutputETag returns the tombstone's old etag (instead of
+	// the newly written row's etag) when an insert replaces a tombstone.
+	BugTombstoneOutputETag
+
+	// BugQueryStreamedFilterShadowing pushes the user filter down to the
+	// backend streams of a streamed read (the streamed sibling of
+	// BugQueryAtomicFilterShadowing).
+	BugQueryStreamedFilterShadowing
+
+	// BugMigrateSkipPreferOld (*) makes the migrator skip invalidating
+	// the old table's meta guard before copying, so clients with cached
+	// PhasePreferOld state keep writing to the old table mid-copy.
+	BugMigrateSkipPreferOld
+
+	// BugMigrateSkipUseNewWithTombstones (*) makes the migrator skip the
+	// UseNewWithTombstones phase: it runs tombstone cleanup immediately
+	// after the copy/delete passes without waiting for active streams.
+	BugMigrateSkipUseNewWithTombstones
+
+	// BugInsertBehindMigrator (*) makes insert fall back to a blind
+	// upsert when it believes the key is absent, silently overwriting a
+	// row the migrator copied behind the insert's pre-reads.
+	BugInsertBehindMigrator
+)
+
+// Has reports whether flag is in the set.
+func (b Bugs) Has(flag Bugs) bool { return b&flag != 0 }
+
+// bugNames maps each flag to the paper's bug identifier.
+var bugNames = []struct {
+	flag Bugs
+	name string
+}{
+	{BugQueryAtomicFilterShadowing, "QueryAtomicFilterShadowing"},
+	{BugQueryStreamedLock, "QueryStreamedLock"},
+	{BugQueryStreamedBackUpNewStream, "QueryStreamedBackUpNewStream"},
+	{BugDeleteNoLeaveTombstonesEtag, "DeleteNoLeaveTombstonesEtag"},
+	{BugDeletePrimaryKey, "DeletePrimaryKey"},
+	{BugEnsurePartitionSwitchedFromPopulated, "EnsurePartitionSwitchedFromPopulated"},
+	{BugTombstoneOutputETag, "TombstoneOutputETag"},
+	{BugQueryStreamedFilterShadowing, "QueryStreamedFilterShadowing"},
+	{BugMigrateSkipPreferOld, "MigrateSkipPreferOld"},
+	{BugMigrateSkipUseNewWithTombstones, "MigrateSkipUseNewWithTombstones"},
+	{BugInsertBehindMigrator, "InsertBehindMigrator"},
+}
+
+// String renders the set as the paper's identifiers.
+func (b Bugs) String() string {
+	if b == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, bn := range bugNames {
+		if b.Has(bn.flag) {
+			parts = append(parts, bn.name)
+		}
+	}
+	return strings.Join(parts, "+")
+}
+
+// BugByName resolves a Table 2 identifier to its flag (ok=false if
+// unknown).
+func BugByName(name string) (Bugs, bool) {
+	for _, bn := range bugNames {
+		if bn.name == name {
+			return bn.flag, true
+		}
+	}
+	return 0, false
+}
+
+// AllBugs lists every identifier in Table 2 order.
+func AllBugs() []string {
+	out := make([]string, len(bugNames))
+	for i, bn := range bugNames {
+		out[i] = bn.name
+	}
+	return out
+}

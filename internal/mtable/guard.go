@@ -1,0 +1,32 @@
+package mtable
+
+// StreamGuard coordinates long-lived streamed queries with the migrator's
+// tombstone cleanup: active streams rely on tombstones to hide deleted
+// old-table rows still sitting in their prefetched pages, so cleanup must
+// wait until every registered stream closes.
+//
+// In production this would be a lease on a coordination service; under the
+// single-box systematic test (and within one process) a shared counter
+// carries the same protocol. No lock is needed under the testing runtime
+// (exactly one machine runs at a time), and the methods are trivially
+// cheap enough to guard with nothing for in-process production use where
+// the caller serializes (the harness does).
+type StreamGuard struct {
+	active int
+}
+
+// NewStreamGuard returns a guard with no registered streams.
+func NewStreamGuard() *StreamGuard { return &StreamGuard{} }
+
+// Register records a newly opened stream.
+func (g *StreamGuard) Register() { g.active++ }
+
+// Deregister records a closed stream.
+func (g *StreamGuard) Deregister() {
+	if g.active > 0 {
+		g.active--
+	}
+}
+
+// Active returns the number of open registered streams.
+func (g *StreamGuard) Active() int { return g.active }

@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/gostorm/gostorm/internal/core"
+	"github.com/gostorm/gostorm/internal/mtable"
+)
+
+// HarnessConfig parameterizes the MigratingTable test environment.
+type HarnessConfig struct {
+	// Bugs re-introduces Table 2 defects (0 = fixed system).
+	Bugs mtable.Bugs
+	// Services is the number of concurrent service machines (default 2).
+	Services int
+	// OpsPerService is the number of logical operations each service
+	// issues (default 4).
+	OpsPerService int
+	// SeedRows is the number of pre-migration rows (default 3).
+	SeedRows int
+}
+
+func (hc HarnessConfig) withDefaults() HarnessConfig {
+	if hc.Services <= 0 {
+		hc.Services = 2
+	}
+	if hc.OpsPerService <= 0 {
+		hc.OpsPerService = 4
+	}
+	if hc.SeedRows <= 0 {
+		hc.SeedRows = 3
+	}
+	if hc.SeedRows > len(rowPool) {
+		hc.SeedRows = len(rowPool)
+	}
+	return hc
+}
+
+// Test builds the systematic test of Figure 12 for the configuration.
+func Test(hc HarnessConfig) core.Test {
+	hc = hc.withDefaults()
+	return core.Test{
+		Name: "mtable-" + hc.Bugs.String(),
+		Entry: func(ctx *core.Context) {
+			tables := &tablesMachine{
+				old:  mtable.NewRefTable(),
+				new:  mtable.NewRefTable(),
+				rt:   mtable.NewRefTable(),
+				hist: mtable.NewHistory(),
+			}
+			if err := mtable.InitializeMigration(tables.old, tables.new, Partition); err != nil {
+				ctx.Assert(false, "initializing migration: %v", err)
+			}
+			seeded := seedData(ctx, tables, hc.SeedRows)
+			tablesID := ctx.CreateMachine(tables, "Tables")
+
+			guard := mtable.NewStreamGuard()
+			var serviceIDs []core.MachineID
+			for i := 0; i < hc.Services; i++ {
+				name := fmt.Sprintf("Service%d", i)
+				svc := newServiceMachine(name, tablesID, guard, int64(i+1), hc.Bugs, hc.OpsPerService, seeded)
+				serviceIDs = append(serviceIDs, ctx.CreateMachine(svc, name))
+			}
+			migID := ctx.CreateMachine(newMigratorMachine(tablesID, guard, hc.Bugs), "Migrator")
+
+			// Release everyone; the scheduler decides who moves first.
+			for _, id := range serviceIDs {
+				ctx.Send(id, startEvent{})
+			}
+			ctx.Send(migID, startEvent{})
+		},
+	}
+}
+
+// seedData populates the old table (with virtual etags), the reference
+// table, and the history with the pre-migration data set, and returns the
+// initial etag pairs services start from.
+func seedData(ctx *core.Context, tables *tablesMachine, n int) map[string]etagPair {
+	seeded := make(map[string]etagPair, n)
+	for i := 0; i < n; i++ {
+		row := rowPool[i]
+		key := mtable.Key{Partition: Partition, Row: row}
+		vetag := int64(7)<<32 | int64(i+1)
+		backendProps := mtable.SeedBackendRow(mtable.Properties{"v": int64(i)}, vetag)
+		if _, err := tables.old.ExecuteBatch([]mtable.Operation{{Kind: mtable.OpInsert, Key: key, Props: backendProps}}); err != nil {
+			ctx.Assert(false, "seeding old table: %v", err)
+		}
+		res, err := tables.rt.ExecuteBatch([]mtable.Operation{{Kind: mtable.OpInsert, Key: key, Props: mtable.Properties{"v": int64(i)}}})
+		if err != nil {
+			ctx.Assert(false, "seeding reference table: %v", err)
+		}
+		tables.hist.Record(0, key, mtable.Properties{"v": int64(i)})
+		seeded[row] = etagPair{vt: vetag, rt: res[0].ETag}
+	}
+	return seeded
+}
+
+// Metadata reports the harness's machine shape for Table 1 accounting:
+// the three machine types of Figure 12 (Tables, Service, Migrator). These
+// machines are hand-written event loops rather than declarative state
+// machines, so states and handlers are counted from their dispatch tables.
+func Metadata() []core.MachineStats {
+	return []core.MachineStats{
+		{Machine: "Tables", States: 2, Transitions: 1, Handlers: 3},   // serving + blocked-awaiting-LP-decision
+		{Machine: "Service", States: 1, Transitions: 0, Handlers: 4},  // write/query/stream/start
+		{Machine: "Migrator", States: 2, Transitions: 1, Handlers: 2}, // stepping + awaiting-streams
+	}
+}

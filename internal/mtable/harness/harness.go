@@ -1,0 +1,338 @@
+// Package harness is the systematic-test environment for MigratingTable
+// (Figure 12 of the paper): a Tables machine owns the two backend tables
+// and the reference table (RT) and serializes every backend operation;
+// Service machines issue nondeterministically generated logical operations
+// through their own MigratingTable instances; a Migrator machine performs
+// the background migration.
+//
+// After processing each backend operation, the Tables machine blocks until
+// the requesting MigratingTable reports whether that operation was the
+// linearization point of the logical operation in progress; if it was, the
+// logical operation is applied to the RT at exactly that moment and its
+// result is handed back for comparison. Streamed reads are validated
+// against the RT's recorded history over the stream's window. Any output
+// divergence is a safety violation.
+package harness
+
+import (
+	"fmt"
+
+	"github.com/gostorm/gostorm/internal/core"
+	"github.com/gostorm/gostorm/internal/mtable"
+)
+
+// Partition is the single partition the workload exercises.
+const Partition = "P"
+
+// tableOld / tableNew select a backend in stub requests.
+const (
+	tableOld = 0
+	tableNew = 1
+)
+
+// --- events ---
+
+// backendReq asks the Tables machine to execute one backend operation.
+type backendReq struct {
+	ID    int64
+	From  core.MachineID
+	Table int
+	// Exactly one of the request payloads is set.
+	Batch []mtable.Operation
+	Query *mtable.Query
+	Page  *pageReq
+}
+
+type pageReq struct {
+	Partition string
+	After     string
+	Filter    *mtable.Filter
+	Limit     int
+}
+
+func (backendReq) Name() string { return "BackendReq" }
+
+// backendResp returns the backend operation's outcome.
+type backendResp struct {
+	ID      int64
+	Results []mtable.OpResult
+	Rows    []mtable.Row
+	Err     error
+}
+
+func (backendResp) Name() string { return "BackendResp" }
+
+// lpDecision reports whether the identified backend operation was the
+// linearization point of the logical operation in progress.
+type lpDecision struct {
+	ID      int64
+	IsLP    bool
+	Logical *logicalOp
+}
+
+func (lpDecision) Name() string { return "LPDecision" }
+
+// rtResult carries the reference table's outcome of a logical operation
+// applied at its linearization point.
+type rtResult struct {
+	ID      int64
+	Results []mtable.OpResult
+	Rows    []mtable.Row
+	ErrCode string
+}
+
+func (rtResult) Name() string { return "RTResult" }
+
+// streamOpenReq asks for the current history sequence number (the stream
+// window's start).
+type streamOpenReq struct{ From core.MachineID }
+
+func (streamOpenReq) Name() string { return "StreamOpenReq" }
+
+type streamOpenResp struct{ Seq int64 }
+
+func (streamOpenResp) Name() string { return "StreamOpenResp" }
+
+// streamValidate submits a finished stream's output for history checking.
+type streamValidate struct {
+	Partition string
+	Filter    *mtable.Filter
+	FromSeq   int64
+	Rows      []mtable.Row
+	Service   string
+}
+
+func (streamValidate) Name() string { return "StreamValidate" }
+
+// logicalOp describes a logical operation in reference-table terms (RT
+// etags), so the Tables machine can apply it at the linearization point.
+type logicalOp struct {
+	IsQuery bool
+	Batch   []mtable.Operation
+	Query   mtable.Query
+}
+
+// startEvent kicks off services and the migrator after wiring completes.
+type startEvent struct{}
+
+func (startEvent) Name() string { return "start" }
+
+// stepEvent drives the migrator machine's next step.
+type stepEvent struct{}
+
+func (stepEvent) Name() string { return "step" }
+
+// --- Tables machine ---
+
+// tablesMachine owns the backend tables, the reference table, and the
+// history; it serializes every backend operation and applies logical
+// operations to the RT at their linearization points.
+type tablesMachine struct {
+	old  *mtable.RefTable
+	new  *mtable.RefTable
+	rt   *mtable.RefTable
+	hist *mtable.History
+	seq  int64
+}
+
+func (t *tablesMachine) Init(*core.Context) {}
+
+func (t *tablesMachine) Handle(ctx *core.Context, ev core.Event) {
+	switch e := ev.(type) {
+	case backendReq:
+		t.handleBackendReq(ctx, e)
+	case streamOpenReq:
+		ctx.Send(e.From, streamOpenResp{Seq: t.seq})
+	case streamValidate:
+		err := t.hist.CheckStream(e.Partition, e.Filter, e.FromSeq, t.seq, e.Rows)
+		ctx.Assert(err == nil, "stream output of %s violates the chain-table specification: %v", e.Service, err)
+	}
+}
+
+// handleBackendReq executes the backend operation, then blocks until the
+// caller reports the linearization-point decision — the serialization
+// protocol of §4.
+func (t *tablesMachine) handleBackendReq(ctx *core.Context, req backendReq) {
+	table := t.old
+	if req.Table == tableNew {
+		table = t.new
+	}
+	resp := backendResp{ID: req.ID}
+	switch {
+	case req.Batch != nil:
+		resp.Results, resp.Err = table.ExecuteBatch(req.Batch)
+	case req.Query != nil:
+		resp.Rows, resp.Err = table.QueryAtomic(*req.Query)
+	case req.Page != nil:
+		resp.Rows, resp.Err = table.FetchPage(req.Page.Partition, req.Page.After, req.Page.Filter, req.Page.Limit)
+	default:
+		ctx.Assert(false, "malformed backend request %+v", req)
+	}
+	t.seq++
+	seq := t.seq
+	ctx.Send(req.From, resp)
+
+	dec := ctx.ReceiveWhere(fmt.Sprintf("LPDecision(%d)", req.ID), func(ev core.Event) bool {
+		d, ok := ev.(lpDecision)
+		return ok && d.ID == req.ID
+	}).(lpDecision)
+	if !dec.IsLP {
+		return
+	}
+	out := rtResult{ID: req.ID}
+	if dec.Logical.IsQuery {
+		rows, err := t.rt.QueryAtomic(dec.Logical.Query)
+		out.Rows, out.ErrCode = rows, mtable.ErrorCode(err)
+	} else {
+		results, err := t.rt.ExecuteBatch(dec.Logical.Batch)
+		out.Results, out.ErrCode = results, mtable.ErrorCode(err)
+		if err == nil {
+			for _, op := range dec.Logical.Batch {
+				if op.Kind == mtable.OpCheck {
+					continue
+				}
+				if row, ok := t.rt.Get(op.Key); ok {
+					t.hist.Record(seq, op.Key, row.Props)
+				} else {
+					t.hist.Record(seq, op.Key, nil)
+				}
+			}
+		}
+	}
+	ctx.Send(req.From, out)
+}
+
+// --- stub backends ---
+
+// stubClient is the machine-side endpoint of the backend protocol: it
+// relays every backend call through the Tables machine (turning each into
+// a scheduling point) and carries the linearization-point bookkeeping. It
+// implements mtable.Reporter.
+type stubClient struct {
+	ctx      *core.Context
+	tablesID core.MachineID
+	nextID   int64
+	// pending is the request id awaiting a linearization-point decision
+	// (0 = none): the Tables machine is blocked until we send it.
+	pending int64
+	// logical describes the in-flight logical operation in RT terms.
+	logical *logicalOp
+	// lastRT is the RT outcome captured at the linearization point.
+	lastRT *rtResult
+}
+
+// call performs one backend request/response round trip.
+func (c *stubClient) call(req backendReq) backendResp {
+	c.settle()
+	c.nextID++
+	req.ID = c.nextID
+	req.From = c.ctx.ID()
+	c.ctx.Send(c.tablesID, req)
+	resp := c.ctx.ReceiveWhere(fmt.Sprintf("BackendResp(%d)", req.ID), func(ev core.Event) bool {
+		r, ok := ev.(backendResp)
+		return ok && r.ID == req.ID
+	}).(backendResp)
+	c.pending = req.ID
+	return resp
+}
+
+// settle resolves an outstanding decision as "not the linearization
+// point", unblocking the Tables machine.
+func (c *stubClient) settle() {
+	if c.pending != 0 {
+		c.ctx.Send(c.tablesID, lpDecision{ID: c.pending, IsLP: false})
+		c.pending = 0
+	}
+}
+
+// LP implements mtable.Reporter: the most recent backend operation was the
+// linearization point; apply the logical operation to the RT now and
+// capture its outcome.
+func (c *stubClient) LP() {
+	if c.pending == 0 || c.logical == nil {
+		return
+	}
+	id := c.pending
+	c.pending = 0
+	c.ctx.Send(c.tablesID, lpDecision{ID: id, IsLP: true, Logical: c.logical})
+	res := c.ctx.ReceiveWhere(fmt.Sprintf("RTResult(%d)", id), func(ev core.Event) bool {
+		r, ok := ev.(rtResult)
+		return ok && r.ID == id
+	}).(rtResult)
+	c.lastRT = &res
+}
+
+// begin arms the client for a new logical operation.
+func (c *stubClient) begin(l *logicalOp) {
+	c.settle()
+	c.logical = l
+	c.lastRT = nil
+}
+
+// finish tears down the logical operation, returning the RT outcome (nil
+// if no linearization point was reported).
+func (c *stubClient) finish() *rtResult {
+	c.settle()
+	out := c.lastRT
+	c.logical = nil
+	c.lastRT = nil
+	return out
+}
+
+// stubBackend adapts one table side of a stubClient to mtable.Backend.
+type stubBackend struct {
+	c     *stubClient
+	table int
+}
+
+func (b *stubBackend) ExecuteBatch(batch []mtable.Operation) ([]mtable.OpResult, error) {
+	resp := b.c.call(backendReq{Table: b.table, Batch: batch})
+	return resp.Results, resp.Err
+}
+
+func (b *stubBackend) QueryAtomic(q mtable.Query) ([]mtable.Row, error) {
+	resp := b.c.call(backendReq{Table: b.table, Query: &q})
+	return resp.Rows, resp.Err
+}
+
+func (b *stubBackend) FetchPage(partition, after string, filter *mtable.Filter, limit int) ([]mtable.Row, error) {
+	resp := b.c.call(backendReq{Table: b.table, Page: &pageReq{Partition: partition, After: after, Filter: filter, Limit: limit}})
+	return resp.Rows, resp.Err
+}
+
+// --- Migrator machine ---
+
+// migratorMachine steps the background migration, one action per event, so
+// the scheduler can interleave client operations anywhere.
+type migratorMachine struct {
+	stub  *stubClient
+	mig   *mtable.Migrator
+	guard *mtable.StreamGuard
+	bugs  mtable.Bugs
+}
+
+func newMigratorMachine(tablesID core.MachineID, guard *mtable.StreamGuard, bugs mtable.Bugs) *migratorMachine {
+	m := &migratorMachine{guard: guard, bugs: bugs}
+	m.stub = &stubClient{tablesID: tablesID}
+	return m
+}
+
+func (m *migratorMachine) Init(*core.Context) {}
+
+func (m *migratorMachine) Handle(ctx *core.Context, ev core.Event) {
+	switch ev.(type) {
+	case startEvent, stepEvent:
+		m.stub.ctx = ctx
+		if m.mig == nil {
+			old := &stubBackend{c: m.stub, table: tableOld}
+			new := &stubBackend{c: m.stub, table: tableNew}
+			m.mig = mtable.NewMigrator(old, new, m.guard, Partition, m.bugs)
+		}
+		done, err := m.mig.Step()
+		m.stub.settle()
+		ctx.Assert(err == nil, "migrator failed: %v", err)
+		if !done {
+			ctx.Send(ctx.ID(), stepEvent{})
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package mtable
+
+import (
+	"fmt"
+	"sort"
+)
+
+// History records every state a reference-table key has held, indexed by a
+// logical sequence number (the count of backend operations executed by the
+// harness's Tables machine). The stream checker uses it to validate the
+// weak consistency contract of streamed reads: every emitted row must
+// match some state the key held inside the stream's window, and a key
+// that existed unchanged (and matched the filter) throughout the window
+// must not be missing from the output.
+type History struct {
+	// versions[key] is ascending in seq.
+	versions map[Key][]version
+}
+
+type version struct {
+	seq   int64
+	props Properties // nil = absent
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{versions: make(map[Key][]version)}
+}
+
+// Record appends a state change for key at sequence seq (props nil for
+// deletion). Calls must use non-decreasing seq.
+func (h *History) Record(seq int64, key Key, props Properties) {
+	h.versions[key] = append(h.versions[key], version{seq: seq, props: props.Clone()})
+}
+
+// At returns key's properties as of seq (nil if absent).
+func (h *History) At(key Key, seq int64) Properties {
+	vs := h.versions[key]
+	// Last version with v.seq <= seq.
+	idx := sort.Search(len(vs), func(i int) bool { return vs[i].seq > seq }) - 1
+	if idx < 0 {
+		return nil
+	}
+	return vs[idx].props
+}
+
+// statesIn returns every distinct state key held inside [from, to]: the
+// state at `from` plus each recorded change in (from, to].
+func (h *History) statesIn(key Key, from, to int64) []Properties {
+	out := []Properties{h.At(key, from)}
+	for _, v := range h.versions[key] {
+		if v.seq > from && v.seq <= to {
+			out = append(out, v.props)
+		}
+	}
+	return out
+}
+
+// keysIn returns every key with any recorded state (callers intersect with
+// partition as needed).
+func (h *History) keys(partition string) []Key {
+	var out []Key
+	for k := range h.versions {
+		if k.Partition == partition {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// CheckStream validates a streamed read's output against the history.
+// Window is [from, to] in sequence numbers; filter is the stream's filter.
+// It returns a non-nil error describing the first violation:
+//
+//   - an emitted row whose (key, props) matches no state the key held in
+//     the window (stale, resurrected, fabricated, or filter-violating row);
+//   - an emitted key out of order or duplicated; or
+//   - a key that existed with one stable, filter-matching value throughout
+//     the window but does not appear in the output (a lost row).
+func (h *History) CheckStream(partition string, filter *Filter, from, to int64, rows []Row) error {
+	emitted := make(map[string]Properties, len(rows))
+	prev := ""
+	for i, r := range rows {
+		if r.Key.Partition != partition {
+			return fmt.Errorf("stream emitted row %v from wrong partition", r.Key)
+		}
+		if i > 0 && r.Key.Row <= prev {
+			return fmt.Errorf("stream emitted key %q out of order (after %q)", r.Key.Row, prev)
+		}
+		prev = r.Key.Row
+		if !filter.Matches(r.Props) {
+			return fmt.Errorf("stream emitted row %q that fails the filter: %v", r.Key.Row, r.Props)
+		}
+		valid := false
+		for _, st := range h.statesIn(r.Key, from, to) {
+			if st != nil && st.Equal(r.Props) {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return fmt.Errorf("stream emitted row %q with properties %v matching no state in window [%d,%d]",
+				r.Key.Row, r.Props, from, to)
+		}
+		emitted[r.Key.Row] = r.Props
+	}
+	// Completeness: stable, matching keys must appear.
+	for _, k := range h.keys(partition) {
+		states := h.statesIn(k, from, to)
+		stable := true
+		base := states[0]
+		if base == nil {
+			continue
+		}
+		for _, st := range states[1:] {
+			if st == nil || !st.Equal(base) {
+				stable = false
+				break
+			}
+		}
+		if !stable || !filter.Matches(base) {
+			continue
+		}
+		if _, ok := emitted[k.Row]; !ok {
+			return fmt.Errorf("stream lost row %q: it held %v throughout window [%d,%d] and matches the filter",
+				k.Row, base, from, to)
+		}
+	}
+	return nil
+}

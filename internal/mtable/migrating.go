@@ -1,0 +1,729 @@
+package mtable
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// MigratingTable is the virtual table (VT): it presents the chain-table
+// interface over an old and a new backend table while a Migrator moves the
+// data set between them. Each application process creates its own instance
+// referring to the same backends; instances coordinate only through the
+// backend tables' migration metadata rows and the StreamGuard.
+//
+// Virtual etags: a row's VT etag is a hidden property (carried through
+// migration copies unchanged) rather than the backend etag, so migrating a
+// row does not spuriously invalidate etags clients hold. Backend etags are
+// still used as optimistic-concurrency conditions on every backend write.
+type MigratingTable struct {
+	old   Backend
+	new   Backend
+	guard *StreamGuard
+	bugs  Bugs
+	rep   Reporter
+
+	// instance distinguishes this MT's fresh virtual etags from other
+	// instances'.
+	instance int64
+	vetagSeq int64
+
+	cache map[string]*partitionCache
+}
+
+// vetagProp stores the virtual etag on backend rows.
+const vetagProp = "_vetag"
+
+// SeedBackendRow returns the backend representation of a pre-migration
+// row: the user properties plus the hidden virtual etag. Deployments (and
+// test fixtures) seeding the old table directly must use it so rows carry
+// virtual etags from the start.
+func SeedBackendRow(props Properties, vetag int64) Properties {
+	out := props.Clone()
+	if out == nil {
+		out = Properties{}
+	}
+	out[vetagProp] = vetag
+	return out
+}
+
+// maxAttempts bounds the internal retry loop that absorbs benign races
+// (phase transitions, promotion collisions). Migration advances through at
+// most three transitions and per-key races resolve, so the bound is never
+// reached by correct executions of the harness workloads.
+const maxAttempts = 20
+
+// NewMigratingTable builds a virtual table over the two backends.
+// instance must be unique among concurrently running MT instances; rep may
+// be NopReporter.
+func NewMigratingTable(old, new Backend, guard *StreamGuard, instance int64, bugs Bugs, rep Reporter) *MigratingTable {
+	if rep == nil {
+		rep = NopReporter
+	}
+	return &MigratingTable{
+		old:      old,
+		new:      new,
+		guard:    guard,
+		bugs:     bugs,
+		rep:      rep,
+		instance: instance,
+		cache:    make(map[string]*partitionCache),
+	}
+}
+
+// freshVETag mints a new virtual etag, unique across instances.
+func (mt *MigratingTable) freshVETag() int64 {
+	mt.vetagSeq++
+	return mt.instance<<32 | mt.vetagSeq
+}
+
+// cacheFor returns (creating if needed) the partition's cached state.
+func (mt *MigratingTable) cacheFor(partition string) *partitionCache {
+	c := mt.cache[partition]
+	if c == nil {
+		c = &partitionCache{}
+		mt.cache[partition] = c
+	}
+	return c
+}
+
+// refreshCache re-reads the partition's migration metadata.
+func (mt *MigratingTable) refreshCache(partition string) error {
+	c := mt.cacheFor(partition)
+	metaRows, err := mt.new.QueryAtomic(Query{Partition: partition, RowFrom: metaRowKey, RowTo: metaRowKey})
+	if err != nil {
+		return err
+	}
+	if len(metaRows) != 1 {
+		return fmt.Errorf("%w: partition %q has no migration metadata", ErrBadRequest, partition)
+	}
+	phase, version, err := parseMeta(metaRows[0].Props)
+	if err != nil {
+		return err
+	}
+	c.phase, c.version, c.newMetaETag, c.valid = phase, version, metaRows[0].ETag, true
+	if phase == PhasePreferOld {
+		oldMeta, err := mt.old.QueryAtomic(Query{Partition: partition, RowFrom: metaRowKey, RowTo: metaRowKey})
+		if err != nil {
+			return err
+		}
+		if len(oldMeta) == 1 {
+			c.oldMetaETag = oldMeta[0].ETag
+		}
+	}
+	return nil
+}
+
+// ensureCache refreshes the cache if it has never been loaded.
+func (mt *MigratingTable) ensureCache(partition string) (*partitionCache, error) {
+	c := mt.cacheFor(partition)
+	if !c.valid {
+		if err := mt.refreshCache(partition); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// validateUserBatch enforces the chain-table batch rules plus the virtual
+// table's reserved-name rules.
+func validateUserBatch(batch []Operation) error {
+	if len(batch) == 0 {
+		return &BatchError{Index: 0, Err: fmt.Errorf("%w: empty batch", ErrBadRequest)}
+	}
+	if len(batch) > 99 {
+		// One backend slot is reserved for the metadata guard.
+		return &BatchError{Index: 0, Err: fmt.Errorf("%w: batch too large", ErrBadRequest)}
+	}
+	part := batch[0].Key.Partition
+	seen := make(map[string]bool, len(batch))
+	for i, op := range batch {
+		if err := ValidateUserRow(op.Key, op.Props); err != nil {
+			return &BatchError{Index: i, Err: err}
+		}
+		if op.Key.Partition != part {
+			return &BatchError{Index: i, Err: fmt.Errorf("%w: cross-partition batch", ErrBadRequest)}
+		}
+		if seen[op.Key.Row] {
+			return &BatchError{Index: i, Err: fmt.Errorf("%w: duplicate row %q", ErrBadRequest, op.Key.Row)}
+		}
+		seen[op.Key.Row] = true
+		if op.Kind.needsETag() && op.ETag == 0 {
+			return &BatchError{Index: i, Err: fmt.Errorf("%w: %s requires an etag", ErrBadRequest, op.Kind)}
+		}
+	}
+	return nil
+}
+
+// ExecuteBatch atomically applies a logical batch to the virtual table.
+func (mt *MigratingTable) ExecuteBatch(batch []Operation) ([]OpResult, error) {
+	if err := validateUserBatch(batch); err != nil {
+		return nil, err
+	}
+	partition := batch[0].Key.Partition
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		c, err := mt.ensureCache(partition)
+		if err != nil {
+			return nil, err
+		}
+		var res []OpResult
+		var logicalErr error
+		var retry bool
+		if c.phase == PhasePreferOld {
+			res, logicalErr, retry, err = mt.executeOld(partition, batch, c)
+		} else {
+			res, logicalErr, retry, err = mt.executeNew(partition, batch, c)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if retry {
+			continue
+		}
+		return res, logicalErr
+	}
+	return nil, fmt.Errorf("%w: batch did not converge after %d attempts", ErrBadRequest, maxAttempts)
+}
+
+// resident describes where a virtual row currently lives.
+type resident struct {
+	inNew     bool // live row in the new table
+	inOld     bool // live row in the old table (and nothing in new)
+	tombstone bool // tombstone in the new table
+	props     Properties
+	vetag     int64
+	backend   int64 // backend etag of the resident (or tombstone) row
+}
+
+// userProps strips protocol properties from a backend row's payload.
+func userProps(props Properties) Properties {
+	out := make(Properties, len(props))
+	for k, v := range props {
+		if k == vetagProp || k == tombstoneProp {
+			continue
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// vetagOf extracts a backend row's virtual etag.
+func vetagOf(row Row) int64 { return row.Props[vetagProp] }
+
+// residentOf resolves a key's residency from pre-read snapshots. oldRows
+// may be nil for phases past PhasePreferNew.
+func residentOf(key Key, newRows, oldRows map[string]Row, phase Phase) resident {
+	if nr, ok := newRows[key.Row]; ok {
+		if isTombstone(nr.Props) {
+			return resident{tombstone: true, backend: nr.ETag}
+		}
+		return resident{inNew: true, props: userProps(nr.Props), vetag: vetagOf(nr), backend: nr.ETag}
+	}
+	if phase <= PhasePreferNew {
+		if or, ok := oldRows[key.Row]; ok {
+			return resident{inOld: true, props: userProps(or.Props), vetag: vetagOf(or), backend: or.ETag}
+		}
+	}
+	return resident{}
+}
+
+// exists reports whether the virtual row exists.
+func (r resident) exists() bool { return r.inNew || r.inOld }
+
+// checkUserCondition validates a user operation's logical precondition
+// against the resident state, mirroring the reference semantics.
+func checkUserCondition(op Operation, r resident) error {
+	switch op.Kind {
+	case OpInsert:
+		if r.exists() {
+			return ErrExists
+		}
+	case OpReplace, OpMerge, OpDelete, OpCheck:
+		if !r.exists() {
+			return ErrNotFound
+		}
+		if op.ETag != ETagAny && op.ETag != r.vetag {
+			return ErrConflict
+		}
+	}
+	return nil
+}
+
+// snapshot turns a full-partition query result into a row map, separating
+// out the metadata row.
+func snapshot(rows []Row) (data map[string]Row, meta *Row) {
+	data = make(map[string]Row, len(rows))
+	for i := range rows {
+		r := rows[i]
+		if r.Key.Row == metaRowKey {
+			meta = &r
+			continue
+		}
+		data[r.Key.Row] = r
+	}
+	return data, meta
+}
+
+// executeOld applies a batch in PhasePreferOld: pre-read the old table,
+// check logical conditions, then commit a guarded backend batch to the old
+// table. Returns (results, logicalErr, retry, fatalErr).
+func (mt *MigratingTable) executeOld(partition string, batch []Operation, c *partitionCache) ([]OpResult, error, bool, error) {
+	rows, err := mt.old.QueryAtomic(Query{Partition: partition})
+	if err != nil {
+		return nil, nil, false, err
+	}
+	data, meta := snapshot(rows)
+	if meta == nil {
+		return nil, nil, false, fmt.Errorf("%w: missing old-table metadata", ErrBadRequest)
+	}
+	phase, _, err := parseMeta(meta.Props)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	// ensurePartitionSwitched: re-validate the cached phase against the
+	// pre-read and guard the commit on the meta row's etag.
+	// BUG EnsurePartitionSwitchedFromPopulated: the validation is skipped
+	// entirely when the cached phase is the fully populated old table, so
+	// a stale client keeps writing to the old table mid-migration.
+	ensureSwitched := !mt.bugs.Has(BugEnsurePartitionSwitchedFromPopulated)
+	if ensureSwitched && phase != PhasePreferOld {
+		// The migrator has started; refresh and retry on the new path.
+		c.valid = false
+		return nil, nil, true, nil
+	}
+
+	// Logical condition checks against the snapshot; a failure here is the
+	// logical outcome, linearized at the pre-read.
+	results := make([]OpResult, len(batch))
+	backendOps := make([]Operation, 0, len(batch)+1)
+	if ensureSwitched {
+		// The old table's meta row etag changes when the migrator
+		// switches the partition, failing this batch so we re-route.
+		backendOps = append(backendOps, Operation{Kind: OpCheck, Key: metaKeyFor(partition), ETag: meta.ETag})
+	}
+	for i, op := range batch {
+		r := resident{}
+		if br, ok := data[op.Key.Row]; ok {
+			r = resident{inOld: true, props: userProps(br.Props), vetag: vetagOf(br), backend: br.ETag}
+		}
+		if condErr := checkUserCondition(op, r); condErr != nil {
+			mt.rep.LP()
+			return nil, &BatchError{Index: i, Err: condErr}, false, nil
+		}
+		bop, vetag := mt.translateOld(op, r)
+		if bop != nil {
+			backendOps = append(backendOps, *bop)
+		}
+		results[i] = OpResult{ETag: vetag}
+	}
+	if _, err := mt.old.ExecuteBatch(backendOps); err != nil {
+		if isBatchError(err) {
+			// Guard failure or a race on a row since the pre-read: retry.
+			return nil, nil, true, nil
+		}
+		return nil, nil, false, err
+	}
+	mt.rep.LP()
+	return results, nil, false, nil
+}
+
+// translateOld maps a user operation to its old-table backend operation,
+// returning the operation (nil for pure checks) and the resulting virtual
+// etag (0 for deletes/checks).
+func (mt *MigratingTable) translateOld(op Operation, r resident) (*Operation, int64) {
+	switch op.Kind {
+	case OpInsert, OpInsertOrReplace:
+		vetag := mt.freshVETag()
+		props := op.Props.Clone()
+		if props == nil {
+			props = Properties{}
+		}
+		props[vetagProp] = vetag
+		kind := OpInsert
+		if r.exists() {
+			kind = OpReplace
+		}
+		bop := Operation{Kind: kind, Key: op.Key, Props: props, ETag: r.backend}
+		if kind == OpInsert {
+			bop.ETag = 0
+		}
+		return &bop, vetag
+	case OpReplace:
+		vetag := mt.freshVETag()
+		props := op.Props.Clone()
+		props[vetagProp] = vetag
+		return &Operation{Kind: OpReplace, Key: op.Key, Props: props, ETag: r.backend}, vetag
+	case OpMerge, OpInsertOrMerge:
+		vetag := mt.freshVETag()
+		props := op.Props.Clone()
+		if props == nil {
+			props = Properties{}
+		}
+		props[vetagProp] = vetag
+		if !r.exists() {
+			return &Operation{Kind: OpInsert, Key: op.Key, Props: props}, vetag
+		}
+		return &Operation{Kind: OpMerge, Key: op.Key, Props: props, ETag: r.backend}, vetag
+	case OpDelete:
+		etag := r.backend
+		if mt.bugs.Has(BugDeleteNoLeaveTombstonesEtag) {
+			// BUG: the non-tombstone delete path conditions on the
+			// wildcard, losing updates that race the delete.
+			etag = ETagAny
+		}
+		return &Operation{Kind: OpDelete, Key: op.Key, ETag: etag}, 0
+	case OpCheck:
+		// The check must hold at commit time, not just at the pre-read:
+		// guard it with a backend check on the row's current version.
+		return &Operation{Kind: OpCheck, Key: op.Key, ETag: r.backend}, 0
+	default:
+		return nil, 0
+	}
+}
+
+// executeNew applies a batch in PhasePreferNew or later: pre-read old
+// (while relevant) and new, check logical conditions, then commit one
+// guarded backend batch to the new table, using tombstones while the old
+// table may still hold rows.
+func (mt *MigratingTable) executeNew(partition string, batch []Operation, c *partitionCache) ([]OpResult, error, bool, error) {
+	var oldData map[string]Row
+	if c.phase == PhasePreferNew {
+		oldRows, err := mt.old.QueryAtomic(Query{Partition: partition})
+		if err != nil {
+			return nil, nil, false, err
+		}
+		oldData, _ = snapshot(oldRows)
+	}
+	newRows, err := mt.new.QueryAtomic(Query{Partition: partition})
+	if err != nil {
+		return nil, nil, false, err
+	}
+	newData, meta := snapshot(newRows)
+	if meta == nil {
+		return nil, nil, false, fmt.Errorf("%w: missing new-table metadata", ErrBadRequest)
+	}
+	phase, version, err := parseMeta(meta.Props)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if version != c.version || phase != c.phase {
+		c.phase, c.version, c.newMetaETag, c.valid = phase, version, meta.ETag, true
+		if phase == PhasePreferOld {
+			c.valid = false // forces a proper refresh including old meta
+		}
+		return nil, nil, true, nil
+	}
+
+	results := make([]OpResult, len(batch))
+	tombstoneETags := make(map[int]int64) // op index -> tombstone backend etag (for BugTombstoneOutputETag)
+	backendOps := []Operation{{Kind: OpCheck, Key: metaKeyFor(partition), ETag: meta.ETag}}
+	for i, op := range batch {
+		r := residentOf(op.Key, newData, oldData, c.phase)
+		if condErr := checkUserCondition(op, r); condErr != nil {
+			mt.rep.LP()
+			return nil, &BatchError{Index: i, Err: condErr}, false, nil
+		}
+		bop, vetag := mt.translateNew(op, r, c.phase)
+		if bop != nil {
+			backendOps = append(backendOps, *bop)
+		}
+		results[i] = OpResult{ETag: vetag}
+		if r.tombstone {
+			tombstoneETags[i] = r.backend
+		}
+	}
+	if _, err := mt.new.ExecuteBatch(backendOps); err != nil {
+		if isBatchError(err) {
+			return nil, nil, true, nil
+		}
+		return nil, nil, false, err
+	}
+	if mt.bugs.Has(BugTombstoneOutputETag) {
+		// BUG: when an insert replaced a tombstone, report the
+		// tombstone's stale backend etag instead of the new virtual etag.
+		for i, etag := range tombstoneETags {
+			if results[i].ETag != 0 {
+				results[i] = OpResult{ETag: etag}
+			}
+		}
+	}
+	mt.rep.LP()
+	return results, nil, false, nil
+}
+
+// translateNew maps a user operation to its new-table backend operation
+// for phases at or past PhasePreferNew.
+func (mt *MigratingTable) translateNew(op Operation, r resident, phase Phase) (*Operation, int64) {
+	fresh := func(props Properties) (Properties, int64) {
+		vetag := mt.freshVETag()
+		out := props.Clone()
+		if out == nil {
+			out = Properties{}
+		}
+		out[vetagProp] = vetag
+		return out, vetag
+	}
+	mergedProps := func() Properties {
+		props := r.props.Clone()
+		if props == nil {
+			props = Properties{}
+		}
+		for k, v := range op.Props {
+			props[k] = v
+		}
+		return props
+	}
+	switch op.Kind {
+	case OpInsert:
+		props, vetag := fresh(op.Props)
+		if r.tombstone {
+			return &Operation{Kind: OpReplace, Key: op.Key, Props: props, ETag: r.backend}, vetag
+		}
+		kind := OpInsert
+		if mt.bugs.Has(BugInsertBehindMigrator) {
+			// BUG: blind upsert when the key looks absent — a row the
+			// migrator copies behind our pre-reads gets overwritten.
+			kind = OpInsertOrReplace
+		}
+		return &Operation{Kind: kind, Key: op.Key, Props: props}, vetag
+	case OpReplace:
+		props, vetag := fresh(op.Props)
+		if r.inNew {
+			return &Operation{Kind: OpReplace, Key: op.Key, Props: props, ETag: r.backend}, vetag
+		}
+		// Promotion of an old-table resident: first writer wins.
+		return &Operation{Kind: OpInsert, Key: op.Key, Props: props}, vetag
+	case OpMerge:
+		if r.inNew {
+			props, vetag := fresh(op.Props)
+			return &Operation{Kind: OpMerge, Key: op.Key, Props: props, ETag: r.backend}, vetag
+		}
+		props, vetag := fresh(mergedProps())
+		return &Operation{Kind: OpInsert, Key: op.Key, Props: props}, vetag
+	case OpInsertOrReplace:
+		props, vetag := fresh(op.Props)
+		switch {
+		case r.tombstone, r.inNew:
+			return &Operation{Kind: OpReplace, Key: op.Key, Props: props, ETag: r.backend}, vetag
+		case r.inOld:
+			return &Operation{Kind: OpInsert, Key: op.Key, Props: props}, vetag
+		default:
+			return &Operation{Kind: OpInsert, Key: op.Key, Props: props}, vetag
+		}
+	case OpInsertOrMerge:
+		switch {
+		case r.tombstone:
+			props, vetag := fresh(op.Props)
+			return &Operation{Kind: OpReplace, Key: op.Key, Props: props, ETag: r.backend}, vetag
+		case r.inNew:
+			props, vetag := fresh(op.Props)
+			return &Operation{Kind: OpMerge, Key: op.Key, Props: props, ETag: r.backend}, vetag
+		default:
+			props, vetag := fresh(mergedProps())
+			return &Operation{Kind: OpInsert, Key: op.Key, Props: props}, vetag
+		}
+	case OpDelete:
+		if phase >= PhaseUseNewWithTombstones {
+			// The old table is empty: delete for real.
+			etag := r.backend
+			if mt.bugs.Has(BugDeleteNoLeaveTombstonesEtag) {
+				etag = ETagAny
+			}
+			return &Operation{Kind: OpDelete, Key: op.Key, ETag: etag}, 0
+		}
+		if r.inNew {
+			return &Operation{Kind: OpReplace, Key: op.Key, Props: Properties{tombstoneProp: 1}, ETag: r.backend}, 0
+		}
+		// Old-table resident: a tombstone must shadow it.
+		key := op.Key
+		if mt.bugs.Has(BugDeletePrimaryKey) {
+			// BUG: the tombstone is written under a corrupted primary
+			// key, so the old row stays visible.
+			key.Row += "~"
+		}
+		return &Operation{Kind: OpInsert, Key: key, Props: Properties{tombstoneProp: 1}}, 0
+	case OpCheck:
+		if r.inNew {
+			return &Operation{Kind: OpCheck, Key: op.Key, ETag: r.backend}, 0
+		}
+		// Old-table resident: the new table has no row to check, so
+		// promote the row unchanged (same properties, same virtual etag)
+		// with an insert-if-not-exists. Any concurrent mutation of the
+		// key creates a new-table row first and fails this insert,
+		// forcing a retry — which makes the check valid at commit time.
+		props := r.props.Clone()
+		if props == nil {
+			props = Properties{}
+		}
+		props[vetagProp] = r.vetag
+		return &Operation{Kind: OpInsert, Key: op.Key, Props: props}, 0
+	default:
+		return nil, 0
+	}
+}
+
+// isBatchError reports whether err is an atomic batch failure (guard
+// violation or row race) as opposed to an infrastructure error.
+func isBatchError(err error) bool {
+	var be *BatchError
+	return errors.As(err, &be)
+}
+
+// QueryAtomic returns a consistent snapshot of the virtual partition.
+func (mt *MigratingTable) QueryAtomic(q Query) ([]Row, error) {
+	if q.Partition == "" {
+		return nil, fmt.Errorf("%w: query requires a partition", ErrBadRequest)
+	}
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		c, err := mt.ensureCache(q.Partition)
+		if err != nil {
+			return nil, err
+		}
+		rows, retry, err := mt.queryOnce(q, c)
+		if err != nil {
+			return nil, err
+		}
+		if retry {
+			continue
+		}
+		return rows, nil
+	}
+	return nil, fmt.Errorf("%w: query did not converge after %d attempts", ErrBadRequest, maxAttempts)
+}
+
+func (mt *MigratingTable) queryOnce(q Query, c *partitionCache) ([]Row, bool, error) {
+	pushdown := mt.bugs.Has(BugQueryAtomicFilterShadowing)
+	backendQuery := Query{Partition: q.Partition}
+	if pushdown {
+		// BUG: pushing the user filter down to the backends breaks
+		// shadowing — a new-table row that fails the filter no longer
+		// hides its stale old-table version, and tombstones vanish from
+		// the merge.
+		backendQuery.Filter = q.Filter
+	}
+
+	if c.phase == PhasePreferOld {
+		rows, err := mt.old.QueryAtomic(backendQuery)
+		if err != nil {
+			return nil, false, err
+		}
+		if _, retry, err := mt.validateMetaForQuery(mt.old, q.Partition, rows, pushdown, c, PhasePreferOld); err != nil || retry {
+			return nil, retry, err
+		}
+		mt.rep.LP()
+		data, _ := snapshot(rows)
+		return assembleRows(data, nil, q, pushdown), false, nil
+	}
+
+	var oldData map[string]Row
+	if c.phase == PhasePreferNew {
+		oldRows, err := mt.old.QueryAtomic(backendQuery)
+		if err != nil {
+			return nil, false, err
+		}
+		oldData, _ = snapshot(oldRows)
+	}
+	newRows, err := mt.new.QueryAtomic(backendQuery)
+	if err != nil {
+		return nil, false, err
+	}
+	_, retry, err := mt.validateMetaForQuery(mt.new, q.Partition, newRows, pushdown, c, c.phase)
+	if err != nil || retry {
+		return nil, retry, err
+	}
+	mt.rep.LP()
+	newData, _ := snapshot(newRows)
+	return assembleRows(newData, oldData, q, pushdown), false, nil
+}
+
+// validateMetaForQuery confirms the cached phase is still current, using
+// the meta row embedded in the snapshot (or a separate point read when the
+// filter pushdown excluded it). On staleness it updates the cache and asks
+// for a retry.
+func (mt *MigratingTable) validateMetaForQuery(backend Backend, partition string, rows []Row, pushdown bool, c *partitionCache, want Phase) (*Row, bool, error) {
+	var meta *Row
+	if pushdown {
+		metaRows, err := backend.QueryAtomic(Query{Partition: partition, RowFrom: metaRowKey, RowTo: metaRowKey})
+		if err != nil {
+			return nil, false, err
+		}
+		if len(metaRows) == 1 {
+			meta = &metaRows[0]
+		}
+	} else {
+		_, meta = snapshot(rows)
+	}
+	if meta == nil {
+		return nil, false, fmt.Errorf("%w: missing migration metadata", ErrBadRequest)
+	}
+	phase, version, err := parseMeta(meta.Props)
+	if err != nil {
+		return nil, false, err
+	}
+	if want == PhasePreferOld {
+		if phase != PhasePreferOld {
+			c.valid = false
+			return nil, true, nil
+		}
+		return meta, false, nil
+	}
+	if version != c.version || phase != c.phase {
+		c.phase, c.version, c.newMetaETag, c.valid = phase, version, meta.ETag, true
+		if phase == PhasePreferOld {
+			c.valid = false
+		}
+		return nil, true, nil
+	}
+	return meta, false, nil
+}
+
+// assembleRows merges backend snapshots into the virtual result: new rows
+// shadow old rows, tombstones hide them, reserved rows are stripped, and
+// (unless the pushdown bug is active) the range and filter apply to the
+// merged view.
+func assembleRows(newData, oldData map[string]Row, q Query, pushdown bool) []Row {
+	merged := make(map[string]Row, len(newData)+len(oldData))
+	for k, r := range oldData {
+		merged[k] = r
+	}
+	for k, r := range newData {
+		merged[k] = r
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []Row
+	for _, k := range keys {
+		r := merged[k]
+		if isReservedRow(k) || isTombstone(r.Props) {
+			continue
+		}
+		props := userProps(r.Props)
+		if !q.inRange(k) {
+			continue
+		}
+		if !pushdown && !q.Filter.Matches(props) {
+			continue
+		}
+		out = append(out, Row{Key: r.Key, Props: props, ETag: vetagOf(r)})
+	}
+	return out
+}
+
+// Phase exposes the cached phase of a partition (tests/tooling; refreshes
+// if needed).
+func (mt *MigratingTable) Phase(partition string) (Phase, error) {
+	c, err := mt.ensureCache(partition)
+	if err != nil {
+		return 0, err
+	}
+	return c.phase, nil
+}
+
+// Invalidate drops the cached migration state of a partition, forcing the
+// next operation to re-read it (tests/tooling).
+func (mt *MigratingTable) Invalidate(partition string) {
+	mt.cacheFor(partition).valid = false
+}

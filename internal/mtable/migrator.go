@@ -1,0 +1,204 @@
+package mtable
+
+import "fmt"
+
+// Migrator is the background job that moves one partition from the old
+// backend table to the new one (§4): it switches the partition's phase,
+// copies every row, deletes the originals, waits for in-flight streams,
+// cleans up tombstones, and finalizes.
+//
+// The migrator is written as a step machine: every Step performs at most
+// one backend operation (plus, at phase boundaries, one metadata update),
+// so a systematic-testing driver can interleave client operations between
+// any two migrator actions. A production caller just loops Step until
+// done.
+type Migrator struct {
+	old       Backend
+	new       Backend
+	guard     *StreamGuard
+	partition string
+	bugs      Bugs
+
+	state    migratorState
+	copyList []Row
+	tsList   []Row
+	idx      int
+}
+
+type migratorState int
+
+const (
+	msStart migratorState = iota
+	msFlipOld
+	msSnapshot
+	msCopy
+	msDelete
+	msTransition
+	msAwaitStreams
+	msCleanupSnapshot
+	msCleanup
+	msFinish
+	msDone
+)
+
+// NewMigrator builds a migrator for one partition.
+func NewMigrator(old, new Backend, guard *StreamGuard, partition string, bugs Bugs) *Migrator {
+	return &Migrator{old: old, new: new, guard: guard, partition: partition, bugs: bugs}
+}
+
+// Done reports whether the migration has completed.
+func (m *Migrator) Done() bool { return m.state == msDone }
+
+// Step advances the migration by one action. It returns done=true when
+// the migration has finished. A false return with nil error means more
+// steps are needed (including the wait-for-streams step, which simply
+// retries until open streams close).
+func (m *Migrator) Step() (done bool, err error) {
+	switch m.state {
+	case msStart:
+		// Announce the migration in the new table's metadata: clients
+		// whose cached phase is stale will fail their guards and refresh.
+		if err := m.setPhase(m.new, PhasePreferNew, 2); err != nil {
+			return false, err
+		}
+		m.state = msFlipOld
+	case msFlipOld:
+		// Invalidate the old table's meta guard so clients still writing
+		// to the old table are forced onto the new path before we copy.
+		if m.bugs.Has(BugMigrateSkipPreferOld) {
+			// BUG (*): skip the invalidation — stale clients keep
+			// writing to the old table while (and after) we copy it.
+			m.state = msSnapshot
+			return false, nil
+		}
+		if err := m.setPhase(m.old, PhasePreferNew, 2); err != nil {
+			return false, err
+		}
+		m.state = msSnapshot
+	case msSnapshot:
+		rows, err := m.old.QueryAtomic(Query{Partition: m.partition})
+		if err != nil {
+			return false, err
+		}
+		m.copyList = m.copyList[:0]
+		for _, r := range rows {
+			if r.Key.Row == metaRowKey {
+				continue
+			}
+			m.copyList = append(m.copyList, r)
+		}
+		m.idx = 0
+		m.state = msCopy
+	case msCopy:
+		if m.idx >= len(m.copyList) {
+			m.idx = 0
+			m.state = msDelete
+			return false, nil
+		}
+		row := m.copyList[m.idx]
+		m.idx++
+		// Insert-if-not-exists: a newer client write or tombstone in the
+		// new table must win over the copied original.
+		_, err := m.new.ExecuteBatch([]Operation{{Kind: OpInsert, Key: row.Key, Props: row.Props}})
+		if err != nil && !isBatchError(err) {
+			return false, err
+		}
+	case msDelete:
+		if m.idx >= len(m.copyList) {
+			m.state = msTransition
+			return false, nil
+		}
+		row := m.copyList[m.idx]
+		m.idx++
+		// The old table is frozen for correct clients, so the etag
+		// condition always holds; tolerate failures anyway (a seeded bug
+		// may have mutated the old table behind us).
+		_, err := m.old.ExecuteBatch([]Operation{{Kind: OpDelete, Key: row.Key, ETag: row.ETag}})
+		if err != nil && !isBatchError(err) {
+			return false, err
+		}
+	case msTransition:
+		if m.bugs.Has(BugMigrateSkipUseNewWithTombstones) {
+			// BUG (*): skip the UseNewWithTombstones phase — and with it
+			// the wait for in-flight streams — and clean up immediately.
+			m.state = msCleanupSnapshot
+			return false, nil
+		}
+		if err := m.setPhase(m.new, PhaseUseNewWithTombstones, 3); err != nil {
+			return false, err
+		}
+		m.state = msAwaitStreams
+	case msAwaitStreams:
+		// Tombstones may still be hiding deleted rows from streams opened
+		// earlier; cleanup must wait for them.
+		if m.guard.Active() > 0 {
+			return false, nil
+		}
+		m.state = msCleanupSnapshot
+	case msCleanupSnapshot:
+		rows, err := m.new.QueryAtomic(Query{Partition: m.partition})
+		if err != nil {
+			return false, err
+		}
+		m.tsList = m.tsList[:0]
+		for _, r := range rows {
+			if isTombstone(r.Props) {
+				m.tsList = append(m.tsList, r)
+			}
+		}
+		m.idx = 0
+		m.state = msCleanup
+	case msCleanup:
+		if m.idx >= len(m.tsList) {
+			m.state = msFinish
+			return false, nil
+		}
+		ts := m.tsList[m.idx]
+		m.idx++
+		// Condition on the tombstone's etag: if a client insert replaced
+		// it meanwhile, the delete must not fire.
+		_, err := m.new.ExecuteBatch([]Operation{{Kind: OpDelete, Key: ts.Key, ETag: ts.ETag}})
+		if err != nil && !isBatchError(err) {
+			return false, err
+		}
+	case msFinish:
+		if err := m.setPhase(m.new, PhaseUseNew, 4); err != nil {
+			return false, err
+		}
+		m.state = msDone
+	case msDone:
+	}
+	return m.state == msDone, nil
+}
+
+// setPhase replaces a table's metadata row with the given phase/version.
+func (m *Migrator) setPhase(backend Backend, phase Phase, version int64) error {
+	metaKey := metaKeyFor(m.partition)
+	rows, err := backend.QueryAtomic(Query{Partition: m.partition, RowFrom: metaRowKey, RowTo: metaRowKey})
+	if err != nil {
+		return err
+	}
+	if len(rows) != 1 {
+		return fmt.Errorf("%w: partition %q missing metadata", ErrBadRequest, m.partition)
+	}
+	_, err = backend.ExecuteBatch([]Operation{{
+		Kind: OpReplace, Key: metaKey, Props: metaProps(phase, version), ETag: rows[0].ETag,
+	}})
+	return err
+}
+
+// Run drives the migration to completion (production convenience; the
+// systematic-test harness steps instead).
+func (m *Migrator) Run() error {
+	for {
+		done, err := m.Step()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		// The only non-advancing state is the stream wait; in production
+		// use the caller is responsible for eventually closing streams.
+	}
+}

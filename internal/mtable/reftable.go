@@ -1,0 +1,263 @@
+package mtable
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// RefTable is an in-memory chain table: the reference implementation of
+// the specification. The paper's harness uses the same reference
+// implementation twice — as the two backend tables under the
+// MigratingTable, and as the oracle the virtual table's outputs are
+// compared against — and so does this one.
+type RefTable struct {
+	mu    sync.Mutex
+	parts map[string]map[string]Row
+	etag  int64
+}
+
+// NewRefTable returns an empty table.
+func NewRefTable() *RefTable {
+	return &RefTable{parts: make(map[string]map[string]Row)}
+}
+
+var _ Backend = (*RefTable)(nil)
+
+// nextETag returns a fresh, strictly increasing etag.
+func (t *RefTable) nextETag() int64 {
+	t.etag++
+	return t.etag
+}
+
+// validateBatch enforces the chain-table batch rules: 1..100 operations,
+// one partition, no repeated row keys, well-formed conditions.
+func (t *RefTable) validateBatch(batch []Operation) error {
+	if len(batch) == 0 {
+		return &BatchError{Index: 0, Err: fmt.Errorf("%w: empty batch", ErrBadRequest)}
+	}
+	if len(batch) > 100 {
+		return &BatchError{Index: 0, Err: fmt.Errorf("%w: batch of %d exceeds 100 operations", ErrBadRequest, len(batch))}
+	}
+	part := batch[0].Key.Partition
+	seen := make(map[string]bool, len(batch))
+	for i, op := range batch {
+		if op.Key.Partition == "" || op.Key.Row == "" {
+			return &BatchError{Index: i, Err: fmt.Errorf("%w: empty key", ErrBadRequest)}
+		}
+		if op.Key.Partition != part {
+			return &BatchError{Index: i, Err: fmt.Errorf("%w: cross-partition batch", ErrBadRequest)}
+		}
+		if seen[op.Key.Row] {
+			return &BatchError{Index: i, Err: fmt.Errorf("%w: duplicate row %q in batch", ErrBadRequest, op.Key.Row)}
+		}
+		seen[op.Key.Row] = true
+		if op.Kind.needsETag() && op.ETag == 0 {
+			return &BatchError{Index: i, Err: fmt.Errorf("%w: %s requires an etag", ErrBadRequest, op.Kind)}
+		}
+	}
+	return nil
+}
+
+// check validates one operation's precondition against the current state.
+func check(op Operation, cur Row, exists bool) error {
+	switch op.Kind {
+	case OpInsert:
+		if exists {
+			return ErrExists
+		}
+	case OpReplace, OpMerge, OpDelete, OpCheck:
+		if !exists {
+			return ErrNotFound
+		}
+		if op.ETag != ETagAny && op.ETag != cur.ETag {
+			return ErrConflict
+		}
+	case OpInsertOrReplace, OpInsertOrMerge:
+		// Unconditional.
+	default:
+		return fmt.Errorf("%w: unknown operation kind %d", ErrBadRequest, int(op.Kind))
+	}
+	return nil
+}
+
+// ExecuteBatch atomically applies the batch: every precondition is checked
+// against the pre-batch state; on any failure nothing is applied and a
+// BatchError identifies the first failing operation.
+func (t *RefTable) ExecuteBatch(batch []Operation) ([]OpResult, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.validateBatch(batch); err != nil {
+		return nil, err
+	}
+	part := t.parts[batch[0].Key.Partition]
+	for i, op := range batch {
+		cur, exists := Row{}, false
+		if part != nil {
+			cur, exists = part[op.Key.Row]
+		}
+		if err := check(op, cur, exists); err != nil {
+			return nil, &BatchError{Index: i, Err: err}
+		}
+	}
+	// All preconditions hold; apply.
+	if part == nil {
+		part = make(map[string]Row)
+		t.parts[batch[0].Key.Partition] = part
+	}
+	results := make([]OpResult, len(batch))
+	for i, op := range batch {
+		cur, exists := part[op.Key.Row]
+		switch op.Kind {
+		case OpInsert, OpInsertOrReplace:
+			part[op.Key.Row] = Row{Key: op.Key, Props: op.Props.Clone(), ETag: t.nextETag()}
+		case OpReplace:
+			part[op.Key.Row] = Row{Key: op.Key, Props: op.Props.Clone(), ETag: t.nextETag()}
+		case OpMerge, OpInsertOrMerge:
+			props := Properties{}
+			if exists {
+				props = cur.Props.Clone()
+			}
+			for k, v := range op.Props {
+				props[k] = v
+			}
+			part[op.Key.Row] = Row{Key: op.Key, Props: props, ETag: t.nextETag()}
+		case OpDelete:
+			delete(part, op.Key.Row)
+		case OpCheck:
+			// Guard only.
+		}
+		if op.Kind != OpDelete && op.Kind != OpCheck {
+			results[i] = OpResult{ETag: part[op.Key.Row].ETag}
+		}
+	}
+	return results, nil
+}
+
+// QueryAtomic returns a snapshot of the partition, sorted by row key, with
+// range and filter applied.
+func (t *RefTable) QueryAtomic(q Query) ([]Row, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Row
+	for rowKey, row := range t.parts[q.Partition] {
+		if !q.inRange(rowKey) || !q.Filter.Matches(row.Props) {
+			continue
+		}
+		out = append(out, row.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.Row < out[j].Key.Row })
+	return out, nil
+}
+
+// FetchPage returns up to limit rows with key strictly greater than after,
+// reflecting the table's current state (the paged building block of
+// streamed reads).
+func (t *RefTable) FetchPage(partition, after string, filter *Filter, limit int) ([]Row, error) {
+	if limit <= 0 {
+		return nil, fmt.Errorf("%w: page limit must be positive", ErrBadRequest)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	keys := make([]string, 0, len(t.parts[partition]))
+	for rowKey := range t.parts[partition] {
+		if rowKey > after {
+			keys = append(keys, rowKey)
+		}
+	}
+	sort.Strings(keys)
+	var out []Row
+	for _, k := range keys {
+		row := t.parts[partition][k]
+		if !filter.Matches(row.Props) {
+			continue
+		}
+		out = append(out, row.Clone())
+		if len(out) == limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+// QueryStream returns a live paged scan of the partition: each page
+// reflects the state at its fetch time, satisfying the chain-table stream
+// contract. (The virtual table builds its own merged stream from
+// FetchPage; this method completes RefTable's chain-table API for direct
+// users.)
+func (t *RefTable) QueryStream(q Query) (RowStream, error) {
+	return &refStream{t: t, q: q}, nil
+}
+
+// refStream pages through the table with a small prefetch buffer.
+type refStream struct {
+	t      *RefTable
+	q      Query
+	buf    []Row
+	after  string
+	done   bool
+	closed bool
+}
+
+const refStreamPage = 3
+
+func (s *refStream) Next() (Row, bool, error) {
+	if s.closed {
+		return Row{}, false, fmt.Errorf("%w: stream closed", ErrBadRequest)
+	}
+	for {
+		if len(s.buf) > 0 {
+			row := s.buf[0]
+			s.buf = s.buf[1:]
+			if !s.q.inRange(row.Key.Row) || !s.q.Filter.Matches(row.Props) {
+				continue
+			}
+			return row, true, nil
+		}
+		if s.done {
+			return Row{}, false, nil
+		}
+		page, err := s.t.FetchPage(s.q.Partition, s.after, nil, refStreamPage)
+		if err != nil {
+			return Row{}, false, err
+		}
+		if len(page) == 0 {
+			s.done = true
+			return Row{}, false, nil
+		}
+		s.after = page[len(page)-1].Key.Row
+		s.buf = page
+	}
+}
+
+func (s *refStream) Close() { s.closed = true }
+
+// Get returns the row at key, if present (test/tooling convenience).
+func (t *RefTable) Get(key Key) (Row, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	row, ok := t.parts[key.Partition][key.Row]
+	if !ok {
+		return Row{}, false
+	}
+	return row.Clone(), true
+}
+
+// Len returns the number of rows in the partition.
+func (t *RefTable) Len(partition string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.parts[partition])
+}
+
+// Partitions returns the partition keys in sorted order.
+func (t *RefTable) Partitions() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []string
+	for p := range t.parts {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,326 @@
+// Package mtable reimplements Live Table Migration (MigratingTable, §4 of
+// the paper): a virtual key-value table that transparently migrates a data
+// set from an old backend table to a new one while applications keep
+// reading and writing through it.
+//
+// The package provides, from the bottom up:
+//
+//   - the chain-table specification (this file): rows with etags, atomic
+//     per-partition batches, atomic queries, and paged range reads — the
+//     IChainTable analog;
+//   - RefTable, an in-memory reference implementation used both as the
+//     backend tables and as the specification oracle, exactly as in the
+//     paper;
+//   - MigratingTable, the virtual table that layers the migration protocol
+//     over an old and a new backend; and
+//   - Migrator, the background job that copies rows old→new, deletes them
+//     from the old table, and advances the partition through its migration
+//     phases.
+//
+// The eleven bugs of the paper's Table 2 are seeded behind the Bugs flags
+// (bugs.go); each re-introduces one incorrect code path.
+package mtable
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Key identifies a row: Azure-style (partition key, row key) pairs.
+// Batches and atomic queries are scoped to a single partition.
+type Key struct {
+	Partition string
+	Row       string
+}
+
+func (k Key) String() string { return k.Partition + "/" + k.Row }
+
+// Less orders keys by (partition, row).
+func (k Key) Less(o Key) bool {
+	if k.Partition != o.Partition {
+		return k.Partition < o.Partition
+	}
+	return k.Row < o.Row
+}
+
+// Properties is a row's payload: named integer columns. (The real service
+// supports more types; integers keep comparison and generation simple
+// without losing any concurrency behavior.)
+type Properties map[string]int64
+
+// Clone returns a deep copy.
+func (p Properties) Clone() Properties {
+	if p == nil {
+		return nil
+	}
+	c := make(Properties, len(p))
+	for k, v := range p {
+		c[k] = v
+	}
+	return c
+}
+
+// Equal reports whether two property maps hold the same entries.
+func (p Properties) Equal(o Properties) bool {
+	if len(p) != len(o) {
+		return false
+	}
+	for k, v := range p {
+		ov, ok := o[k]
+		if !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Row is one stored row. ETag is a server-assigned version used for
+// optimistic concurrency: it changes on every mutation.
+type Row struct {
+	Key   Key
+	Props Properties
+	ETag  int64
+}
+
+// Clone returns a deep copy.
+func (r Row) Clone() Row {
+	r.Props = r.Props.Clone()
+	return r
+}
+
+// ETagAny is the wildcard etag condition ("*"): the operation applies to
+// whatever version currently exists.
+const ETagAny int64 = -1
+
+// OpKind enumerates the chain-table write operations.
+type OpKind int
+
+const (
+	// OpInsert adds a row; it fails with ErrExists if the key is taken.
+	OpInsert OpKind = iota
+	// OpReplace overwrites an existing row's properties; requires an etag.
+	OpReplace
+	// OpMerge upserts the given properties into an existing row.
+	OpMerge
+	// OpDelete removes an existing row; requires an etag.
+	OpDelete
+	// OpInsertOrReplace unconditionally upserts the row.
+	OpInsertOrReplace
+	// OpInsertOrMerge unconditionally merges into the row.
+	OpInsertOrMerge
+	// OpCheck validates that the row exists with the given etag and
+	// mutates nothing. Backends use it as a batch guard (the real system
+	// encodes guards as no-op merges).
+	OpCheck
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpReplace:
+		return "replace"
+	case OpMerge:
+		return "merge"
+	case OpDelete:
+		return "delete"
+	case OpInsertOrReplace:
+		return "insertOrReplace"
+	case OpInsertOrMerge:
+		return "insertOrMerge"
+	case OpCheck:
+		return "check"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// needsETag reports whether the operation kind requires an etag condition.
+func (k OpKind) needsETag() bool {
+	switch k {
+	case OpReplace, OpMerge, OpDelete, OpCheck:
+		return true
+	default:
+		return false
+	}
+}
+
+// Operation is one element of a batch.
+type Operation struct {
+	Kind  OpKind
+	Key   Key
+	Props Properties
+	// ETag is the concurrency condition for Replace/Merge/Delete/Check:
+	// a specific version or ETagAny.
+	ETag int64
+}
+
+// OpResult reports the outcome of one successful operation: the row's new
+// etag (0 for deletes and checks).
+type OpResult struct {
+	ETag int64
+}
+
+// Chain-table errors. BatchError wraps them with the failing index.
+var (
+	// ErrExists: insert of an existing key.
+	ErrExists = errors.New("entity already exists")
+	// ErrNotFound: conditional operation on an absent key.
+	ErrNotFound = errors.New("entity not found")
+	// ErrConflict: etag mismatch.
+	ErrConflict = errors.New("etag mismatch")
+	// ErrBadRequest: malformed operation or batch.
+	ErrBadRequest = errors.New("bad request")
+)
+
+// BatchError identifies the first failing operation of a batch; the batch
+// is atomic, so nothing was applied.
+type BatchError struct {
+	Index int
+	Err   error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("batch failed at operation %d: %v", e.Index, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is.
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// ErrorCode normalizes an error for output comparison between the virtual
+// table and the reference table (etags differ between the two, error
+// shapes must not).
+func ErrorCode(err error) string {
+	if err == nil {
+		return ""
+	}
+	var be *BatchError
+	idx := -1
+	if errors.As(err, &be) {
+		idx = be.Index
+	}
+	code := "error"
+	switch {
+	case errors.Is(err, ErrExists):
+		code = "exists"
+	case errors.Is(err, ErrNotFound):
+		code = "notfound"
+	case errors.Is(err, ErrConflict):
+		code = "conflict"
+	case errors.Is(err, ErrBadRequest):
+		code = "badrequest"
+	}
+	if idx >= 0 {
+		return fmt.Sprintf("%s@%d", code, idx)
+	}
+	return code
+}
+
+// Filter restricts a query to rows whose named property lies in
+// [Min, Max]. Rows missing the property never match.
+type Filter struct {
+	Prop string
+	Min  int64
+	Max  int64
+}
+
+// Matches reports whether the row satisfies the filter (nil matches all).
+func (f *Filter) Matches(props Properties) bool {
+	if f == nil {
+		return true
+	}
+	v, ok := props[f.Prop]
+	return ok && v >= f.Min && v <= f.Max
+}
+
+// Query describes an atomic (snapshot) read of one partition.
+type Query struct {
+	Partition string
+	// RowFrom/RowTo bound the row-key range (inclusive; empty = open).
+	RowFrom, RowTo string
+	// Filter optionally restricts returned rows.
+	Filter *Filter
+}
+
+// inRange reports whether a row key falls inside the query's range.
+func (q Query) inRange(row string) bool {
+	if q.RowFrom != "" && row < q.RowFrom {
+		return false
+	}
+	if q.RowTo != "" && row > q.RowTo {
+		return false
+	}
+	return true
+}
+
+// Backend is the interface the MigratingTable requires of its two backend
+// tables. RefTable implements it directly; the systematic-test harness
+// implements it with a stub that relays every call through the Tables
+// machine, turning each backend operation into a scheduling point.
+type Backend interface {
+	// ExecuteBatch atomically applies a batch to one partition.
+	ExecuteBatch(batch []Operation) ([]OpResult, error)
+	// QueryAtomic returns a consistent snapshot of one partition,
+	// sorted by row key.
+	QueryAtomic(q Query) ([]Row, error)
+	// FetchPage returns up to limit live rows of the partition with row
+	// key strictly greater than after, sorted ascending — the paged
+	// building block of streamed reads.
+	FetchPage(partition, after string, filter *Filter, limit int) ([]Row, error)
+}
+
+// RowStream is a streamed read of the virtual table: rows arrive in row-key
+// order, and each row may reflect the table state at any moment between
+// the stream's start and the row's read — the weak consistency contract of
+// the chain-table specification.
+type RowStream interface {
+	// Next returns the next row; ok is false at end of stream.
+	Next() (row Row, ok bool, err error)
+	// Close releases the stream (deregistering it from the migration
+	// coordination guard). Close is idempotent.
+	Close()
+}
+
+// Reserved name helpers: rows and properties used by the migration
+// protocol itself are hidden from users of the virtual table.
+
+// metaRowKey is the per-partition migration metadata row. The "!" prefix
+// sorts before all user keys and is reserved.
+const metaRowKey = "!meta"
+
+// tombstoneProp marks a row in the new table as a deletion marker for a
+// key that may still exist in the old table.
+const tombstoneProp = "_tombstone"
+
+// phaseProp and versionProp are the metadata row's columns.
+const (
+	phaseProp   = "_phase"
+	versionProp = "_version"
+)
+
+// isReservedRow reports whether the row key is protocol-internal.
+func isReservedRow(row string) bool { return strings.HasPrefix(row, "!") }
+
+// isTombstone reports whether the properties mark a tombstone.
+func isTombstone(props Properties) bool {
+	_, ok := props[tombstoneProp]
+	return ok
+}
+
+// ValidateUserRow rejects keys and properties that collide with the
+// protocol's reserved names.
+func ValidateUserRow(key Key, props Properties) error {
+	if key.Partition == "" || key.Row == "" {
+		return fmt.Errorf("%w: empty partition or row key", ErrBadRequest)
+	}
+	if isReservedRow(key.Row) {
+		return fmt.Errorf("%w: row key %q is reserved", ErrBadRequest, key.Row)
+	}
+	for p := range props {
+		if p == "" || strings.HasPrefix(p, "_") {
+			return fmt.Errorf("%w: property %q is reserved", ErrBadRequest, p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+package replsys
+
+import (
+	"fmt"
+
+	"github.com/gostorm/gostorm/internal/core"
+	"github.com/gostorm/gostorm/internal/det"
+)
+
+// This file is the P# test harness of Figure 2, translated to the Go
+// runtime: the real Server is wrapped in a machine; the client, storage
+// nodes and timers are modeled; and safety/liveness monitors specify
+// correctness. Machines are wired first and kicked off with an explicit
+// start signal so no message can race the wiring.
+
+// msgEvent wraps a protocol message for transport between harness machines.
+type msgEvent struct{ Msg Message }
+
+func (e msgEvent) Name() string { return e.Msg.Kind() }
+
+// Monitor notification events.
+
+// notifyReq tells monitors a client request with value Val was issued.
+type notifyReq struct{ Val int }
+
+func (notifyReq) Name() string { return "notifyReq" }
+
+// notifyAck tells monitors the server acknowledged value Val.
+type notifyAck struct{ Val int }
+
+func (notifyAck) Name() string { return "notifyAck" }
+
+// notifyStored tells the safety monitor that a storage node persisted Val.
+type notifyStored struct {
+	Node NodeID
+	Val  int
+}
+
+func (notifyStored) Name() string { return "notifyStored" }
+
+// timerTick is the modeled timeout event (Figure 9).
+type timerTick struct{}
+
+func (timerTick) Name() string { return "TimerTick" }
+
+// Names of the two specification monitors of Figure 2.
+const (
+	SafetyMonitorName   = "ReplicaSafety"
+	LivenessMonitorName = "RequestProgress"
+)
+
+// Monitors selects which specification monitors a scenario registers.
+type Monitors int
+
+const (
+	// WithSafety registers the replica-count safety monitor (§2.4).
+	WithSafety Monitors = 1 << iota
+	// WithLiveness registers the request-progress liveness monitor (§2.5).
+	WithLiveness
+)
+
+// serverMachine wraps the real Server; it implements Network so the
+// server's outbound messages are relayed through the runtime (the modeled
+// network engine of the paper), and it notifies the monitors at the
+// specification-relevant points.
+type serverMachine struct {
+	server *Server
+	ctx    *core.Context
+	route  map[NodeID]core.MachineID
+	mons   Monitors
+}
+
+// Send implements Network.
+func (s *serverMachine) Send(to NodeID, msg Message) {
+	if ack, ok := msg.(Ack); ok {
+		if s.mons&WithLiveness != 0 {
+			s.ctx.Monitor(LivenessMonitorName, notifyAck{Val: ack.Val})
+		}
+		if s.mons&WithSafety != 0 {
+			s.ctx.Monitor(SafetyMonitorName, notifyAck{Val: ack.Val})
+		}
+	}
+	target, ok := s.route[to]
+	s.ctx.Assert(ok, "server sent %s to unrouted node %d", msg.Kind(), to)
+	s.ctx.Send(target, msgEvent{Msg: msg})
+}
+
+// Init implements Machine; the server is passive until messages arrive.
+func (s *serverMachine) Init(*core.Context) {}
+
+// Handle delivers a protocol message to the wrapped server.
+func (s *serverMachine) Handle(ctx *core.Context, ev core.Event) {
+	s.ctx = ctx
+	msg := ev.(msgEvent).Msg
+	if req, ok := msg.(ClientReq); ok {
+		if s.mons&WithLiveness != 0 {
+			ctx.Monitor(LivenessMonitorName, notifyReq{Val: req.Val})
+		}
+		if s.mons&WithSafety != 0 {
+			ctx.Monitor(SafetyMonitorName, notifyReq{Val: req.Val})
+		}
+	}
+	s.server.HandleMessage(msg)
+}
+
+// storageNodeMachine is the modeled storage node: it stores replicated
+// values in memory and reports its log to the server when its timer fires.
+type storageNodeMachine struct {
+	node     NodeID
+	serverID core.MachineID
+	log      []int
+	mons     Monitors
+}
+
+func (sn *storageNodeMachine) Init(*core.Context) {}
+
+func (sn *storageNodeMachine) Handle(ctx *core.Context, ev core.Event) {
+	switch e := ev.(type) {
+	case msgEvent:
+		if repl, ok := e.Msg.(ReplReq); ok {
+			sn.log = append(sn.log, repl.Val)
+			if sn.mons&WithSafety != 0 {
+				ctx.Monitor(SafetyMonitorName, notifyStored{Node: sn.node, Val: repl.Val})
+			}
+		}
+	case timerTick:
+		logCopy := append([]int(nil), sn.log...)
+		ctx.Send(sn.serverID, msgEvent{Msg: Sync{Node: sn.node, Log: logCopy}})
+	}
+}
+
+// timerMachine models timeout nondeterminism (Figure 9): on every loop
+// iteration a scheduler-controlled choice decides whether a tick fires.
+type timerMachine struct {
+	target core.MachineID
+}
+
+func (t *timerMachine) Init(ctx *core.Context) {
+	ctx.Send(ctx.ID(), core.Signal("repeat"))
+}
+
+func (t *timerMachine) Handle(ctx *core.Context, ev core.Event) {
+	if ctx.RandomBool() {
+		ctx.Send(t.target, timerTick{})
+	}
+	ctx.Send(ctx.ID(), core.Signal("repeat"))
+}
+
+// clientMachine is the modeled client: it issues `requests` requests with
+// nondeterministically chosen values, awaiting an Ack after each.
+type clientMachine struct {
+	node     NodeID
+	serverID core.MachineID
+	requests int
+}
+
+func (c *clientMachine) Init(*core.Context) {}
+
+func (c *clientMachine) Handle(ctx *core.Context, ev core.Event) {
+	if ev.Name() != "start" {
+		return
+	}
+	for i := 0; i < c.requests; i++ {
+		val := 1 + ctx.RandomInt(100)
+		ctx.Send(c.serverID, msgEvent{Msg: ClientReq{Client: c.node, Val: val}})
+		ctx.Receive("Ack")
+	}
+}
+
+// safetyMonitor checks that an Ack is only sent once the target number of
+// distinct storage nodes hold the acknowledged value (§2.4).
+type safetyMonitor struct {
+	target int
+	stored map[NodeID]int
+}
+
+func newSafetyMonitor(target int) func() core.Monitor {
+	return func() core.Monitor {
+		return &safetyMonitor{target: target, stored: make(map[NodeID]int)}
+	}
+}
+
+func (m *safetyMonitor) Name() string                 { return SafetyMonitorName }
+func (m *safetyMonitor) Init(mc *core.MonitorContext) {}
+
+func (m *safetyMonitor) Handle(mc *core.MonitorContext, ev core.Event) {
+	switch e := ev.(type) {
+	case notifyReq:
+		// Value tracking is per-Ack below; nothing to do.
+	case notifyStored:
+		m.stored[e.Node] = e.Val
+	case notifyAck:
+		count := 0
+		det.Each(m.stored, func(_ NodeID, v int) {
+			if v == e.Val {
+				count++
+			}
+		})
+		mc.Assert(count >= m.target,
+			"Ack sent for value %d with only %d of %d replicas stored", e.Val, count, m.target)
+	}
+}
+
+// newLivenessMonitor builds the request-progress monitor of §2.5: hot while
+// a request awaits acknowledgement, cold otherwise.
+func newLivenessMonitor() core.Monitor {
+	sm := core.NewStateMachine[*core.MonitorContext](LivenessMonitorName, "Idle",
+		&core.State[*core.MonitorContext]{
+			Name:        "Idle",
+			Transitions: map[string]string{"notifyReq": "Waiting"},
+			Ignore:      []string{"notifyAck"},
+		},
+		&core.State[*core.MonitorContext]{
+			Name:        "Waiting",
+			Hot:         true,
+			Transitions: map[string]string{"notifyAck": "Idle"},
+			Ignore:      []string{"notifyReq"},
+		},
+	)
+	return &core.MonitorSM{SM: sm}
+}
+
+// ScenarioConfig parameterizes the harness.
+type ScenarioConfig struct {
+	Server Config
+	// Requests is the number of sequential client requests (default 2 —
+	// the liveness bug needs at least two).
+	Requests int
+	// Nodes is the number of storage nodes (default 3).
+	Nodes int
+	// Monitors selects the registered specifications (default both).
+	Monitors Monitors
+}
+
+func (sc ScenarioConfig) withDefaults() ScenarioConfig {
+	if sc.Requests <= 0 {
+		sc.Requests = 2
+	}
+	if sc.Nodes <= 0 {
+		sc.Nodes = 3
+	}
+	if sc.Monitors == 0 {
+		sc.Monitors = WithSafety | WithLiveness
+	}
+	return sc
+}
+
+// Scenario builds the systematic test of Figure 2 for the given
+// configuration.
+func Scenario(sc ScenarioConfig) core.Test {
+	sc = sc.withDefaults()
+	t := core.Test{
+		Name: "replsys",
+		Entry: func(ctx *core.Context) {
+			srv := &serverMachine{mons: sc.Monitors, route: make(map[NodeID]core.MachineID)}
+			serverID := ctx.CreateMachine(srv, "Server")
+
+			var nodeIDs []NodeID
+			var snMachines []*storageNodeMachine
+			for i := 0; i < sc.Nodes; i++ {
+				snm := &storageNodeMachine{serverID: serverID, mons: sc.Monitors}
+				id := ctx.CreateMachine(snm, fmt.Sprintf("SN%d", i))
+				snm.node = NodeID(id)
+				srv.route[NodeID(id)] = id
+				nodeIDs = append(nodeIDs, NodeID(id))
+				snMachines = append(snMachines, snm)
+			}
+			srv.server = NewServer(sc.Server, srv, nodeIDs)
+
+			for i, snm := range snMachines {
+				ctx.CreateMachine(&timerMachine{target: srv.route[snm.node]}, fmt.Sprintf("Timer%d", i))
+			}
+
+			client := &clientMachine{serverID: serverID, requests: sc.Requests}
+			clientID := ctx.CreateMachine(client, "Client")
+			client.node = NodeID(clientID)
+			srv.route[NodeID(clientID)] = clientID
+			// All routes are wired; release the client.
+			ctx.Send(clientID, core.Signal("start"))
+		},
+	}
+	if sc.Monitors&WithSafety != 0 {
+		t.Monitors = append(t.Monitors, newSafetyMonitor(sc.Server.target()))
+	}
+	if sc.Monitors&WithLiveness != 0 {
+		t.Monitors = append(t.Monitors, newLivenessMonitor)
+	}
+	return t
+}
