@@ -2,6 +2,7 @@ package gostorm_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/gostorm/gostorm/internal/core"
@@ -74,6 +75,68 @@ func BenchmarkSchedulers(b *testing.B) {
 				if res.BugFound {
 					b.Fatalf("unexpected bug: %v", res.Report.Error())
 				}
+			}
+		})
+	}
+}
+
+// parallelWorkerCounts is the sweep for the parallel-exploration
+// benchmarks: 1, 2, 4 and one worker per CPU (deduplicated).
+func parallelWorkerCounts() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkParallelExploration measures exploration throughput
+// (executions/sec) of the worker pool on the ping-pong workload as the
+// worker count grows. This is the headline number of the parallel engine:
+// each execution is an independent schedule sample, so throughput should
+// scale with cores until the machine saturates.
+func BenchmarkParallelExploration(b *testing.B) {
+	test := pingPongTest()
+	for _, w := range parallelWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			execs := 0
+			for i := 0; i < b.N; i++ {
+				res := core.Run(test, core.Options{
+					Scheduler: "random", Iterations: 64, MaxSteps: 500,
+					Seed: int64(i + 1), Workers: w,
+					NoLivenessBoundCheck: true, NoReplayLog: true,
+				})
+				execs += res.Executions
+			}
+			b.StopTimer()
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(execs)/s, "execs/s")
+			}
+		})
+	}
+}
+
+// BenchmarkParallelMTable is the same sweep on a real harness: clean
+// MigratingTable executions, the unit the paper's 100,000-execution
+// budgets are made of.
+func BenchmarkParallelMTable(b *testing.B) {
+	test := mharness.Test(mharness.HarnessConfig{})
+	for _, w := range parallelWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			execs := 0
+			for i := 0; i < b.N; i++ {
+				res := core.Run(test, core.Options{
+					Scheduler: "random", Iterations: 16, MaxSteps: 30000,
+					Seed: int64(i + 1), Workers: w, NoReplayLog: true,
+				})
+				if res.BugFound {
+					b.Fatalf("unexpected bug: %v", res.Report.Error())
+				}
+				execs += res.Executions
+			}
+			b.StopTimer()
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(execs)/s, "execs/s")
 			}
 		})
 	}
@@ -168,7 +231,7 @@ func BenchmarkTable2(b *testing.B) {
 	}
 }
 
-// --- Ablations (design choices called out in DESIGN.md) ---
+// --- Ablations ---
 
 // BenchmarkAblationPCTDepth sweeps the PCT priority-change budget on the
 // vNext liveness bug: the paper used depth 2.

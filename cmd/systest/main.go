@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"github.com/gostorm/gostorm/internal/catalog"
 	"github.com/gostorm/gostorm/internal/core"
@@ -23,11 +24,12 @@ func main() {
 	var (
 		list        = flag.Bool("list", false, "list registered scenarios and exit")
 		test        = flag.String("test", "", "scenario name (see -list)")
-		scheduler   = flag.String("scheduler", "random", "scheduler: random, pct, rr or dfs")
+		scheduler   = flag.String("scheduler", "random", "scheduler: random, pct, rr, delay or dfs")
 		pctDepth    = flag.Int("pct-depth", 2, "priority change points for the pct scheduler")
 		iterations  = flag.Int("iterations", 0, "maximum executions (0 = scenario default)")
 		maxSteps    = flag.Int("max-steps", 0, "scheduling steps per execution (0 = scenario default)")
 		seed        = flag.Int64("seed", 0, "base random seed")
+		workers     = flag.Int("workers", 0, "parallel exploration workers (0 = one per CPU; dfs and replay always use 1)")
 		temperature = flag.Int("temperature", 0, "liveness temperature threshold (0 = bound check only)")
 		traceOut    = flag.String("trace-out", "", "write the buggy trace to this file")
 		replay      = flag.String("replay", "", "replay a trace file instead of exploring")
@@ -48,16 +50,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "systest:", err)
 		os.Exit(2)
 	}
-	opts := entry.Options
-	opts.Scheduler = *scheduler
-	opts.PCTDepth = *pctDepth
-	opts.Seed = *seed
-	opts.Temperature = *temperature
-	if *iterations > 0 {
-		opts.Iterations = *iterations
-	}
-	if *maxSteps > 0 {
-		opts.MaxSteps = *maxSteps
+	opts := entry.RunOptions(catalog.Overrides{
+		Scheduler:   *scheduler,
+		PCTDepth:    *pctDepth,
+		Seed:        *seed,
+		Iterations:  *iterations,
+		MaxSteps:    *maxSteps,
+		Workers:     *workers,
+		Temperature: *temperature,
+	})
+	factory, err := core.NewSchedulerFactory(opts.Scheduler, opts.PCTDepth)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "systest:", err)
+		os.Exit(2)
 	}
 
 	if *replay != "" {
@@ -87,8 +92,9 @@ func main() {
 		return
 	}
 
-	fmt.Printf("exploring %s with the %s scheduler (up to %d executions of %d steps, seed %d)\n",
-		entry.Name, opts.Scheduler, orDefault(opts.Iterations, 10000), orDefault(opts.MaxSteps, 10000), opts.Seed)
+	fmt.Printf("exploring %s with the %s scheduler (up to %d executions of %d steps, seed %d, %s)\n",
+		entry.Name, opts.Scheduler, orDefault(opts.Iterations, 10000), orDefault(opts.MaxSteps, 10000),
+		opts.Seed, describeWorkers(opts.Workers, factory.Sequential()))
 	res := core.Run(entry.Build(), opts)
 	fmt.Println(res.String())
 	if !res.BugFound {
@@ -116,4 +122,17 @@ func orDefault(v, def int) int {
 		return v
 	}
 	return def
+}
+
+func describeWorkers(w int, sequential bool) string {
+	if sequential {
+		return "1 worker (sequential scheduler)"
+	}
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w == 1 {
+		return "1 worker"
+	}
+	return fmt.Sprintf("%d workers", w)
 }

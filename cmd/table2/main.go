@@ -36,6 +36,7 @@ func main() {
 		iterations = flag.Int("iterations", 20000, "execution budget per cell (paper: 100000)")
 		seed       = flag.Int64("seed", 1, "base random seed")
 		pctDepth   = flag.Int("pct-depth", 2, "priority change points per execution (paper: 2)")
+		workers    = flag.Int("workers", 0, "parallel exploration workers per cell (0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -89,20 +90,23 @@ func main() {
 		if r.custom {
 			label += " (c)"
 		}
-		randCell := runCell(r, "random", *iterations, *seed, *pctDepth)
-		pctCell := runCell(r, "pct", *iterations, *seed, *pctDepth)
+		randCell := runCell(r, "random", *iterations, *seed, *pctDepth, *workers)
+		pctCell := runCell(r, "pct", *iterations, *seed, *pctDepth, *workers)
 		fmt.Printf("%-2s %-38s | %s | %s\n", r.cs, label, randCell, pctCell)
 	}
 }
 
-// runCell runs one (bug, scheduler) cell and formats it.
-func runCell(r tableRow, scheduler string, iterations int, seed int64, pctDepth int) string {
+// runCell runs one (bug, scheduler) cell and formats it. Cells explore in
+// parallel; time-to-bug therefore reflects the machine's core count, while
+// #NDC stays a property of the (deterministically chosen) buggy execution.
+func runCell(r tableRow, scheduler string, iterations int, seed int64, pctDepth, workers int) string {
 	res := core.Run(r.build(), core.Options{
 		Scheduler:   scheduler,
 		PCTDepth:    pctDepth,
 		Iterations:  iterations,
 		MaxSteps:    r.maxSteps,
 		Seed:        seed,
+		Workers:     workers,
 		NoReplayLog: true,
 	})
 	if !res.BugFound {

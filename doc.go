@@ -7,6 +7,7 @@
 // Fabric replica-management model — their test harnesses, seeded bugs,
 // and the benchmark harnesses that regenerate the paper's tables.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// experiment index, and EXPERIMENTS.md for measured results.
+// The engine explores schedules in parallel across all cores while keeping
+// every bug trace exactly replayable; see README.md for a package tour and
+// the parallel-exploration design, and ROADMAP.md for open items.
 package gostorm

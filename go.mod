@@ -1,0 +1,3 @@
+module github.com/gostorm/gostorm
+
+go 1.24

@@ -28,6 +28,46 @@ type Entry struct {
 	Options core.Options
 }
 
+// Overrides are the command-line adjustments the CLIs layer on top of a
+// scenario's recommended options. Zero values mean "keep the scenario's
+// default", with two exceptions: Seed is always applied (0 is a valid,
+// meaningful seed, and scenarios never recommend one), and Workers
+// follows the engine convention (0 = one per CPU).
+type Overrides struct {
+	Scheduler   string
+	PCTDepth    int
+	Seed        int64
+	Iterations  int
+	MaxSteps    int
+	Workers     int
+	Temperature int
+}
+
+// RunOptions merges the entry's recommended options with CLI overrides.
+func (e Entry) RunOptions(ov Overrides) core.Options {
+	o := e.Options
+	if ov.Scheduler != "" {
+		o.Scheduler = ov.Scheduler
+	}
+	if ov.PCTDepth > 0 {
+		o.PCTDepth = ov.PCTDepth
+	}
+	o.Seed = ov.Seed
+	if ov.Iterations > 0 {
+		o.Iterations = ov.Iterations
+	}
+	if ov.MaxSteps > 0 {
+		o.MaxSteps = ov.MaxSteps
+	}
+	if ov.Workers > 0 {
+		o.Workers = ov.Workers
+	}
+	if ov.Temperature > 0 {
+		o.Temperature = ov.Temperature
+	}
+	return o
+}
+
 // Get returns the named entry.
 func Get(name string) (Entry, error) {
 	for _, e := range All() {

@@ -77,3 +77,41 @@ func TestCleanScenariosAreClean(t *testing.T) {
 		}
 	}
 }
+
+func TestRunOptionsOverrides(t *testing.T) {
+	e := Entry{Options: core.Options{Scheduler: "pct", Iterations: 500, MaxSteps: 3000}}
+
+	// Zero-valued overrides keep the scenario's recommendations — except
+	// Seed, which is always applied (0 is a valid seed).
+	e.Options.Seed = 42
+	o := e.RunOptions(Overrides{})
+	if o.Scheduler != "pct" || o.Iterations != 500 || o.MaxSteps != 3000 || o.Workers != 0 {
+		t.Fatalf("zero overrides changed options: %+v", o)
+	}
+	if o.Seed != 0 {
+		t.Fatalf("Seed = %d, want 0 (Seed is always taken from the overrides)", o.Seed)
+	}
+
+	o = e.RunOptions(Overrides{
+		Scheduler: "random", Seed: 9, Iterations: 42, MaxSteps: 100, Workers: 8, Temperature: 50,
+	})
+	if o.Scheduler != "random" || o.Seed != 9 || o.Iterations != 42 ||
+		o.MaxSteps != 100 || o.Workers != 8 || o.Temperature != 50 {
+		t.Fatalf("overrides not applied: %+v", o)
+	}
+}
+
+func TestCatalogRunsWithParallelWorkers(t *testing.T) {
+	// A catalog entry run through RunOptions with a worker-pool override
+	// must behave exactly like the direct engine call.
+	e, err := Get("replsys-safety")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := e.RunOptions(Overrides{Scheduler: "random", Seed: 1, Iterations: 5000, Workers: 4})
+	opts.NoReplayLog = true
+	res := core.Run(e.Build(), opts)
+	if !res.BugFound {
+		t.Fatal("parallel catalog run did not find the seeded safety bug")
+	}
+}

@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,26 +21,45 @@ type Test struct {
 }
 
 // Options bounds and configures an engine run. The zero value is usable:
-// random scheduler, 10,000 executions of up to 10,000 steps each.
+// random scheduler, 10,000 executions of up to 10,000 steps each, one
+// exploration worker per CPU.
 type Options struct {
-	// Scheduler is "random" (default), "pct", "rr" or "dfs".
+	// Scheduler is "random" (default), "pct", "rr", "delay" or "dfs".
 	Scheduler string
 	// PCTDepth is the number of priority change points for "pct"
 	// (default 2, the paper's configuration).
 	PCTDepth int
 	// Seed selects the pseudo-random schedule sequence. Each execution i
-	// derives its own sub-seed, so runs are reproducible end to end.
+	// derives its own sub-seed purely from (Seed, i), so runs are
+	// reproducible end to end and independent of worker count.
 	Seed int64
 	// Iterations is the maximum number of executions (default 10,000).
 	Iterations int
 	// MaxSteps bounds each execution; reaching it treats the execution as
 	// infinite for liveness checking (default 10,000).
 	MaxSteps int
+	// Workers is the number of parallel exploration workers (default
+	// runtime.NumCPU()). Each worker owns an independent Scheduler built
+	// by the run's SchedulerFactory, so no mutable scheduler state is
+	// shared. Sequential schedulers (dfs) and trace replay always run on
+	// a single worker regardless of this setting.
+	//
+	// For schedulers whose executions are pure functions of the
+	// per-iteration seed (random, rr), the Result — including which bug is
+	// found, its trace, Executions and TotalSteps — is identical for every
+	// worker count. The adaptive schedulers (pct, delay) estimate the
+	// program length from the previous execution on the same worker, so
+	// the iteration at which a bug surfaces can vary with scheduling of
+	// the workers themselves; every reported trace still replays exactly.
+	Workers int
 	// Temperature, when positive, reports a liveness violation as soon as
 	// a monitor stays hot for that many consecutive steps, instead of
 	// waiting for the full bound.
 	Temperature int
-	// StopAfter, when positive, bounds the total wall-clock time.
+	// StopAfter, when positive, bounds the total wall-clock time. The
+	// deadline is checked at execution granularity — before each worker
+	// starts its next execution — so a run can overshoot by the length of
+	// the executions in flight (at most MaxSteps scheduling steps each).
 	StopAfter time.Duration
 	// NoDeadlockDetection disables reporting machines stuck in Receive.
 	NoDeadlockDetection bool
@@ -47,8 +69,13 @@ type Options struct {
 	// NoReplayLog skips the confirmation replay that re-runs a buggy
 	// schedule to collect the detailed execution log.
 	NoReplayLog bool
-	// Progress, if non-nil, is called after every execution with the
-	// number completed so far.
+	// Progress, if non-nil, is called after every completed execution —
+	// including the buggy final one — with the number completed so far.
+	// Parallel workers serialize the calls under a lock, so the callback
+	// need not be goroutine-safe; counts are strictly increasing. When a
+	// parallel run finds a bug, executions already in flight at higher
+	// iteration indices still complete and are counted, so the final
+	// Progress count can exceed the canonical Executions of the Result.
 	Progress func(executions int)
 }
 
@@ -65,7 +92,18 @@ func (o Options) withDefaults() Options {
 	if o.PCTDepth <= 0 {
 		o.PCTDepth = 2
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
 	return o
+}
+
+// execSeed derives execution i's seed from the base seed. The derivation
+// depends only on (Seed, i) — never on which worker runs the iteration —
+// which is what makes the explored schedule set a deterministic partition
+// of the iteration space.
+func (o Options) execSeed(i int) int64 {
+	return int64(splitmix64(uint64(o.Seed) + uint64(i)*0x9E3779B97F4A7C15))
 }
 
 func (o Options) runtimeConfig(collectLog bool) runtimeConfig {
@@ -120,21 +158,42 @@ func (res Result) String() string {
 // fully covered. This is the testing process of the paper's §2: fully
 // automatic, no false positives (assuming an accurate harness), every bug
 // witnessed by a replayable trace.
+//
+// Exploration fans out across Options.Workers goroutines, each owning an
+// independent scheduler instance; execution i's schedule depends only on
+// (Seed, i). When a violation is found the engine cancels every in-flight
+// execution with a higher iteration index, finishes the lower ones, and
+// reports the bug with the lowest iteration index — exactly the bug a
+// single-worker run of the same seed reports first.
 func Run(t Test, o Options) Result {
 	o = o.withDefaults()
-	sched, err := NewScheduler(o.Scheduler, o.PCTDepth)
+	f, err := NewSchedulerFactory(o.Scheduler, o.PCTDepth)
 	if err != nil {
 		panic(err)
 	}
-	return runWith(t, o, sched)
+	workers := o.Workers
+	if f.Sequential() {
+		// The scheduler enumerates its space statefully across executions
+		// (dfs backtracking); partitioning iterations would skip branches.
+		workers = 1
+	}
+	if workers > o.Iterations {
+		workers = o.Iterations
+	}
+	if workers <= 1 {
+		return runSequential(t, o, f.New())
+	}
+	return runParallel(t, o, f, workers)
 }
 
-func runWith(t Test, o Options, sched Scheduler) Result {
+// runSequential is the single-worker engine loop, also used for sequential
+// schedulers where iteration order is part of the exploration strategy.
+func runSequential(t Test, o Options, sched Scheduler) Result {
 	start := time.Now()
 	var res Result
 	for i := 0; i < o.Iterations; i++ {
-		execSeed := splitmix64(uint64(o.Seed) + uint64(i)*0x9E3779B97F4A7C15)
-		if !sched.Prepare(int64(execSeed), o.MaxSteps) {
+		seed := o.execSeed(i)
+		if !sched.Prepare(seed, o.MaxSteps) {
 			res.Exhausted = true
 			break
 		}
@@ -142,13 +201,17 @@ func runWith(t Test, o Options, sched Scheduler) Result {
 		rep := r.execute(t)
 		res.Executions++
 		res.TotalSteps += int64(r.steps)
+		if o.Progress != nil {
+			o.Progress(res.Executions)
+		}
 		if rep != nil {
 			rep.Trace = &Trace{
 				Test:      t.Name,
 				Scheduler: sched.Name(),
-				Seed:      int64(execSeed),
+				Seed:      seed,
 				Decisions: r.decisions,
 			}
+			rep.Iteration = i
 			res.BugFound = true
 			res.Report = rep
 			res.Choices = len(r.decisions)
@@ -158,12 +221,132 @@ func runWith(t Test, o Options, sched Scheduler) Result {
 			}
 			return res
 		}
-		if o.Progress != nil {
-			o.Progress(res.Executions)
-		}
 		if o.StopAfter > 0 && time.Since(start) > o.StopAfter {
 			break
 		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// runParallel explores the iteration space with a pool of workers. Workers
+// claim iteration indices from a shared counter; each runs its executions
+// on a private scheduler instance, so the only shared mutable state is the
+// aggregation below.
+//
+// First-bug-wins, deterministically: bugIndex holds the lowest buggy
+// iteration seen so far. Workers refuse to start — and abort in-flight —
+// executions at or beyond it (those can only be superseded), but always
+// finish executions at lower indices, which may lower it further. When the
+// pool drains, every iteration below the final bugIndex has completed
+// cleanly, so the reported bug is the first one in iteration order and the
+// canonical statistics (Executions, TotalSteps, Choices) match what a
+// Workers:1 run of a per-iteration-deterministic scheduler reports.
+func runParallel(t Test, o Options, f SchedulerFactory, workers int) Result {
+	start := time.Now()
+	var deadline time.Time
+	if o.StopAfter > 0 {
+		deadline = start.Add(o.StopAfter)
+	}
+
+	var (
+		next      atomic.Int64 // next unclaimed iteration index
+		bugIndex  atomic.Int64 // lowest buggy iteration so far (Iterations = none)
+		completed atomic.Int64 // executions run to completion
+
+		// steps[i] is written by the one worker that ran iteration i (and
+		// only read after the pool drains), so it needs no lock.
+		steps = make([]int64, o.Iterations)
+
+		mu        sync.Mutex // guards the fields below, plus Progress calls
+		bugReport *BugReport
+		exhausted bool
+	)
+	bugIndex.Store(int64(o.Iterations))
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sched := f.New()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= o.Iterations || int64(i) >= bugIndex.Load() {
+					return
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return
+				}
+				seed := o.execSeed(i)
+				if !sched.Prepare(seed, o.MaxSteps) {
+					mu.Lock()
+					exhausted = true
+					mu.Unlock()
+					return
+				}
+				cfg := o.runtimeConfig(false)
+				cfg.abort = func() bool { return int64(i) >= bugIndex.Load() }
+				r := newRuntime(sched, cfg)
+				rep := r.execute(t)
+				if r.aborted {
+					// Superseded mid-flight by a bug at a lower index; the
+					// partial execution contributes nothing.
+					continue
+				}
+				steps[i] = int64(r.steps)
+				if o.Progress == nil {
+					completed.Add(1)
+				} else {
+					// Increment under the lock so Progress counts stay
+					// strictly increasing across workers.
+					mu.Lock()
+					o.Progress(int(completed.Add(1)))
+					mu.Unlock()
+				}
+				if rep != nil {
+					mu.Lock()
+					if int64(i) < bugIndex.Load() {
+						bugIndex.Store(int64(i))
+						rep.Trace = &Trace{
+							Test:      t.Name,
+							Scheduler: sched.Name(),
+							Seed:      seed,
+							Decisions: r.decisions,
+						}
+						rep.Iteration = i
+						bugReport = rep
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := Result{Exhausted: exhausted}
+	if bugReport != nil {
+		// Canonical, worker-count-independent statistics: only the
+		// iterations a sequential run would have performed count.
+		win := int(bugIndex.Load())
+		res.BugFound = true
+		res.Report = bugReport
+		res.Choices = len(bugReport.Trace.Decisions)
+		res.Executions = win + 1
+		for _, s := range steps[:win+1] {
+			res.TotalSteps += s
+		}
+		res.Elapsed = time.Since(start)
+		if !o.NoReplayLog {
+			// The confirmation replay stays single-threaded: it must
+			// reproduce the violation decision for decision.
+			attachReplayLog(t, o, bugReport)
+		}
+		return res
+	}
+	res.Executions = int(completed.Load())
+	for _, s := range steps {
+		res.TotalSteps += s
 	}
 	res.Elapsed = time.Since(start)
 	return res

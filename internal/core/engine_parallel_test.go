@@ -1,0 +1,191 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// cleanChoiceTest makes a few choices and always passes — a minimal
+// workload for counting executions.
+func cleanChoiceTest() Test {
+	return Test{
+		Name: "clean-choices",
+		Entry: func(ctx *Context) {
+			ctx.RandomBool()
+			ctx.RandomInt(4)
+		},
+	}
+}
+
+// TestParallelMatchesSequential is the determinism contract of the worker
+// pool: for a per-iteration-deterministic scheduler, a fixed seed must
+// yield the identical Result — same bug, same trace, same statistics —
+// regardless of worker count.
+func TestParallelMatchesSequential(t *testing.T) {
+	base := Options{Scheduler: "random", Iterations: 2000, Seed: 7, NoReplayLog: true}
+	seq := base
+	seq.Workers = 1
+	par := base
+	par.Workers = 8
+
+	a := Run(raceTest(), seq)
+	b := Run(raceTest(), par)
+	if !a.BugFound || !b.BugFound {
+		t.Fatalf("bug not found: seq=%v par=%v", a.BugFound, b.BugFound)
+	}
+	if a.Executions != b.Executions || a.TotalSteps != b.TotalSteps || a.Choices != b.Choices {
+		t.Fatalf("statistics diverge:\nseq: %+v\npar: %+v", a, b)
+	}
+	if a.Report.Iteration != b.Report.Iteration {
+		t.Fatalf("buggy iteration diverges: %d vs %d", a.Report.Iteration, b.Report.Iteration)
+	}
+	if a.Report.Trace.Seed != b.Report.Trace.Seed {
+		t.Fatalf("trace seeds diverge: %d vs %d", a.Report.Trace.Seed, b.Report.Trace.Seed)
+	}
+	if len(a.Report.Trace.Decisions) != len(b.Report.Trace.Decisions) {
+		t.Fatalf("decision counts diverge: %d vs %d",
+			len(a.Report.Trace.Decisions), len(b.Report.Trace.Decisions))
+	}
+	for i := range a.Report.Trace.Decisions {
+		if a.Report.Trace.Decisions[i] != b.Report.Trace.Decisions[i] {
+			t.Fatalf("decision %d diverges: %s vs %s",
+				i, a.Report.Trace.Decisions[i], b.Report.Trace.Decisions[i])
+		}
+	}
+}
+
+// TestParallelTraceReplays: a trace found by the worker pool must replay,
+// single-threaded, to the identical violation.
+func TestParallelTraceReplays(t *testing.T) {
+	opts := Options{Scheduler: "random", Iterations: 2000, Seed: 11, Workers: 8, NoReplayLog: true}
+	res := Run(raceTest(), opts)
+	if !res.BugFound {
+		t.Fatal("bug not found")
+	}
+	rep, err := Replay(raceTest(), res.Report.Trace, opts)
+	if err != nil {
+		t.Fatalf("replay diverged: %v", err)
+	}
+	if rep == nil || rep.Message != res.Report.Message {
+		t.Fatalf("replay mismatch: %+v vs %+v", rep, res.Report)
+	}
+}
+
+// TestParallelCleanRunCoversAllIterations: without a bug, every iteration
+// of the budget runs exactly once no matter how many workers share it.
+func TestParallelCleanRunCoversAllIterations(t *testing.T) {
+	res := Run(cleanChoiceTest(), Options{
+		Scheduler: "random", Iterations: 500, Seed: 3, Workers: 4, NoReplayLog: true,
+	})
+	if res.BugFound {
+		t.Fatalf("unexpected bug: %v", res.Report.Error())
+	}
+	if res.Executions != 500 {
+		t.Fatalf("executions = %d, want 500", res.Executions)
+	}
+}
+
+// TestParallelForcesSequentialDFS: the exhaustive scheduler declares
+// itself sequential, so a parallel request still enumerates the schedule
+// tree correctly on one worker.
+func TestParallelForcesSequentialDFS(t *testing.T) {
+	res := Run(boolComboTest(), Options{Scheduler: "dfs", Iterations: 100, Workers: 8})
+	if !res.BugFound {
+		t.Fatal("dfs did not find the all-true combination")
+	}
+	if res.Executions != 8 {
+		t.Fatalf("executions = %d, want 8 (exhaustive enumeration must not be partitioned)", res.Executions)
+	}
+}
+
+// TestProgressIncludesBuggyExecution pins the bookkeeping fix: Progress
+// fires for every completed execution, including the final buggy one.
+func TestProgressIncludesBuggyExecution(t *testing.T) {
+	var calls []int
+	res := Run(raceTest(), Options{
+		Scheduler: "random", Iterations: 2000, Seed: 7, Workers: 1, NoReplayLog: true,
+		Progress: func(n int) { calls = append(calls, n) },
+	})
+	if !res.BugFound {
+		t.Fatal("bug not found")
+	}
+	if len(calls) != res.Executions {
+		t.Fatalf("progress calls = %d, want %d (one per execution, buggy one included)",
+			len(calls), res.Executions)
+	}
+	if calls[len(calls)-1] != res.Executions {
+		t.Fatalf("last progress count = %d, want %d", calls[len(calls)-1], res.Executions)
+	}
+}
+
+// TestParallelProgressMonotonic: worker-pool progress counts are
+// serialized and strictly increasing.
+func TestParallelProgressMonotonic(t *testing.T) {
+	var calls []int
+	res := Run(cleanChoiceTest(), Options{
+		Scheduler: "random", Iterations: 200, Seed: 5, Workers: 4, NoReplayLog: true,
+		Progress: func(n int) { calls = append(calls, n) },
+	})
+	if res.BugFound {
+		t.Fatalf("unexpected bug: %v", res.Report.Error())
+	}
+	if len(calls) != 200 {
+		t.Fatalf("progress calls = %d, want 200", len(calls))
+	}
+	for i, n := range calls {
+		if n != i+1 {
+			t.Fatalf("progress call %d reported %d, want %d", i, n, i+1)
+		}
+	}
+}
+
+// TestSchedulerNextIntBoundGuard: a non-positive RandomInt range fails
+// with an engine-attributed message, not an opaque rand.Intn panic.
+func TestSchedulerNextIntBoundGuard(t *testing.T) {
+	for _, name := range []string{"random", "pct", "rr", "delay", "dfs"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, err := NewScheduler(name, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Prepare(1, 100)
+			defer func() {
+				p := recover()
+				if p == nil {
+					t.Fatal("NextInt(0) did not panic")
+				}
+				msg, ok := p.(string)
+				if !ok || !strings.Contains(msg, "NextInt bound must be positive") {
+					t.Fatalf("unhelpful panic: %v", p)
+				}
+			}()
+			s.NextInt(0)
+		})
+	}
+}
+
+// TestSchedulerFactoryInstancesAreIndependent: two instances from one
+// factory, prepared with the same seed, make identical choices without
+// sharing state — the property the worker pool rests on.
+func TestSchedulerFactoryInstancesAreIndependent(t *testing.T) {
+	f, err := NewSchedulerFactory("pct", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Sequential() {
+		t.Fatal("pct must not be sequential")
+	}
+	a, b := f.New(), f.New()
+	a.Prepare(42, 1000)
+	b.Prepare(42, 1000)
+	enabled := []MachineID{0, 1, 2}
+	for i := 0; i < 50; i++ {
+		if am, bm := a.NextMachine(enabled, NoMachine), b.NextMachine(enabled, NoMachine); am != bm {
+			t.Fatalf("step %d: instances diverged: %d vs %d", i, am, bm)
+		}
+		if ai, bi := a.NextInt(10), b.NextInt(10); ai != bi {
+			t.Fatalf("step %d: NextInt diverged: %d vs %d", i, ai, bi)
+		}
+	}
+}

@@ -46,6 +46,11 @@ type BugReport struct {
 	Machine string
 	// Step is the scheduling step at which the bug fired.
 	Step int
+	// Iteration is the index of the buggy execution within its run.
+	// Parallel runs report the bug with the lowest iteration index, so
+	// for a fixed seed this is stable across worker counts whenever the
+	// scheduler derives each execution purely from its iteration seed.
+	Iteration int
 	// Trace is the decision sequence of the buggy execution.
 	Trace *Trace
 	// Log holds the human-readable event log if collection was enabled

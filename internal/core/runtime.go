@@ -46,6 +46,13 @@ type Runtime struct {
 	log        []string
 	logCap     int
 
+	// abort, when non-nil, is polled at every scheduling step; a true
+	// return cancels the execution (parallel exploration uses it to stop
+	// executions superseded by a bug at a lower iteration index). aborted
+	// records that the execution was cut short and its results are partial.
+	abort   func() bool
+	aborted bool
+
 	enabledBuf []MachineID
 }
 
@@ -56,6 +63,7 @@ type runtimeConfig struct {
 	livenessAtBound   bool
 	deadlockDetection bool
 	collectLog        bool
+	abort             func() bool
 }
 
 func newRuntime(sched Scheduler, cfg runtimeConfig) *Runtime {
@@ -68,6 +76,7 @@ func newRuntime(sched Scheduler, cfg runtimeConfig) *Runtime {
 		livenessAtBound:   cfg.livenessAtBound,
 		deadlockDetection: cfg.deadlockDetection,
 		collectLog:        cfg.collectLog,
+		abort:             cfg.abort,
 		logCap:            100000,
 	}
 }
@@ -102,6 +111,10 @@ func (r *Runtime) execute(t Test) (rep *BugReport) {
 // loop is the engine loop: pick an enabled machine, step it, repeat.
 func (r *Runtime) loop() {
 	for r.bug == nil && r.divergence == nil {
+		if r.abort != nil && r.abort() {
+			r.aborted = true
+			return
+		}
 		if r.steps >= r.maxSteps {
 			if r.livenessAtBound {
 				r.checkLiveness("execution exceeded the step bound and is treated as infinite")

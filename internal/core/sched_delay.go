@@ -86,5 +86,9 @@ func (s *delayScheduler) NextMachine(enabled []MachineID, _ MachineID) MachineID
 	return choice
 }
 
-func (s *delayScheduler) NextBool() bool    { return s.rng.Intn(2) == 0 }
-func (s *delayScheduler) NextInt(n int) int { return s.rng.Intn(n) }
+func (s *delayScheduler) NextBool() bool { return s.rng.Intn(2) == 0 }
+
+func (s *delayScheduler) NextInt(n int) int {
+	checkIntBound("delay", n)
+	return s.rng.Intn(n)
+}

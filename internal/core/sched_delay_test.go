@@ -3,7 +3,9 @@ package core
 import "testing"
 
 func TestDelaySchedulerFindsOrderingBug(t *testing.T) {
-	res := Run(raceTest(), Options{Scheduler: "delay", Iterations: 2000, Seed: 42})
+	// Workers pinned to 1: delay samples its delay points from the
+	// previous execution's length on the same worker (see pct).
+	res := Run(raceTest(), Options{Scheduler: "delay", Iterations: 2000, Seed: 42, Workers: 1})
 	if !res.BugFound {
 		t.Fatal("delay scheduler did not find the ordering bug")
 	}

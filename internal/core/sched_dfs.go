@@ -82,7 +82,10 @@ func (s *dfsScheduler) NextMachine(enabled []MachineID, _ MachineID) MachineID {
 
 func (s *dfsScheduler) NextBool() bool { return s.pick(2) == 1 }
 
-func (s *dfsScheduler) NextInt(n int) int { return s.pick(n) }
+func (s *dfsScheduler) NextInt(n int) int {
+	checkIntBound("dfs", n)
+	return s.pick(n)
+}
 
 // Exhausted reports whether the entire schedule space has been explored.
 func (s *dfsScheduler) Exhausted() bool { return s.done }

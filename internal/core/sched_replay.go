@@ -56,6 +56,7 @@ func (s *replayScheduler) NextMachine(enabled []MachineID, _ MachineID) MachineI
 func (s *replayScheduler) NextBool() bool { return s.next(DecisionBool).Bool }
 
 func (s *replayScheduler) NextInt(n int) int {
+	checkIntBound("replay", n)
 	d := s.next(DecisionInt)
 	if d.Int >= n {
 		panic(replayDivergence{msg: fmt.Sprintf("decision %d: int choice %d out of range %d", s.pos-1, d.Int, n)})

@@ -8,8 +8,11 @@ import (
 
 // Scheduler resolves every nondeterministic choice of an execution: which
 // enabled machine runs at each scheduling point, and the outcomes of
-// RandomBool/RandomInt. A single Scheduler instance is reused across the
-// executions of one engine run; Prepare is called before each execution.
+// RandomBool/RandomInt. A Scheduler instance is owned by exactly one
+// exploration worker and is reused across the executions that worker
+// performs; Prepare is called before each execution. Instances are never
+// shared between goroutines — parallel runs construct one per worker via
+// a SchedulerFactory.
 //
 // Schedulers must be deterministic functions of their seed and the call
 // sequence, because exact replay (and thus bug reproduction) depends on it.
@@ -24,34 +27,74 @@ type Scheduler interface {
 	// previous step (NoMachine at the first).
 	NextMachine(enabled []MachineID, current MachineID) MachineID
 	NextBool() bool
-	// NextInt returns a value in [0, n).
+	// NextInt returns a value in [0, n). Implementations must reject
+	// n <= 0 via checkIntBound so misuse fails with an engine-attributed
+	// message rather than an opaque rand.Intn panic.
 	NextInt(n int) int
 }
 
-// NewScheduler constructs a scheduler by name: "random", "pct", "rr"
-// (round-robin) or "dfs" (exhaustive depth-first enumeration). The pct
-// scheduler uses depth priority-change points per execution (the paper uses
-// 2); pass depth <= 0 for the default.
-func NewScheduler(name string, depth int) (Scheduler, error) {
+// SchedulerFactory constructs fresh, independent Scheduler instances. The
+// engine builds one scheduler per exploration worker, which is what lets
+// executions fan out across goroutines without sharing mutable state.
+type SchedulerFactory struct {
+	name       string
+	sequential bool
+	build      func() Scheduler
+}
+
+// Name returns the scheduler name the factory builds ("random", "pct", ...).
+func (f SchedulerFactory) Name() string { return f.name }
+
+// New returns a fresh Scheduler instance owned by the caller.
+func (f SchedulerFactory) New() Scheduler { return f.build() }
+
+// Sequential reports that the scheduler's correctness depends on seeing
+// every execution of a run in order on a single instance — the exhaustive
+// dfs scheduler backtracks through the decision tree of the *previous*
+// execution, so its schedule space cannot be partitioned across workers.
+// The engine forces Workers to 1 for sequential schedulers.
+func (f SchedulerFactory) Sequential() bool { return f.sequential }
+
+// NewSchedulerFactory constructs a factory by scheduler name: "random",
+// "pct", "rr" (round-robin), "delay" (delay-bounded) or "dfs" (exhaustive
+// depth-first enumeration). The pct and delay schedulers use depth change
+// points per execution (the paper uses 2); pass depth <= 0 for the default.
+func NewSchedulerFactory(name string, depth int) (SchedulerFactory, error) {
+	if depth <= 0 {
+		depth = 2
+	}
 	switch name {
 	case "random":
-		return NewRandomScheduler(), nil
+		return SchedulerFactory{name: name, build: NewRandomScheduler}, nil
 	case "pct":
-		if depth <= 0 {
-			depth = 2
-		}
-		return NewPCTScheduler(depth), nil
+		return SchedulerFactory{name: name, build: func() Scheduler { return NewPCTScheduler(depth) }}, nil
 	case "rr":
-		return NewRoundRobinScheduler(), nil
+		return SchedulerFactory{name: name, build: NewRoundRobinScheduler}, nil
 	case "dfs":
-		return NewDFSScheduler(), nil
+		return SchedulerFactory{name: name, sequential: true, build: NewDFSScheduler}, nil
 	case "delay":
-		if depth <= 0 {
-			depth = 2
-		}
-		return NewDelayScheduler(depth), nil
+		return SchedulerFactory{name: name, build: func() Scheduler { return NewDelayScheduler(depth) }}, nil
 	default:
-		return nil, fmt.Errorf("core: unknown scheduler %q", name)
+		return SchedulerFactory{}, fmt.Errorf("core: unknown scheduler %q", name)
+	}
+}
+
+// NewScheduler constructs a single scheduler instance by name; see
+// NewSchedulerFactory for the recognized names and the depth parameter.
+func NewScheduler(name string, depth int) (Scheduler, error) {
+	f, err := NewSchedulerFactory(name, depth)
+	if err != nil {
+		return nil, err
+	}
+	return f.New(), nil
+}
+
+// checkIntBound validates a NextInt bound on behalf of every scheduler:
+// a non-positive n would otherwise surface as an opaque rand.Intn panic
+// deep inside a harness, with nothing pointing at the actual mistake.
+func checkIntBound(sched string, n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("core: %s scheduler: NextInt bound must be positive, got %d (the harness passed a non-positive range)", sched, n))
 	}
 }
 
@@ -77,8 +120,12 @@ func (s *randomScheduler) NextMachine(enabled []MachineID, _ MachineID) MachineI
 	return enabled[s.rng.Intn(len(enabled))]
 }
 
-func (s *randomScheduler) NextBool() bool    { return s.rng.Intn(2) == 0 }
-func (s *randomScheduler) NextInt(n int) int { return s.rng.Intn(n) }
+func (s *randomScheduler) NextBool() bool { return s.rng.Intn(2) == 0 }
+
+func (s *randomScheduler) NextInt(n int) int {
+	checkIntBound("random", n)
+	return s.rng.Intn(n)
+}
 
 // pctScheduler implements the randomized priority-based scheduler of
 // Burckhardt et al. (ASPLOS 2010), the paper's second scheduler. Every
@@ -175,8 +222,12 @@ func (s *pctScheduler) NextMachine(enabled []MachineID, _ MachineID) MachineID {
 	return best
 }
 
-func (s *pctScheduler) NextBool() bool    { return s.rng.Intn(2) == 0 }
-func (s *pctScheduler) NextInt(n int) int { return s.rng.Intn(n) }
+func (s *pctScheduler) NextBool() bool { return s.rng.Intn(2) == 0 }
+
+func (s *pctScheduler) NextInt(n int) int {
+	checkIntBound("pct", n)
+	return s.rng.Intn(n)
+}
 
 // rrScheduler is a deterministic round-robin baseline: it cycles through
 // machines in ID order. Useful as a control in scheduler ablations; it
@@ -210,5 +261,9 @@ func (s *rrScheduler) NextMachine(enabled []MachineID, _ MachineID) MachineID {
 	return s.last
 }
 
-func (s *rrScheduler) NextBool() bool    { return s.rng.Intn(2) == 0 }
-func (s *rrScheduler) NextInt(n int) int { return s.rng.Intn(n) }
+func (s *rrScheduler) NextBool() bool { return s.rng.Intn(2) == 0 }
+
+func (s *rrScheduler) NextInt(n int) int {
+	checkIntBound("rr", n)
+	return s.rng.Intn(n)
+}

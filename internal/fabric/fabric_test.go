@@ -96,6 +96,8 @@ func TestPromotionBugFoundByPCT(t *testing.T) {
 		Iterations: 5000,
 		MaxSteps:   20000,
 		Seed:       1,
+		// pct adapts per worker; pin 1 so the budget stays calibrated.
+		Workers: 1,
 	})
 	if !res.BugFound || !strings.Contains(res.Report.Message, "only a secondary") {
 		t.Fatalf("pct did not find the promotion bug: %+v", res)

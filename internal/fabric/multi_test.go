@@ -46,6 +46,8 @@ func TestMultiClientPromotionBugFound(t *testing.T) {
 		Iterations: 10000,
 		MaxSteps:   30000,
 		Seed:       1,
+		// pct adapts per worker; pin 1 so the budget stays calibrated.
+		Workers: 1,
 	})
 	if !res.BugFound {
 		t.Fatal("promotion bug not found with two clients")

@@ -52,6 +52,8 @@ func TestHarnessPCTFindsSafetyBug(t *testing.T) {
 		Iterations: 5000,
 		MaxSteps:   2000,
 		Seed:       1,
+		// pct adapts per worker; pin 1 so the budget stays calibrated.
+		Workers: 1,
 	})
 	if !res.BugFound || res.Report.Kind != core.SafetyBug {
 		t.Fatalf("pct did not find the safety bug: %+v", res)

@@ -66,6 +66,8 @@ func TestLivenessBugFoundByPCT(t *testing.T) {
 		Iterations: 2000,
 		MaxSteps:   3000,
 		Seed:       1,
+		// pct adapts per worker; pin 1 so the budget stays calibrated.
+		Workers: 1,
 	})
 	if !res.BugFound || res.Report.Kind != core.LivenessBug {
 		t.Fatalf("pct did not find the liveness bug: %+v", res)

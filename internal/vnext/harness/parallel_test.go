@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"testing"
+
+	"github.com/gostorm/gostorm/internal/core"
+)
+
+// TestParallelExplorationFindsLivenessBug: the worker pool finds the §3.6
+// liveness bug and hands back a trace that replays, single-threaded, to
+// the identical violation.
+func TestParallelExplorationFindsLivenessBug(t *testing.T) {
+	cfg := HarnessConfig{Scenario: ScenarioFailAndRepair}
+	opts := core.Options{
+		Scheduler: "random", Iterations: 3000, MaxSteps: 3000, Seed: 1,
+		Workers: 4, NoReplayLog: true,
+	}
+	res := core.Run(Test(cfg), opts)
+	if !res.BugFound || res.Report.Kind != core.LivenessBug {
+		t.Fatalf("liveness bug not found by parallel exploration: %+v", res)
+	}
+	rep, err := core.Replay(Test(cfg), res.Report.Trace, opts)
+	if err != nil {
+		t.Fatalf("parallel-found trace did not replay: %v", err)
+	}
+	if rep == nil || rep.Message != res.Report.Message {
+		t.Fatalf("replay reproduced a different violation: %+v vs %+v", rep, res.Report)
+	}
+}
+
+// TestParallelWorkerCountsAgree: one worker and four workers report the
+// same buggy iteration and trace for a fixed seed under the
+// per-iteration-deterministic random scheduler.
+func TestParallelWorkerCountsAgree(t *testing.T) {
+	cfg := HarnessConfig{Scenario: ScenarioFailAndRepair}
+	base := core.Options{
+		Scheduler: "random", Iterations: 3000, MaxSteps: 3000, Seed: 1, NoReplayLog: true,
+	}
+	w1 := base
+	w1.Workers = 1
+	w4 := base
+	w4.Workers = 4
+	a := core.Run(Test(cfg), w1)
+	b := core.Run(Test(cfg), w4)
+	if !a.BugFound || !b.BugFound {
+		t.Fatalf("bug not found: workers=1 %v, workers=4 %v", a.BugFound, b.BugFound)
+	}
+	if a.Report.Iteration != b.Report.Iteration || a.Choices != b.Choices {
+		t.Fatalf("worker counts disagree: iteration %d/%d, choices %d/%d",
+			a.Report.Iteration, b.Report.Iteration, a.Choices, b.Choices)
+	}
+}
