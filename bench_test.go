@@ -231,6 +231,80 @@ func BenchmarkTable2(b *testing.B) {
 	}
 }
 
+// --- Portfolio: time-to-first-bug vs the best single scheduler ---
+
+// BenchmarkPortfolio races the canonical random+pct+delay portfolio
+// against each member running alone on the same budget, on two seeded
+// bugs with very different profiles (the vNext liveness bug and a
+// MigratingTable safety bug). The metrics are wall-clock time-to-first-
+// bug (the benchmark's ns/op), executions-to-bug, and found-rate; the
+// portfolio's value is that its worst case tracks the best single
+// scheduler without knowing in advance which one that is.
+func BenchmarkPortfolio(b *testing.B) {
+	members := []string{"random", "pct", "delay"}
+	targets := []struct {
+		name   string
+		build  func() core.Test
+		steps  int
+		budget int
+	}{
+		{
+			name: "vnext-liveness",
+			build: func() core.Test {
+				return vharness.Test(vharness.HarnessConfig{Scenario: vharness.ScenarioFailAndRepair})
+			},
+			steps:  3000,
+			budget: 5000,
+		},
+		{
+			name: "mtable-DeletePrimaryKey",
+			build: func() core.Test {
+				return mharness.Test(mharness.HarnessConfig{Bugs: mtable.BugDeletePrimaryKey})
+			},
+			steps:  30000,
+			budget: 4000,
+		},
+	}
+	for _, tgt := range targets {
+		base := core.Options{
+			Iterations:  tgt.budget,
+			MaxSteps:    tgt.steps,
+			NoReplayLog: true,
+		}
+		b.Run(tgt.name+"/portfolio", func(b *testing.B) {
+			execs, found := 0, 0
+			for i := 0; i < b.N; i++ {
+				opts := base
+				opts.Seed = int64(i + 1)
+				res := core.RunPortfolio(tgt.build(), core.PortfolioOptions{Options: opts, Members: members})
+				execs += res.Executions
+				if res.BugFound {
+					found++
+				}
+			}
+			b.ReportMetric(float64(execs)/float64(b.N), "execs-to-bug")
+			b.ReportMetric(float64(found)/float64(b.N), "found-rate")
+		})
+		for _, sched := range members {
+			b.Run(tgt.name+"/"+sched, func(b *testing.B) {
+				execs, found := 0, 0
+				for i := 0; i < b.N; i++ {
+					opts := base
+					opts.Scheduler = sched
+					opts.Seed = int64(i + 1)
+					res := core.Run(tgt.build(), opts)
+					execs += res.Executions
+					if res.BugFound {
+						found++
+					}
+				}
+				b.ReportMetric(float64(execs)/float64(b.N), "execs-to-bug")
+				b.ReportMetric(float64(found)/float64(b.N), "found-rate")
+			})
+		}
+	}
+}
+
 // --- Ablations ---
 
 // BenchmarkAblationPCTDepth sweeps the PCT priority-change budget on the

@@ -1,11 +1,13 @@
 // Command systest runs a registered systematic test under a chosen
-// scheduler, reports any violation with its decision trace, and can replay
-// a previously recorded trace to reproduce a bug exactly.
+// scheduler — or a racing portfolio of schedulers — reports any violation
+// with its decision trace, and can replay a previously recorded trace to
+// reproduce a bug exactly.
 //
 // Usage:
 //
 //	systest -list
 //	systest -test ExtentNodeLivenessViolation -scheduler random -iterations 20000
+//	systest -test ExtentNodeLivenessViolation -portfolio random,pct,delay
 //	systest -test DeletePrimaryKey -trace-out bug.trace
 //	systest -test DeletePrimaryKey -replay bug.trace -v
 package main
@@ -13,44 +15,80 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"strings"
 
 	"github.com/gostorm/gostorm/internal/catalog"
 	"github.com/gostorm/gostorm/internal/core"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run holds the whole CLI behind an exit code so main stays a one-liner
+// and every error path funnels through the same validated flow.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("systest", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list        = flag.Bool("list", false, "list registered scenarios and exit")
-		test        = flag.String("test", "", "scenario name (see -list)")
-		scheduler   = flag.String("scheduler", "random", "scheduler: random, pct, rr, delay or dfs")
-		pctDepth    = flag.Int("pct-depth", 2, "priority change points for the pct scheduler")
-		iterations  = flag.Int("iterations", 0, "maximum executions (0 = scenario default)")
-		maxSteps    = flag.Int("max-steps", 0, "scheduling steps per execution (0 = scenario default)")
-		seed        = flag.Int64("seed", 0, "base random seed")
-		workers     = flag.Int("workers", 0, "parallel exploration workers (0 = one per CPU; dfs and replay always use 1)")
-		temperature = flag.Int("temperature", 0, "liveness temperature threshold (0 = bound check only)")
-		traceOut    = flag.String("trace-out", "", "write the buggy trace to this file")
-		replay      = flag.String("replay", "", "replay a trace file instead of exploring")
-		verbose     = flag.Bool("v", false, "print the detailed execution log of the violation")
+		list        = fs.Bool("list", false, "list registered scenarios and exit")
+		test        = fs.String("test", "", "scenario name (see -list)")
+		scheduler   = fs.String("scheduler", "random", "scheduler: "+strings.Join(core.SchedulerNames(), ", ")+", or portfolio (see -portfolio)")
+		portfolio   = fs.String("portfolio", "", "comma-separated scheduler portfolio to race (implies -scheduler portfolio)")
+		pctDepth    = fs.Int("pct-depth", 2, "priority change points for the pct/delay schedulers")
+		iterations  = fs.Int("iterations", 0, "maximum executions (0 = scenario default); per member for a portfolio")
+		maxSteps    = fs.Int("max-steps", 0, "scheduling steps per execution (0 = scenario default)")
+		seed        = fs.Int64("seed", 0, "base random seed")
+		workers     = fs.Int("workers", 0, "parallel exploration workers (0 = one per CPU; dfs and replay always use 1); split across portfolio members")
+		temperature = fs.Int("temperature", 0, "liveness temperature threshold (0 = bound check only)")
+		traceOut    = fs.String("trace-out", "", "write the buggy trace to this file")
+		replay      = fs.String("replay", "", "replay a trace file instead of exploring")
+		verbose     = fs.Bool("v", false, "print the detailed execution log of the violation")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	schedulerSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "scheduler" {
+			schedulerSet = true
+		}
+	})
 
 	if *list {
-		fmt.Print(catalog.Describe())
-		return
+		fmt.Fprint(stdout, catalog.Describe())
+		return 0
+	}
+	// Validate everything up front: a bad flag must fail here with a clear
+	// message, not as an engine panic thousands of executions in.
+	if *pctDepth <= 0 {
+		fmt.Fprintf(stderr, "systest: -pct-depth must be positive, got %d\n", *pctDepth)
+		return 2
+	}
+	members, err := parsePortfolio(*portfolio, *scheduler, schedulerSet)
+	if err != nil {
+		fmt.Fprintln(stderr, "systest:", err)
+		return 2
+	}
+	if len(members) == 0 && *scheduler != "portfolio" {
+		if _, err := core.NewSchedulerFactory(*scheduler, *pctDepth); err != nil {
+			fmt.Fprintln(stderr, "systest:", err)
+			return 2
+		}
 	}
 	if *test == "" {
-		fmt.Fprintln(os.Stderr, "systest: -test is required (use -list to see scenarios)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "systest: -test is required (use -list to see scenarios)")
+		return 2
 	}
 	entry, err := catalog.Get(*test)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "systest:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "systest:", err)
+		return 2
 	}
-	opts := entry.RunOptions(catalog.Overrides{
+	ov := catalog.Overrides{
 		Scheduler:   *scheduler,
 		PCTDepth:    *pctDepth,
 		Seed:        *seed,
@@ -58,50 +96,78 @@ func main() {
 		MaxSteps:    *maxSteps,
 		Workers:     *workers,
 		Temperature: *temperature,
-	})
-	factory, err := core.NewSchedulerFactory(opts.Scheduler, opts.PCTDepth)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "systest:", err)
-		os.Exit(2)
+		Portfolio:   members,
 	}
 
 	if *replay != "" {
+		opts := entry.RunOptions(ov)
 		data, err := os.ReadFile(*replay)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "systest:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "systest:", err)
+			return 1
 		}
 		tr, err := core.DecodeTrace(data)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "systest:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "systest:", err)
+			return 1
 		}
 		rep, err := core.Replay(entry.Build(), tr, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "systest: replay diverged:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "systest: replay diverged:", err)
+			return 1
 		}
 		if rep == nil {
-			fmt.Println("replay completed without a violation")
-			return
+			fmt.Fprintln(stdout, "replay completed without a violation")
+			return 0
 		}
-		fmt.Println("replay reproduced:", rep.Error())
+		fmt.Fprintln(stdout, "replay reproduced:", rep.Error())
 		if *verbose {
-			fmt.Println(rep.FormatLog())
+			fmt.Fprintln(stdout, rep.FormatLog())
 		}
-		return
+		return 0
 	}
 
-	fmt.Printf("exploring %s with the %s scheduler (up to %d executions of %d steps, seed %d, %s)\n",
-		entry.Name, opts.Scheduler, orDefault(opts.Iterations, 10000), orDefault(opts.MaxSteps, 10000),
-		opts.Seed, describeWorkers(opts.Workers, factory.Sequential()))
-	res := core.Run(entry.Build(), opts)
-	fmt.Println(res.String())
+	var res core.Result
+	if len(members) > 0 {
+		po := entry.PortfolioOptions(ov)
+		budget := po.Workers
+		if budget <= 0 {
+			budget = runtime.NumCPU()
+		}
+		// The engine gives every member at least one worker, so the true
+		// fleet size is in the per-member lines below; the banner reports
+		// the requested budget.
+		fmt.Fprintf(stdout, "racing a %s portfolio on %s (up to %d executions of %d steps per member, seed %d, %d-worker budget across %d members)\n",
+			strings.Join(members, "+"), entry.Name,
+			orDefault(po.Iterations, 10000), orDefault(po.MaxSteps, 10000),
+			po.Seed, budget, len(members))
+		res = core.RunPortfolio(entry.Build(), po)
+		for m, ms := range res.Portfolio {
+			marker := " "
+			if ms.Winner {
+				marker = "*"
+			}
+			fmt.Fprintf(stdout, "%s member %d %-8s workers=%d executions=%d steps=%d elapsed=%.2fs\n",
+				marker, m, ms.Scheduler, ms.Workers, ms.Executions, ms.TotalSteps, ms.Elapsed.Seconds())
+		}
+	} else {
+		opts := entry.RunOptions(ov)
+		factory, err := core.NewSchedulerFactory(opts.Scheduler, opts.PCTDepth)
+		if err != nil {
+			fmt.Fprintln(stderr, "systest:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "exploring %s with the %s scheduler (up to %d executions of %d steps, seed %d, %s)\n",
+			entry.Name, opts.Scheduler, orDefault(opts.Iterations, 10000), orDefault(opts.MaxSteps, 10000),
+			opts.Seed, describeWorkers(opts.Workers, factory.Sequential()))
+		res = core.Run(entry.Build(), opts)
+	}
+	fmt.Fprintln(stdout, res.String())
 	if !res.BugFound {
-		return
+		return 0
 	}
 	if *verbose {
-		fmt.Println(res.Report.FormatLog())
+		fmt.Fprintln(stdout, res.Report.FormatLog())
 	}
 	if *traceOut != "" {
 		data, err := res.Report.Trace.Encode()
@@ -109,12 +175,35 @@ func main() {
 			err = os.WriteFile(*traceOut, data, 0o644)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "systest: writing trace:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "systest: writing trace:", err)
+			return 1
 		}
-		fmt.Println("trace written to", *traceOut)
+		fmt.Fprintln(stdout, "trace written to", *traceOut)
 	}
-	os.Exit(1)
+	return 1
+}
+
+// parsePortfolio resolves the -portfolio/-scheduler flag pair into a
+// validated member list (nil for a single-scheduler run). Any explicitly
+// set -scheduler other than "portfolio" conflicts with -portfolio — even
+// "random", which happens to be the flag's default — so a member the user
+// meant to add is never silently dropped.
+func parsePortfolio(spec, scheduler string, schedulerSet bool) ([]string, error) {
+	if spec == "" {
+		if scheduler == "portfolio" {
+			return nil, fmt.Errorf("-scheduler portfolio needs -portfolio with a comma-separated member list (e.g. -portfolio %s)",
+				strings.Join([]string{"random", "pct", "delay"}, ","))
+		}
+		return nil, nil
+	}
+	if schedulerSet && scheduler != "portfolio" {
+		return nil, fmt.Errorf("-portfolio conflicts with -scheduler %s (drop one, or add %s to the member list)", scheduler, scheduler)
+	}
+	members, err := core.ParsePortfolioSpec(spec)
+	if err != nil {
+		return nil, fmt.Errorf("-portfolio: %v", err)
+	}
+	return members, nil
 }
 
 func orDefault(v, def int) int {

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// systestBinary compiles the command once per test binary via the go
+// tool (`go build`, the compile step `go run .` performs) and returns the
+// path. Running the artifact directly — rather than through `go run` —
+// preserves the CLI's real exit codes, which `go run` collapses to 1.
+var systestBinary = struct {
+	once sync.Once
+	path string
+	err  error
+}{}
+
+func buildSystest(t *testing.T) string {
+	t.Helper()
+	b := &systestBinary
+	b.once.Do(func() {
+		dir, err := os.MkdirTemp("", "systest-cli")
+		if err != nil {
+			b.err = err
+			return
+		}
+		b.path = filepath.Join(dir, "systest")
+		out, err := exec.Command("go", "build", "-o", b.path, ".").CombinedOutput()
+		if err != nil {
+			b.err = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if b.err != nil {
+		t.Fatal(b.err)
+	}
+	return b.path
+}
+
+// runSystest invokes the compiled CLI and returns combined output plus
+// the exit code.
+func runSystest(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(buildSystest(t), args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return string(out), ee.ExitCode()
+	}
+	t.Fatalf("systest failed to start: %v\n%s", err, out)
+	return "", -1
+}
+
+// TestCLISmoke drives the binary end to end: list scenarios, find a bug
+// with a portfolio, write its trace, and replay it.
+func TestCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the real binary")
+	}
+	out, code := runSystest(t, "-list")
+	if code != 0 || !strings.Contains(out, "replsys") {
+		t.Fatalf("-list failed (exit %d):\n%s", code, out)
+	}
+
+	trace := filepath.Join(t.TempDir(), "bug.trace")
+	out, code = runSystest(t,
+		"-test", "replsys-safety", "-portfolio", "random,pct,delay",
+		"-seed", "1", "-iterations", "5000", "-workers", "4", "-trace-out", trace)
+	if code != 1 {
+		t.Fatalf("portfolio run exit = %d, want 1 (bug found):\n%s", code, out)
+	}
+	if !strings.Contains(out, "bug found by the") || !strings.Contains(out, "* member") {
+		t.Fatalf("portfolio output lacks winner attribution:\n%s", out)
+	}
+	if _, err := os.Stat(trace); err != nil {
+		t.Fatalf("trace not written: %v\n%s", err, out)
+	}
+
+	out, code = runSystest(t, "-test", "replsys-safety", "-replay", trace)
+	if code != 0 || !strings.Contains(out, "replay reproduced:") {
+		t.Fatalf("replay failed (exit %d):\n%s", code, out)
+	}
+}
+
+// TestCLIValidatesFlagsUpFront pins the fix for deferred validation: bad
+// flags fail immediately with a pointed message and exit code 2, never as
+// an engine panic mid-run.
+func TestCLIValidatesFlagsUpFront(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the real binary")
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative pct-depth", []string{"-test", "replsys", "-pct-depth", "-1"}, "-pct-depth must be positive"},
+		{"unknown scheduler", []string{"-test", "replsys", "-scheduler", "quantum"}, "unknown scheduler"},
+		{"unknown portfolio member", []string{"-test", "replsys", "-portfolio", "random,quantum"}, "unknown scheduler"},
+		{"empty portfolio member", []string{"-test", "replsys", "-portfolio", "random,,pct"}, "empty member"},
+		{"portfolio without members", []string{"-test", "replsys", "-scheduler", "portfolio"}, "needs -portfolio"},
+		{"portfolio vs scheduler conflict", []string{"-test", "replsys", "-scheduler", "dfs", "-portfolio", "random"}, "conflicts"},
+		{"explicit default scheduler still conflicts", []string{"-test", "replsys", "-scheduler", "random", "-portfolio", "pct,delay"}, "conflicts"},
+		{"missing test", []string{"-scheduler", "random"}, "-test is required"},
+		{"unknown scenario", []string{"-test", "nope"}, "unknown scenario"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out, code := runSystest(t, c.args...)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2:\n%s", code, out)
+			}
+			if !strings.Contains(out, c.want) {
+				t.Fatalf("error output lacks %q:\n%s", c.want, out)
+			}
+		})
+	}
+}

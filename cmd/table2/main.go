@@ -2,7 +2,10 @@
 // runs the random and the priority-based (PCT) systematic-testing
 // schedulers for a bounded number of executions and reports whether the
 // bug was found (BF?), the time to the first buggy execution, and the
-// number of nondeterministic choices (#NDC) in that execution.
+// number of nondeterministic choices (#NDC) in that execution. A third
+// column races a scheduler portfolio (random+pct+delay by default) on the
+// same budget and names the member that won — the paper's observation
+// that no single strategy finds every bug, made operational.
 //
 // The paper ran 100,000 executions per cell; that remains available via
 // -iterations 100000, while the default keeps a full table affordable.
@@ -13,6 +16,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
+	"strings"
 
 	"github.com/gostorm/gostorm/internal/core"
 	"github.com/gostorm/gostorm/internal/mtable"
@@ -33,12 +38,22 @@ type tableRow struct {
 
 func main() {
 	var (
-		iterations = flag.Int("iterations", 20000, "execution budget per cell (paper: 100000)")
+		iterations = flag.Int("iterations", 20000, "execution budget per cell (paper: 100000); per member for the portfolio column")
 		seed       = flag.Int64("seed", 1, "base random seed")
 		pctDepth   = flag.Int("pct-depth", 2, "priority change points per execution (paper: 2)")
 		workers    = flag.Int("workers", 0, "parallel exploration workers per cell (0 = one per CPU)")
+		portfolio  = flag.String("portfolio", "random,pct,delay", "comma-separated members of the portfolio column (empty = omit the column)")
 	)
 	flag.Parse()
+
+	var members []string
+	if *portfolio != "" {
+		var err error
+		if members, err = core.ParsePortfolioSpec(*portfolio); err != nil {
+			fmt.Fprintln(os.Stderr, "table2:", err)
+			os.Exit(2)
+		}
+	}
 
 	rows := []tableRow{{
 		cs:   "1",
@@ -76,12 +91,19 @@ func main() {
 		rows = append(rows, r)
 	}
 
-	fmt.Printf("Table 2: random and priority-based schedulers, up to %d executions per cell\n", *iterations)
+	fmt.Printf("Table 2: random, priority-based and portfolio schedulers, up to %d executions per cell\n", *iterations)
 	fmt.Println("(c) = custom test case pinning the triggering inputs; (*) = notional bug")
 	fmt.Println()
-	fmt.Printf("%-2s %-38s | %-3s %12s %8s | %-3s %12s %8s\n",
-		"CS", "Bug Identifier", "BF?", "Time(s)", "#NDC", "BF?", "Time(s)", "#NDC")
-	fmt.Printf("%-2s %-38s | %26s | %26s\n", "", "", "random scheduler", "priority-based scheduler")
+	fmt.Printf("%-2s %-38s | %-3s %12s %8s | %-3s %12s %8s", "CS", "Bug Identifier", "BF?", "Time(s)", "#NDC", "BF?", "Time(s)", "#NDC")
+	if members != nil {
+		fmt.Printf(" | %-3s %12s %8s %-8s", "BF?", "Time(s)", "#NDC", "winner")
+	}
+	fmt.Println()
+	fmt.Printf("%-2s %-38s | %26s | %26s", "", "", "random scheduler", "priority-based scheduler")
+	if members != nil {
+		fmt.Printf(" | %35s", "portfolio "+strings.Join(members, "+"))
+	}
+	fmt.Println()
 	for _, r := range rows {
 		label := r.name
 		if r.star {
@@ -92,7 +114,11 @@ func main() {
 		}
 		randCell := runCell(r, "random", *iterations, *seed, *pctDepth, *workers)
 		pctCell := runCell(r, "pct", *iterations, *seed, *pctDepth, *workers)
-		fmt.Printf("%-2s %-38s | %s | %s\n", r.cs, label, randCell, pctCell)
+		fmt.Printf("%-2s %-38s | %s | %s", r.cs, label, randCell, pctCell)
+		if members != nil {
+			fmt.Printf(" | %s", runPortfolioCell(r, members, *iterations, *seed, *pctDepth, *workers))
+		}
+		fmt.Println()
 	}
 }
 
@@ -113,4 +139,24 @@ func runCell(r tableRow, scheduler string, iterations int, seed int64, pctDepth,
 		return fmt.Sprintf("%-3s %12s %8s", "no", "-", "-")
 	}
 	return fmt.Sprintf("%-3s %12.2f %8d", "yes", res.Elapsed.Seconds(), res.Choices)
+}
+
+// runPortfolioCell races the portfolio on one bug and reports the winning
+// member alongside the usual columns.
+func runPortfolioCell(r tableRow, members []string, iterations int, seed int64, pctDepth, workers int) string {
+	res := core.RunPortfolio(r.build(), core.PortfolioOptions{
+		Options: core.Options{
+			PCTDepth:    pctDepth,
+			Iterations:  iterations,
+			MaxSteps:    r.maxSteps,
+			Seed:        seed,
+			Workers:     workers,
+			NoReplayLog: true,
+		},
+		Members: members,
+	})
+	if !res.BugFound {
+		return fmt.Sprintf("%-3s %12s %8s %-8s", "no", "-", "-", "-")
+	}
+	return fmt.Sprintf("%-3s %12.2f %8d %-8s", "yes", res.Elapsed.Seconds(), res.Choices, res.Portfolio[res.Winner].Scheduler)
 }

@@ -8,6 +8,35 @@
 // and the benchmark harnesses that regenerate the paper's tables.
 //
 // The engine explores schedules in parallel across all cores while keeping
-// every bug trace exactly replayable; see README.md for a package tour and
-// the parallel-exploration design, and ROADMAP.md for open items.
+// every bug trace exactly replayable, and can race a portfolio of
+// heterogeneous schedulers (core.RunPortfolio) against one test — the
+// paper's observation that no single exploration strategy finds every bug,
+// made operational.
+//
+// # Portfolio determinism contract
+//
+// A portfolio run is reproducible down to the bit, at any worker count,
+// from (Seed, Members):
+//
+//   - Member m's execution i is seeded purely from (Seed, m, i): each
+//     member derives an independent base seed from its index, and each
+//     execution derives its sub-seed from that base and its iteration.
+//     Which goroutine runs an execution is irrelevant to what it explores.
+//   - Adaptive schedulers (pct, delay) are calibrated: iteration 0 runs
+//     first and its observed step count is pinned on every scheduler
+//     instance as the shared program-length estimate, so their decision
+//     streams are pure functions of the iteration seed too.
+//   - First bug wins on the canonical global order that interleaves
+//     members round-robin: the winning bug is the one at the lowest
+//     iteration, with ties between members at the same iteration broken
+//     by the fixed member order. Workers abandon executions at or beyond
+//     the current best position but always finish lower ones.
+//   - Per-member statistics (executions, steps, winner flag) count only
+//     the executions at or below the winning position, so they are as
+//     reproducible as the winner itself; only wall-clock times vary.
+//   - The winning trace replays exactly, single-threaded, like any other
+//     trace the engine reports.
+//
+// See README.md for a package tour and the parallel-exploration design,
+// and ROADMAP.md for open items.
 package gostorm

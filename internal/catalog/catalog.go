@@ -41,6 +41,10 @@ type Overrides struct {
 	MaxSteps    int
 	Workers     int
 	Temperature int
+	// Portfolio, when non-empty, races the named schedulers against the
+	// scenario instead of running the single Scheduler; see
+	// Entry.PortfolioOptions and core.RunPortfolio.
+	Portfolio []string
 }
 
 // RunOptions merges the entry's recommended options with CLI overrides.
@@ -66,6 +70,13 @@ func (e Entry) RunOptions(ov Overrides) core.Options {
 		o.Temperature = ov.Temperature
 	}
 	return o
+}
+
+// PortfolioOptions merges the entry's recommended options with CLI
+// overrides into a portfolio spec racing ov.Portfolio's members (the
+// scenario keeps its iteration/step recommendations per member).
+func (e Entry) PortfolioOptions(ov Overrides) core.PortfolioOptions {
+	return core.PortfolioOptions{Options: e.RunOptions(ov), Members: ov.Portfolio}
 }
 
 // Get returns the named entry.

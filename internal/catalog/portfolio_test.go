@@ -1,0 +1,76 @@
+package catalog
+
+import (
+	"testing"
+
+	"github.com/gostorm/gostorm/internal/core"
+	"github.com/gostorm/gostorm/internal/harnesstest"
+)
+
+// TestPortfolioReplayRoundTripAcrossCatalog is the replay round-trip
+// property over the whole catalog: for every scenario, any bug found by
+// any portfolio member must replay, single-threaded, to the identical
+// violation along the identical decision trace. Budgets are capped well
+// below the scenarios' recommended ones to keep the suite fast, so only
+// the quickly-surfacing bugs are exercised each run — the final assertion
+// pins that the property was actually exercised, not vacuously true.
+func TestPortfolioReplayRoundTripAcrossCatalog(t *testing.T) {
+	found := 0
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			opts := e.Options
+			opts.Seed = 1
+			opts.Workers = 4
+			opts.NoReplayLog = true
+			// Cap the budget: heavy scenarios (30k-step mtable executions)
+			// get a handful of executions per member, light ones a few
+			// hundred.
+			cap := 300
+			if opts.MaxSteps >= 20000 {
+				cap = 12
+			}
+			if opts.Iterations <= 0 || opts.Iterations > cap {
+				opts.Iterations = cap
+			}
+			res := core.RunPortfolio(e.Build(), core.PortfolioOptions{
+				Options: opts,
+				Members: []string{"random", "pct", "delay"},
+			})
+			if !res.BugFound {
+				return
+			}
+			found++
+			if got := res.Portfolio[res.Winner].Scheduler; got != res.Report.Trace.Scheduler {
+				t.Fatalf("winner attribution mismatch: member %q, trace %q", got, res.Report.Trace.Scheduler)
+			}
+			harnesstest.AssertReplayRoundTrip(t, e.Build, res.Report, opts)
+		})
+	}
+	if found < 3 {
+		t.Fatalf("only %d scenarios surfaced a bug under the capped budget; the round-trip property was barely exercised", found)
+	}
+}
+
+// TestPortfolioOverrides: the catalog's portfolio plumbing hands the CLI
+// overrides through to a runnable spec.
+func TestPortfolioOverrides(t *testing.T) {
+	e, err := Get("replsys-safety")
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := e.PortfolioOptions(Overrides{
+		Portfolio: []string{"random", "pct"}, Seed: 1, Iterations: 5000, Workers: 4,
+	})
+	if len(po.Members) != 2 {
+		t.Fatalf("members = %v, want the two overridden ones", po.Members)
+	}
+	po.NoReplayLog = true
+	res := core.RunPortfolio(e.Build(), po)
+	if !res.BugFound {
+		t.Fatal("portfolio catalog run did not find the seeded safety bug")
+	}
+	if res.Winner < 0 || res.Portfolio[res.Winner].Scheduler == "" {
+		t.Fatalf("winner not attributed: %+v", res)
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// conformanceDrive pushes a scheduler through a fixed synthetic workload —
+// a mix of NextMachine calls over varied (sorted, possibly non-contiguous)
+// enabled sets, NextBool, and NextInt over several bounds — validating
+// every answer and returning the decision stream as comparable strings.
+func conformanceDrive(t *testing.T, name string, s Scheduler) []string {
+	t.Helper()
+	enabledSets := [][]MachineID{
+		{0},
+		{0, 1},
+		{0, 1, 2},
+		{1, 3, 7},
+		{2, 5},
+		{0, 1, 2, 3, 4, 5, 6, 7},
+		{4},
+		{3, 9},
+	}
+	var stream []string
+	current := NoMachine
+	for step := 0; step < 64; step++ {
+		enabled := enabledSets[step%len(enabledSets)]
+		got := s.NextMachine(enabled, current)
+		member := false
+		for _, id := range enabled {
+			if id == got {
+				member = true
+			}
+		}
+		if !member {
+			t.Fatalf("%s: NextMachine(%v) = %d, not a member of the enabled set", name, enabled, got)
+		}
+		current = got
+		stream = append(stream, fmt.Sprintf("m%d", got))
+		stream = append(stream, fmt.Sprintf("b%t", s.NextBool()))
+		for _, n := range []int{1, 2, 3, 10, 1000} {
+			v := s.NextInt(n)
+			if v < 0 || v >= n {
+				t.Fatalf("%s: NextInt(%d) = %d, out of [0, %d)", name, n, v, n)
+			}
+			stream = append(stream, fmt.Sprintf("i%d/%d", v, n))
+		}
+	}
+	return stream
+}
+
+func assertStreamsEqual(t *testing.T, name, what string, a, b []string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %s: stream lengths diverge: %d vs %d", name, what, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: %s: decision %d diverges: %s vs %s", name, what, i, a[i], b[i])
+		}
+	}
+}
+
+// TestSchedulerConformance is the cross-scheduler conformance matrix: it
+// is table-driven over every registered scheduler name, so a new
+// portfolio member is automatically held to the factory contract:
+//
+//   - NextMachine always returns a member of the enabled set and
+//     NextInt/NextBool never panic or stray out of range on valid input
+//     (checked inside conformanceDrive);
+//   - two fresh instances from one factory make identical decisions for
+//     the same seed (the property the parallel worker pool rests on);
+//   - Prepare reseeding is total for non-sequential schedulers: re-
+//     preparing the same instance with the same seed reproduces the
+//     identical decision stream, with no state leaking across executions.
+//     Adaptive schedulers satisfy this under a pinned length estimate,
+//     which is exactly how the engine runs them. The sequential dfs
+//     scheduler is exempt by contract — its Prepare deliberately advances
+//     to the next branch of its enumeration — and is instead checked for
+//     fresh-instance determinism only.
+func TestSchedulerConformance(t *testing.T) {
+	for _, name := range SchedulerNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			f, err := NewSchedulerFactory(name, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Name() != name {
+				t.Fatalf("factory name %q, want %q", f.Name(), name)
+			}
+			if f.Adaptive() {
+				f = f.WithLengthHint(64)
+			}
+			for _, seed := range []int64{0, 1, 42, -7} {
+				a, b := f.New(), f.New()
+				if a == b {
+					t.Fatal("factory handed out the same instance twice")
+				}
+				if !a.Prepare(seed, 1000) || !b.Prepare(seed, 1000) {
+					t.Fatalf("Prepare(%d) refused the first execution", seed)
+				}
+				sa := conformanceDrive(t, name, a)
+				sb := conformanceDrive(t, name, b)
+				assertStreamsEqual(t, name, fmt.Sprintf("fresh instances, seed %d", seed), sa, sb)
+
+				if f.Sequential() {
+					continue
+				}
+				if !a.Prepare(seed, 1000) {
+					t.Fatalf("re-Prepare(%d) refused (reseeding must be total)", seed)
+				}
+				sc := conformanceDrive(t, name, a)
+				assertStreamsEqual(t, name, fmt.Sprintf("re-Prepare, seed %d", seed), sa, sc)
+			}
+		})
+	}
+}
+
+// TestSchedulerConformanceSingletonEnabled: with exactly one enabled
+// machine every scheduler must pick it, whatever its internal state.
+func TestSchedulerConformanceSingletonEnabled(t *testing.T) {
+	for _, name := range SchedulerNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, err := NewScheduler(name, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Prepare(3, 1000)
+			for step := 0; step < 50; step++ {
+				only := MachineID(step % 11)
+				if got := s.NextMachine([]MachineID{only}, NoMachine); got != only {
+					t.Fatalf("step %d: NextMachine([%d]) = %d", step, only, got)
+				}
+			}
+		})
+	}
+}
+
+// TestSchedulerNamesCoverRegistry: SchedulerNames, NewSchedulerFactory and
+// NewScheduler agree on the set of valid names, and the portfolio accepts
+// every one of them as a member.
+func TestSchedulerNamesCoverRegistry(t *testing.T) {
+	names := SchedulerNames()
+	if len(names) == 0 {
+		t.Fatal("no registered schedulers")
+	}
+	for _, name := range names {
+		if _, err := NewSchedulerFactory(name, 0); err != nil {
+			t.Fatalf("registered name %q rejected by the factory: %v", name, err)
+		}
+		if _, err := NewScheduler(name, 0); err != nil {
+			t.Fatalf("registered name %q rejected by NewScheduler: %v", name, err)
+		}
+	}
+	// Every registered scheduler is a valid portfolio member: an
+	// all-members portfolio on a trivially clean test must run through.
+	res := RunPortfolio(cleanChoiceTest(), PortfolioOptions{
+		Options: Options{Iterations: 4, Seed: 1, Workers: 2, NoReplayLog: true},
+		Members: names,
+	})
+	if res.BugFound {
+		t.Fatalf("unexpected bug: %v", res.Report.Error())
+	}
+	if len(res.Portfolio) != len(names) {
+		t.Fatalf("portfolio stats for %d members, want %d", len(res.Portfolio), len(names))
+	}
+}

@@ -44,13 +44,15 @@ type Options struct {
 	// shared. Sequential schedulers (dfs) and trace replay always run on
 	// a single worker regardless of this setting.
 	//
-	// For schedulers whose executions are pure functions of the
-	// per-iteration seed (random, rr), the Result — including which bug is
-	// found, its trace, Executions and TotalSteps — is identical for every
-	// worker count. The adaptive schedulers (pct, delay) estimate the
-	// program length from the previous execution on the same worker, so
-	// the iteration at which a bug surfaces can vary with scheduling of
-	// the workers themselves; every reported trace still replays exactly.
+	// For every non-sequential scheduler the Result — including which bug
+	// is found, its trace, Executions and TotalSteps — is identical for
+	// every worker count. Schedulers whose executions are pure functions
+	// of the per-iteration seed (random, rr) have this property natively;
+	// for the adaptive schedulers (pct, delay) the engine runs iteration 0
+	// first as a calibration execution and pins the observed step count as
+	// a shared program-length estimate on every scheduler instance, so
+	// their decision streams become pure functions of the iteration seed
+	// too (see SchedulerFactory.WithLengthHint).
 	Workers int
 	// Temperature, when positive, reports a liveness violation as soon as
 	// a monitor stays hot for that many consecutive steps, instead of
@@ -135,13 +137,26 @@ type Result struct {
 	// Elapsed is the wall-clock time of the run.
 	Elapsed time.Duration
 	// Exhausted reports that the scheduler covered its entire schedule
-	// space (only the dfs scheduler does).
+	// space (only the dfs scheduler does). A portfolio run reports
+	// exhaustion only when every member exhausted its space.
 	Exhausted bool
+	// Portfolio holds per-member statistics when the run raced a scheduler
+	// portfolio (see RunPortfolio); nil for single-scheduler runs.
+	Portfolio []MemberStats
+	// Winner is the index into Portfolio of the member whose bug won the
+	// race, -1 when a portfolio run found no bug. Zero (and meaningless)
+	// for single-scheduler runs; use BugFound there.
+	Winner int
 }
 
 // String renders a one-line summary.
 func (res Result) String() string {
 	if res.BugFound {
+		if res.Portfolio != nil {
+			return fmt.Sprintf("bug found by the %s scheduler (member %d, iteration %d) after %d execution(s), %.2fs, %d choices: %s",
+				res.Portfolio[res.Winner].Scheduler, res.Winner, res.Report.Iteration,
+				res.Executions, res.Elapsed.Seconds(), res.Choices, res.Report.Error())
+		}
 		return fmt.Sprintf("bug found after %d execution(s), %.2fs, %d choices: %s",
 			res.Executions, res.Elapsed.Seconds(), res.Choices, res.Report.Error())
 	}
@@ -180,18 +195,81 @@ func Run(t Test, o Options) Result {
 	if workers > o.Iterations {
 		workers = o.Iterations
 	}
-	if workers <= 1 {
-		return runSequential(t, o, f.New())
+	st := runState{start: time.Now()}
+	if f.Adaptive() {
+		if res, done := calibrate(t, o, &f, &st); done {
+			return res
+		}
 	}
-	return runParallel(t, o, f, workers)
+	if workers <= 1 {
+		return runSequential(t, o, f.New(), st)
+	}
+	return runParallel(t, o, f, workers, st)
+}
+
+// runState carries exploration progress made before the main loop starts:
+// the adaptive schedulers' calibration execution at iteration 0.
+type runState struct {
+	start time.Time
+	first int   // first iteration index the main loop runs
+	execs int   // executions already performed
+	steps int64 // scheduling steps already performed
+}
+
+// calibrate performs iteration 0 with a fresh scheduler and pins the
+// observed step count on the factory as the shared program-length estimate
+// (see SchedulerFactory.WithLengthHint). Iteration 0 itself is already
+// deterministic — an adaptive scheduler's first execution has no history
+// to adapt to — so the estimate, and with it every later iteration's
+// decision stream, is a pure function of the seed and independent of
+// worker count. Returns done=true when the run is over (bug at iteration
+// 0, a single-iteration budget, or the deadline).
+func calibrate(t Test, o Options, f *SchedulerFactory, st *runState) (Result, bool) {
+	sched := f.New()
+	seed := o.execSeed(0)
+	if !sched.Prepare(seed, o.MaxSteps) {
+		return Result{Exhausted: true, Elapsed: time.Since(st.start)}, true
+	}
+	r := newRuntime(sched, o.runtimeConfig(false))
+	rep := r.execute(t)
+	st.first, st.execs, st.steps = 1, 1, int64(r.steps)
+	if o.Progress != nil {
+		o.Progress(1)
+	}
+	if rep != nil {
+		rep.Trace = &Trace{
+			Test:      t.Name,
+			Scheduler: sched.Name(),
+			Seed:      seed,
+			Decisions: r.decisions,
+		}
+		rep.Iteration = 0
+		res := Result{
+			BugFound:   true,
+			Report:     rep,
+			Executions: 1,
+			TotalSteps: int64(r.steps),
+			Choices:    len(r.decisions),
+			Elapsed:    time.Since(st.start),
+		}
+		if !o.NoReplayLog {
+			attachReplayLog(t, o, rep)
+		}
+		return res, true
+	}
+	*f = f.WithLengthHint(r.steps)
+	if o.Iterations <= 1 || (o.StopAfter > 0 && time.Since(st.start) > o.StopAfter) {
+		return Result{Executions: 1, TotalSteps: int64(r.steps), Elapsed: time.Since(st.start)}, true
+	}
+	return Result{}, false
 }
 
 // runSequential is the single-worker engine loop, also used for sequential
 // schedulers where iteration order is part of the exploration strategy.
-func runSequential(t Test, o Options, sched Scheduler) Result {
-	start := time.Now()
-	var res Result
-	for i := 0; i < o.Iterations; i++ {
+func runSequential(t Test, o Options, sched Scheduler, st runState) Result {
+	start := st.start
+	res := Result{Executions: st.execs, TotalSteps: st.steps}
+	for i := st.first; i < o.Iterations; i++ {
 		seed := o.execSeed(i)
 		if !sched.Prepare(seed, o.MaxSteps) {
 			res.Exhausted = true
@@ -242,8 +320,8 @@ func runSequential(t Test, o Options, sched Scheduler) Result {
 // cleanly, so the reported bug is the first one in iteration order and the
 // canonical statistics (Executions, TotalSteps, Choices) match what a
 // Workers:1 run of a per-iteration-deterministic scheduler reports.
-func runParallel(t Test, o Options, f SchedulerFactory, workers int) Result {
-	start := time.Now()
+func runParallel(t Test, o Options, f SchedulerFactory, workers int, st runState) Result {
+	start := st.start
 	var deadline time.Time
 	if o.StopAfter > 0 {
 		deadline = start.Add(o.StopAfter)
@@ -262,6 +340,11 @@ func runParallel(t Test, o Options, f SchedulerFactory, workers int) Result {
 		bugReport *BugReport
 		exhausted bool
 	)
+	next.Store(int64(st.first))
+	completed.Store(int64(st.execs))
+	if st.first > 0 {
+		steps[st.first-1] = st.steps // calibration ran iteration 0
+	}
 	bugIndex.Store(int64(o.Iterations))
 
 	var wg sync.WaitGroup

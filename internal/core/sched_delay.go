@@ -21,6 +21,9 @@ type delayScheduler struct {
 	// are sampled within it so they actually land inside the execution
 	// (the same program-length adaptation as the PCT scheduler).
 	prevSteps int
+	// lengthHint, when positive, replaces prevSteps with an engine-shared
+	// estimate so Prepare becomes a pure function of (seed, maxSteps).
+	lengthHint int
 }
 
 // NewDelayScheduler returns a delay-bounded scheduler with the given
@@ -37,7 +40,10 @@ func (s *delayScheduler) Prepare(seed int64, maxSteps int) bool {
 		maxSteps = 10000
 	}
 	s.prevSteps = s.step
-	bound := s.prevSteps
+	bound := s.lengthHint
+	if bound <= 0 {
+		bound = s.prevSteps
+	}
 	if bound < 10 {
 		bound = maxSteps
 	}
@@ -50,6 +56,10 @@ func (s *delayScheduler) Prepare(seed int64, maxSteps int) bool {
 	s.delayed = make(map[MachineID]bool)
 	return true
 }
+
+// SetLengthHint pins the program-length estimate used to place delay
+// points, detaching the scheduler from its own execution history.
+func (s *delayScheduler) SetLengthHint(steps int) { s.lengthHint = steps }
 
 // pickBaseline returns the round-robin choice among enabled machines that
 // are not currently delayed; if all are delayed, the delay set is cleared

@@ -3,9 +3,10 @@ package core
 import "testing"
 
 func TestDelaySchedulerFindsOrderingBug(t *testing.T) {
-	// Workers pinned to 1: delay samples its delay points from the
-	// previous execution's length on the same worker (see pct).
-	res := Run(raceTest(), Options{Scheduler: "delay", Iterations: 2000, Seed: 42, Workers: 1})
+	// The engine calibrates delay's program-length estimate from
+	// iteration 0, so the discovering iteration no longer depends on
+	// worker count (see pct).
+	res := Run(raceTest(), Options{Scheduler: "delay", Iterations: 2000, Seed: 42})
 	if !res.BugFound {
 		t.Fatal("delay scheduler did not find the ordering bug")
 	}

@@ -84,10 +84,9 @@ func TestRandomFindsOrderingBug(t *testing.T) {
 }
 
 func TestPCTFindsOrderingBug(t *testing.T) {
-	// Workers pinned to 1: pct adapts its change points to the previous
-	// execution on the same worker, so this calibrated budget is only
-	// machine-independent on a single worker.
-	res := Run(raceTest(), Options{Scheduler: "pct", Iterations: 1000, Seed: 42, Workers: 1})
+	// The engine calibrates pct's program-length estimate from iteration
+	// 0, so the discovering iteration no longer depends on worker count.
+	res := Run(raceTest(), Options{Scheduler: "pct", Iterations: 1000, Seed: 42})
 	if !res.BugFound {
 		t.Fatal("pct did not find the ordering bug")
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 )
 
 // Scheduler resolves every nondeterministic choice of an execution: which
@@ -39,14 +40,26 @@ type Scheduler interface {
 type SchedulerFactory struct {
 	name       string
 	sequential bool
+	adaptive   bool
+	lengthHint int
 	build      func() Scheduler
 }
 
 // Name returns the scheduler name the factory builds ("random", "pct", ...).
 func (f SchedulerFactory) Name() string { return f.name }
 
-// New returns a fresh Scheduler instance owned by the caller.
-func (f SchedulerFactory) New() Scheduler { return f.build() }
+// New returns a fresh Scheduler instance owned by the caller. If the
+// factory carries a program-length hint (WithLengthHint), the instance is
+// pre-seeded with it before it is handed out.
+func (f SchedulerFactory) New() Scheduler {
+	s := f.build()
+	if f.lengthHint > 0 {
+		if h, ok := s.(lengthHinted); ok {
+			h.SetLengthHint(f.lengthHint)
+		}
+	}
+	return s
+}
 
 // Sequential reports that the scheduler's correctness depends on seeing
 // every execution of a run in order on a single instance — the exhaustive
@@ -54,6 +67,60 @@ func (f SchedulerFactory) New() Scheduler { return f.build() }
 // execution, so its schedule space cannot be partitioned across workers.
 // The engine forces Workers to 1 for sequential schedulers.
 func (f SchedulerFactory) Sequential() bool { return f.sequential }
+
+// Adaptive reports that the scheduler places its probes (priority change
+// points, delay points) within an estimate of the program length. Without
+// a shared estimate each instance adapts to the previous execution it
+// itself ran, which makes the discovering iteration depend on how the
+// engine's workers interleave. The engine therefore calibrates adaptive
+// factories: it measures iteration 0 once and pins the estimate on every
+// instance via WithLengthHint, restoring worker-count independence.
+func (f SchedulerFactory) Adaptive() bool { return f.adaptive }
+
+// WithLengthHint returns a copy of the factory whose instances all use the
+// given program-length estimate (in scheduling steps) instead of adapting
+// to their own previous execution. The hint is what makes the adaptive
+// schedulers' decision streams a pure function of the per-execution seed.
+func (f SchedulerFactory) WithLengthHint(steps int) SchedulerFactory {
+	f.lengthHint = steps
+	return f
+}
+
+// lengthHinted is implemented by adaptive schedulers that can pin their
+// program-length estimate to an engine-provided value.
+type lengthHinted interface {
+	SetLengthHint(steps int)
+}
+
+// schedulerSpec describes one registered scheduler for the factory.
+type schedulerSpec struct {
+	sequential bool
+	adaptive   bool
+	build      func(depth int) Scheduler
+}
+
+// schedulerRegistry is the single source of truth for scheduler names.
+// The conformance test suite iterates it, so a newly registered scheduler
+// is automatically held to the factory contract (total reseeding, valid
+// NextMachine/NextInt behavior) and becomes a valid portfolio member.
+var schedulerRegistry = map[string]schedulerSpec{
+	"random": {build: func(int) Scheduler { return NewRandomScheduler() }},
+	"pct":    {adaptive: true, build: func(d int) Scheduler { return NewPCTScheduler(d) }},
+	"rr":     {build: func(int) Scheduler { return NewRoundRobinScheduler() }},
+	"dfs":    {sequential: true, build: func(int) Scheduler { return NewDFSScheduler() }},
+	"delay":  {adaptive: true, build: func(d int) Scheduler { return NewDelayScheduler(d) }},
+}
+
+// SchedulerNames returns every registered scheduler name, sorted. These
+// are the valid values for Options.Scheduler and PortfolioOptions.Members.
+func SchedulerNames() []string {
+	names := make([]string, 0, len(schedulerRegistry))
+	for name := range schedulerRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // NewSchedulerFactory constructs a factory by scheduler name: "random",
 // "pct", "rr" (round-robin), "delay" (delay-bounded) or "dfs" (exhaustive
@@ -63,20 +130,17 @@ func NewSchedulerFactory(name string, depth int) (SchedulerFactory, error) {
 	if depth <= 0 {
 		depth = 2
 	}
-	switch name {
-	case "random":
-		return SchedulerFactory{name: name, build: NewRandomScheduler}, nil
-	case "pct":
-		return SchedulerFactory{name: name, build: func() Scheduler { return NewPCTScheduler(depth) }}, nil
-	case "rr":
-		return SchedulerFactory{name: name, build: NewRoundRobinScheduler}, nil
-	case "dfs":
-		return SchedulerFactory{name: name, sequential: true, build: NewDFSScheduler}, nil
-	case "delay":
-		return SchedulerFactory{name: name, build: func() Scheduler { return NewDelayScheduler(depth) }}, nil
-	default:
-		return SchedulerFactory{}, fmt.Errorf("core: unknown scheduler %q", name)
+	spec, ok := schedulerRegistry[name]
+	if !ok {
+		return SchedulerFactory{}, fmt.Errorf("core: unknown scheduler %q (known: %s)",
+			name, strings.Join(SchedulerNames(), ", "))
 	}
+	return SchedulerFactory{
+		name:       name,
+		sequential: spec.sequential,
+		adaptive:   spec.adaptive,
+		build:      func() Scheduler { return spec.build(depth) },
+	}, nil
 }
 
 // NewScheduler constructs a single scheduler instance by name; see
@@ -148,6 +212,10 @@ type pctScheduler struct {
 	// them over the (often much larger) step bound would push most
 	// beyond the end of the execution and waste the budget.
 	prevSteps int
+	// lengthHint, when positive, replaces prevSteps with an engine-shared
+	// estimate, making Prepare a pure function of (seed, maxSteps) — the
+	// property the parallel engine and portfolio attribution rely on.
+	lengthHint int
 }
 
 // NewPCTScheduler returns a PCT scheduler with the given number of priority
@@ -169,9 +237,13 @@ func (s *pctScheduler) Prepare(seed int64, maxSteps int) bool {
 	if maxSteps <= 0 {
 		maxSteps = 10000
 	}
-	// Estimate the program length from the previous execution (the first
-	// execution falls back to the step bound).
-	bound := s.prevSteps
+	// Estimate the program length: prefer the engine-shared hint, then the
+	// previous execution on this instance; the first execution (or a
+	// degenerately short estimate) falls back to the step bound.
+	bound := s.lengthHint
+	if bound <= 0 {
+		bound = s.prevSteps
+	}
 	if bound < 10 {
 		bound = maxSteps
 	}
@@ -180,6 +252,10 @@ func (s *pctScheduler) Prepare(seed int64, maxSteps int) bool {
 	}
 	return true
 }
+
+// SetLengthHint pins the program-length estimate used to place priority
+// change points, detaching the scheduler from its own execution history.
+func (s *pctScheduler) SetLengthHint(steps int) { s.lengthHint = steps }
 
 // priorityOf assigns a random-ish priority on first sight of a machine.
 // New machines are inserted at a random rank among values seen so far by

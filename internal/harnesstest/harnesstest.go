@@ -1,0 +1,87 @@
+// Package harnesstest holds the shared assertions for the per-harness
+// determinism and replay round-trip tests. Every harness package
+// (replsys, vnext, mtable) exercises the same two engine contracts —
+// worker-count invariance and trace replayability — on its own seeded
+// bugs; this package is the single implementation those tests share.
+package harnesstest
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gostorm/gostorm/internal/core"
+)
+
+// AssertWorkerCountInvariance runs build's test with 1 worker and with
+// `workers` workers under the same options and asserts the two results
+// report the identical bug: same iteration, message, statistics, and
+// decision trace. base.Workers is overwritten. It returns the many-worker
+// result for further checks.
+func AssertWorkerCountInvariance(t *testing.T, build func() core.Test, base core.Options, workers int) core.Result {
+	t.Helper()
+	w1 := base
+	w1.Workers = 1
+	wn := base
+	wn.Workers = workers
+
+	a := core.Run(build(), w1)
+	b := core.Run(build(), wn)
+	if !a.BugFound || !b.BugFound {
+		t.Fatalf("bug not found: workers=1 %v, workers=%d %v", a.BugFound, workers, b.BugFound)
+	}
+	if a.Report.Iteration != b.Report.Iteration {
+		t.Fatalf("buggy iteration diverges: %d vs %d", a.Report.Iteration, b.Report.Iteration)
+	}
+	if a.Report.Message != b.Report.Message {
+		t.Fatalf("bug message diverges:\nworkers=1: %s\nworkers=%d: %s", a.Report.Message, workers, b.Report.Message)
+	}
+	if a.Executions != b.Executions || a.TotalSteps != b.TotalSteps || a.Choices != b.Choices {
+		t.Fatalf("statistics diverge:\nworkers=1: %+v\nworkers=%d: %+v", a, workers, b)
+	}
+	AssertSameDecisions(t, a.Report.Trace, b.Report.Trace)
+	return b
+}
+
+// AssertSameDecisions asserts two traces recorded the identical decision
+// sequence.
+func AssertSameDecisions(t *testing.T, a, b *core.Trace) {
+	t.Helper()
+	if len(a.Decisions) != len(b.Decisions) {
+		t.Fatalf("decision counts diverge: %d vs %d", len(a.Decisions), len(b.Decisions))
+	}
+	for i := range a.Decisions {
+		if a.Decisions[i] != b.Decisions[i] {
+			t.Fatalf("decision %d diverges: %s vs %s", i, a.Decisions[i], b.Decisions[i])
+		}
+	}
+}
+
+// AssertReplayRoundTrip replays rep's trace against a fresh build of the
+// test and asserts it reproduces the identical violation — the paper's
+// core debugging loop: any bug the engine reports must replay exactly,
+// single-threaded, whatever strategy or worker pool found it.
+func AssertReplayRoundTrip(t *testing.T, build func() core.Test, rep *core.BugReport, opts core.Options) {
+	t.Helper()
+	confirm, err := core.Replay(build(), rep.Trace, opts)
+	if err != nil {
+		t.Fatalf("trace did not replay: %v", err)
+	}
+	if confirm == nil {
+		t.Fatalf("replay completed cleanly; recorded violation was: %s", rep.Error())
+	}
+	if firstLine(confirm.Message) != firstLine(rep.Message) {
+		// Panic messages embed a stack dump whose goroutine IDs and
+		// addresses vary run to run; the first line is the stable part.
+		t.Fatalf("replay reproduced a different violation:\nreplayed: %s\nrecorded: %s", confirm.Message, rep.Message)
+	}
+	if confirm.Kind != rep.Kind {
+		t.Fatalf("replay reproduced a %s bug, recorded %s", confirm.Kind, rep.Kind)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

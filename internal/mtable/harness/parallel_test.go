@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/gostorm/gostorm/internal/core"
+	"github.com/gostorm/gostorm/internal/harnesstest"
 	"github.com/gostorm/gostorm/internal/mtable"
 )
 
@@ -11,7 +12,7 @@ import (
 // MigratingTable bug and its trace replays to the identical output
 // divergence. The random scheduler keeps the result independent of the
 // worker count, so this doubles as a determinism check on the heaviest
-// harness in the repository.
+// harness in the repository (shared assertions in internal/harnesstest).
 func TestParallelExplorationFindsSeededBug(t *testing.T) {
 	build := func() core.Test {
 		return Test(HarnessConfig{Bugs: mtable.BugDeletePrimaryKey})
@@ -19,29 +20,6 @@ func TestParallelExplorationFindsSeededBug(t *testing.T) {
 	base := core.Options{
 		Scheduler: "random", Iterations: 4000, MaxSteps: 30000, Seed: 1, NoReplayLog: true,
 	}
-	w1 := base
-	w1.Workers = 1
-	w4 := base
-	w4.Workers = 4
-
-	a := core.Run(build(), w1)
-	b := core.Run(build(), w4)
-	if !a.BugFound || !b.BugFound {
-		t.Fatalf("bug not found: workers=1 %v, workers=4 %v", a.BugFound, b.BugFound)
-	}
-	if a.Report.Iteration != b.Report.Iteration {
-		t.Fatalf("buggy iteration diverges: %d vs %d", a.Report.Iteration, b.Report.Iteration)
-	}
-	if a.Report.Message != b.Report.Message {
-		t.Fatalf("bug message diverges:\nworkers=1: %s\nworkers=4: %s",
-			a.Report.Message, b.Report.Message)
-	}
-
-	rep, err := core.Replay(build(), b.Report.Trace, base)
-	if err != nil {
-		t.Fatalf("parallel-found trace did not replay: %v", err)
-	}
-	if rep == nil || rep.Message != b.Report.Message {
-		t.Fatalf("replay reproduced a different violation: %+v vs %+v", rep, b.Report)
-	}
+	res := harnesstest.AssertWorkerCountInvariance(t, build, base, 4)
+	harnesstest.AssertReplayRoundTrip(t, build, res.Report, base)
 }

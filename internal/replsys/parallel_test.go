@@ -4,54 +4,22 @@ import (
 	"testing"
 
 	"github.com/gostorm/gostorm/internal/core"
+	"github.com/gostorm/gostorm/internal/harnesstest"
 )
 
 // TestParallelWorkersFindSameBug is the end-to-end determinism check the
 // parallel engine promises on a real seeded-bug harness: for a fixed seed,
 // one worker and eight workers must report the same bug — same iteration,
 // same decision trace — and the parallel-found trace must replay to the
-// identical violation.
+// identical violation. The assertions live in internal/harnesstest,
+// shared with the vnext and mtable harnesses.
 func TestParallelWorkersFindSameBug(t *testing.T) {
-	test := Scenario(ScenarioConfig{Monitors: WithSafety})
+	build := func() core.Test { return Scenario(ScenarioConfig{Monitors: WithSafety}) }
 	base := core.Options{
 		Scheduler: "random", Iterations: 5000, MaxSteps: 2000, Seed: 1, NoReplayLog: true,
 	}
-	w1 := base
-	w1.Workers = 1
-	w8 := base
-	w8.Workers = 8
-
-	a := core.Run(test, w1)
-	b := core.Run(test, w8)
-	if !a.BugFound || !b.BugFound {
-		t.Fatalf("bug not found: workers=1 %v, workers=8 %v", a.BugFound, b.BugFound)
-	}
-	if a.Report.Iteration != b.Report.Iteration {
-		t.Fatalf("buggy iteration diverges: %d vs %d", a.Report.Iteration, b.Report.Iteration)
-	}
-	if a.Report.Message != b.Report.Message {
-		t.Fatalf("bug message diverges:\nworkers=1: %s\nworkers=8: %s", a.Report.Message, b.Report.Message)
-	}
-	if a.Executions != b.Executions || a.Choices != b.Choices {
-		t.Fatalf("statistics diverge: %+v vs %+v", a, b)
-	}
-	ad, bd := a.Report.Trace.Decisions, b.Report.Trace.Decisions
-	if len(ad) != len(bd) {
-		t.Fatalf("decision counts diverge: %d vs %d", len(ad), len(bd))
-	}
-	for i := range ad {
-		if ad[i] != bd[i] {
-			t.Fatalf("decision %d diverges: %s vs %s", i, ad[i], bd[i])
-		}
-	}
-
-	rep, err := core.Replay(test, b.Report.Trace, base)
-	if err != nil {
-		t.Fatalf("parallel-found trace did not replay: %v", err)
-	}
-	if rep == nil || rep.Message != b.Report.Message {
-		t.Fatalf("replay reproduced a different violation: %+v vs %+v", rep, b.Report)
-	}
+	res := harnesstest.AssertWorkerCountInvariance(t, build, base, 8)
+	harnesstest.AssertReplayRoundTrip(t, build, res.Report, base)
 }
 
 // TestParallelConfirmationReplayLog: with the confirmation replay enabled,
@@ -73,4 +41,22 @@ func TestParallelConfirmationReplayLog(t *testing.T) {
 			t.Fatalf("confirmation replay failed: %v", res.Report.Log)
 		}
 	}
+}
+
+// TestPortfolioFindsSeededBug: the scheduler portfolio digs out the §2
+// safety bug, attributes it to a member, and the winning trace replays.
+func TestPortfolioFindsSeededBug(t *testing.T) {
+	build := func() core.Test { return Scenario(ScenarioConfig{Monitors: WithSafety}) }
+	po := core.PortfolioOptions{
+		Options: core.Options{Iterations: 5000, MaxSteps: 2000, Seed: 1, Workers: 6, NoReplayLog: true},
+		Members: []string{"random", "pct", "delay"},
+	}
+	res := core.RunPortfolio(build(), po)
+	if !res.BugFound {
+		t.Fatal("portfolio did not find the seeded safety bug")
+	}
+	if res.Portfolio[res.Winner].Scheduler != res.Report.Trace.Scheduler {
+		t.Fatalf("winner attribution mismatch: %+v vs trace %q", res.Portfolio[res.Winner], res.Report.Trace.Scheduler)
+	}
+	harnesstest.AssertReplayRoundTrip(t, build, res.Report, po.Options)
 }

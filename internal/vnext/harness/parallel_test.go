@@ -4,49 +4,46 @@ import (
 	"testing"
 
 	"github.com/gostorm/gostorm/internal/core"
+	"github.com/gostorm/gostorm/internal/harnesstest"
 )
 
 // TestParallelExplorationFindsLivenessBug: the worker pool finds the §3.6
 // liveness bug and hands back a trace that replays, single-threaded, to
-// the identical violation.
+// the identical violation (shared assertions in internal/harnesstest).
 func TestParallelExplorationFindsLivenessBug(t *testing.T) {
-	cfg := HarnessConfig{Scenario: ScenarioFailAndRepair}
+	build := func() core.Test { return Test(HarnessConfig{Scenario: ScenarioFailAndRepair}) }
 	opts := core.Options{
 		Scheduler: "random", Iterations: 3000, MaxSteps: 3000, Seed: 1,
 		Workers: 4, NoReplayLog: true,
 	}
-	res := core.Run(Test(cfg), opts)
+	res := core.Run(build(), opts)
 	if !res.BugFound || res.Report.Kind != core.LivenessBug {
 		t.Fatalf("liveness bug not found by parallel exploration: %+v", res)
 	}
-	rep, err := core.Replay(Test(cfg), res.Report.Trace, opts)
-	if err != nil {
-		t.Fatalf("parallel-found trace did not replay: %v", err)
-	}
-	if rep == nil || rep.Message != res.Report.Message {
-		t.Fatalf("replay reproduced a different violation: %+v vs %+v", rep, res.Report)
-	}
+	harnesstest.AssertReplayRoundTrip(t, build, res.Report, opts)
 }
 
 // TestParallelWorkerCountsAgree: one worker and four workers report the
-// same buggy iteration and trace for a fixed seed under the
-// per-iteration-deterministic random scheduler.
+// same buggy iteration, statistics and trace for a fixed seed.
 func TestParallelWorkerCountsAgree(t *testing.T) {
-	cfg := HarnessConfig{Scenario: ScenarioFailAndRepair}
+	build := func() core.Test { return Test(HarnessConfig{Scenario: ScenarioFailAndRepair}) }
 	base := core.Options{
 		Scheduler: "random", Iterations: 3000, MaxSteps: 3000, Seed: 1, NoReplayLog: true,
 	}
-	w1 := base
-	w1.Workers = 1
-	w4 := base
-	w4.Workers = 4
-	a := core.Run(Test(cfg), w1)
-	b := core.Run(Test(cfg), w4)
-	if !a.BugFound || !b.BugFound {
-		t.Fatalf("bug not found: workers=1 %v, workers=4 %v", a.BugFound, b.BugFound)
+	harnesstest.AssertWorkerCountInvariance(t, build, base, 4)
+}
+
+// TestPortfolioFindsLivenessBug: the portfolio surfaces the §3.6 liveness
+// bug and the winning member's trace replays to the same violation.
+func TestPortfolioFindsLivenessBug(t *testing.T) {
+	build := func() core.Test { return Test(HarnessConfig{Scenario: ScenarioFailAndRepair}) }
+	po := core.PortfolioOptions{
+		Options: core.Options{Iterations: 3000, MaxSteps: 3000, Seed: 1, Workers: 6, NoReplayLog: true},
+		Members: []string{"random", "pct", "delay"},
 	}
-	if a.Report.Iteration != b.Report.Iteration || a.Choices != b.Choices {
-		t.Fatalf("worker counts disagree: iteration %d/%d, choices %d/%d",
-			a.Report.Iteration, b.Report.Iteration, a.Choices, b.Choices)
+	res := core.RunPortfolio(build(), po)
+	if !res.BugFound || res.Report.Kind != core.LivenessBug {
+		t.Fatalf("liveness bug not found by the portfolio: %+v", res)
 	}
+	harnesstest.AssertReplayRoundTrip(t, build, res.Report, po.Options)
 }
