@@ -142,6 +142,114 @@ func BenchmarkParallelMTable(b *testing.B) {
 	}
 }
 
+// --- Fault plane ---
+
+// faultBenchNode is a trivial workload node: it counts pings and answers.
+type faultBenchNode struct{}
+
+func (faultBenchNode) Name() string { return "node" }
+
+// legacyFaultTest is the pre-fault-plane idiom: a hand-rolled timer
+// machine driven by RandomBool and a hand-rolled injector machine driven
+// by RandomBool/RandomInt sending a "die" event the victim handles — what
+// replsys, vnext and fabric each re-implemented before the fault plane.
+func legacyFaultTest() core.Test {
+	return core.Test{
+		Name: "bench-fault-legacy",
+		Entry: func(ctx *core.Context) {
+			var nodes []core.MachineID
+			for i := 0; i < 3; i++ {
+				nodes = append(nodes, ctx.CreateMachine(&core.FuncMachine{
+					OnEvent: func(ctx *core.Context, ev core.Event) {
+						if ev.Name() == "die" {
+							ctx.Halt()
+						}
+					},
+				}, fmt.Sprintf("node%d", i)))
+			}
+			// Hand-rolled timer: RandomBool decides each round.
+			ctx.CreateMachine(&core.FuncMachine{
+				OnInit: func(ctx *core.Context) { ctx.Send(ctx.ID(), core.Signal("repeat")) },
+				OnEvent: func(ctx *core.Context, ev core.Event) {
+					if ctx.RandomBool() {
+						ctx.Send(nodes[0], core.Signal("tick"))
+					}
+					ctx.Send(ctx.ID(), core.Signal("repeat"))
+				},
+			}, "timer")
+			// Hand-rolled injector: RandomBool gates, RandomInt picks.
+			injected := false
+			ctx.CreateMachine(&core.FuncMachine{
+				OnInit: func(ctx *core.Context) { ctx.Send(ctx.ID(), core.Signal("maybe")) },
+				OnEvent: func(ctx *core.Context, ev core.Event) {
+					if injected {
+						ctx.Halt()
+					}
+					if ctx.RandomBool() {
+						injected = true
+						ctx.Send(nodes[ctx.RandomInt(len(nodes))], core.Signal("die"))
+					}
+					ctx.Send(ctx.ID(), core.Signal("maybe"))
+				},
+			}, "injector")
+		},
+	}
+}
+
+// faultPlaneTest is the same workload on the shared primitives: a runtime
+// timer and the core FaultInjector, budgeted by Faults.
+func faultPlaneTest() core.Test {
+	return core.Test{
+		Name: "bench-fault-plane",
+		Entry: func(ctx *core.Context) {
+			var nodes []core.MachineID
+			for i := 0; i < 3; i++ {
+				nodes = append(nodes, ctx.CreateMachine(&core.FuncMachine{
+					OnEvent: func(ctx *core.Context, ev core.Event) {},
+				}, fmt.Sprintf("node%d", i)))
+			}
+			ctx.StartTimer("timer", nodes[0], core.Signal("tick"))
+			ctx.CreateMachine(&core.FaultInjector{
+				Candidates: func() []core.MachineID { return nodes },
+			}, "injector")
+		},
+		Faults: core.Faults{MaxCrashes: 1},
+	}
+}
+
+// BenchmarkFaultPlane compares fault injection through the shared fault
+// plane (typed choice points, budget bookkeeping, dedicated decision
+// kinds) against the legacy hand-rolled RandomBool idiom it replaced, in
+// executions/sec. The fault plane should cost no more than the idiom —
+// it makes the same number of scheduler calls, just typed.
+func BenchmarkFaultPlane(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		build func() core.Test
+	}{
+		{"legacy", legacyFaultTest},
+		{"faultplane", faultPlaneTest},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			execs := 0
+			for i := 0; i < b.N; i++ {
+				res := core.Run(tc.build(), core.Options{
+					Scheduler: "random", Iterations: 64, MaxSteps: 500,
+					Seed: int64(i + 1), NoLivenessBoundCheck: true, NoReplayLog: true,
+				})
+				if res.BugFound {
+					b.Fatalf("unexpected bug: %v", res.Report.Error())
+				}
+				execs += res.Executions
+			}
+			b.StopTimer()
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(execs)/s, "execs/s")
+			}
+		})
+	}
+}
+
 // --- Table 1 ---
 
 // BenchmarkTable1 regenerates the modeling statistics (machine metadata

@@ -44,6 +44,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed        = fs.Int64("seed", 0, "base random seed")
 		workers     = fs.Int("workers", 0, "parallel exploration workers (0 = one per CPU; dfs and replay always use 1); split across portfolio members")
 		temperature = fs.Int("temperature", 0, "liveness temperature threshold (0 = bound check only)")
+		faults      = fs.String("faults", "", "fault budget override, e.g. crashes=1,drops=2,dups=1 (empty = scenario default; all zeros = disable)")
+		maxCrashes  = fs.Int("max-crashes", 0, "adjust the crashes component of the fault budget, keeping the scenario's other allowances (0 = scenario default)")
 		traceOut    = fs.String("trace-out", "", "write the buggy trace to this file")
 		replay      = fs.String("replay", "", "replay a trace file instead of exploring")
 		verbose     = fs.Bool("v", false, "print the detailed execution log of the violation")
@@ -79,6 +81,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
+	faultsOverride, err := parseFaults(*faults, *maxCrashes)
+	if err != nil {
+		fmt.Fprintln(stderr, "systest:", err)
+		return 2
+	}
 	if *test == "" {
 		fmt.Fprintln(stderr, "systest: -test is required (use -list to see scenarios)")
 		return 2
@@ -87,6 +94,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "systest:", err)
 		return 2
+	}
+	if faultsOverride == nil && *maxCrashes > 0 {
+		// -max-crashes without -faults adjusts only the crashes component
+		// of the scenario's declared budget, keeping its drop/duplicate
+		// allowances intact.
+		f := entry.Build().Faults
+		f.MaxCrashes = *maxCrashes
+		faultsOverride = &f
 	}
 	ov := catalog.Overrides{
 		Scheduler:   *scheduler,
@@ -97,6 +112,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Workers:     *workers,
 		Temperature: *temperature,
 		Portfolio:   members,
+		Faults:      faultsOverride,
 	}
 
 	if *replay != "" {
@@ -134,14 +150,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if budget <= 0 {
 			budget = runtime.NumCPU()
 		}
+		test := entry.Build()
 		// The engine gives every member at least one worker, so the true
 		// fleet size is in the per-member lines below; the banner reports
 		// the requested budget.
-		fmt.Fprintf(stdout, "racing a %s portfolio on %s (up to %d executions of %d steps per member, seed %d, %d-worker budget across %d members)\n",
+		fmt.Fprintf(stdout, "racing a %s portfolio on %s (up to %d executions of %d steps per member, seed %d, %d-worker budget across %d members, faults %s)\n",
 			strings.Join(members, "+"), entry.Name,
 			orDefault(po.Iterations, 10000), orDefault(po.MaxSteps, 10000),
-			po.Seed, budget, len(members))
-		res = core.RunPortfolio(entry.Build(), po)
+			po.Seed, budget, len(members), describeFaults(po.Options, test))
+		res = core.RunPortfolio(test, po)
 		for m, ms := range res.Portfolio {
 			marker := " "
 			if ms.Winner {
@@ -157,10 +174,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "systest:", err)
 			return 2
 		}
-		fmt.Fprintf(stdout, "exploring %s with the %s scheduler (up to %d executions of %d steps, seed %d, %s)\n",
+		test := entry.Build()
+		fmt.Fprintf(stdout, "exploring %s with the %s scheduler (up to %d executions of %d steps, seed %d, %s, faults %s)\n",
 			entry.Name, opts.Scheduler, orDefault(opts.Iterations, 10000), orDefault(opts.MaxSteps, 10000),
-			opts.Seed, describeWorkers(opts.Workers, factory.Sequential()))
-		res = core.Run(entry.Build(), opts)
+			opts.Seed, describeWorkers(opts.Workers, factory.Sequential()), describeFaults(opts, test))
+		res = core.Run(test, opts)
 	}
 	fmt.Fprintln(stdout, res.String())
 	if !res.BugFound {
@@ -206,11 +224,40 @@ func parsePortfolio(spec, scheduler string, schedulerSet bool) ([]string, error)
 	return members, nil
 }
 
+// parseFaults turns the -faults spec into an optional wholesale budget
+// override (nil = no spec given). A non-empty spec always overrides —
+// "-faults crashes=0" (all zeros) disables the scenario's fault plane
+// entirely. An explicit -max-crashes wins over the spec's crashes
+// component; with no spec it instead adjusts only the crashes component
+// of the scenario's declared budget (see run).
+func parseFaults(spec string, maxCrashes int) (*core.Faults, error) {
+	if maxCrashes < 0 {
+		return nil, fmt.Errorf("-max-crashes must be non-negative, got %d", maxCrashes)
+	}
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	f, err := core.ParseFaultsSpec(spec)
+	if err != nil {
+		return nil, fmt.Errorf("-faults: %v", err)
+	}
+	if maxCrashes > 0 {
+		f.MaxCrashes = maxCrashes
+	}
+	return &f, nil
+}
+
 func orDefault(v, def int) int {
 	if v > 0 {
 		return v
 	}
 	return def
+}
+
+// describeFaults renders the run's effective fault budget, exactly as the
+// engine resolves it.
+func describeFaults(o core.Options, t core.Test) string {
+	return o.EffectiveFaults(t).String()
 }
 
 func describeWorkers(w int, sequential bool) string {

@@ -88,6 +88,76 @@ func TestCLISmoke(t *testing.T) {
 	}
 }
 
+// TestCLIFaultPlaneRoundTrip drives a fault-budgeted scenario end to end:
+// the banner reports the scenario's declared crash budget, the buggy
+// trace (which contains the new fault decision kinds) is written to disk,
+// and -replay reproduces the violation from the file.
+func TestCLIFaultPlaneRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the real binary")
+	}
+	trace := filepath.Join(t.TempDir(), "fault.trace")
+	out, code := runSystest(t,
+		"-test", "ExtentNodeLivenessViolation",
+		"-seed", "1", "-iterations", "2000", "-trace-out", trace)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (bug found):\n%s", code, out)
+	}
+	if !strings.Contains(out, "faults crashes=1") {
+		t.Fatalf("banner does not report the scenario's crash budget:\n%s", out)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	if !strings.Contains(string(data), `"version": 1`) {
+		t.Fatalf("trace is not version 1:\n%.300s", data)
+	}
+	if !strings.Contains(string(data), `"k": "c"`) || !strings.Contains(string(data), `"k": "t"`) {
+		t.Fatalf("trace lacks crash/timer decision kinds:\n%.300s", data)
+	}
+	out, code = runSystest(t, "-test", "ExtentNodeLivenessViolation", "-replay", trace)
+	if code != 0 || !strings.Contains(out, "replay reproduced:") {
+		t.Fatalf("fault-plane replay failed (exit %d):\n%s", code, out)
+	}
+
+	// An explicit override is visible in the banner too.
+	out, code = runSystest(t,
+		"-test", "vnext-repair", "-faults", "crashes=1,drops=2,dups=1",
+		"-iterations", "5", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("override run exit = %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "faults crashes=1 drops=2 dups=1") {
+		t.Fatalf("banner does not report the override:\n%s", out)
+	}
+
+	// -max-crashes alone adjusts only the crashes component, keeping the
+	// lossy scenario's declared drop/duplicate allowances.
+	out, code = runSystest(t,
+		"-test", "vnext-repair-lossy", "-max-crashes", "2",
+		"-iterations", "5", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("max-crashes run exit = %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "faults crashes=2 drops=3 dups=2") {
+		t.Fatalf("-max-crashes did not merge into the scenario budget:\n%s", out)
+	}
+
+	// An explicit all-zero budget disables the scenario's declared
+	// faults: the liveness scenario cannot fail without its crash, and
+	// the banner reports the disabled plane.
+	out, code = runSystest(t,
+		"-test", "ExtentNodeLivenessViolation", "-faults", "crashes=0",
+		"-iterations", "50", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("disabled-faults run exit = %d, want 0 (no crash, no bug):\n%s", code, out)
+	}
+	if !strings.Contains(out, "faults -") {
+		t.Fatalf("banner does not report the disabled fault plane:\n%s", out)
+	}
+}
+
 // TestCLIValidatesFlagsUpFront pins the fix for deferred validation: bad
 // flags fail immediately with a pointed message and exit code 2, never as
 // an engine panic mid-run.
@@ -109,6 +179,9 @@ func TestCLIValidatesFlagsUpFront(t *testing.T) {
 		{"explicit default scheduler still conflicts", []string{"-test", "replsys", "-scheduler", "random", "-portfolio", "pct,delay"}, "conflicts"},
 		{"missing test", []string{"-scheduler", "random"}, "-test is required"},
 		{"unknown scenario", []string{"-test", "nope"}, "unknown scenario"},
+		{"bad faults key", []string{"-test", "replsys", "-faults", "bogus=1"}, "unknown key"},
+		{"bad faults value", []string{"-test", "replsys", "-faults", "crashes=x"}, "non-negative integer"},
+		{"negative max-crashes", []string{"-test", "replsys", "-max-crashes", "-3"}, "-max-crashes must be non-negative"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -93,13 +93,14 @@ func main() {
 
 	fmt.Printf("Table 2: random, priority-based and portfolio schedulers, up to %d executions per cell\n", *iterations)
 	fmt.Println("(c) = custom test case pinning the triggering inputs; (*) = notional bug")
+	fmt.Println("faults = the scenario's fault-plane budget (crashes/drops/dups per execution; - = none)")
 	fmt.Println()
-	fmt.Printf("%-2s %-38s | %-3s %12s %8s | %-3s %12s %8s", "CS", "Bug Identifier", "BF?", "Time(s)", "#NDC", "BF?", "Time(s)", "#NDC")
+	fmt.Printf("%-2s %-38s %-10s | %-3s %12s %8s | %-3s %12s %8s", "CS", "Bug Identifier", "faults", "BF?", "Time(s)", "#NDC", "BF?", "Time(s)", "#NDC")
 	if members != nil {
 		fmt.Printf(" | %-3s %12s %8s %-8s", "BF?", "Time(s)", "#NDC", "winner")
 	}
 	fmt.Println()
-	fmt.Printf("%-2s %-38s | %26s | %26s", "", "", "random scheduler", "priority-based scheduler")
+	fmt.Printf("%-2s %-38s %-10s | %26s | %26s", "", "", "", "random scheduler", "priority-based scheduler")
 	if members != nil {
 		fmt.Printf(" | %35s", "portfolio "+strings.Join(members, "+"))
 	}
@@ -112,9 +113,10 @@ func main() {
 		if r.custom {
 			label += " (c)"
 		}
+		faults := r.build().Faults.String()
 		randCell := runCell(r, "random", *iterations, *seed, *pctDepth, *workers)
 		pctCell := runCell(r, "pct", *iterations, *seed, *pctDepth, *workers)
-		fmt.Printf("%-2s %-38s | %s | %s", r.cs, label, randCell, pctCell)
+		fmt.Printf("%-2s %-38s %-10s | %s | %s", r.cs, label, faults, randCell, pctCell)
 		if members != nil {
 			fmt.Printf(" | %s", runPortfolioCell(r, members, *iterations, *seed, *pctDepth, *workers))
 		}

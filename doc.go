@@ -37,6 +37,40 @@
 //   - The winning trace replays exactly, single-threaded, like any other
 //     trace the engine reports.
 //
+// # Fault plane
+//
+// Every classic fault of a distributed storage system is a first-class,
+// scheduler-controlled choice point of the runtime rather than a
+// harness-local RandomBool idiom:
+//
+//   - Timers: Context.StartTimer creates a nondeterministically firing
+//     timer (the P# timer model); at every opportunity the scheduler
+//     decides whether it fires, recorded as a DecisionTimer.
+//     Context.StopTimer silences it.
+//   - Crash/restart: Context.CrashPoint offers the scheduler a crash of
+//     one of the candidate machines (DecisionCrash); Context.Crash and
+//     Context.Restart are the deterministic commands — an abrupt halt
+//     that discards the inbox, and an in-place re-creation with fresh
+//     state under the same MachineID. The shared FaultInjector machine
+//     packages the common "crash one node at a scheduler-chosen moment"
+//     scenario.
+//   - Message faults: Context.SendUnreliable lets the scheduler drop or
+//     duplicate a delivery (DecisionDeliver) on the modeled network.
+//
+// Budgets and determinism: faults are budgeted per execution by Faults
+// {MaxCrashes, MaxDrops, MaxDuplicates} — a Test declares the budget its
+// scenario is built for, Options.Faults overrides it wholesale, and the
+// zero budget disables the fault plane entirely (SendUnreliable becomes
+// Send, CrashPoint declines, injectors halt). Every fault outcome is a
+// typed Decision in the trace, so buggy executions replay bit-exactly —
+// replay validates kind, subject and outcome and reports a divergence
+// otherwise — and traces are versioned (TraceVersion): version-0 traces
+// from before the fault plane still decode and replay, while unknown
+// versions or decision kinds are strict decode errors. Schedulers resolve
+// fault choices through FaultScheduler.NextFault; the adaptive schedulers
+// (pct, delay) treat fault points as change-point candidates, spending a
+// change point that lands on one to force a faulty outcome.
+//
 // See README.md for a package tour and the parallel-exploration design,
 // and ROADMAP.md for open items.
 package gostorm

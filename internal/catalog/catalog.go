@@ -45,6 +45,11 @@ type Overrides struct {
 	// scenario instead of running the single Scheduler; see
 	// Entry.PortfolioOptions and core.RunPortfolio.
 	Portfolio []string
+	// Faults, when non-nil, replaces the scenario's fault budget
+	// wholesale via core.Options.Faults. A pointer distinguishes "not
+	// overridden" (nil) from an explicit budget; an explicit all-zero
+	// budget disables the scenario's fault plane (core.Options.NoFaults).
+	Faults *core.Faults
 }
 
 // RunOptions merges the entry's recommended options with CLI overrides.
@@ -68,6 +73,10 @@ func (e Entry) RunOptions(ov Overrides) core.Options {
 	}
 	if ov.Temperature > 0 {
 		o.Temperature = ov.Temperature
+	}
+	if ov.Faults != nil {
+		o.Faults = *ov.Faults
+		o.NoFaults = *ov.Faults == (core.Faults{})
 	}
 	return o
 }
@@ -159,6 +168,28 @@ func All() []Entry {
 			About:   "§4 MigratingTable specification check, fixed system (expected clean)",
 			Build:   func() core.Test { return mharness.Test(mharness.HarnessConfig{}) },
 			Options: core.Options{MaxSteps: 30000, Iterations: 300},
+		},
+		{
+			Name:  "mtable-paced",
+			About: "§4 MigratingTable with the migrator gated by a fault-plane timer (expected clean)",
+			Build: func() core.Test {
+				return mharness.Test(mharness.HarnessConfig{TimerPacedMigrator: true})
+			},
+			// Random scheduler recommended: pct can starve everything but
+			// the pacing timer to the step bound.
+			Options: core.Options{MaxSteps: 30000, Iterations: 60},
+		},
+		{
+			Name:  "vnext-repair-lossy",
+			About: "§3 fail-and-repair under budgeted message loss/duplication (expected clean)",
+			Build: func() core.Test {
+				return vharness.Test(vharness.HarnessConfig{
+					Scenario:     vharness.ScenarioFailAndRepair,
+					Manager:      vnext.Config{IgnoreSyncFromUnknownNodes: true},
+					DropMessages: true,
+				})
+			},
+			Options: core.Options{MaxSteps: 6000, Iterations: 100},
 		},
 		{
 			Name:  "fabric-failover",

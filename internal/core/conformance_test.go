@@ -7,10 +7,12 @@ import (
 
 // conformanceDrive pushes a scheduler through a fixed synthetic workload —
 // a mix of NextMachine calls over varied (sorted, possibly non-contiguous)
-// enabled sets, NextBool, and NextInt over several bounds — validating
-// every answer and returning the decision stream as comparable strings.
+// enabled sets, NextBool, NextInt over several bounds, and NextFault over
+// every fault kind — validating every answer and returning the decision
+// stream as comparable strings.
 func conformanceDrive(t *testing.T, name string, s Scheduler) []string {
 	t.Helper()
+	fs := asFaultScheduler(s)
 	enabledSets := [][]MachineID{
 		{0},
 		{0, 1},
@@ -20,6 +22,13 @@ func conformanceDrive(t *testing.T, name string, s Scheduler) []string {
 		{0, 1, 2, 3, 4, 5, 6, 7},
 		{4},
 		{3, 9},
+	}
+	faultChoices := []FaultChoice{
+		{Kind: FaultTimer, N: 2, Machine: 4},
+		{Kind: FaultCrash, N: 3, Machine: NoMachine, Candidates: []MachineID{1, 5}},
+		{Kind: FaultCrash, N: 5, Machine: NoMachine, Candidates: []MachineID{0, 2, 4, 6}},
+		{Kind: FaultDeliver, N: 3, Machine: 2, Outcomes: []DeliveryOutcome{Deliver, Drop, Duplicate}},
+		{Kind: FaultDeliver, N: 2, Machine: 6, Outcomes: []DeliveryOutcome{Deliver, Duplicate}},
 	}
 	var stream []string
 	current := NoMachine
@@ -45,6 +54,12 @@ func conformanceDrive(t *testing.T, name string, s Scheduler) []string {
 			}
 			stream = append(stream, fmt.Sprintf("i%d/%d", v, n))
 		}
+		c := faultChoices[step%len(faultChoices)]
+		f := fs.NextFault(c)
+		if f < 0 || f >= c.N {
+			t.Fatalf("%s: NextFault(%v/%d) = %d, out of [0, %d)", name, c.Kind, c.N, f, c.N)
+		}
+		stream = append(stream, fmt.Sprintf("f%v:%d/%d", c.Kind, f, c.N))
 	}
 	return stream
 }
@@ -112,6 +127,92 @@ func TestSchedulerConformance(t *testing.T) {
 				}
 				sc := conformanceDrive(t, name, a)
 				assertStreamsEqual(t, name, fmt.Sprintf("re-Prepare, seed %d", seed), sa, sc)
+			}
+		})
+	}
+}
+
+// faultProbeTest is a workload whose every execution — buggy or clean,
+// under any scheduler — records all three fault decision kinds: two
+// unreliable sends (DecisionDeliver), one crash offer (DecisionCrash),
+// and a timer the entry blocks on (DecisionTimer entries accumulate until
+// it fires or the step bound cuts the execution).
+func faultProbeTest() Test {
+	return Test{
+		Name: "fault-probe",
+		Entry: func(ctx *Context) {
+			sink := ctx.CreateMachine(&counterSink{want: -1}, "sink")
+			ctx.SendUnreliable(sink, Signal("ping"))
+			ctx.SendUnreliable(sink, Signal("ping"))
+			ctx.CrashPoint(sink)
+			tid := ctx.StartTimer("T", ctx.ID(), Signal("tick"))
+			ctx.Receive("tick")
+			ctx.StopTimer(tid)
+		},
+	}
+}
+
+// probeFaults is the budget the fault-probe conformance runs use.
+var probeFaults = Faults{MaxCrashes: 1, MaxDrops: 1, MaxDuplicates: 1}
+
+// TestSchedulerConformanceFaultPlane holds every registry scheduler (and,
+// automatically, every future one) to the fault-plane contract: an
+// execution of the fault probe records timer, crash and deliver decision
+// kinds, and the recorded trace round-trips through encode → decode →
+// replay, reproducing the same outcome decision for decision.
+func TestSchedulerConformanceFaultPlane(t *testing.T) {
+	for _, name := range SchedulerNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			f, err := NewSchedulerFactory(name, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Adaptive() {
+				f = f.WithLengthHint(100)
+			}
+			sched := f.New()
+			if !sched.Prepare(11, 300) {
+				t.Fatal("Prepare refused the first execution")
+			}
+			r := newRuntime(sched, runtimeConfig{
+				maxSteps: 300, deadlockDetection: true, faults: probeFaults,
+			})
+			rep := r.execute(faultProbeTest())
+			for _, kind := range []DecisionKind{DecisionTimer, DecisionCrash, DecisionDeliver} {
+				found := false
+				for _, d := range r.decisions {
+					if d.Kind == kind {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("execution recorded no %q decisions", string(kind))
+				}
+			}
+			tr := newTrace("fault-probe", name, 11, probeFaults, append([]Decision(nil), r.decisions...))
+			data, err := tr.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := DecodeTrace(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			confirm, err := Replay(faultProbeTest(), decoded, Options{
+				MaxSteps: 300, Faults: probeFaults, NoReplayLog: true,
+			})
+			if err != nil {
+				t.Fatalf("fault trace did not replay: %v", err)
+			}
+			switch {
+			case rep == nil && confirm != nil:
+				t.Fatalf("clean execution replayed to a violation: %v", confirm.Error())
+			case rep != nil && confirm == nil:
+				t.Fatalf("buggy execution replayed cleanly; recorded: %v", rep.Error())
+			case rep != nil && confirm != nil && rep.Message != confirm.Message:
+				t.Fatalf("replay reproduced %q, recorded %q", confirm.Message, rep.Message)
 			}
 		})
 	}

@@ -29,13 +29,7 @@ func (c *Context) Send(target MachineID, ev Event) {
 	if target < 0 || int(target) >= len(r.machines) {
 		c.Assert(false, "send of %s to unknown machine %d", ev.Name(), target)
 	}
-	t := r.machines[target]
-	if t.status != statusHalted {
-		t.queue = append(t.queue, ev)
-		r.logf("%s send %s -> %s", c.m.label(), ev.Name(), t.label())
-	} else {
-		r.logf("%s send %s -> %s (dropped: target halted)", c.m.label(), ev.Name(), t.label())
-	}
+	c.enqueue(r.machines[target], ev)
 	r.schedulingPoint(c.m)
 }
 
@@ -88,7 +82,7 @@ func (c *Context) ReceiveWhere(desc string, pred func(Event) bool) Event {
 	c.r.yield <- struct{}{}
 	<-m.resume
 	m.status = statusRunning
-	if c.r.killed {
+	if c.r.killed || m.crashed {
 		panic(killSignal{})
 	}
 	ev := m.popMatch(pred)
@@ -128,4 +122,230 @@ func (c *Context) Assert(cond bool, format string, args ...any) {
 // on a buggy trace with richer debug output.
 func (c *Context) Logf(format string, args ...any) {
 	c.r.logf("%s: %s", c.m.label(), fmt.Sprintf(format, args...))
+}
+
+// --- fault plane ---
+//
+// The methods below are the typed fault primitives (see faults.go): each
+// presents the scheduler a FaultChoice and records the outcome as a
+// dedicated Decision kind, so fault scenarios replay exactly and fault
+// points are distinguishable — both in traces and to exploration
+// strategies — from ordinary data choices.
+
+// StartTimer creates a nondeterministically firing timer delivering tick
+// to target — the P# timer model every harness used to hand-roll. The
+// timer is a runtime machine: whenever the scheduler picks it, a
+// FaultTimer choice (recorded as DecisionTimer) decides whether the tick
+// fires, and the timer re-arms either way until StopTimer halts it.
+func (c *Context) StartTimer(name string, target MachineID, tick Event) TimerID {
+	r := c.r
+	if target < 0 || int(target) >= len(r.machines) {
+		c.Assert(false, "StartTimer targeting unknown machine %d", target)
+	}
+	id := r.createMachine(&timerMachine{target: target, tick: tick}, name)
+	r.logf("%s started timer %s(%d) -> %s", c.m.label(), name, id, r.machines[target].label())
+	r.schedulingPoint(c.m)
+	return id
+}
+
+// StopTimer halts a timer started with StartTimer: pending ticks are
+// discarded and no further firing choices are presented.
+func (c *Context) StopTimer(id TimerID) {
+	r := c.r
+	if id < 0 || int(id) >= len(r.machines) {
+		c.Assert(false, "StopTimer of unknown timer %d", id)
+	}
+	m := r.machines[id]
+	if _, ok := m.impl.(*timerMachine); !ok {
+		c.Assert(false, "StopTimer of machine %d (%s), which is not a timer", id, m.label())
+	}
+	r.logf("%s stopped timer %s", c.m.label(), m.label())
+	r.pendingCrash = append(r.pendingCrash, id)
+	r.schedulingPoint(c.m)
+}
+
+// fireTimer resolves one timer-firing choice on behalf of the executing
+// timer machine.
+func (c *Context) fireTimer() bool {
+	r := c.r
+	out := r.sched.NextFault(FaultChoice{Kind: FaultTimer, N: 2, Machine: c.m.id})
+	if out < 0 || out > 1 {
+		panic(fmt.Sprintf("core: %s scheduler: timer fault outcome %d out of [0, 2)", r.sched.Name(), out))
+	}
+	fired := out == 1
+	r.decisions = append(r.decisions, Decision{Kind: DecisionTimer, Machine: c.m.id, Bool: fired})
+	if fired {
+		r.logf("%s fired", c.m.label())
+	}
+	return fired
+}
+
+// CrashPoint offers the scheduler the opportunity to crash one of the
+// candidate machines here — or to decline. Candidates that have already
+// halted are filtered out; the choice is only presented while the run's
+// crash budget (Faults.MaxCrashes) has headroom, and a taken offer is
+// charged against it. The outcome is recorded as DecisionCrash. Returns
+// the crashed machine, or NoMachine when nothing crashed.
+func (c *Context) CrashPoint(candidates ...MachineID) MachineID {
+	r := c.r
+	if r.crashes >= r.faults.MaxCrashes {
+		return NoMachine
+	}
+	live := make([]MachineID, 0, len(candidates))
+	for _, id := range candidates {
+		if id < 0 || int(id) >= len(r.machines) {
+			c.Assert(false, "CrashPoint over unknown machine %d", id)
+		}
+		if r.machines[id].status != statusHalted {
+			live = append(live, id)
+		}
+	}
+	if len(live) == 0 {
+		return NoMachine
+	}
+	n := len(live) + 1
+	out := r.sched.NextFault(FaultChoice{Kind: FaultCrash, N: n, Machine: NoMachine, Candidates: live})
+	if out < 0 || out >= n {
+		panic(fmt.Sprintf("core: %s scheduler: crash fault outcome %d out of [0, %d)", r.sched.Name(), out, n))
+	}
+	victim := NoMachine
+	if out > 0 {
+		victim = live[out-1]
+	}
+	r.decisions = append(r.decisions, Decision{Kind: DecisionCrash, Machine: victim, Int: out, N: n})
+	if victim == NoMachine {
+		return NoMachine
+	}
+	r.crashes++
+	c.Crash(victim)
+	return victim
+}
+
+// Crash unconditionally halts the target machine as if the node it models
+// failed: its inbox is discarded, in-flight handler state is abandoned,
+// and future sends to it are dropped — exactly the fate of a process
+// kill, unlike a cooperative Halt the machine performs itself. Crashing
+// the executing machine is equivalent to Halt. Crash is a deterministic
+// command (no decision is recorded); the nondeterministic form is
+// CrashPoint.
+func (c *Context) Crash(target MachineID) {
+	r := c.r
+	if target < 0 || int(target) >= len(r.machines) {
+		c.Assert(false, "Crash of unknown machine %d", target)
+	}
+	if target == c.m.id {
+		c.Halt()
+	}
+	r.logf("%s crashed %s", c.m.label(), r.machines[target].label())
+	r.pendingCrash = append(r.pendingCrash, target)
+	// Yield so the crash is reaped before the caller's next action: after
+	// Crash returns, the victim is gone from every machine's perspective
+	// (and an immediate Restart finds it halted).
+	r.schedulingPoint(c.m)
+}
+
+// Restart re-creates a crashed (or otherwise halted) machine in place:
+// same MachineID — so routing tables survive — but fresh behavior and an
+// empty inbox, modeling a process restart that lost its volatile state.
+func (c *Context) Restart(id MachineID, impl Machine) {
+	r := c.r
+	if id < 0 || int(id) >= len(r.machines) {
+		c.Assert(false, "Restart of unknown machine %d", id)
+	}
+	if impl == nil {
+		c.Assert(false, "Restart of machine %d with a nil implementation", id)
+	}
+	m := r.machines[id]
+	for _, pending := range r.pendingCrash {
+		if pending == id {
+			c.Assert(false, "Restart of machine %d while its crash is still pending (restart it from a later scheduling point)", id)
+		}
+	}
+	if m.status != statusHalted {
+		c.Assert(false, "Restart of machine %d (%s), which has not halted", id, m.label())
+	}
+	m.impl = impl
+	if d, ok := impl.(Deferrer); ok {
+		m.defr = d
+	} else {
+		m.defr = nil
+	}
+	m.queue = nil
+	m.recvPred = nil
+	m.crashed = false
+	m.status = statusCreated
+	r.logf("%s restarted %s", c.m.label(), m.label())
+	r.schedulingPoint(c.m)
+}
+
+// CrashBudget returns the number of CrashPoint injections the scheduler
+// may still take in this execution. Injector machines halt themselves
+// when it reaches zero.
+func (c *Context) CrashBudget() int {
+	if left := c.r.faults.MaxCrashes - c.r.crashes; left > 0 {
+		return left
+	}
+	return 0
+}
+
+// SendUnreliable sends ev to target over an unreliable link: when the
+// run's delivery-fault budget (Faults.MaxDrops / MaxDuplicates) has
+// headroom, the scheduler chooses the delivery fate — deliver, drop, or
+// duplicate — recorded as DecisionDeliver. With no budget (the zero
+// Faults) it is exactly Send. Harnesses use it on the network paths of
+// the system under test and plain Send for their own scaffolding, which
+// keeps harness control flow outside the fault plane.
+func (c *Context) SendUnreliable(target MachineID, ev Event) {
+	r := c.r
+	if target < 0 || int(target) >= len(r.machines) {
+		c.Assert(false, "unreliable send of %s to unknown machine %d", ev.Name(), target)
+	}
+	if !r.faults.deliveryFaults() {
+		// No delivery budget configured: the common case costs exactly a
+		// Send — no outcome slice, no scheduler call, no decision.
+		c.Send(target, ev)
+		return
+	}
+	outcomes := []DeliveryOutcome{Deliver}
+	if r.drops < r.faults.MaxDrops {
+		outcomes = append(outcomes, Drop)
+	}
+	if r.dups < r.faults.MaxDuplicates {
+		outcomes = append(outcomes, Duplicate)
+	}
+	if len(outcomes) == 1 {
+		c.Send(target, ev)
+		return
+	}
+	idx := r.sched.NextFault(FaultChoice{Kind: FaultDeliver, N: len(outcomes), Machine: target, Outcomes: outcomes})
+	if idx < 0 || idx >= len(outcomes) {
+		panic(fmt.Sprintf("core: %s scheduler: delivery fault outcome %d out of [0, %d)", r.sched.Name(), idx, len(outcomes)))
+	}
+	outcome := outcomes[idx]
+	r.decisions = append(r.decisions, Decision{Kind: DecisionDeliver, Machine: target, Int: int(outcome), N: deliveryOutcomes})
+	t := r.machines[target]
+	switch outcome {
+	case Drop:
+		r.drops++
+		r.logf("%s send %s -> %s (dropped: fault plane)", c.m.label(), ev.Name(), t.label())
+	case Duplicate:
+		r.dups++
+		c.enqueue(t, ev)
+		c.enqueue(t, ev)
+		r.logf("%s send %s -> %s (duplicated: fault plane)", c.m.label(), ev.Name(), t.label())
+	default:
+		c.enqueue(t, ev)
+	}
+	r.schedulingPoint(c.m)
+}
+
+// enqueue appends ev to t's inbox (dropping it when t has halted) without
+// yielding; Send and SendUnreliable share it.
+func (c *Context) enqueue(t *machine, ev Event) {
+	if t.status != statusHalted {
+		t.queue = append(t.queue, ev)
+		c.r.logf("%s send %s -> %s", c.m.label(), ev.Name(), t.label())
+	} else {
+		c.r.logf("%s send %s -> %s (dropped: target halted)", c.m.label(), ev.Name(), t.label())
+	}
 }

@@ -18,6 +18,12 @@ type Test struct {
 	Entry func(ctx *Context)
 	// Monitors are constructors invoked before each execution.
 	Monitors []func() Monitor
+	// Faults is the fault budget the scenario is built for — e.g. a
+	// fail-and-repair scenario declares the one crash its repair story
+	// revolves around. Options.Faults, when any field is set, overrides
+	// it wholesale; the zero value here and there disables the fault
+	// plane (see Faults).
+	Faults Faults
 }
 
 // Options bounds and configures an engine run. The zero value is usable:
@@ -71,6 +77,16 @@ type Options struct {
 	// NoReplayLog skips the confirmation replay that re-runs a buggy
 	// schedule to collect the detailed execution log.
 	NoReplayLog bool
+	// Faults overrides the test's fault budget (Test.Faults) when any
+	// field is set; the zero value defers to the test. Budgets bound the
+	// faults the scheduler may inject per execution — see Faults and the
+	// Context fault primitives (CrashPoint, SendUnreliable).
+	Faults Faults
+	// NoFaults disables the fault plane outright, overriding both Faults
+	// and the test's declared budget — the way to run a fault-budgeted
+	// scenario crash-free (an all-zero Faults cannot express this, since
+	// the zero value defers to the test).
+	NoFaults bool
 	// Progress, if non-nil, is called after every completed execution —
 	// including the buggy final one — with the number completed so far.
 	// Parallel workers serialize the calls under a lock, so the callback
@@ -80,6 +96,54 @@ type Options struct {
 	// Progress count can exceed the canonical Executions of the Result.
 	Progress func(executions int)
 }
+
+// validate rejects option values that used to be silently reinterpreted
+// (negative bounds fell back to defaults, masking caller bugs) with
+// engine-attributed errors. Run, RunPortfolio and Replay panic on a
+// validation error before any execution starts.
+func (o Options) validate() error {
+	for _, c := range []struct {
+		name string
+		v    int
+	}{
+		{"Iterations", o.Iterations},
+		{"MaxSteps", o.MaxSteps},
+		{"Workers", o.Workers},
+		{"PCTDepth", o.PCTDepth},
+		{"Temperature", o.Temperature},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("core: Options.%s must be non-negative, got %d", c.name, c.v)
+		}
+	}
+	return o.Faults.validate("Options.Faults")
+}
+
+// validateTest rejects invalid test declarations (negative fault budgets
+// would otherwise silently disable the fault plane — a harness typo must
+// fail loudly, exactly like a bad Options field).
+func validateTest(t Test) error {
+	return t.Faults.validate("Test.Faults")
+}
+
+// effectiveFaults resolves the fault budget of a run: disabled when
+// NoFaults is set, else Options.Faults when any field is set, else the
+// test's own declared budget.
+func effectiveFaults(t Test, o Options) Faults {
+	if o.NoFaults {
+		return Faults{}
+	}
+	if o.Faults != (Faults{}) {
+		return o.Faults
+	}
+	return t.Faults
+}
+
+// EffectiveFaults reports the fault budget a run of t under these options
+// uses — the single resolution (NoFaults over Options.Faults over
+// Test.Faults) the engine applies, exported so callers surfacing the
+// budget (CLI banners, reports) cannot drift from it.
+func (o Options) EffectiveFaults(t Test) Faults { return effectiveFaults(t, o) }
 
 func (o Options) withDefaults() Options {
 	if o.Scheduler == "" {
@@ -108,13 +172,14 @@ func (o Options) execSeed(i int) int64 {
 	return int64(splitmix64(uint64(o.Seed) + uint64(i)*0x9E3779B97F4A7C15))
 }
 
-func (o Options) runtimeConfig(collectLog bool) runtimeConfig {
+func (o Options) runtimeConfig(t Test, collectLog bool) runtimeConfig {
 	return runtimeConfig{
 		maxSteps:          o.MaxSteps,
 		temperature:       o.Temperature,
 		livenessAtBound:   !o.NoLivenessBoundCheck,
 		deadlockDetection: !o.NoDeadlockDetection,
 		collectLog:        collectLog,
+		faults:            effectiveFaults(t, o),
 	}
 }
 
@@ -181,6 +246,12 @@ func (res Result) String() string {
 // reports the bug with the lowest iteration index — exactly the bug a
 // single-worker run of the same seed reports first.
 func Run(t Test, o Options) Result {
+	if err := o.validate(); err != nil {
+		panic(err)
+	}
+	if err := validateTest(t); err != nil {
+		panic(err)
+	}
 	o = o.withDefaults()
 	f, err := NewSchedulerFactory(o.Scheduler, o.PCTDepth)
 	if err != nil {
@@ -230,19 +301,14 @@ func calibrate(t Test, o Options, f *SchedulerFactory, st *runState) (Result, bo
 	if !sched.Prepare(seed, o.MaxSteps) {
 		return Result{Exhausted: true, Elapsed: time.Since(st.start)}, true
 	}
-	r := newRuntime(sched, o.runtimeConfig(false))
+	r := newRuntime(sched, o.runtimeConfig(t, false))
 	rep := r.execute(t)
 	st.first, st.execs, st.steps = 1, 1, int64(r.steps)
 	if o.Progress != nil {
 		o.Progress(1)
 	}
 	if rep != nil {
-		rep.Trace = &Trace{
-			Test:      t.Name,
-			Scheduler: sched.Name(),
-			Seed:      seed,
-			Decisions: r.decisions,
-		}
+		rep.Trace = newTrace(t.Name, sched.Name(), seed, effectiveFaults(t, o), r.decisions)
 		rep.Iteration = 0
 		res := Result{
 			BugFound:   true,
@@ -275,7 +341,7 @@ func runSequential(t Test, o Options, sched Scheduler, st runState) Result {
 			res.Exhausted = true
 			break
 		}
-		r := newRuntime(sched, o.runtimeConfig(false))
+		r := newRuntime(sched, o.runtimeConfig(t, false))
 		rep := r.execute(t)
 		res.Executions++
 		res.TotalSteps += int64(r.steps)
@@ -283,12 +349,7 @@ func runSequential(t Test, o Options, sched Scheduler, st runState) Result {
 			o.Progress(res.Executions)
 		}
 		if rep != nil {
-			rep.Trace = &Trace{
-				Test:      t.Name,
-				Scheduler: sched.Name(),
-				Seed:      seed,
-				Decisions: r.decisions,
-			}
+			rep.Trace = newTrace(t.Name, sched.Name(), seed, effectiveFaults(t, o), r.decisions)
 			rep.Iteration = i
 			res.BugFound = true
 			res.Report = rep
@@ -368,7 +429,7 @@ func runParallel(t Test, o Options, f SchedulerFactory, workers int, st runState
 					mu.Unlock()
 					return
 				}
-				cfg := o.runtimeConfig(false)
+				cfg := o.runtimeConfig(t, false)
 				cfg.abort = func() bool { return int64(i) >= bugIndex.Load() }
 				r := newRuntime(sched, cfg)
 				rep := r.execute(t)
@@ -391,12 +452,7 @@ func runParallel(t Test, o Options, f SchedulerFactory, workers int, st runState
 					mu.Lock()
 					if int64(i) < bugIndex.Load() {
 						bugIndex.Store(int64(i))
-						rep.Trace = &Trace{
-							Test:      t.Name,
-							Scheduler: sched.Name(),
-							Seed:      seed,
-							Decisions: r.decisions,
-						}
+						rep.Trace = newTrace(t.Name, sched.Name(), seed, effectiveFaults(t, o), r.decisions)
 						rep.Iteration = i
 						bugReport = rep
 					}
@@ -454,12 +510,23 @@ func attachReplayLog(t Test, o Options, rep *BugReport) {
 // Replay re-executes a recorded trace and returns the violation it
 // reproduces (nil if the execution completes cleanly — which for a trace
 // recorded from a bug indicates nondeterminism in the system-under-test).
-// The Options must match the recording run's bounds.
+// The Options must match the recording run's bounds. The fault budget is
+// taken from the trace itself — it shaped which fault choice points the
+// recording run presented, so the trace is authoritative; Options.Faults
+// and the test's declared budget are ignored here.
 func Replay(t Test, tr *Trace, o Options) (*BugReport, error) {
+	if err := o.validate(); err != nil {
+		panic(err)
+	}
+	if err := validateTest(t); err != nil {
+		panic(err)
+	}
 	o = o.withDefaults()
 	sched := newReplayScheduler(tr)
 	sched.Prepare(0, o.MaxSteps)
-	r := newRuntime(sched, o.runtimeConfig(true))
+	cfg := o.runtimeConfig(t, true)
+	cfg.faults = tr.Faults
+	r := newRuntime(sched, cfg)
 	rep := r.execute(t)
 	if r.divergence != nil {
 		return nil, r.divergence

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustPanicWith runs fn and asserts it panics with a message containing
+// want; engine validation is surfaced as an engine-attributed panic
+// before any execution starts.
+func mustPanicWith(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatalf("no panic; want one mentioning %q", want)
+		}
+		msg := ""
+		switch v := p.(type) {
+		case error:
+			msg = v.Error()
+		case string:
+			msg = v
+		default:
+			t.Fatalf("panicked with %T (%v), want an error", p, p)
+		}
+		if !strings.Contains(msg, "core:") || !strings.Contains(msg, want) {
+			t.Fatalf("panic %q is not engine-attributed or lacks %q", msg, want)
+		}
+	}()
+	fn()
+}
+
+// TestOptionsValidation: negative bounds and budgets are rejected up
+// front with engine-attributed errors instead of being silently
+// reinterpreted as defaults (which used to mask caller bugs).
+func TestOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		o    Options
+		want string
+	}{
+		{"negative iterations", Options{Iterations: -1}, "Options.Iterations must be non-negative, got -1"},
+		{"negative max steps", Options{MaxSteps: -5}, "Options.MaxSteps must be non-negative, got -5"},
+		{"negative workers", Options{Workers: -2}, "Options.Workers must be non-negative, got -2"},
+		{"negative pct depth", Options{PCTDepth: -3}, "Options.PCTDepth must be non-negative, got -3"},
+		{"negative temperature", Options{Temperature: -7}, "Options.Temperature must be non-negative, got -7"},
+		{"negative crash budget", Options{Faults: Faults{MaxCrashes: -1}}, "Options.Faults.MaxCrashes must be non-negative, got -1"},
+		{"negative drop budget", Options{Faults: Faults{MaxDrops: -4}}, "Options.Faults.MaxDrops must be non-negative, got -4"},
+		{"negative duplicate budget", Options{Faults: Faults{MaxDuplicates: -9}}, "Options.Faults.MaxDuplicates must be non-negative, got -9"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Run("Run", func(t *testing.T) {
+				mustPanicWith(t, c.want, func() { Run(fixtureTest(), c.o) })
+			})
+			t.Run("RunPortfolio", func(t *testing.T) {
+				mustPanicWith(t, c.want, func() {
+					RunPortfolio(fixtureTest(), PortfolioOptions{Options: c.o, Members: []string{"random"}})
+				})
+			})
+			t.Run("Replay", func(t *testing.T) {
+				mustPanicWith(t, c.want, func() {
+					tr := newTrace("trace-fixture", "random", 1, Faults{}, nil)
+					_, _ = Replay(fixtureTest(), tr, c.o)
+				})
+			})
+		})
+	}
+}
+
+// TestTestFaultsValidation: a negative budget declared on the Test itself
+// fails as loudly as one on Options — it would otherwise silently disable
+// the fault plane.
+func TestTestFaultsValidation(t *testing.T) {
+	bad := fixtureTest()
+	bad.Faults = Faults{MaxCrashes: -1}
+	want := "Test.Faults.MaxCrashes must be non-negative, got -1"
+	mustPanicWith(t, want, func() { Run(bad, Options{Iterations: 1}) })
+	mustPanicWith(t, want, func() {
+		RunPortfolio(bad, PortfolioOptions{Options: Options{Iterations: 1}, Members: []string{"random"}})
+	})
+	mustPanicWith(t, want, func() {
+		_, _ = Replay(bad, newTrace("trace-fixture", "random", 1, Faults{}, nil), Options{})
+	})
+}
+
+// TestOptionsValidationAcceptsZeroAndPositive: the zero value and
+// ordinary positive configurations still pass.
+func TestOptionsValidationAcceptsZeroAndPositive(t *testing.T) {
+	for _, o := range []Options{
+		{},
+		{Iterations: 5, MaxSteps: 100, Workers: 2, PCTDepth: 3, Temperature: 50,
+			Faults: Faults{MaxCrashes: 1, MaxDrops: 2, MaxDuplicates: 3}},
+	} {
+		if err := o.validate(); err != nil {
+			t.Fatalf("valid options rejected: %v", err)
+		}
+	}
+}
+
+// TestParseFaultsSpec covers the CLI budget spec parser.
+func TestParseFaultsSpec(t *testing.T) {
+	got, err := ParseFaultsSpec(" crashes=1, drops=2 , duplicates=3 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != (Faults{MaxCrashes: 1, MaxDrops: 2, MaxDuplicates: 3}) {
+		t.Fatalf("parsed %+v", got)
+	}
+	if got, err := ParseFaultsSpec(""); err != nil || got != (Faults{}) {
+		t.Fatalf("empty spec: %+v, %v", got, err)
+	}
+	for _, bad := range []string{"crashes", "crashes=-1", "crashes=x", "warp=3"} {
+		if _, err := ParseFaultsSpec(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}

@@ -7,9 +7,10 @@
 // whole system: machines run on dedicated goroutines, but exactly one is
 // runnable at any instant, and control passes through explicit handoff
 // points. Every source of nondeterminism — which machine runs next, the
-// outcome of RandomBool/RandomInt choices — is resolved by a pluggable
-// Scheduler and recorded in a Trace, which makes every execution exactly
-// reproducible with the replay scheduler.
+// outcome of RandomBool/RandomInt choices, and the fault plane's timer
+// firings, crash injections and delivery faults (see faults.go) — is
+// resolved by a pluggable Scheduler and recorded in a Trace, which makes
+// every execution exactly reproducible with the replay scheduler.
 //
 // Correctness criteria are expressed as safety monitors (global assertions
 // over notification events) and liveness monitors (hot/cold states; an
@@ -29,13 +30,6 @@ package core
 type Event interface {
 	Name() string
 }
-
-// haltEvent is enqueued internally when a machine is asked to halt
-// asynchronously via Runtime-level failure injection. It is not exported;
-// harnesses model failures with their own events and call Context.Halt.
-type haltEvent struct{}
-
-func (haltEvent) Name() string { return "core.halt" }
 
 // namedEvent is a convenience event carrying nothing but its name. It is
 // useful for simple signals (timer ticks, triggers) in tests and harnesses.

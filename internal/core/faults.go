@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is the fault plane: the runtime primitives that turn every
+// classic fault of a distributed storage system — a timeout firing, a node
+// crashing, a message vanishing or arriving twice — into a typed,
+// scheduler-controlled choice point recorded in the trace. Harnesses used
+// to re-implement these by hand on top of bare RandomBool; hoisting them
+// into the runtime makes fault scenarios consistent across workloads,
+// replayable decision-for-decision, and visible to schedulers that want to
+// prioritize them.
+
+// Faults budgets the scheduler-injected faults of one execution. The zero
+// value disables every fault class: CrashPoint never crashes, and
+// SendUnreliable behaves exactly like Send. A Test may declare the budget
+// its scenario needs (Test.Faults); Options.Faults, when any field is set,
+// overrides it wholesale.
+type Faults struct {
+	// MaxCrashes bounds how many CrashPoint offers the scheduler may take
+	// per execution.
+	MaxCrashes int `json:"crashes,omitempty"`
+	// MaxDrops bounds how many SendUnreliable deliveries may be dropped
+	// per execution.
+	MaxDrops int `json:"drops,omitempty"`
+	// MaxDuplicates bounds how many SendUnreliable deliveries may be
+	// duplicated per execution.
+	MaxDuplicates int `json:"dups,omitempty"`
+}
+
+// enabled reports whether any fault class has a budget.
+func (f Faults) enabled() bool {
+	return f.MaxCrashes > 0 || f.MaxDrops > 0 || f.MaxDuplicates > 0
+}
+
+// deliveryFaults reports whether SendUnreliable has any fault budget.
+func (f Faults) deliveryFaults() bool {
+	return f.MaxDrops > 0 || f.MaxDuplicates > 0
+}
+
+// String renders the budget compactly ("crashes=1 drops=2"), or "-" for a
+// disabled fault plane; the table2 faults column prints exactly this.
+func (f Faults) String() string {
+	if !f.enabled() {
+		return "-"
+	}
+	out := ""
+	add := func(label string, v int) {
+		if v <= 0 {
+			return
+		}
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", label, v)
+	}
+	add("crashes", f.MaxCrashes)
+	add("drops", f.MaxDrops)
+	add("dups", f.MaxDuplicates)
+	return out
+}
+
+// ParseFaultsSpec parses a CLI fault-budget spec of the form
+// "crashes=1,drops=2,dups=1" (any subset of the keys, whitespace
+// tolerated) into a Faults budget. An empty spec is the zero budget.
+func ParseFaultsSpec(spec string) (Faults, error) {
+	var f Faults
+	if strings.TrimSpace(spec) == "" {
+		return f, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Faults{}, fmt.Errorf("core: fault spec %q: %q is not key=value (keys: crashes, drops, dups)", spec, part)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || n < 0 {
+			return Faults{}, fmt.Errorf("core: fault spec %q: %q needs a non-negative integer", spec, part)
+		}
+		switch strings.TrimSpace(key) {
+		case "crashes":
+			f.MaxCrashes = n
+		case "drops":
+			f.MaxDrops = n
+		case "dups", "duplicates":
+			f.MaxDuplicates = n
+		default:
+			return Faults{}, fmt.Errorf("core: fault spec %q: unknown key %q (keys: crashes, drops, dups)", spec, key)
+		}
+	}
+	return f, nil
+}
+
+// validate rejects negative budgets with engine-attributed errors; what
+// names the budget's origin ("Options.Faults" or "Test.Faults").
+func (f Faults) validate(what string) error {
+	for _, c := range []struct {
+		name string
+		v    int
+	}{
+		{"MaxCrashes", f.MaxCrashes},
+		{"MaxDrops", f.MaxDrops},
+		{"MaxDuplicates", f.MaxDuplicates},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("core: %s.%s must be non-negative, got %d", what, c.name, c.v)
+		}
+	}
+	return nil
+}
+
+// FaultKind identifies the class of a fault choice point.
+type FaultKind byte
+
+const (
+	// FaultTimer: should this timer fire now? Two outcomes: 0 = stay
+	// idle, 1 = fire.
+	FaultTimer FaultKind = iota
+	// FaultCrash: crash one of the candidate machines, or decline.
+	// Outcome 0 declines; outcome i crashes candidate i-1.
+	FaultCrash
+	// FaultDeliver: the fate of one unreliable send. Outcomes are the
+	// DeliveryOutcome codes.
+	FaultDeliver
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultTimer:
+		return "timer"
+	case FaultCrash:
+		return "crash"
+	case FaultDeliver:
+		return "deliver"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// FaultChoice describes one fault choice point presented to a scheduler.
+// Outcome 0 is always the benign choice (timer idle, no crash, normal
+// delivery), so strategies that inject sparingly can default to 0 and
+// spend their fault budget only at selected points.
+type FaultChoice struct {
+	Kind FaultKind
+	// N is the number of outcomes; the scheduler answers in [0, N).
+	// N >= 2 always — a choice point with only the benign outcome is not
+	// presented.
+	N int
+	// Machine is the subject: the timer machine, the send target. For
+	// FaultCrash it is NoMachine — the candidates are in Candidates.
+	Machine MachineID
+	// Candidates, for FaultCrash, lists the live machines eligible to
+	// crash (len == N-1; outcome i > 0 crashes Candidates[i-1]). The
+	// trace records the chosen victim, which is what lets a replay
+	// resolve the recorded machine — and diverge loudly — even if the
+	// candidate order ever shifted.
+	Candidates []MachineID
+	// Outcomes, for FaultDeliver, lists the semantic DeliveryOutcome
+	// codes currently affordable under the run's budget (len == N,
+	// Outcomes[0] == Deliver). Schedulers answer with an index into it;
+	// the trace records the semantic code, which is what lets a replay
+	// match the recorded outcome even when budget exhaustion has since
+	// narrowed the outcome space.
+	Outcomes []DeliveryOutcome
+}
+
+// DeliveryOutcome is the semantic outcome of a FaultDeliver choice.
+type DeliveryOutcome int
+
+const (
+	// Deliver: the message arrives normally.
+	Deliver DeliveryOutcome = iota
+	// Drop: the message is lost.
+	Drop
+	// Duplicate: the message arrives twice, back to back.
+	Duplicate
+
+	deliveryOutcomes = 3
+)
+
+func (o DeliveryOutcome) String() string {
+	switch o {
+	case Deliver:
+		return "deliver"
+	case Drop:
+		return "drop"
+	case Duplicate:
+		return "duplicate"
+	default:
+		return fmt.Sprintf("DeliveryOutcome(%d)", int(o))
+	}
+}
+
+// FaultScheduler extends Scheduler with typed fault-choice resolution.
+// Every registry scheduler implements it natively (the adaptive ones treat
+// fault points as change-point candidates); a foreign Scheduler is adapted
+// by the engine with a default that answers uniformly through NextInt, so
+// existing scheduler implementations keep working unchanged.
+type FaultScheduler interface {
+	Scheduler
+	// NextFault resolves one fault choice point, returning an outcome in
+	// [0, c.N). Outcome 0 is the benign choice.
+	NextFault(c FaultChoice) int
+}
+
+// defaultFaults adapts a plain Scheduler to FaultScheduler by answering
+// fault choices uniformly through the scheduler's own NextInt stream.
+type defaultFaults struct{ Scheduler }
+
+func (s defaultFaults) NextFault(c FaultChoice) int { return s.NextInt(c.N) }
+
+// asFaultScheduler returns sched's fault-choice view, adapting if needed.
+func asFaultScheduler(sched Scheduler) FaultScheduler {
+	if fs, ok := sched.(FaultScheduler); ok {
+		return fs
+	}
+	return defaultFaults{sched}
+}
+
+// TimerID identifies a timer started with Context.StartTimer. Timers are
+// runtime machines, so the ID doubles as the timer's MachineID (which is
+// how DecisionTimer records attribute firings).
+type TimerID = MachineID
+
+// timerMachine is the runtime's nondeterministically firing timer (the P#
+// timer model, Figure 9 of the paper): every time the scheduler picks the
+// timer, a FaultTimer choice decides whether the tick is delivered to the
+// target, and the timer re-arms either way. StopTimer halts it.
+type timerMachine struct {
+	target MachineID
+	tick   Event
+}
+
+func (t *timerMachine) Init(ctx *Context) {
+	ctx.Send(ctx.ID(), Signal("core.timer.armed"))
+}
+
+func (t *timerMachine) Handle(ctx *Context, ev Event) {
+	if ctx.fireTimer() {
+		ctx.Send(t.target, t.tick)
+	}
+	ctx.Send(ctx.ID(), Signal("core.timer.armed"))
+}
+
+// FaultInjector is the shared crash-injection machine (the paper's
+// TestingDriver failure logic, hoisted out of the harnesses): at every
+// scheduling opportunity it offers the scheduler a CrashPoint over the
+// current candidate set, invokes OnCrash when an injection is taken, and
+// halts itself once the crash budget is spent — so a run with a zero
+// budget quiesces exactly like a run with no injector at all.
+type FaultInjector struct {
+	// Candidates returns the machines currently eligible to crash. It is
+	// consulted at every injection opportunity, so it may track a system
+	// whose membership evolves (replica sets, extent-node fleets). Halted
+	// machines are filtered out by CrashPoint; an empty set simply defers
+	// the offer.
+	Candidates func() []MachineID
+	// OnCrash runs right after a machine crashed — the harness's hook to
+	// notify monitors, inform managers, or launch replacements.
+	OnCrash func(ctx *Context, victim MachineID)
+}
+
+// Init implements Machine.
+func (in *FaultInjector) Init(ctx *Context) {
+	ctx.Send(ctx.ID(), Signal("core.inject"))
+}
+
+// Handle implements Machine: one crash offer per scheduling of the
+// injector, until the budget is gone.
+func (in *FaultInjector) Handle(ctx *Context, ev Event) {
+	if ctx.CrashBudget() <= 0 {
+		ctx.Halt()
+	}
+	victim := ctx.CrashPoint(in.Candidates()...)
+	if victim != NoMachine && in.OnCrash != nil {
+		in.OnCrash(ctx, victim)
+	}
+	if ctx.CrashBudget() <= 0 {
+		ctx.Halt()
+	}
+	ctx.Send(ctx.ID(), Signal("core.inject"))
+}

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// --- fault-plane workloads ---
+
+// timerBugTest seeds a bug that manifests exactly when the timer fires:
+// finding it proves the scheduler controls timer firing, and its trace
+// must carry DecisionTimer entries.
+func timerBugTest() Test {
+	return Test{
+		Name: "fault-timer",
+		Entry: func(ctx *Context) {
+			tid := ctx.StartTimer("T", ctx.ID(), Signal("tick"))
+			ctx.Receive("tick")
+			ctx.StopTimer(tid)
+			ctx.Assert(false, "tick delivered")
+		},
+	}
+}
+
+// counterSink counts every "ping" it receives and checks the count when
+// "done" arrives; delivery faults on the pings break the expectation.
+type counterSink struct {
+	want int
+	got  int
+}
+
+func (s *counterSink) Init(*Context) {}
+func (s *counterSink) Handle(ctx *Context, ev Event) {
+	switch ev.Name() {
+	case "ping":
+		s.got++
+	case "done":
+		ctx.Assert(s.got == s.want, "received %d of %d pings", s.got, s.want)
+	}
+}
+
+// deliveryBugTest sends pings over an unreliable link; with any drop or
+// duplicate budget, schedules exist where the count check fails.
+func deliveryBugTest(pings int) Test {
+	return Test{
+		Name: "fault-delivery",
+		Entry: func(ctx *Context) {
+			sink := ctx.CreateMachine(&counterSink{want: pings}, "sink")
+			for i := 0; i < pings; i++ {
+				ctx.SendUnreliable(sink, Signal("ping"))
+			}
+			ctx.Send(sink, Signal("done"))
+		},
+	}
+}
+
+// crashBugTest offers the scheduler a crash of the sink before pinging
+// it; a taken crash silences the sink, and the entry's follow-up receive
+// then deadlocks — so finding the deadlock proves the crash happened.
+func crashBugTest() Test {
+	return Test{
+		Name: "fault-crash",
+		Entry: func(ctx *Context) {
+			sink := ctx.CreateMachine(&echoMachine{}, "sink")
+			ctx.CrashPoint(sink)
+			ctx.Send(sink, pingEvent{From: ctx.ID()})
+			ctx.Receive("echo")
+		},
+	}
+}
+
+// echoMachine answers every ping with an echo to the sender.
+type echoMachine struct{}
+
+func (echoMachine) Init(*Context) {}
+func (echoMachine) Handle(ctx *Context, ev Event) {
+	if p, ok := ev.(pingEvent); ok {
+		ctx.Send(p.From, Signal("echo"))
+	}
+}
+
+type pingEvent struct{ From MachineID }
+
+func (pingEvent) Name() string { return "ping" }
+
+func hasDecisionKind(tr *Trace, kind DecisionKind) bool {
+	for _, d := range tr.Decisions {
+		if d.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// assertFaultTraceReplays encodes, decodes and replays a fault trace and
+// checks the replay reproduces the identical violation.
+func assertFaultTraceReplays(t *testing.T, test Test, res Result, o Options) {
+	t.Helper()
+	data, err := res.Report.Trace.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	tr, err := DecodeTrace(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if tr.Version != TraceVersion {
+		t.Fatalf("trace version %d, want %d", tr.Version, TraceVersion)
+	}
+	rep, err := Replay(test, tr, o)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if rep == nil {
+		t.Fatal("replay reproduced no violation")
+	}
+	if rep.Message != res.Report.Message || rep.Kind != res.Report.Kind {
+		t.Fatalf("replay reproduced (%v, %q), recorded (%v, %q)",
+			rep.Kind, rep.Message, res.Report.Kind, res.Report.Message)
+	}
+}
+
+// --- tests ---
+
+func TestTimerFiringIsSchedulerControlled(t *testing.T) {
+	o := Options{Scheduler: "random", Iterations: 20, MaxSteps: 200, Seed: 1, NoReplayLog: true}
+	res := Run(timerBugTest(), o)
+	if !res.BugFound {
+		t.Fatal("timer never fired in 20 executions")
+	}
+	if !hasDecisionKind(res.Report.Trace, DecisionTimer) {
+		t.Fatal("buggy trace has no DecisionTimer entries")
+	}
+	assertFaultTraceReplays(t, timerBugTest(), res, o)
+}
+
+func TestStopTimerSilencesTimer(t *testing.T) {
+	test := Test{
+		Name: "stop-timer",
+		Entry: func(ctx *Context) {
+			tid := ctx.StartTimer("T", ctx.ID(), Signal("tick"))
+			ctx.Receive("tick")
+			ctx.StopTimer(tid)
+			// With the timer halted the system quiesces; a still-live
+			// timer would spin to the step bound instead.
+			ctx.Assert(ctx.Step() < 150, "timer kept the execution alive")
+		},
+	}
+	res := Run(test, Options{Scheduler: "random", Iterations: 30, MaxSteps: 400, Seed: 2})
+	if res.BugFound {
+		t.Fatalf("unexpected bug: %v", res.Report.Error())
+	}
+}
+
+func TestDeliveryFaultsDropAndDuplicate(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		faults Faults
+	}{
+		{"drop", Faults{MaxDrops: 1}},
+		{"duplicate", Faults{MaxDuplicates: 1}},
+		{"both", Faults{MaxDrops: 1, MaxDuplicates: 1}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			o := Options{Scheduler: "random", Iterations: 50, MaxSteps: 300, Seed: 1,
+				Faults: tc.faults, NoReplayLog: true}
+			res := Run(deliveryBugTest(3), o)
+			if !res.BugFound {
+				t.Fatal("no delivery fault was injected in 50 executions")
+			}
+			if !hasDecisionKind(res.Report.Trace, DecisionDeliver) {
+				t.Fatal("buggy trace has no DecisionDeliver entries")
+			}
+			if !strings.Contains(res.Report.Message, "pings") {
+				t.Fatalf("unexpected violation: %s", res.Report.Message)
+			}
+			assertFaultTraceReplays(t, deliveryBugTest(3), res, o)
+		})
+	}
+}
+
+func TestDeliveryFaultsDisabledByZeroBudget(t *testing.T) {
+	res := Run(deliveryBugTest(3), Options{Scheduler: "random", Iterations: 100, MaxSteps: 300, Seed: 1})
+	if res.BugFound {
+		t.Fatalf("delivery fault injected with a zero budget: %v", res.Report.Error())
+	}
+	if res.Choices != 0 && res.Report != nil {
+		t.Fatal("unexpected report")
+	}
+}
+
+func TestCrashPointCrashesWithinBudget(t *testing.T) {
+	o := Options{Scheduler: "random", Iterations: 20, MaxSteps: 300, Seed: 1,
+		Faults: Faults{MaxCrashes: 1}, NoReplayLog: true}
+	res := Run(crashBugTest(), o)
+	if !res.BugFound {
+		t.Fatal("crash never taken in 20 executions")
+	}
+	if res.Report.Kind != DeadlockBug {
+		t.Fatalf("kind = %v, want deadlock (sink crashed before echo): %s", res.Report.Kind, res.Report.Message)
+	}
+	if !hasDecisionKind(res.Report.Trace, DecisionCrash) {
+		t.Fatal("buggy trace has no DecisionCrash entries")
+	}
+	assertFaultTraceReplays(t, crashBugTest(), res, o)
+}
+
+func TestCrashPointRespectsZeroBudget(t *testing.T) {
+	res := Run(crashBugTest(), Options{Scheduler: "random", Iterations: 50, MaxSteps: 300, Seed: 1})
+	if res.BugFound {
+		t.Fatalf("crash taken with a zero budget: %v", res.Report.Error())
+	}
+}
+
+// TestCrashDropsQueueAndSilencesSends: after Crash the victim never runs
+// again — queued events are discarded and later sends dropped — and
+// Restart brings the same MachineID back with fresh behavior.
+func TestCrashAndRestartSemantics(t *testing.T) {
+	test := Test{
+		Name: "crash-restart",
+		Entry: func(ctx *Context) {
+			v := ctx.CreateMachine(&echoMachine{}, "victim")
+			ctx.Send(v, pingEvent{From: ctx.ID()})
+			ctx.Receive("echo") // the original incarnation answered
+			ctx.Crash(v)
+			// Dropped: the victim is halted from the crasher's next
+			// action onward.
+			ctx.Send(v, pingEvent{From: ctx.ID()})
+			ctx.Restart(v, &counterSink{want: 2})
+			// The restarted incarnation starts from scratch: its count
+			// must be exactly the two pings below, nothing inherited and
+			// nothing replayed from the discarded queue.
+			ctx.Send(v, Signal("ping"))
+			ctx.Send(v, Signal("ping"))
+			ctx.Send(v, Signal("done"))
+		},
+	}
+	// Every schedule must be clean: the assertion inside counterSink
+	// fails if crash/restart leaks state or delivers discarded events.
+	res := Run(test, Options{Scheduler: "random", Iterations: 200, MaxSteps: 400, Seed: 3})
+	if res.BugFound {
+		t.Fatalf("crash/restart semantics violated: %v\n%s", res.Report.Error(), res.Report.FormatLog())
+	}
+	// And the dfs scheduler agrees on every interleaving.
+	res = Run(test, Options{Scheduler: "dfs", Iterations: 5000, MaxSteps: 400})
+	if res.BugFound {
+		t.Fatalf("dfs found a crash/restart violation: %v", res.Report.Error())
+	}
+}
+
+// TestFaultInjectorLifecycle: the shared injector machine crashes within
+// its budget, reports through OnCrash, and halts itself when the budget
+// is spent — with a zero budget it halts immediately, leaving schedules
+// untouched.
+func TestFaultInjectorLifecycle(t *testing.T) {
+	build := func() Test {
+		return Test{
+			Name: "injector",
+			Entry: func(ctx *Context) {
+				a := ctx.CreateMachine(&echoMachine{}, "a")
+				b := ctx.CreateMachine(&echoMachine{}, "b")
+				ctx.CreateMachine(&FaultInjector{
+					Candidates: func() []MachineID { return []MachineID{a, b} },
+					OnCrash: func(ctx *Context, victim MachineID) {
+						ctx.Assert(false, "injector crashed machine %d", victim)
+					},
+				}, "Injector")
+			},
+		}
+	}
+	o := Options{Scheduler: "random", Iterations: 20, MaxSteps: 300, Seed: 1,
+		Faults: Faults{MaxCrashes: 1}, NoReplayLog: true}
+	res := Run(build(), o)
+	if !res.BugFound {
+		t.Fatal("injector never crashed anything in 20 executions")
+	}
+	if !strings.Contains(res.Report.Message, "injector crashed machine") {
+		t.Fatalf("unexpected violation: %s", res.Report.Message)
+	}
+	assertFaultTraceReplays(t, build(), res, o)
+
+	// Zero budget: the injector halts immediately and the run is clean.
+	res = Run(build(), Options{Scheduler: "random", Iterations: 20, MaxSteps: 300, Seed: 1})
+	if res.BugFound {
+		t.Fatalf("injector acted on a zero budget: %v", res.Report.Error())
+	}
+}
+
+// TestFaultBudgetsAreCaps: with MaxDrops = 2 no schedule can drop three
+// messages — the sink's lower bound on received pings cannot be violated.
+func TestFaultBudgetsAreCaps(t *testing.T) {
+	test := Test{
+		Name: "budget-cap",
+		Entry: func(ctx *Context) {
+			sink := ctx.CreateMachine(&minSink{min: 3}, "sink")
+			for i := 0; i < 5; i++ {
+				ctx.SendUnreliable(sink, Signal("ping"))
+			}
+			ctx.Send(sink, Signal("done"))
+		},
+	}
+	res := Run(test, Options{Scheduler: "random", Iterations: 300, MaxSteps: 300, Seed: 1,
+		Faults: Faults{MaxDrops: 2}})
+	if res.BugFound {
+		t.Fatalf("budget exceeded: %v", res.Report.Error())
+	}
+}
+
+// minSink asserts at least min pings arrived by "done".
+type minSink struct {
+	min int
+	got int
+}
+
+func (s *minSink) Init(*Context) {}
+func (s *minSink) Handle(ctx *Context, ev Event) {
+	switch ev.Name() {
+	case "ping":
+		s.got++
+	case "done":
+		ctx.Assert(s.got >= s.min, "only %d pings survived, budget allows losing %d", s.got, 5-s.min)
+	}
+}
+
+// TestTestFaultsDefaultAndOverride: a Test's declared budget applies when
+// Options.Faults is zero, Options.Faults overrides it wholesale, and
+// NoFaults disables the plane regardless of either.
+func TestTestFaultsDefaultAndOverride(t *testing.T) {
+	test := crashBugTest()
+	test.Faults = Faults{MaxCrashes: 1}
+	res := Run(test, Options{Scheduler: "random", Iterations: 20, MaxSteps: 300, Seed: 1, NoReplayLog: true})
+	if !res.BugFound {
+		t.Fatal("Test.Faults budget was not applied")
+	}
+	// Overriding with a different class replaces the whole budget —
+	// crashes included.
+	res = Run(test, Options{Scheduler: "random", Iterations: 50, MaxSteps: 300, Seed: 1,
+		Faults: Faults{MaxDrops: 1}, NoReplayLog: true})
+	if res.BugFound {
+		t.Fatalf("Options.Faults did not override Test.Faults: %v", res.Report.Error())
+	}
+	// NoFaults disables the scenario's declared budget outright.
+	res = Run(test, Options{Scheduler: "random", Iterations: 50, MaxSteps: 300, Seed: 1,
+		NoFaults: true, NoReplayLog: true})
+	if res.BugFound {
+		t.Fatalf("NoFaults did not disable the fault plane: %v", res.Report.Error())
+	}
+	// ...and wins over an explicit budget too.
+	res = Run(test, Options{Scheduler: "random", Iterations: 50, MaxSteps: 300, Seed: 1,
+		NoFaults: true, Faults: Faults{MaxCrashes: 3}, NoReplayLog: true})
+	if res.BugFound {
+		t.Fatalf("NoFaults did not win over Options.Faults: %v", res.Report.Error())
+	}
+}
+
+// TestReplayCrashResolvesRecordedVictim: crash replay resolves the victim
+// the trace names — a candidate-set shift under system nondeterminism is
+// a loud divergence, not a silently different crash.
+func TestReplayCrashResolvesRecordedVictim(t *testing.T) {
+	s := newReplayScheduler(&Trace{Decisions: []Decision{
+		{Kind: DecisionCrash, Machine: 5, Int: 1, N: 3},
+		{Kind: DecisionCrash, Machine: NoMachine, Int: 0, N: 3},
+		{Kind: DecisionCrash, Machine: 9, Int: 1, N: 3},
+	}})
+	s.Prepare(0, 100)
+	// Recorded victim 5 sits at a different index now; replay must still
+	// crash machine 5.
+	if got := s.NextFault(FaultChoice{Kind: FaultCrash, N: 4, Candidates: []MachineID{2, 7, 5}}); got != 3 {
+		t.Fatalf("NextFault resolved index %d, want 3 (victim 5)", got)
+	}
+	if got := s.NextFault(FaultChoice{Kind: FaultCrash, N: 3, Candidates: []MachineID{2, 7}}); got != 0 {
+		t.Fatalf("declined crash replayed as %d, want 0", got)
+	}
+	// Victim 9 is gone: divergence, not a different crash.
+	defer func() {
+		p := recover()
+		d, ok := p.(replayDivergence)
+		if !ok {
+			t.Fatalf("expected a replayDivergence, got %v", p)
+		}
+		if !strings.Contains(d.Error(), "recorded crash victim 9") {
+			t.Fatalf("divergence %q does not name the missing victim", d.Error())
+		}
+	}()
+	s.NextFault(FaultChoice{Kind: FaultCrash, N: 3, Candidates: []MachineID{2, 7}})
+	t.Fatal("missing victim did not diverge")
+}

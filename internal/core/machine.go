@@ -77,6 +77,9 @@ type machine struct {
 	resume chan struct{}
 	// recvPred is non-nil while status == statusWaitReceive.
 	recvPred func(Event) bool
+	// crashed is set by the engine's crash reaper just before resuming
+	// the machine so its goroutine unwinds via killSignal.
+	crashed bool
 }
 
 func (m *machine) label() string {

@@ -120,6 +120,12 @@ func portfolioWorkerSplit(workers int, factories []SchedulerFactory) []int {
 // the winning (member, iteration, trace) and all canonical statistics are
 // bit-identical at any worker count (absent a StopAfter deadline).
 func RunPortfolio(t Test, po PortfolioOptions) Result {
+	if err := po.Options.validate(); err != nil {
+		panic(err)
+	}
+	if err := validateTest(t); err != nil {
+		panic(err)
+	}
 	o := po.Options.withDefaults()
 	if len(po.Members) == 0 {
 		panic("core: RunPortfolio needs at least one member (see SchedulerNames)")
@@ -202,7 +208,7 @@ func RunPortfolio(t Test, po PortfolioOptions) Result {
 				}
 				return false
 			}
-			cfg := o.runtimeConfig(false)
+			cfg := o.runtimeConfig(t, false)
 			cfg.abort = func() bool { return g >= bestGlobal.Load() }
 			r := newRuntime(sched, cfg)
 			t0 := time.Now()
@@ -226,12 +232,7 @@ func RunPortfolio(t Test, po PortfolioOptions) Result {
 				mu.Lock()
 				if g < bestGlobal.Load() {
 					bestGlobal.Store(g)
-					rep.Trace = &Trace{
-						Test:      t.Name,
-						Scheduler: sched.Name(),
-						Seed:      seed,
-						Decisions: r.decisions,
-					}
+					rep.Trace = newTrace(t.Name, sched.Name(), seed, effectiveFaults(t, o), r.decisions)
 					rep.Iteration = i
 					bugReport = rep
 					winner = m

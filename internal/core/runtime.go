@@ -16,7 +16,7 @@ import (
 // shared yield channel. Every Context operation is therefore a
 // deterministic scheduling point.
 type Runtime struct {
-	sched     Scheduler
+	sched     FaultScheduler
 	machines  []*machine
 	monitors  []*monitorEntry
 	monByName map[string]*monitorEntry
@@ -29,6 +29,19 @@ type Runtime struct {
 	maxSteps  int
 	decisions []Decision
 	bug       *BugReport
+
+	// faults is the execution's fault budget; crashes/drops/dups count
+	// the injections charged against it so far. pendingCrash holds
+	// machines doomed by Crash/CrashPoint/StopTimer whose goroutines the
+	// engine reaps at its next loop iteration (a machine cannot safely
+	// unwind another machine's goroutine itself — the victim's final
+	// yield handoff must go to the engine, the only goroutine parked on
+	// the shared yield channel from the engine side).
+	faults       Faults
+	crashes      int
+	drops        int
+	dups         int
+	pendingCrash []MachineID
 	// divergence is set when a replay scheduler detects that the program
 	// departed from the recorded trace; it aborts the execution.
 	divergence error
@@ -63,12 +76,13 @@ type runtimeConfig struct {
 	livenessAtBound   bool
 	deadlockDetection bool
 	collectLog        bool
+	faults            Faults
 	abort             func() bool
 }
 
 func newRuntime(sched Scheduler, cfg runtimeConfig) *Runtime {
 	return &Runtime{
-		sched:             sched,
+		sched:             asFaultScheduler(sched),
 		monByName:         make(map[string]*monitorEntry),
 		yield:             make(chan struct{}),
 		maxSteps:          cfg.maxSteps,
@@ -76,6 +90,7 @@ func newRuntime(sched Scheduler, cfg runtimeConfig) *Runtime {
 		livenessAtBound:   cfg.livenessAtBound,
 		deadlockDetection: cfg.deadlockDetection,
 		collectLog:        cfg.collectLog,
+		faults:            cfg.faults,
 		abort:             cfg.abort,
 		logCap:            100000,
 	}
@@ -111,6 +126,7 @@ func (r *Runtime) execute(t Test) (rep *BugReport) {
 // loop is the engine loop: pick an enabled machine, step it, repeat.
 func (r *Runtime) loop() {
 	for r.bug == nil && r.divergence == nil {
+		r.reapCrashes()
 		if r.abort != nil && r.abort() {
 			r.aborted = true
 			return
@@ -214,8 +230,33 @@ func (r *Runtime) yieldToEngine(m *machine) {
 	r.yield <- struct{}{}
 	<-m.resume
 	m.status = statusRunning
-	if r.killed {
+	if r.killed || m.crashed {
 		panic(killSignal{})
+	}
+}
+
+// reapCrashes unwinds the goroutines of machines doomed by the fault plane
+// (Crash, a taken CrashPoint, StopTimer). It runs on the engine goroutine
+// between steps, where resuming a victim so it can panic out of its
+// handler is safe: the engine is the only other runnable goroutine, so the
+// victim's final handoff is received here and nowhere else.
+func (r *Runtime) reapCrashes() {
+	for len(r.pendingCrash) > 0 {
+		m := r.machines[r.pendingCrash[0]]
+		r.pendingCrash = r.pendingCrash[1:]
+		switch m.status {
+		case statusHalted:
+			// Already gone (self-halted, or crashed twice).
+		case statusCreated:
+			// The goroutine never started; no unwinding needed.
+			m.status = statusHalted
+			m.queue = nil
+			m.recvPred = nil
+		default:
+			m.crashed = true
+			m.resume <- struct{}{}
+			<-r.yield
+		}
 	}
 }
 

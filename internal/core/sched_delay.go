@@ -102,3 +102,16 @@ func (s *delayScheduler) NextInt(n int) int {
 	checkIntBound("delay", n)
 	return s.rng.Intn(n)
 }
+
+// NextFault implements FaultScheduler. Like pct, the delay scheduler
+// counts fault choice points as steps, so its delay points double as
+// fault-injection candidates: a delay point landing on a fault point
+// spends the budget forcing a faulty outcome; elsewhere the outcome is
+// uniform.
+func (s *delayScheduler) NextFault(c FaultChoice) int {
+	s.step++
+	if s.delays[s.step] {
+		return 1 + s.rng.Intn(c.N-1)
+	}
+	return s.rng.Intn(c.N)
+}

@@ -87,5 +87,10 @@ func (s *dfsScheduler) NextInt(n int) int {
 	return s.pick(n)
 }
 
+// NextFault implements FaultScheduler: fault choice points are ordinary
+// branch points of the enumeration, so dfs exhaustively covers every
+// affordable fault outcome (benign branch first).
+func (s *dfsScheduler) NextFault(c FaultChoice) int { return s.pick(c.N) }
+
 // Exhausted reports whether the entire schedule space has been explored.
 func (s *dfsScheduler) Exhausted() bool { return s.done }

@@ -63,3 +63,48 @@ func (s *replayScheduler) NextInt(n int) int {
 	}
 	return d.Int
 }
+
+// NextFault implements FaultScheduler by feeding back the recorded fault
+// decisions, with the same strictness as the data kinds: a fault choice
+// the program presents must match the recorded kind, subject and outcome
+// space, or the replay diverges.
+func (s *replayScheduler) NextFault(c FaultChoice) int {
+	switch c.Kind {
+	case FaultTimer:
+		d := s.next(DecisionTimer)
+		if d.Machine != c.Machine {
+			panic(replayDivergence{msg: fmt.Sprintf("decision %d: timer choice for machine %d, trace holds %s", s.pos-1, c.Machine, d)})
+		}
+		if d.Bool {
+			return 1
+		}
+		return 0
+	case FaultCrash:
+		d := s.next(DecisionCrash)
+		if d.Machine == NoMachine {
+			return 0
+		}
+		// Resolve the recorded victim, not its recorded index: a replay
+		// must crash the machine the trace names or diverge loudly, even
+		// if the candidate set shifted under system nondeterminism.
+		for i, id := range c.Candidates {
+			if id == d.Machine {
+				return i + 1
+			}
+		}
+		panic(replayDivergence{msg: fmt.Sprintf("decision %d: recorded crash victim %d is not a live candidate (candidates %v)", s.pos-1, d.Machine, c.Candidates)})
+	case FaultDeliver:
+		d := s.next(DecisionDeliver)
+		if d.Machine != c.Machine {
+			panic(replayDivergence{msg: fmt.Sprintf("decision %d: delivery choice for machine %d, trace holds %s", s.pos-1, c.Machine, d)})
+		}
+		for i, o := range c.Outcomes {
+			if int(o) == d.Int {
+				return i
+			}
+		}
+		panic(replayDivergence{msg: fmt.Sprintf("decision %d: recorded delivery outcome %s not affordable here (outcomes %v)", s.pos-1, DeliveryOutcome(d.Int), c.Outcomes)})
+	default:
+		panic(replayDivergence{msg: fmt.Sprintf("decision %d: unknown fault kind %v", s.pos, c.Kind)})
+	}
+}

@@ -191,6 +191,10 @@ func (s *randomScheduler) NextInt(n int) int {
 	return s.rng.Intn(n)
 }
 
+// NextFault implements FaultScheduler: uniform over the outcomes, the
+// fault-plane analog of uniform random scheduling.
+func (s *randomScheduler) NextFault(c FaultChoice) int { return s.rng.Intn(c.N) }
+
 // pctScheduler implements the randomized priority-based scheduler of
 // Burckhardt et al. (ASPLOS 2010), the paper's second scheduler. Every
 // machine gets a random priority; at each scheduling point the
@@ -305,6 +309,21 @@ func (s *pctScheduler) NextInt(n int) int {
 	return s.rng.Intn(n)
 }
 
+// NextFault implements FaultScheduler. Fault choice points advance the
+// same step counter as scheduling points, which makes them priority-change
+// candidates: when one of the execution's depth change points lands on a
+// fault point, the scheduler spends it forcing a faulty outcome (the
+// fault-plane analog of demoting the running machine) instead of a
+// demotion. Everywhere else the outcome is uniform, matching the
+// RandomBool-based injection the harnesses used before the fault plane.
+func (s *pctScheduler) NextFault(c FaultChoice) int {
+	s.step++
+	if s.changePoints[s.step] {
+		return 1 + s.rng.Intn(c.N-1)
+	}
+	return s.rng.Intn(c.N)
+}
+
 // rrScheduler is a deterministic round-robin baseline: it cycles through
 // machines in ID order. Useful as a control in scheduler ablations; it
 // explores exactly one schedule, so Prepare reports exhaustion after the
@@ -343,3 +362,8 @@ func (s *rrScheduler) NextInt(n int) int {
 	checkIntBound("rr", n)
 	return s.rng.Intn(n)
 }
+
+// NextFault implements FaultScheduler: like RandomBool/RandomInt, fault
+// outcomes come uniformly from the seed's RNG so fault scenarios remain
+// runnable under the deterministic-schedule baseline.
+func (s *rrScheduler) NextFault(c FaultChoice) int { return s.rng.Intn(c.N) }

@@ -5,8 +5,11 @@ import (
 	"fmt"
 )
 
-// DecisionKind distinguishes the three kinds of nondeterministic choices an
-// execution makes.
+// DecisionKind distinguishes the kinds of nondeterministic choices an
+// execution makes. The schedule/bool/int kinds date from trace version 0;
+// the typed fault kinds (timer, crash, deliver) were introduced with
+// version 1, which is why decoding them out of a version-0 trace is a
+// strict error.
 type DecisionKind byte
 
 const (
@@ -16,18 +19,36 @@ const (
 	DecisionBool DecisionKind = 'b'
 	// DecisionInt records the outcome of a RandomInt.
 	DecisionInt DecisionKind = 'i'
+	// DecisionTimer records whether a runtime timer fired when it was
+	// scheduled (Machine is the timer machine, Bool the firing outcome).
+	DecisionTimer DecisionKind = 't'
+	// DecisionCrash records the outcome of a CrashPoint: Int/N are the
+	// scheduler's choice among the candidates (0 = no crash), Machine the
+	// crashed machine (NoMachine when the scheduler declined).
+	DecisionCrash DecisionKind = 'c'
+	// DecisionDeliver records the delivery fate of a SendUnreliable:
+	// Int is a DeliveryOutcome, N the outcome-space size, Machine the
+	// target machine.
+	DecisionDeliver DecisionKind = 'd'
 )
+
+// faultKind reports whether k is one of the version-1 fault kinds.
+func (k DecisionKind) faultKind() bool {
+	return k == DecisionTimer || k == DecisionCrash || k == DecisionDeliver
+}
 
 // Decision is one resolved nondeterministic choice. The paper's "#NDC"
 // column (nondeterministic choices in the first buggy execution) counts
 // exactly these.
 type Decision struct {
 	Kind DecisionKind
-	// Machine is set for DecisionSchedule.
+	// Machine is set for DecisionSchedule, DecisionTimer, DecisionCrash
+	// and DecisionDeliver.
 	Machine MachineID
-	// Bool is set for DecisionBool.
+	// Bool is set for DecisionBool and DecisionTimer.
 	Bool bool
-	// Int and N (the exclusive bound) are set for DecisionInt.
+	// Int and N (the exclusive bound) are set for DecisionInt,
+	// DecisionCrash and DecisionDeliver.
 	Int int
 	N   int
 }
@@ -40,20 +61,60 @@ func (d Decision) String() string {
 		return fmt.Sprintf("bool(%t)", d.Bool)
 	case DecisionInt:
 		return fmt.Sprintf("int(%d/%d)", d.Int, d.N)
+	case DecisionTimer:
+		if d.Bool {
+			return fmt.Sprintf("timer(%d fired)", d.Machine)
+		}
+		return fmt.Sprintf("timer(%d idle)", d.Machine)
+	case DecisionCrash:
+		if d.Machine == NoMachine {
+			return fmt.Sprintf("crash(declined/%d)", d.N)
+		}
+		return fmt.Sprintf("crash(%d, choice %d/%d)", d.Machine, d.Int, d.N)
+	case DecisionDeliver:
+		return fmt.Sprintf("deliver(%d, %s)", d.Machine, DeliveryOutcome(d.Int))
 	default:
 		return fmt.Sprintf("decision(%q)", byte(d.Kind))
 	}
 }
+
+// TraceVersion is the trace format version this build writes. Version 0
+// (PR-2 era, no version field) carried only schedule/bool/int decisions;
+// version 1 added the typed fault kinds. Decoding rejects versions this
+// build does not understand, and rejects fault kinds in version-0 traces.
+const TraceVersion = 1
 
 // Trace is the complete decision sequence of one execution, sufficient to
 // replay it exactly. In contrast to logs collected from a production
 // system, a trace fixes a global order of all events, which is what makes
 // the paper's replay-debugging loop work.
 type Trace struct {
-	Test      string     `json:"test"`
-	Scheduler string     `json:"scheduler"`
-	Seed      int64      `json:"seed"`
+	// Version is the trace format version (see TraceVersion). Traces
+	// written before versioning decode as version 0.
+	Version   int    `json:"version,omitempty"`
+	Test      string `json:"test"`
+	Scheduler string `json:"scheduler"`
+	Seed      int64  `json:"seed"`
+	// Faults is the fault budget the execution ran under. It is part of
+	// the trace because it is replay-relevant: the budget shapes which
+	// fault choice points are presented, so Replay reconstructs the
+	// recording run's budget from here rather than trusting the caller
+	// to re-supply it. Version-0 traces decode to the zero budget, under
+	// which they were necessarily recorded.
+	Faults    Faults     `json:"faults"`
 	Decisions []Decision `json:"decisions"`
+}
+
+// newTrace builds an engine-recorded trace at the current format version.
+func newTrace(test, scheduler string, seed int64, faults Faults, decisions []Decision) *Trace {
+	return &Trace{
+		Version:   TraceVersion,
+		Test:      test,
+		Scheduler: scheduler,
+		Seed:      seed,
+		Faults:    faults,
+		Decisions: decisions,
+	}
 }
 
 // traceDecisionJSON is the compact wire form of a Decision.
@@ -74,6 +135,13 @@ func (d Decision) MarshalJSON() ([]byte, error) {
 	case DecisionBool:
 		j.B = d.Bool
 	case DecisionInt:
+		j.V = d.Int
+		j.N = d.N
+	case DecisionTimer:
+		j.M = int32(d.Machine)
+		j.B = d.Bool
+	case DecisionCrash, DecisionDeliver:
+		j.M = int32(d.Machine)
 		j.V = d.Int
 		j.N = d.N
 	default:
@@ -100,6 +168,13 @@ func (d *Decision) UnmarshalJSON(b []byte) error {
 	case DecisionInt:
 		d.Int = j.V
 		d.N = j.N
+	case DecisionTimer:
+		d.Machine = MachineID(j.M)
+		d.Bool = j.B
+	case DecisionCrash, DecisionDeliver:
+		d.Machine = MachineID(j.M)
+		d.Int = j.V
+		d.N = j.N
 	default:
 		return fmt.Errorf("core: bad decision kind %q", j.K)
 	}
@@ -109,11 +184,26 @@ func (d *Decision) UnmarshalJSON(b []byte) error {
 // Encode serializes the trace to JSON.
 func (t *Trace) Encode() ([]byte, error) { return json.MarshalIndent(t, "", " ") }
 
-// DecodeTrace parses a trace previously produced by Encode.
+// DecodeTrace parses a trace previously produced by Encode. Decoding is
+// strict: a version this build does not know, an unknown decision kind, or
+// a fault decision kind inside a version-0 trace are all errors — a trace
+// that cannot be fully understood cannot be faithfully replayed.
 func DecodeTrace(data []byte) (*Trace, error) {
 	var t Trace
 	if err := json.Unmarshal(data, &t); err != nil {
 		return nil, fmt.Errorf("core: decoding trace: %w", err)
+	}
+	if t.Version < 0 || t.Version > TraceVersion {
+		return nil, fmt.Errorf("core: decoding trace: unknown trace version %d (this build understands 0..%d)",
+			t.Version, TraceVersion)
+	}
+	// Unknown kinds were already rejected by Decision.UnmarshalJSON; what
+	// remains is version gating: fault kinds need a version-1 trace.
+	for i, d := range t.Decisions {
+		if t.Version < 1 && d.Kind.faultKind() {
+			return nil, fmt.Errorf("core: decoding trace: decision %d kind %q requires trace version >= 1, trace declares %d",
+				i, string(d.Kind), t.Version)
+		}
 	}
 	return &t, nil
 }

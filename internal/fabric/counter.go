@@ -173,40 +173,28 @@ func (c *clientMachine) request(ctx *core.Context, op counterOp) int64 {
 	}
 }
 
-// injectorMachine fails one replica at a scheduler-chosen moment and
-// notifies the failover manager. Like the paper's TestingDriver, it is
-// test scaffolding with god's-eye access: it reads the failover manager's
-// placement directly (safe and deterministic — the runtime serializes all
-// machines) to pick a victim that actually exists.
-type injectorMachine struct {
-	fm core.MachineID
-	// primaryOnly restricts the victim to the current primary (the §5
-	// scenario); otherwise any replica may be chosen.
-	primaryOnly bool
-	fmm         *fmMachine
-}
-
-func (in *injectorMachine) Init(ctx *core.Context) {
-	ctx.Send(ctx.ID(), core.Signal("maybe-fail"))
-}
-
-func (in *injectorMachine) Handle(ctx *core.Context, ev core.Event) {
-	if ev.Name() != "maybe-fail" {
-		return
+// newReplicaInjector builds the scenario's failure injection on the core
+// fault plane: a shared core.FaultInjector whose candidates come straight
+// from the failover manager's placement (god's-eye access, exactly like
+// the paper's TestingDriver — safe and deterministic because the runtime
+// serializes all machines). The scheduler picks the moment and the victim
+// within the run's crash budget; on a crash the failover manager is
+// notified, mirroring a failure detector.
+func newReplicaInjector(fm core.MachineID, fmm *fmMachine, primaryOnly bool) *core.FaultInjector {
+	return &core.FaultInjector{
+		Candidates: func() []core.MachineID {
+			if len(fmm.replicas) == 0 {
+				// Placement has not happened yet; defer the offer.
+				return nil
+			}
+			if primaryOnly {
+				return []core.MachineID{fmm.primary}
+			}
+			return append([]core.MachineID(nil), fmm.replicas...)
+		},
+		OnCrash: func(ctx *core.Context, victim core.MachineID) {
+			ctx.Logf("injected failure of replica %d", victim)
+			ctx.Send(fm, replicaFailed{ID: victim})
+		},
 	}
-	if len(in.fmm.replicas) == 0 || !ctx.RandomBool() {
-		// The failover manager has not placed replicas yet, or the
-		// scheduler deferred the failure to a later point.
-		ctx.Send(ctx.ID(), core.Signal("maybe-fail"))
-		return
-	}
-	var victim core.MachineID
-	if in.primaryOnly {
-		victim = in.fmm.primary
-	} else {
-		victim = in.fmm.replicas[ctx.RandomInt(len(in.fmm.replicas))]
-	}
-	ctx.Logf("injecting failure of replica %d", victim)
-	ctx.Send(victim, failureEvent{})
-	ctx.Send(in.fm, replicaFailed{ID: victim})
 }

@@ -190,15 +190,13 @@ type clientResp struct {
 
 func (clientResp) Name() string { return "ClientResp" }
 
-// replicaFailed notifies the failover manager of a replica failure.
+// replicaFailed notifies the failover manager of a replica failure. The
+// failure itself is a fault-plane crash (core.FaultInjector in
+// scenario.go), which halts the replica abruptly with its queue dropped —
+// there is no cooperative "failure event" a dying replica gets to handle.
 type replicaFailed struct{ ID core.MachineID }
 
 func (replicaFailed) Name() string { return "ReplicaFailed" }
-
-// failureEvent kills a replica machine.
-type failureEvent struct{}
-
-func (failureEvent) Name() string { return "Failure" }
 
 // registerClient subscribes a client machine to view changes.
 type registerClient struct{ Client core.MachineID }

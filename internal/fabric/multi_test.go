@@ -23,8 +23,9 @@ func multiClientScenario(bug bool, failPrimary bool) core.Test {
 				id := ctx.CreateMachine(c, "Client")
 				ctx.Send(id, core.Signal("start"))
 			}
-			ctx.CreateMachine(&injectorMachine{fm: fmID, primaryOnly: failPrimary, fmm: fmm}, "Injector")
+			ctx.CreateMachine(newReplicaInjector(fmID, fmm, failPrimary), "Injector")
 		},
+		Faults: core.Faults{MaxCrashes: 1},
 	}
 }
 

@@ -1,0 +1,38 @@
+package fabric
+
+import (
+	"testing"
+
+	"github.com/gostorm/gostorm/internal/core"
+	"github.com/gostorm/gostorm/internal/harnesstest"
+)
+
+// TestParallelWorkersFindSamePromotionBug: for a fixed seed, one worker
+// and four report the identical §5 promotion bug — same iteration, same
+// decision trace (which, with the fault plane, includes the injector's
+// DecisionCrash entries) — and the trace replays to the same violation.
+// The shared assertions live in internal/harnesstest, as for the other
+// harnesses.
+func TestParallelWorkersFindSamePromotionBug(t *testing.T) {
+	build := func() core.Test {
+		return FailoverScenario(FailoverConfig{
+			Fabric:      Config{BugUncheckedPromotion: true},
+			FailPrimary: true,
+		})
+	}
+	base := core.Options{
+		Scheduler: "random", Iterations: 5000, MaxSteps: 20000, Seed: 1, NoReplayLog: true,
+	}
+	res := harnesstest.AssertWorkerCountInvariance(t, build, base, 4)
+	hasCrash := false
+	for _, d := range res.Report.Trace.Decisions {
+		if d.Kind == core.DecisionCrash {
+			hasCrash = true
+			break
+		}
+	}
+	if !hasCrash {
+		t.Fatal("promotion-bug trace records no DecisionCrash entries")
+	}
+	harnesstest.AssertReplayRoundTrip(t, build, res.Report, base)
+}

@@ -113,8 +113,6 @@ func (r *replicaMachine) Handle(ctx *core.Context, ev core.Event) {
 		r.handleReplicate(ctx, e)
 	case replicateAck:
 		r.handleReplicateAck(ctx, e)
-	case failureEvent:
-		ctx.Halt()
 	}
 }
 

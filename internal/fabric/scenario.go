@@ -26,10 +26,15 @@ func (fc FailoverConfig) increments() int {
 }
 
 // FailoverScenario builds the counter-on-fabric systematic test: a
-// replicated counter service, a sequential client, a failure injector,
-// and the counter safety and liveness monitors. The fabric model's own
-// promotion assertion is always armed.
+// replicated counter service, a sequential client, the shared fault-plane
+// injector (unless NoFailure), and the counter safety and liveness
+// monitors. The fabric model's own promotion assertion is always armed.
+// The scenario declares a one-crash budget; Options.Faults can override.
 func FailoverScenario(fc FailoverConfig) core.Test {
+	var faults core.Faults
+	if !fc.NoFailure {
+		faults.MaxCrashes = 1
+	}
 	return core.Test{
 		Name: "fabric-failover",
 		Entry: func(ctx *core.Context) {
@@ -38,7 +43,7 @@ func FailoverScenario(fc FailoverConfig) core.Test {
 			client := &clientMachine{fm: fmID, increments: fc.increments(), monitors: true}
 			clientID := ctx.CreateMachine(client, "Client")
 			if !fc.NoFailure {
-				ctx.CreateMachine(&injectorMachine{fm: fmID, primaryOnly: fc.FailPrimary, fmm: fmm}, "Injector")
+				ctx.CreateMachine(newReplicaInjector(fmID, fmm, fc.FailPrimary), "Injector")
 			}
 			ctx.Send(clientID, core.Signal("start"))
 		},
@@ -46,6 +51,7 @@ func FailoverScenario(fc FailoverConfig) core.Test {
 			func() core.Monitor { return &counterSafetyMonitor{} },
 			newCounterLivenessMonitor,
 		},
+		Faults: faults,
 	}
 }
 

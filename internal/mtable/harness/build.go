@@ -18,6 +18,14 @@ type HarnessConfig struct {
 	OpsPerService int
 	// SeedRows is the number of pre-migration rows (default 3).
 	SeedRows int
+	// TimerPacedMigrator gates every migration step behind a fault-plane
+	// timer (core.StartTimer): the scheduler decides when the background
+	// job runs, with each pacing choice recorded as DecisionTimer.
+	// Executions where the migration stalls run to the step bound, so
+	// this configuration costs more per execution — it is a dedicated
+	// fault scenario, not the default workload. Best explored under the
+	// random scheduler: pct may starve everything but the timer.
+	TimerPacedMigrator bool
 }
 
 func (hc HarnessConfig) withDefaults() HarnessConfig {
@@ -39,8 +47,12 @@ func (hc HarnessConfig) withDefaults() HarnessConfig {
 // Test builds the systematic test of Figure 12 for the configuration.
 func Test(hc HarnessConfig) core.Test {
 	hc = hc.withDefaults()
+	name := "mtable-" + hc.Bugs.String()
+	if hc.TimerPacedMigrator {
+		name += "-paced"
+	}
 	return core.Test{
-		Name: "mtable-" + hc.Bugs.String(),
+		Name: name,
 		Entry: func(ctx *core.Context) {
 			tables := &tablesMachine{
 				old:  mtable.NewRefTable(),
@@ -61,7 +73,7 @@ func Test(hc HarnessConfig) core.Test {
 				svc := newServiceMachine(name, tablesID, guard, int64(i+1), hc.Bugs, hc.OpsPerService, seeded)
 				serviceIDs = append(serviceIDs, ctx.CreateMachine(svc, name))
 			}
-			migID := ctx.CreateMachine(newMigratorMachine(tablesID, guard, hc.Bugs), "Migrator")
+			migID := ctx.CreateMachine(newMigratorMachine(tablesID, guard, hc.Bugs, hc.TimerPacedMigrator), "Migrator")
 
 			// Release everyone; the scheduler decides who moves first.
 			for _, id := range serviceIDs {

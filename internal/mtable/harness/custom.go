@@ -115,7 +115,7 @@ func customTest(scenario, bugs mtable.Bugs) core.Test {
 				svc.script = script
 				serviceIDs = append(serviceIDs, ctx.CreateMachine(svc, name))
 			}
-			migID := ctx.CreateMachine(newMigratorMachine(tablesID, guard, bugs), "Migrator")
+			migID := ctx.CreateMachine(newMigratorMachine(tablesID, guard, bugs, false), "Migrator")
 			for _, id := range serviceIDs {
 				ctx.Send(id, startEvent{})
 			}

@@ -117,7 +117,8 @@ type startEvent struct{}
 
 func (startEvent) Name() string { return "start" }
 
-// stepEvent drives the migrator machine's next step.
+// stepEvent drives the migrator machine's next step; it is the tick of
+// the migrator's pacing timer.
 type stepEvent struct{}
 
 func (stepEvent) Name() string { return "step" }
@@ -302,17 +303,27 @@ func (b *stubBackend) FetchPage(partition, after string, filter *mtable.Filter, 
 
 // --- Migrator machine ---
 
-// migratorMachine steps the background migration, one action per event, so
-// the scheduler can interleave client operations anywhere.
+// migratorMachine steps the background migration, one action per event,
+// so the scheduler can interleave client operations anywhere. In the
+// default configuration it drives itself with self-sends (every step is
+// immediately schedulable); with TimerPacedMigrator the steps are instead
+// gated by a fault-plane timer (see StartTimer), so the scheduler also
+// controls when the background job runs at all — like a production
+// migrator woken by a cron timer — with every pacing choice recorded as
+// DecisionTimer. The timer is stopped on completion so finished
+// executions still quiesce.
 type migratorMachine struct {
 	stub  *stubClient
 	mig   *mtable.Migrator
 	guard *mtable.StreamGuard
 	bugs  mtable.Bugs
+	paced bool
+	timer core.TimerID
+	done  bool
 }
 
-func newMigratorMachine(tablesID core.MachineID, guard *mtable.StreamGuard, bugs mtable.Bugs) *migratorMachine {
-	m := &migratorMachine{guard: guard, bugs: bugs}
+func newMigratorMachine(tablesID core.MachineID, guard *mtable.StreamGuard, bugs mtable.Bugs, paced bool) *migratorMachine {
+	m := &migratorMachine{guard: guard, bugs: bugs, paced: paced}
 	m.stub = &stubClient{tablesID: tablesID}
 	return m
 }
@@ -321,18 +332,43 @@ func (m *migratorMachine) Init(*core.Context) {}
 
 func (m *migratorMachine) Handle(ctx *core.Context, ev core.Event) {
 	switch ev.(type) {
-	case startEvent, stepEvent:
-		m.stub.ctx = ctx
-		if m.mig == nil {
-			old := &stubBackend{c: m.stub, table: tableOld}
-			new := &stubBackend{c: m.stub, table: tableNew}
-			m.mig = mtable.NewMigrator(old, new, m.guard, Partition, m.bugs)
+	case startEvent:
+		if m.paced {
+			// Even the first step waits for a tick: the scheduler decides
+			// whether the background job runs at all.
+			m.timer = ctx.StartTimer("MigratorTimer", ctx.ID(), stepEvent{})
+			return
 		}
-		done, err := m.mig.Step()
-		m.stub.settle()
-		ctx.Assert(err == nil, "migrator failed: %v", err)
-		if !done {
-			ctx.Send(ctx.ID(), stepEvent{})
+		m.step(ctx)
+	case stepEvent:
+		if m.done {
+			return // a paced tick that raced the StopTimer
 		}
+		m.step(ctx)
+	}
+}
+
+// step performs one migration action; afterwards it either re-arms itself
+// (self-paced) or, once the migration reports completion, silences the
+// pacing timer.
+func (m *migratorMachine) step(ctx *core.Context) {
+	m.stub.ctx = ctx
+	if m.mig == nil {
+		old := &stubBackend{c: m.stub, table: tableOld}
+		new := &stubBackend{c: m.stub, table: tableNew}
+		m.mig = mtable.NewMigrator(old, new, m.guard, Partition, m.bugs)
+	}
+	done, err := m.mig.Step()
+	m.stub.settle()
+	ctx.Assert(err == nil, "migrator failed: %v", err)
+	if done {
+		m.done = true
+		if m.paced {
+			ctx.StopTimer(m.timer)
+		}
+		return
+	}
+	if !m.paced {
+		ctx.Send(ctx.ID(), stepEvent{})
 	}
 }

@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"testing"
+
+	"github.com/gostorm/gostorm/internal/core"
+	"github.com/gostorm/gostorm/internal/mtable"
+)
+
+// TestTimerPacedMigratorFixedIsClean explores the timer-paced fault
+// scenario: every migration step is gated by a fault-plane timer, so the
+// scheduler also controls when the background job runs at all. No
+// schedule — including ones that stall the migration to the step bound —
+// may produce an output divergence on the fixed system. Random scheduler
+// only: pct can starve everything but the timer (see TimerPacedMigrator).
+func TestTimerPacedMigratorFixedIsClean(t *testing.T) {
+	res := core.Run(Test(HarnessConfig{TimerPacedMigrator: true}), core.Options{
+		Scheduler:  "random",
+		Iterations: 60,
+		MaxSteps:   30000,
+		Seed:       1,
+	})
+	if res.BugFound {
+		t.Fatalf("timer-paced fixed system diverged: %v\n%s", res.Report.Error(), res.Report.FormatLog())
+	}
+}
+
+// TestTimerPacedMigratorFindsSeededBug: the paced scenario still digs out
+// a Table 2 bug, and the buggy trace carries the migrator's DecisionTimer
+// pacing choices and replays bit-exactly.
+func TestTimerPacedMigratorFindsSeededBug(t *testing.T) {
+	bug, _ := mtable.BugByName("QueryAtomicFilterShadowing")
+	build := func() core.Test { return Test(HarnessConfig{Bugs: bug, TimerPacedMigrator: true}) }
+	opts := core.Options{
+		Scheduler: "random", Iterations: 4000, MaxSteps: 30000, Seed: 1, NoReplayLog: true,
+	}
+	res := core.Run(build(), opts)
+	if !res.BugFound {
+		t.Fatal("seeded bug not found under the timer-paced migrator")
+	}
+	hasTimer := false
+	for _, d := range res.Report.Trace.Decisions {
+		if d.Kind == core.DecisionTimer {
+			hasTimer = true
+			break
+		}
+	}
+	if !hasTimer {
+		t.Fatal("buggy trace records no DecisionTimer pacing choices")
+	}
+	rep, err := core.Replay(build(), res.Report.Trace, opts)
+	if err != nil {
+		t.Fatalf("trace did not replay: %v", err)
+	}
+	if rep == nil || rep.Message != res.Report.Message {
+		t.Fatalf("replay mismatch: %+v vs %+v", rep, res.Report)
+	}
+}

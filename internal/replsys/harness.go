@@ -129,23 +129,6 @@ func (sn *storageNodeMachine) Handle(ctx *core.Context, ev core.Event) {
 	}
 }
 
-// timerMachine models timeout nondeterminism (Figure 9): on every loop
-// iteration a scheduler-controlled choice decides whether a tick fires.
-type timerMachine struct {
-	target core.MachineID
-}
-
-func (t *timerMachine) Init(ctx *core.Context) {
-	ctx.Send(ctx.ID(), core.Signal("repeat"))
-}
-
-func (t *timerMachine) Handle(ctx *core.Context, ev core.Event) {
-	if ctx.RandomBool() {
-		ctx.Send(t.target, timerTick{})
-	}
-	ctx.Send(ctx.ID(), core.Signal("repeat"))
-}
-
 // clientMachine is the modeled client: it issues `requests` requests with
 // nondeterministically chosen values, awaiting an Ack after each.
 type clientMachine struct {
@@ -267,8 +250,11 @@ func Scenario(sc ScenarioConfig) core.Test {
 			}
 			srv.server = NewServer(sc.Server, srv, nodeIDs)
 
+			// The sync timers are runtime timers (Figure 9, hoisted into
+			// the core fault plane): the scheduler decides at every
+			// opportunity whether a tick fires, recorded as DecisionTimer.
 			for i, snm := range snMachines {
-				ctx.CreateMachine(&timerMachine{target: srv.route[snm.node]}, fmt.Sprintf("Timer%d", i))
+				ctx.StartTimer(fmt.Sprintf("Timer%d", i), srv.route[snm.node], timerTick{})
 			}
 
 			client := &clientMachine{serverID: serverID, requests: sc.Requests}

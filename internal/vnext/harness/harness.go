@@ -35,16 +35,6 @@ const (
 	tickSync       = "TickSync"
 )
 
-// failureEvent kills an extent node (Figure 10).
-type failureEvent struct{}
-
-func (failureEvent) Name() string { return "Failure" }
-
-// injectEvent triggers the driver's failure-injection step.
-type injectEvent struct{}
-
-func (injectEvent) Name() string { return "Inject" }
-
 // enFailedEvent notifies the RepairMonitor that an EN failed: every
 // replica it held is gone.
 type enFailedEvent struct{ Node vnext.NodeID }
@@ -145,14 +135,6 @@ func newENMachine(node vnext.NodeID, mgrID, driverID core.MachineID, initial []v
 					report := vnext.SyncReport{Node: en.node, Extents: en.store.ExtentsOf(en.node)}
 					ctx.Send(en.mgrID, msgEvent{Msg: report})
 				},
-				"Failure": func(ctx *core.Context, _ core.Event) {
-					// Notify the monitor of the failure, then terminate
-					// (Figure 8's failure logic).
-					if en.notifyMon {
-						ctx.Monitor(RepairMonitorName, enFailedEvent{Node: en.node})
-					}
-					ctx.Halt()
-				},
 			},
 		},
 	)
@@ -190,35 +172,6 @@ func (en *enMachine) onCopyResponse(ctx *core.Context, ev core.Event) {
 	}
 }
 
-// timerMachine models timer expiration (Figure 9): each loop iteration
-// nondeterministically fires a tick at the target.
-type timerMachine struct {
-	core.SMachine
-	target core.MachineID
-	tick   core.Event
-}
-
-func newTimerMachine(target core.MachineID, tick core.Event) *timerMachine {
-	t := &timerMachine{target: target, tick: tick}
-	t.SM = core.NewStateMachine[*core.Context]("Timer", "Ticking",
-		&core.State[*core.Context]{
-			Name: "Ticking",
-			OnEntry: func(ctx *core.Context) {
-				ctx.Send(ctx.ID(), core.Signal("repeat"))
-			},
-			On: map[string]func(*core.Context, core.Event){
-				"repeat": func(ctx *core.Context, _ core.Event) {
-					if ctx.RandomBool() {
-						ctx.Send(t.target, t.tick)
-					}
-					ctx.Send(ctx.ID(), core.Signal("repeat"))
-				},
-			},
-		},
-	)
-	return t
-}
-
 // Scenario selects one of the two testing scenarios of §3.4.
 type Scenario int
 
@@ -242,9 +195,12 @@ type HarnessConfig struct {
 	// Extents is the number of extents under management (default 1; the
 	// paper's stress tests manage many extents at once).
 	Extents int
-	// DropMessages, when set, lets the driver nondeterministically drop a
-	// quarter of routed messages, emulating message loss (§3.1 mentions
-	// this as an option of the modeled network engine).
+	// DropMessages, when set, declares a delivery-fault budget for the
+	// routed network (see Faults): the scheduler may drop or duplicate a
+	// bounded number of routed messages per execution, emulating message
+	// loss (§3.1 mentions this as an option of the modeled network
+	// engine). The routing path always goes through SendUnreliable, so a
+	// caller can also enable delivery faults purely via Options.Faults.
 	DropMessages bool
 }
 
@@ -269,34 +225,47 @@ func (hc HarnessConfig) extents() []vnext.ExtentID {
 }
 
 // driverMachine drives the testing scenarios (Figure 10): it builds the
-// system, relays routed messages, and injects EN failures.
+// system and relays routed messages over the (possibly unreliable)
+// modeled network. Failure injection is no longer the driver's job — the
+// fail-and-repair scenario registers a core.FaultInjector over the live
+// extent nodes, budgeted by the run's Faults.MaxCrashes.
 type driverMachine struct {
 	core.SMachine
-	cfg      HarnessConfig
-	mm       *managerMachine
-	mgrID    core.MachineID
+	cfg   HarnessConfig
+	mm    *managerMachine
+	mgrID core.MachineID
+	// selfID is the driver's own machine id: launchEN runs both from the
+	// driver's setup and from the injector's OnCrash, and the ENs' route
+	// relay must always be the driver.
+	selfID   core.MachineID
 	route    map[vnext.NodeID]core.MachineID
-	ens      []vnext.NodeID
+	nodeOf   map[core.MachineID]vnext.NodeID
+	enIDs    []core.MachineID
 	nextNode vnext.NodeID
 }
 
 func newDriverMachine(cfg HarnessConfig) *driverMachine {
-	d := &driverMachine{cfg: cfg, route: make(map[vnext.NodeID]core.MachineID)}
+	d := &driverMachine{
+		cfg:    cfg,
+		route:  make(map[vnext.NodeID]core.MachineID),
+		nodeOf: make(map[core.MachineID]vnext.NodeID),
+	}
 	d.SM = core.NewStateMachine[*core.Context]("TestingDriver", "Driving",
 		&core.State[*core.Context]{
 			Name:    "Driving",
 			OnEntry: d.setup,
 			On: map[string]func(*core.Context, core.Event){
-				"Route":  d.onRoute,
-				"Inject": d.onInject,
+				"Route": d.onRoute,
 			},
 		},
 	)
 	return d
 }
 
-// setup builds the system under test: manager, ENs, and their timers.
+// setup builds the system under test: manager, ENs, their timers, and —
+// for the fail-and-repair scenario — the shared fault injector.
 func (d *driverMachine) setup(ctx *core.Context) {
+	d.selfID = ctx.ID()
 	d.mm = newManagerMachine(d.cfg.Manager, ctx.ID())
 	mgrID := ctx.CreateMachine(d.mm, "ExtentManager")
 	d.mgrID = mgrID
@@ -318,45 +287,48 @@ func (d *driverMachine) setup(ctx *core.Context) {
 			ctx.Monitor(RepairMonitorName, extentRepairedEvent{Node: node, Extent: e})
 		}
 	}
-	ctx.CreateMachine(newTimerMachine(mgrID, core.Signal(tickExpiration)), "Timer-expiration")
-	ctx.CreateMachine(newTimerMachine(mgrID, core.Signal(tickRepair)), "Timer-repair")
+	ctx.StartTimer("Timer-expiration", mgrID, core.Signal(tickExpiration))
+	ctx.StartTimer("Timer-repair", mgrID, core.Signal(tickRepair))
 
 	if d.cfg.Scenario == ScenarioFailAndRepair {
-		ctx.Send(ctx.ID(), injectEvent{})
+		// The scheduler chooses when — and which — live EN crashes,
+		// within the run's crash budget (the scenario declares 1). On a
+		// crash the monitor learns the node's replicas are gone and a
+		// fresh EN joins, exactly Figure 10's failure logic.
+		ctx.CreateMachine(&core.FaultInjector{
+			Candidates: func() []core.MachineID {
+				return append([]core.MachineID(nil), d.enIDs...)
+			},
+			OnCrash: func(ctx *core.Context, victim core.MachineID) {
+				ctx.Monitor(RepairMonitorName, enFailedEvent{Node: d.nodeOf[victim]})
+				d.nextNode++
+				d.launchEN(ctx, d.mgrID, d.nextNode, nil)
+			},
+		}, "Injector")
 	}
 }
 
 // launchEN creates an EN machine with its heartbeat and sync timers and
 // registers it in the routing table.
 func (d *driverMachine) launchEN(ctx *core.Context, mgrID core.MachineID, node vnext.NodeID, initial []vnext.ExtentID) {
-	en := newENMachine(node, mgrID, ctx.ID(), initial)
+	en := newENMachine(node, mgrID, d.selfID, initial)
 	id := ctx.CreateMachine(en, fmt.Sprintf("EN%d", node))
 	d.route[node] = id
-	d.ens = append(d.ens, node)
-	ctx.CreateMachine(newTimerMachine(id, core.Signal(tickHeartbeat)), fmt.Sprintf("Timer-hb-%d", node))
-	ctx.CreateMachine(newTimerMachine(id, core.Signal(tickSync)), fmt.Sprintf("Timer-sync-%d", node))
+	d.nodeOf[id] = node
+	d.enIDs = append(d.enIDs, id)
+	ctx.StartTimer(fmt.Sprintf("Timer-hb-%d", node), id, core.Signal(tickHeartbeat))
+	ctx.StartTimer(fmt.Sprintf("Timer-sync-%d", node), id, core.Signal(tickSync))
 }
 
-// onRoute dispatches a routed message to its destination EN, optionally
-// dropping it nondeterministically.
+// onRoute dispatches a routed message to its destination EN over the
+// unreliable modeled network: with a delivery-fault budget (the
+// DropMessages configuration declares one) the scheduler may drop or
+// duplicate it, recorded as DecisionDeliver.
 func (d *driverMachine) onRoute(ctx *core.Context, ev core.Event) {
 	r := ev.(routeEvent)
-	if d.cfg.DropMessages && ctx.RandomInt(4) == 0 {
-		ctx.Logf("dropping %s -> EN%d", r.Msg.Kind(), r.Dst)
-		return
-	}
 	id, ok := d.route[r.Dst]
 	ctx.Assert(ok, "route to unknown EN %d", r.Dst)
-	ctx.Send(id, msgEvent{Msg: r.Msg})
-}
-
-// onInject fails a nondeterministically chosen EN and launches a
-// replacement (Figure 10).
-func (d *driverMachine) onInject(ctx *core.Context, _ core.Event) {
-	victim := d.ens[ctx.RandomInt(len(d.ens))]
-	ctx.Send(d.route[victim], failureEvent{})
-	d.nextNode++
-	d.launchEN(ctx, d.mgrID, d.nextNode, nil)
+	ctx.SendUnreliable(id, msgEvent{Msg: r.Msg})
 }
 
 // newRepairMonitor builds the RepairMonitor of Figure 11, generalized to
@@ -422,6 +394,23 @@ func newRepairMonitor(target int) func() core.Monitor {
 	}
 }
 
+// Faults returns the fault budget the configured scenario is built for:
+// one EN crash for the fail-and-repair scenario, and a small drop/
+// duplicate allowance on the routed network when DropMessages is set.
+// Test declares it on the core.Test, so callers get it by default and may
+// still override via Options.Faults.
+func (hc HarnessConfig) Faults() core.Faults {
+	var f core.Faults
+	if hc.Scenario == ScenarioFailAndRepair {
+		f.MaxCrashes = 1
+	}
+	if hc.DropMessages {
+		f.MaxDrops = 3
+		f.MaxDuplicates = 2
+	}
+	return f
+}
+
 // Test builds the systematic test for the configured scenario.
 func Test(hc HarnessConfig) core.Test {
 	target := 3
@@ -434,21 +423,23 @@ func Test(hc HarnessConfig) core.Test {
 			ctx.CreateMachine(newDriverMachine(hc), "TestingDriver")
 		},
 		Monitors: []func() core.Monitor{newRepairMonitor(target)},
+		Faults:   hc.Faults(),
 	}
 }
 
 // Metadata reports the static shape of the harness machines for Table 1
-// accounting.
+// accounting. The timer row describes the core runtime timer (one state,
+// one firing handler), which replaced the harness's hand-rolled timer
+// machine when fault injection moved into the runtime.
 func Metadata() []core.MachineStats {
 	mm := newManagerMachine(vnext.Config{}, 0)
 	en := newENMachine(1, 0, 0, nil)
-	tm := newTimerMachine(0, core.Signal(tickHeartbeat))
 	dm := newDriverMachine(HarnessConfig{})
 	mon := newRepairMonitor(3)().(*core.MonitorSM)
 	return []core.MachineStats{
 		mm.SM.Stats(),
 		en.SM.Stats(),
-		tm.SM.Stats(),
+		{Machine: "Timer", States: 1, Transitions: 0, Handlers: 1},
 		dm.SM.Stats(),
 		mon.SM.Stats(),
 	}
