@@ -16,20 +16,28 @@ import (
 // --- Engine micro-benchmarks: the cost of systematic exploration ---
 
 // pingPongTest builds a minimal two-machine workload that ping-pongs
-// until the step bound, exercising nothing but the runtime itself.
+// until the step bound, exercising nothing but the runtime itself. The
+// events are hoisted out of the handlers (events are immutable, so reuse
+// is safe) — per-send event boxing is workload cost, and here it would
+// drown the engine cost this benchmark exists to measure.
 func pingPongTest() core.Test {
+	pong := core.Event(core.Signal("pong"))
 	return core.Test{
 		Name: "bench-pingpong",
 		Entry: func(ctx *core.Context) {
 			ponger := ctx.CreateMachine(&core.FuncMachine{
 				OnEvent: func(ctx *core.Context, ev core.Event) {
-					ctx.Send(ev.(pingEv).From, core.Signal("pong"))
+					ctx.Send(ev.(pingEv).From, pong)
 				},
 			}, "ponger")
+			var ping core.Event
 			ctx.CreateMachine(&core.FuncMachine{
-				OnInit: func(ctx *core.Context) { ctx.Send(ponger, pingEv{From: ctx.ID()}) },
+				OnInit: func(ctx *core.Context) {
+					ping = pingEv{From: ctx.ID()}
+					ctx.Send(ponger, ping)
+				},
 				OnEvent: func(ctx *core.Context, ev core.Event) {
-					ctx.Send(ponger, pingEv{From: ctx.ID()})
+					ctx.Send(ponger, ping)
 				},
 			}, "pinger")
 		},
@@ -45,6 +53,7 @@ func (pingEv) Name() string { return "ping" }
 // BenchmarkRuntimeSteps measures raw scheduling throughput: cooperative
 // handoffs per second on a ping-pong workload.
 func BenchmarkRuntimeSteps(b *testing.B) {
+	b.ReportAllocs()
 	test := pingPongTest()
 	opts := core.Options{Scheduler: "rr", Iterations: 1, MaxSteps: 10000, Seed: 1, NoLivenessBoundCheck: true}
 	b.ResetTimer()
@@ -67,6 +76,7 @@ func BenchmarkSchedulers(b *testing.B) {
 	})
 	for _, sched := range []string{"random", "pct", "rr"} {
 		b.Run(sched, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res := core.Run(test, core.Options{
 					Scheduler: sched, Iterations: 5, MaxSteps: 2000,
@@ -99,6 +109,7 @@ func BenchmarkParallelExploration(b *testing.B) {
 	test := pingPongTest()
 	for _, w := range parallelWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			execs := 0
 			for i := 0; i < b.N; i++ {
 				res := core.Run(test, core.Options{
@@ -123,6 +134,7 @@ func BenchmarkParallelMTable(b *testing.B) {
 	test := mharness.Test(mharness.HarnessConfig{})
 	for _, w := range parallelWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			execs := 0
 			for i := 0; i < b.N; i++ {
 				res := core.Run(test, core.Options{
@@ -139,6 +151,68 @@ func BenchmarkParallelMTable(b *testing.B) {
 				b.ReportMetric(float64(execs)/s, "execs/s")
 			}
 		})
+	}
+}
+
+// reuseWorkerCounts is the sweep for the pooled-vs-fresh comparison:
+// one worker (the pure per-execution cost) and one per CPU (deduplicated).
+func reuseWorkerCounts() []int {
+	if n := runtime.NumCPU(); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
+
+// BenchmarkExecutionReuse pits the pooled engine (the default) against
+// Options.NoReuse — a fresh Runtime, fresh machine goroutines and fresh
+// buffers per execution — on the two clean-execution workloads the
+// acceptance criteria track: the ping-pong micro-workload behind
+// BenchmarkParallelExploration and the clean MigratingTable execution
+// behind BenchmarkMTableCleanExecution. Same seeds, same schedules on
+// both sides (pooling is bit-identical by contract); the delta is pure
+// setup cost, reported as execs/s and allocs/op.
+func BenchmarkExecutionReuse(b *testing.B) {
+	workloads := []struct {
+		name string
+		test core.Test
+		opts core.Options
+	}{
+		{"pingpong", pingPongTest(), core.Options{
+			Scheduler: "random", Iterations: 64, MaxSteps: 500,
+			NoLivenessBoundCheck: true, NoReplayLog: true,
+		}},
+		{"mtable", mharness.Test(mharness.HarnessConfig{}), core.Options{
+			Scheduler: "random", Iterations: 8, MaxSteps: 30000,
+			NoReplayLog: true,
+		}},
+	}
+	for _, wl := range workloads {
+		for _, w := range reuseWorkerCounts() {
+			for _, mode := range []struct {
+				name    string
+				noReuse bool
+			}{{"pooled", false}, {"noreuse", true}} {
+				b.Run(fmt.Sprintf("%s/workers=%d/%s", wl.name, w, mode.name), func(b *testing.B) {
+					b.ReportAllocs()
+					execs := 0
+					for i := 0; i < b.N; i++ {
+						opts := wl.opts
+						opts.Seed = int64(i + 1)
+						opts.Workers = w
+						opts.NoReuse = mode.noReuse
+						res := core.Run(wl.test, opts)
+						if res.BugFound {
+							b.Fatalf("unexpected bug: %v", res.Report.Error())
+						}
+						execs += res.Executions
+					}
+					b.StopTimer()
+					if s := b.Elapsed().Seconds(); s > 0 {
+						b.ReportMetric(float64(execs)/s, "execs/s")
+					}
+				})
+			}
+		}
 	}
 }
 
@@ -231,6 +305,7 @@ func BenchmarkFaultPlane(b *testing.B) {
 		{"faultplane", faultPlaneTest},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			execs := 0
 			for i := 0; i < b.N; i++ {
 				res := core.Run(tc.build(), core.Options{
@@ -255,6 +330,7 @@ func BenchmarkFaultPlane(b *testing.B) {
 // BenchmarkTable1 regenerates the modeling statistics (machine metadata
 // aggregation; the LoC side lives in cmd/table1).
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		total := 0
 		for _, m := range vharness.Metadata() {
@@ -317,6 +393,7 @@ func BenchmarkTable2(b *testing.B) {
 	for _, row := range table2Rows() {
 		for _, sched := range []string{"random", "pct"} {
 			b.Run(fmt.Sprintf("%s/%s", row.name, sched), func(b *testing.B) {
+				b.ReportAllocs()
 				execs := 0
 				found := 0
 				for i := 0; i < b.N; i++ {
@@ -380,6 +457,7 @@ func BenchmarkPortfolio(b *testing.B) {
 			NoReplayLog: true,
 		}
 		b.Run(tgt.name+"/portfolio", func(b *testing.B) {
+			b.ReportAllocs()
 			execs, found := 0, 0
 			for i := 0; i < b.N; i++ {
 				opts := base
@@ -395,6 +473,7 @@ func BenchmarkPortfolio(b *testing.B) {
 		})
 		for _, sched := range members {
 			b.Run(tgt.name+"/"+sched, func(b *testing.B) {
+				b.ReportAllocs()
 				execs, found := 0, 0
 				for i := 0; i < b.N; i++ {
 					opts := base
@@ -421,6 +500,7 @@ func BenchmarkAblationPCTDepth(b *testing.B) {
 	test := vharness.Test(vharness.HarnessConfig{Scenario: vharness.ScenarioFailAndRepair})
 	for _, depth := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
 			execs := 0
 			for i := 0; i < b.N; i++ {
 				res := core.Run(test, core.Options{
@@ -448,6 +528,7 @@ func BenchmarkAblationLivenessDetection(b *testing.B) {
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				opts := c.opts
 				opts.Seed = int64(i + 1)
@@ -465,6 +546,7 @@ func BenchmarkAblationLivenessDetection(b *testing.B) {
 // MigratingTable execution (the unit the 100,000-execution budget is made
 // of).
 func BenchmarkMTableCleanExecution(b *testing.B) {
+	b.ReportAllocs()
 	test := mharness.Test(mharness.HarnessConfig{})
 	for i := 0; i < b.N; i++ {
 		res := core.Run(test, core.Options{

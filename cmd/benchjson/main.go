@@ -1,0 +1,199 @@
+// Command benchjson runs the repository's benchmark suite (`go test
+// -bench`) and writes a machine-readable JSON snapshot of the results —
+// execs/sec, ns/op, bytes/op and allocs/op per benchmark — so the perf
+// trajectory can be committed alongside the code (BENCH_pr4.json, ...).
+//
+// Beyond the flat per-benchmark list, the snapshot derives a
+// pooled-vs-NoReuse comparison from the BenchmarkExecutionReuse sub-runs:
+// for every workload/worker-count pair it reports the pooled engine's
+// execs/sec gain and allocs/op reduction over fresh-per-execution
+// runtimes, the numbers the pooling acceptance criteria are stated in.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson -out BENCH_pr4.json -benchtime 30x
+//	go run ./cmd/benchjson -bench ExecutionReuse -benchtime 5x -out /tmp/smoke.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	ExecsPerSec float64 `json:"execs_per_sec,omitempty"`
+	NsPerStep   float64 `json:"ns_per_step,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// ReuseComparison is one pooled-vs-NoReuse pair derived from
+// BenchmarkExecutionReuse/<workload>/workers=<n>/{pooled,noreuse}.
+type ReuseComparison struct {
+	Workload string     `json:"workload"`
+	Workers  string     `json:"workers"`
+	Pooled   *Benchmark `json:"pooled"`
+	NoReuse  *Benchmark `json:"noreuse"`
+	// ExecsPerSecGainPct is 100*(pooled/noreuse - 1) on execs/sec.
+	ExecsPerSecGainPct float64 `json:"execs_per_sec_gain_pct"`
+	// AllocsPerOpReductionPct is 100*(1 - pooled/noreuse) on allocs/op.
+	AllocsPerOpReductionPct float64 `json:"allocs_per_op_reduction_pct"`
+}
+
+// Snapshot is the file layout of BENCH_*.json.
+type Snapshot struct {
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	NumCPU     int               `json:"num_cpu"`
+	BenchTime  string            `json:"benchtime"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+	Reuse      []ReuseComparison `json:"execution_reuse,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH.json", "output file for the JSON snapshot")
+	bench := flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "10x", "value passed to go test -benchtime")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
+		"-benchtime", *benchtime, *pkg)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go test -bench failed: %v\n", err)
+		os.Exit(1)
+	}
+	benches, err := parse(string(raw))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark results in go test output\n")
+		os.Exit(1)
+	}
+
+	snap := Snapshot{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		BenchTime:  *benchtime,
+		Benchmarks: benches,
+		Reuse:      compareReuse(benches),
+	}
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: encoding snapshot: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks (%d reuse comparisons) to %s\n",
+		len(snap.Benchmarks), len(snap.Reuse), *out)
+}
+
+// parse extracts benchmark lines from `go test -bench` output. A line is
+//
+//	BenchmarkName[/sub...][-P]  N  V ns/op  [V unit]...
+//
+// Unknown units are ignored so future ReportMetric additions don't break
+// the snapshot format.
+func parse(out string) ([]Benchmark, error) {
+	var benches []Benchmark
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		b := Benchmark{Name: strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", runtime.GOMAXPROCS(0)))}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing iteration count in %q: %v", line, err)
+		}
+		b.Iterations = n
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing metric value in %q: %v", line, err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "execs/s":
+				b.ExecsPerSec = v
+			case "ns/step":
+				b.NsPerStep = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		benches = append(benches, b)
+	}
+	return benches, nil
+}
+
+// compareReuse pairs up the pooled/noreuse sub-benchmarks of
+// BenchmarkExecutionReuse and derives the acceptance metrics.
+func compareReuse(benches []Benchmark) []ReuseComparison {
+	const prefix = "BenchmarkExecutionReuse/"
+	type key struct{ workload, workers string }
+	pairs := map[key]*ReuseComparison{}
+	var order []key
+	for i := range benches {
+		b := &benches[i]
+		if !strings.HasPrefix(b.Name, prefix) {
+			continue
+		}
+		parts := strings.Split(strings.TrimPrefix(b.Name, prefix), "/")
+		if len(parts) != 3 {
+			continue
+		}
+		k := key{parts[0], strings.TrimPrefix(parts[1], "workers=")}
+		c := pairs[k]
+		if c == nil {
+			c = &ReuseComparison{Workload: k.workload, Workers: k.workers}
+			pairs[k] = c
+			order = append(order, k)
+		}
+		switch parts[2] {
+		case "pooled":
+			c.Pooled = b
+		case "noreuse":
+			c.NoReuse = b
+		}
+	}
+	var out []ReuseComparison
+	for _, k := range order {
+		c := pairs[k]
+		if c.Pooled == nil || c.NoReuse == nil {
+			continue
+		}
+		if c.NoReuse.ExecsPerSec > 0 {
+			c.ExecsPerSecGainPct = 100 * (c.Pooled.ExecsPerSec/c.NoReuse.ExecsPerSec - 1)
+		}
+		if c.NoReuse.AllocsPerOp > 0 {
+			c.AllocsPerOpReductionPct = 100 * (1 - c.Pooled.AllocsPerOp/c.NoReuse.AllocsPerOp)
+		}
+		out = append(out, *c)
+	}
+	return out
+}

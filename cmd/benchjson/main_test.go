@@ -1,0 +1,53 @@
+package main
+
+import "testing"
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/gostorm/gostorm
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRuntimeSteps 	     100	   1203456 ns/op	       120.5 ns/step	   47589 B/op	     425 allocs/op
+BenchmarkExecutionReuse/pingpong/workers=1/pooled 	      30	  20757478 ns/op	      3083 execs/s	   47589 B/op	     425 allocs/op
+BenchmarkExecutionReuse/pingpong/workers=1/noreuse 	      30	  20200698 ns/op	      3168 execs/s	 2205795 B/op	    2228 allocs/op
+PASS
+ok  	github.com/gostorm/gostorm	1.485s
+`
+
+func TestParseAndCompare(t *testing.T) {
+	benches, err := parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(benches))
+	}
+	if b := benches[0]; b.Name != "BenchmarkRuntimeSteps" || b.Iterations != 100 ||
+		b.NsPerOp != 1203456 || b.NsPerStep != 120.5 || b.AllocsPerOp != 425 {
+		t.Fatalf("first benchmark parsed wrong: %+v", b)
+	}
+
+	cmp := compareReuse(benches)
+	if len(cmp) != 1 {
+		t.Fatalf("derived %d reuse comparisons, want 1", len(cmp))
+	}
+	c := cmp[0]
+	if c.Workload != "pingpong" || c.Workers != "1" {
+		t.Fatalf("comparison key wrong: %+v", c)
+	}
+	if c.AllocsPerOpReductionPct < 80 || c.AllocsPerOpReductionPct > 81 {
+		t.Fatalf("allocs reduction = %.2f%%, want ~80.9%%", c.AllocsPerOpReductionPct)
+	}
+	if c.ExecsPerSecGainPct > 0 {
+		t.Fatalf("execs gain should be negative in this sample, got %.2f%%", c.ExecsPerSecGainPct)
+	}
+}
+
+func TestParseIgnoresUnknownUnits(t *testing.T) {
+	benches, err := parse("BenchmarkX 	 10	 5 ns/op	 3 widgets/op\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 1 || benches[0].NsPerOp != 5 {
+		t.Fatalf("parse with unknown unit: %+v", benches)
+	}
+}

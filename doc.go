@@ -71,6 +71,39 @@
 // (pct, delay) treat fault points as change-point candidates, spending a
 // change point that lands on one to force a faulty outcome.
 //
+// # Performance and pooling
+//
+// Repeated execution is the engine's fast path: bug probability is a
+// function of schedules explored per unit time, so per-execution setup is
+// schedules not explored. Each exploration worker recycles its execution
+// state through a runtime pool instead of rebuilding it per iteration:
+//
+//   - The Runtime is reset in place between executions — decision trace,
+//     enabled buffer, log, monitor tables, fault counters and the
+//     pending-crash list rewind while keeping their storage.
+//   - Machine structs and their inboxes are recycled; the inbox is a
+//     head-indexed window over a reusable buffer, so dequeuing the front
+//     event is O(1) instead of an O(n) slice shift.
+//   - Machine goroutines park between assignments and are re-armed with
+//     the next execution's machines instead of being spawned and reaped
+//     per execution. The engine↔machine handoff protocol is unchanged; a
+//     terminating machine parks its worker before its final handoff, so
+//     the engine never observes a live goroutine it did not schedule.
+//   - Log lines and expensive log arguments are only materialized when a
+//     log is collected (replays); Context.Logging lets harnesses guard
+//     their own expensive descriptions the same way.
+//
+// The reuse contract: pooling is semantically invisible. For a fixed seed
+// the results, encoded traces, winner attribution and statistics are
+// bit-identical with pooling on and off, at every worker count — enforced
+// by the pooling determinism tests (internal/core and every harness).
+// Pools never cross workers, so `go test -race` keeps proving executions
+// share no state. Options.NoReuse disables reuse (fresh runtime, fresh
+// goroutines per execution) as a debugging escape hatch, and
+// Options.LogCap bounds the replay log (default 100,000 lines).
+// BenchmarkExecutionReuse tracks the pooled-vs-fresh delta and
+// cmd/benchjson records the trajectory in BENCH_*.json snapshots.
+//
 // See README.md for a package tour and the parallel-exploration design,
 // and ROADMAP.md for open items.
 package gostorm

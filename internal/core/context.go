@@ -37,7 +37,9 @@ func (c *Context) Send(target MachineID, ev Event) {
 // runs when the scheduler first picks it.
 func (c *Context) CreateMachine(impl Machine, name string) MachineID {
 	id := c.r.createMachine(impl, name)
-	c.r.logf("%s created %s(%d)", c.m.label(), name, id)
+	if c.r.logging() {
+		c.r.logf("%s created %s(%d)", c.m.label(), name, id)
+	}
 	c.r.schedulingPoint(c.m)
 	return id
 }
@@ -65,20 +67,40 @@ func (c *Context) RandomInt(n int) int {
 // arrives, removes it from the inbox (other events stay queued in order),
 // and returns it. Mirrors the P# receive statement.
 func (c *Context) Receive(names ...string) Event {
-	set := make(map[string]bool, len(names))
-	for _, n := range names {
-		set[n] = true
+	desc := ""
+	if c.Logging() {
+		desc = fmt.Sprintf("%v", names)
 	}
-	return c.ReceiveWhere(fmt.Sprintf("%v", names), func(ev Event) bool { return set[ev.Name()] })
+	return c.ReceiveWhere(desc, func(ev Event) bool {
+		name := ev.Name()
+		for _, n := range names {
+			if name == n {
+				return true
+			}
+		}
+		return false
+	})
 }
 
+// Logging reports whether this execution collects a log: Logf lines are
+// recorded during replay and dropped during exploration. Harnesses guard
+// expensive log or description construction on it — e.g. a ReceiveWhere
+// desc built with fmt.Sprintf — so the exploration fast path, which runs
+// millions of executions, never pays for strings nobody will read.
+func (c *Context) Logging() bool { return c.r.logging() }
+
 // ReceiveWhere blocks until an event satisfying pred arrives and returns
-// it. desc appears in deadlock reports.
+// it. desc appears only in the replay log ("waiting to receive <desc>"),
+// so callers building it with fmt.Sprintf should guard on Logging and
+// pass "" during exploration — deadlock reports identify machines by
+// label and never read desc.
 func (c *Context) ReceiveWhere(desc string, pred func(Event) bool) Event {
 	m := c.m
 	m.recvPred = pred
 	m.status = statusWaitReceive
-	c.r.logf("%s waiting to receive %s", m.label(), desc)
+	if c.r.logging() {
+		c.r.logf("%s waiting to receive %s", m.label(), desc)
+	}
 	c.r.yield <- struct{}{}
 	<-m.resume
 	m.status = statusRunning
@@ -87,14 +109,18 @@ func (c *Context) ReceiveWhere(desc string, pred func(Event) bool) Event {
 	}
 	ev := m.popMatch(pred)
 	m.recvPred = nil
-	c.r.logf("%s received %s", m.label(), ev.Name())
+	if c.r.logging() {
+		c.r.logf("%s received %s", m.label(), ev.Name())
+	}
 	return ev
 }
 
 // Halt terminates the executing machine: its queue is discarded and future
 // events to it are dropped. Harnesses use it to model node failures.
 func (c *Context) Halt() {
-	c.r.logf("%s halt", c.m.label())
+	if c.r.logging() {
+		c.r.logf("%s halt", c.m.label())
+	}
 	panic(haltSignal{})
 }
 
@@ -105,7 +131,9 @@ func (c *Context) Monitor(name string, ev Event) {
 	if e == nil {
 		c.Assert(false, "notify of unknown monitor %q", name)
 	}
-	c.r.logf("%s notify %s: %s", c.m.label(), name, ev.Name())
+	if c.r.logging() {
+		c.r.logf("%s notify %s: %s", c.m.label(), name, ev.Name())
+	}
 	e.mon.Handle(e.mc, ev)
 }
 
@@ -121,7 +149,9 @@ func (c *Context) Assert(cond bool, format string, args ...any) {
 // harnesses can log liberally — exactly the paper's workflow of iterating
 // on a buggy trace with richer debug output.
 func (c *Context) Logf(format string, args ...any) {
-	c.r.logf("%s: %s", c.m.label(), fmt.Sprintf(format, args...))
+	if c.r.logging() {
+		c.r.logf("%s: %s", c.m.label(), fmt.Sprintf(format, args...))
+	}
 }
 
 // --- fault plane ---
@@ -143,7 +173,9 @@ func (c *Context) StartTimer(name string, target MachineID, tick Event) TimerID 
 		c.Assert(false, "StartTimer targeting unknown machine %d", target)
 	}
 	id := r.createMachine(&timerMachine{target: target, tick: tick}, name)
-	r.logf("%s started timer %s(%d) -> %s", c.m.label(), name, id, r.machines[target].label())
+	if r.logging() {
+		r.logf("%s started timer %s(%d) -> %s", c.m.label(), name, id, r.machines[target].label())
+	}
 	r.schedulingPoint(c.m)
 	return id
 }
@@ -159,7 +191,9 @@ func (c *Context) StopTimer(id TimerID) {
 	if _, ok := m.impl.(*timerMachine); !ok {
 		c.Assert(false, "StopTimer of machine %d (%s), which is not a timer", id, m.label())
 	}
-	r.logf("%s stopped timer %s", c.m.label(), m.label())
+	if r.logging() {
+		r.logf("%s stopped timer %s", c.m.label(), m.label())
+	}
 	r.pendingCrash = append(r.pendingCrash, id)
 	r.schedulingPoint(c.m)
 }
@@ -174,7 +208,7 @@ func (c *Context) fireTimer() bool {
 	}
 	fired := out == 1
 	r.decisions = append(r.decisions, Decision{Kind: DecisionTimer, Machine: c.m.id, Bool: fired})
-	if fired {
+	if fired && r.logging() {
 		r.logf("%s fired", c.m.label())
 	}
 	return fired
@@ -236,7 +270,9 @@ func (c *Context) Crash(target MachineID) {
 	if target == c.m.id {
 		c.Halt()
 	}
-	r.logf("%s crashed %s", c.m.label(), r.machines[target].label())
+	if r.logging() {
+		r.logf("%s crashed %s", c.m.label(), r.machines[target].label())
+	}
 	r.pendingCrash = append(r.pendingCrash, target)
 	// Yield so the crash is reaped before the caller's next action: after
 	// Crash returns, the victim is gone from every machine's perspective
@@ -270,11 +306,13 @@ func (c *Context) Restart(id MachineID, impl Machine) {
 	} else {
 		m.defr = nil
 	}
-	m.queue = nil
+	m.queue.clear()
 	m.recvPred = nil
 	m.crashed = false
 	m.status = statusCreated
-	r.logf("%s restarted %s", c.m.label(), m.label())
+	if r.logging() {
+		r.logf("%s restarted %s", c.m.label(), m.label())
+	}
 	r.schedulingPoint(c.m)
 }
 
@@ -327,12 +365,16 @@ func (c *Context) SendUnreliable(target MachineID, ev Event) {
 	switch outcome {
 	case Drop:
 		r.drops++
-		r.logf("%s send %s -> %s (dropped: fault plane)", c.m.label(), ev.Name(), t.label())
+		if r.logging() {
+			r.logf("%s send %s -> %s (dropped: fault plane)", c.m.label(), ev.Name(), t.label())
+		}
 	case Duplicate:
 		r.dups++
 		c.enqueue(t, ev)
 		c.enqueue(t, ev)
-		r.logf("%s send %s -> %s (duplicated: fault plane)", c.m.label(), ev.Name(), t.label())
+		if r.logging() {
+			r.logf("%s send %s -> %s (duplicated: fault plane)", c.m.label(), ev.Name(), t.label())
+		}
 	default:
 		c.enqueue(t, ev)
 	}
@@ -343,9 +385,11 @@ func (c *Context) SendUnreliable(target MachineID, ev Event) {
 // yielding; Send and SendUnreliable share it.
 func (c *Context) enqueue(t *machine, ev Event) {
 	if t.status != statusHalted {
-		t.queue = append(t.queue, ev)
-		c.r.logf("%s send %s -> %s", c.m.label(), ev.Name(), t.label())
-	} else {
+		t.queue.push(ev)
+		if c.r.logging() {
+			c.r.logf("%s send %s -> %s", c.m.label(), ev.Name(), t.label())
+		}
+	} else if c.r.logging() {
 		c.r.logf("%s send %s -> %s (dropped: target halted)", c.m.label(), ev.Name(), t.label())
 	}
 }

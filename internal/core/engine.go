@@ -77,6 +77,19 @@ type Options struct {
 	// NoReplayLog skips the confirmation replay that re-runs a buggy
 	// schedule to collect the detailed execution log.
 	NoReplayLog bool
+	// LogCap bounds the number of lines the replay log may collect per
+	// execution; 0 means the default (100,000 lines). Negative values are
+	// rejected up front. Exploration executions collect no log, so the cap
+	// only shapes replays and confirmation replays.
+	LogCap int
+	// NoReuse disables the pooled execution engine: every execution gets
+	// a freshly allocated Runtime with fresh machine goroutines, inboxes
+	// and buffers, as in the pre-pooling engine. Pooling is semantically
+	// invisible — for a fixed seed, results, traces and statistics are
+	// bit-identical with pooling on and off (the pooling determinism tests
+	// enforce it) — so this is an escape hatch for debugging and for
+	// benchmarking the pool itself, not a correctness knob.
+	NoReuse bool
 	// Faults overrides the test's fault budget (Test.Faults) when any
 	// field is set; the zero value defers to the test. Budgets bound the
 	// faults the scheduler may inject per execution — see Faults and the
@@ -111,6 +124,7 @@ func (o Options) validate() error {
 		{"Workers", o.Workers},
 		{"PCTDepth", o.PCTDepth},
 		{"Temperature", o.Temperature},
+		{"LogCap", o.LogCap},
 	} {
 		if c.v < 0 {
 			return fmt.Errorf("core: Options.%s must be non-negative, got %d", c.name, c.v)
@@ -161,6 +175,9 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.NumCPU()
 	}
+	if o.LogCap <= 0 {
+		o.LogCap = defaultLogCap
+	}
 	return o
 }
 
@@ -179,6 +196,7 @@ func (o Options) runtimeConfig(t Test, collectLog bool) runtimeConfig {
 		livenessAtBound:   !o.NoLivenessBoundCheck,
 		deadlockDetection: !o.NoDeadlockDetection,
 		collectLog:        collectLog,
+		logCap:            o.LogCap,
 		faults:            effectiveFaults(t, o),
 	}
 }
@@ -334,6 +352,9 @@ func calibrate(t Test, o Options, f *SchedulerFactory, st *runState) (Result, bo
 // schedulers where iteration order is part of the exploration strategy.
 func runSequential(t Test, o Options, sched Scheduler, st runState) Result {
 	start := st.start
+	pool := newExecPool(o)
+	defer pool.release()
+	cfg := o.runtimeConfig(t, false)
 	res := Result{Executions: st.execs, TotalSteps: st.steps}
 	for i := st.first; i < o.Iterations; i++ {
 		seed := o.execSeed(i)
@@ -341,7 +362,7 @@ func runSequential(t Test, o Options, sched Scheduler, st runState) Result {
 			res.Exhausted = true
 			break
 		}
-		r := newRuntime(sched, o.runtimeConfig(t, false))
+		r := pool.runtime(sched, cfg)
 		rep := r.execute(t)
 		res.Executions++
 		res.TotalSteps += int64(r.steps)
@@ -414,6 +435,15 @@ func runParallel(t Test, o Options, f SchedulerFactory, workers int, st runState
 		go func() {
 			defer wg.Done()
 			sched := f.New()
+			pool := newExecPool(o)
+			defer pool.release()
+			// The abort predicate is hoisted out of the loop: it reads the
+			// worker-local current iteration, written only by this goroutine
+			// between executions, so one closure serves every execution
+			// instead of allocating one per iteration.
+			var cur int64
+			cfg := o.runtimeConfig(t, false)
+			cfg.abort = func() bool { return cur >= bugIndex.Load() }
 			for {
 				i := int(next.Add(1) - 1)
 				if i >= o.Iterations || int64(i) >= bugIndex.Load() {
@@ -429,9 +459,8 @@ func runParallel(t Test, o Options, f SchedulerFactory, workers int, st runState
 					mu.Unlock()
 					return
 				}
-				cfg := o.runtimeConfig(t, false)
-				cfg.abort = func() bool { return int64(i) >= bugIndex.Load() }
-				r := newRuntime(sched, cfg)
+				cur = int64(i)
+				r := pool.runtime(sched, cfg)
 				rep := r.execute(t)
 				if r.aborted {
 					// Superseded mid-flight by a bug at a lower index; the

@@ -45,6 +45,7 @@ func TestOptionsValidation(t *testing.T) {
 		{"negative workers", Options{Workers: -2}, "Options.Workers must be non-negative, got -2"},
 		{"negative pct depth", Options{PCTDepth: -3}, "Options.PCTDepth must be non-negative, got -3"},
 		{"negative temperature", Options{Temperature: -7}, "Options.Temperature must be non-negative, got -7"},
+		{"negative log cap", Options{LogCap: -10}, "Options.LogCap must be non-negative, got -10"},
 		{"negative crash budget", Options{Faults: Faults{MaxCrashes: -1}}, "Options.Faults.MaxCrashes must be non-negative, got -1"},
 		{"negative drop budget", Options{Faults: Faults{MaxDrops: -4}}, "Options.Faults.MaxDrops must be non-negative, got -4"},
 		{"negative duplicate budget", Options{Faults: Faults{MaxDuplicates: -9}}, "Options.Faults.MaxDuplicates must be non-negative, got -9"},
@@ -91,7 +92,7 @@ func TestTestFaultsValidation(t *testing.T) {
 func TestOptionsValidationAcceptsZeroAndPositive(t *testing.T) {
 	for _, o := range []Options{
 		{},
-		{Iterations: 5, MaxSteps: 100, Workers: 2, PCTDepth: 3, Temperature: 50,
+		{Iterations: 5, MaxSteps: 100, Workers: 2, PCTDepth: 3, Temperature: 50, LogCap: 500,
 			Faults: Faults{MaxCrashes: 1, MaxDrops: 2, MaxDuplicates: 3}},
 	} {
 		if err := o.validate(); err != nil {

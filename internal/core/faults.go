@@ -20,6 +20,12 @@ import (
 // SendUnreliable behaves exactly like Send. A Test may declare the budget
 // its scenario needs (Test.Faults); Options.Faults, when any field is set,
 // overrides it wholesale.
+//
+// Budgets are strictly per execution: the runtime counts the crashes,
+// drops and duplicates charged so far, and the pooled engine rewinds those
+// counters — together with the pending-crash reap list — on every runtime
+// reset (see pool.go), so a recycled runtime starts each execution with
+// the full budget exactly like a fresh one.
 type Faults struct {
 	// MaxCrashes bounds how many CrashPoint offers the scheduler may take
 	// per execution.

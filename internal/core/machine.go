@@ -66,15 +66,91 @@ const (
 	statusHalted
 )
 
-// machine is the runtime's per-machine bookkeeping.
+// inbox is a machine's FIFO event queue, laid out as a head-indexed window
+// over a reusable buffer. The live events are buf[head:]; dequeuing the
+// front event advances head in O(1) instead of shifting the whole slice
+// (the old []Event representation copied the tail on every dequeue — O(n)
+// per event, O(n²) per busy machine). Removing a deferred-past or
+// receive-matched event at position i shifts only the i skipped events in
+// front of it, which deferral keeps small. The buffer is compacted when
+// the dead prefix dominates and recycled across executions by the pooled
+// engine, so a steady-state inbox allocates nothing.
+type inbox struct {
+	buf  []Event
+	head int
+}
+
+// size returns the number of live events.
+func (q *inbox) size() int { return len(q.buf) - q.head }
+
+// at returns the i-th live event (0 = front).
+func (q *inbox) at(i int) Event { return q.buf[q.head+i] }
+
+// push appends ev, compacting the dead prefix when it dominates the
+// buffer so the backing array stays proportional to the live window.
+func (q *inbox) push(ev Event) {
+	if q.head > 0 {
+		if q.head == len(q.buf) {
+			q.buf = q.buf[:0]
+			q.head = 0
+		} else if q.head >= 16 && q.head*2 >= len(q.buf) {
+			n := copy(q.buf, q.buf[q.head:])
+			for i := n; i < len(q.buf); i++ {
+				q.buf[i] = nil
+			}
+			q.buf = q.buf[:n]
+			q.head = 0
+		}
+	}
+	q.buf = append(q.buf, ev)
+}
+
+// removeAt removes and returns the i-th live event. The front event (the
+// overwhelmingly common case — dequeue of a non-deferring machine) is O(1);
+// otherwise the i events skipped in front of it are shifted right by one,
+// preserving their order.
+func (q *inbox) removeAt(i int) Event {
+	j := q.head + i
+	ev := q.buf[j]
+	copy(q.buf[q.head+1:j+1], q.buf[q.head:j])
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return ev
+}
+
+// clear drops every event, nilling the slots so user events don't outlive
+// the execution, but keeps the backing buffer for reuse.
+func (q *inbox) clear() {
+	for i := q.head; i < len(q.buf); i++ {
+		q.buf[i] = nil
+	}
+	q.buf = q.buf[:0]
+	q.head = 0
+}
+
+// machine is the runtime's per-machine bookkeeping. The structs (and their
+// inbox buffers and hosting goroutines) are recycled across executions by
+// the pooled engine; createMachine re-arms every field that carries
+// per-execution state.
 type machine struct {
 	id     MachineID
 	name   string
 	impl   Machine
 	defr   Deferrer // impl.(Deferrer), or nil
-	queue  []Event
+	queue  inbox
 	status machineStatus
+	// resume is the channel the engine uses to hand control to the
+	// machine's goroutine. It is assigned at the machine's first scheduling
+	// step: the channel belongs to the hosting machineWorker when the
+	// runtime pools goroutines, or is freshly made otherwise.
 	resume chan struct{}
+	// ctx is the Context handed to impl's Init/Handle, embedded here so a
+	// machine start allocates nothing.
+	ctx Context
 	// recvPred is non-nil while status == statusWaitReceive.
 	recvPred func(Event) bool
 	// crashed is set by the engine's crash reaper just before resuming
@@ -90,10 +166,10 @@ func (m *machine) label() string {
 // event loop would accept (i.e. not deferred in its current state).
 func (m *machine) hasDequeuable() bool {
 	if m.defr == nil {
-		return len(m.queue) > 0
+		return m.queue.size() > 0
 	}
-	for _, ev := range m.queue {
-		if !m.defr.Deferred(ev) {
+	for i, n := 0, m.queue.size(); i < n; i++ {
+		if !m.defr.Deferred(m.queue.at(i)) {
 			return true
 		}
 	}
@@ -103,10 +179,9 @@ func (m *machine) hasDequeuable() bool {
 // popDequeuable removes and returns the first non-deferred event.
 // It must only be called when hasDequeuable() is true.
 func (m *machine) popDequeuable() Event {
-	for i, ev := range m.queue {
-		if m.defr == nil || !m.defr.Deferred(ev) {
-			m.queue = append(m.queue[:i], m.queue[i+1:]...)
-			return ev
+	for i, n := 0, m.queue.size(); i < n; i++ {
+		if m.defr == nil || !m.defr.Deferred(m.queue.at(i)) {
+			return m.queue.removeAt(i)
 		}
 	}
 	panic("core: popDequeuable on machine with no dequeuable event")
@@ -118,8 +193,8 @@ func (m *machine) hasMatch() bool {
 	if m.recvPred == nil {
 		return false
 	}
-	for _, ev := range m.queue {
-		if m.recvPred(ev) {
+	for i, n := 0, m.queue.size(); i < n; i++ {
+		if m.recvPred(m.queue.at(i)) {
 			return true
 		}
 	}
@@ -129,10 +204,9 @@ func (m *machine) hasMatch() bool {
 // popMatch removes and returns the first event satisfying pred.
 // It must only be called when hasMatch() is true.
 func (m *machine) popMatch(pred func(Event) bool) Event {
-	for i, ev := range m.queue {
-		if pred(ev) {
-			m.queue = append(m.queue[:i], m.queue[i+1:]...)
-			return ev
+	for i, n := 0, m.queue.size(); i < n; i++ {
+		if pred(m.queue.at(i)) {
+			return m.queue.removeAt(i)
 		}
 	}
 	panic("core: popMatch on machine with no matching event")

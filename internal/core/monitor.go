@@ -56,7 +56,9 @@ func (mc *MonitorContext) IsHot() bool { return mc.hot }
 // Logf appends a line to the execution log (no-op unless log collection is
 // enabled for this execution).
 func (mc *MonitorContext) Logf(format string, args ...any) {
-	mc.r.logf("monitor %s: %s", mc.mon.Name(), fmt.Sprintf(format, args...))
+	if mc.r.logging() {
+		mc.r.logf("monitor %s: %s", mc.mon.Name(), fmt.Sprintf(format, args...))
+	}
 }
 
 // MonitorSM is a Monitor implemented by a StateMachine whose states may be

@@ -1,0 +1,169 @@
+package core
+
+// This file is the pooled execution engine: the machinery that makes
+// *repeated* execution — the unit systematic testing is made of — the fast
+// path. A fresh Runtime per execution spends its time on setup: a goroutine
+// and resume channel per machine, a new decisions slice, inbox slices,
+// monitor tables. The pool recycles all of it per exploration worker, so a
+// steady-state execution performs near-zero heap allocations outside the
+// user's own machine code:
+//
+//   - the Runtime itself is reset in place (Runtime.reset) instead of
+//     reallocated: decisions, enabled buffer, pending-crash list, log and
+//     monitor tables keep their storage, fault counters and flags rewind;
+//   - machine structs and their inbox buffers are recycled through
+//     Runtime.machineCache;
+//   - machine goroutines are recycled through machineWorker: when a machine
+//     terminates, its hosting goroutine parks on the worker's resume
+//     channel instead of exiting, and the engine re-arms it with the next
+//     machine — within the same execution or the next one — instead of
+//     spawning a new goroutine.
+//
+// Pools never cross exploration workers: Run and RunPortfolio build one
+// execPool per worker goroutine, exactly like scheduler instances, so the
+// race detector can keep proving no execution state is shared. Results are
+// bit-identical with pooling on and off (Options.NoReuse is the escape
+// hatch); the pooling determinism tests enforce it trace-byte for
+// trace-byte.
+
+// execPool recycles one exploration worker's execution state. The zero
+// value is not useful — use newExecPool; a nil pool means "no reuse" and
+// hands out a fresh Runtime per execution.
+type execPool struct {
+	rt *Runtime
+}
+
+// newExecPool returns a pool for one exploration worker, or nil when the
+// options disable reuse (a nil pool is valid and simply never recycles).
+func newExecPool(o Options) *execPool {
+	if o.NoReuse {
+		return nil
+	}
+	return &execPool{}
+}
+
+// runtime returns a Runtime ready to execute under sched/cfg: the pool's
+// recycled one when available, a fresh one otherwise.
+func (p *execPool) runtime(sched Scheduler, cfg runtimeConfig) *Runtime {
+	if p == nil {
+		return newRuntime(sched, cfg)
+	}
+	if p.rt == nil {
+		p.rt = newRuntime(sched, cfg)
+		p.rt.reuse = true
+		return p.rt
+	}
+	p.rt.reset(sched, cfg)
+	return p.rt
+}
+
+// release parks the pool: every pooled machine goroutine is told to exit.
+// After release the pool's runtime owns no goroutines; the worker must not
+// use the pool again. Safe on a nil or unused pool.
+func (p *execPool) release() {
+	if p == nil || p.rt == nil {
+		return
+	}
+	for _, w := range p.rt.freeWorkers {
+		w.r = nil
+		w.resume <- struct{}{}
+	}
+	p.rt.freeWorkers = nil
+	p.rt = nil
+}
+
+// machineWorker is a pooled goroutine that hosts machine bodies, one at a
+// time. The engine arms it by setting (r, m) and sending on resume; the
+// same channel then carries every subsequent engine→machine handoff for
+// that machine, so the handoff protocol is exactly the unpooled one. When
+// the machine terminates, the worker returns itself to the runtime's free
+// list *before* its final yield to the engine — the engine only pops the
+// free list after receiving that yield, so every free-list access is
+// ordered by the yield/resume channel pair and needs no lock.
+type machineWorker struct {
+	resume chan struct{}
+	// r and m are the worker's current assignment, written by the engine
+	// before the arming resume-send and read by the worker after receiving
+	// it. A nil r tells the parked worker to exit (pool release).
+	r *Runtime
+	m *machine
+}
+
+// loop parks until armed, runs the assigned machine body to termination,
+// and parks again. Exits when released with a nil runtime.
+func (w *machineWorker) loop() {
+	for {
+		<-w.resume
+		if w.r == nil {
+			return
+		}
+		w.r.runMachine(w.m, w)
+	}
+}
+
+// getWorker returns a parked worker, spawning a new goroutine only when
+// the free list is empty (first execution, or more simultaneously-live
+// machines than any previous execution had).
+func (r *Runtime) getWorker() *machineWorker {
+	if n := len(r.freeWorkers); n > 0 {
+		w := r.freeWorkers[n-1]
+		r.freeWorkers = r.freeWorkers[:n-1]
+		return w
+	}
+	w := &machineWorker{resume: make(chan struct{})}
+	go w.loop()
+	return w
+}
+
+// putWorker returns a worker to the free list. Called by the worker's own
+// goroutine just before its final yield (see machineWorker); the engine is
+// parked on the yield receive at that moment, so the access is ordered.
+func (r *Runtime) putWorker(w *machineWorker) {
+	r.freeWorkers = append(r.freeWorkers, w)
+}
+
+// reset rewinds the runtime for its next execution, recycling every piece
+// of per-execution storage. It must only run after execute returned: at
+// that point shutdown has reaped every machine goroutine (each parking its
+// worker on the free list), so no goroutine of the previous execution can
+// observe the rewind.
+func (r *Runtime) reset(sched Scheduler, cfg runtimeConfig) {
+	r.sched = asFaultScheduler(sched)
+	for _, m := range r.machines {
+		m.queue.clear()
+		m.impl = nil
+		m.defr = nil
+		m.recvPred = nil
+		m.resume = nil
+		m.crashed = false
+		m.ctx = Context{}
+	}
+	r.machineCache = append(r.machineCache, r.machines...)
+	r.machines = r.machines[:0]
+	for _, e := range r.monitors {
+		e.mon = nil
+		*e.mc = MonitorContext{}
+	}
+	r.monCache = append(r.monCache, r.monitors...)
+	r.monitors = r.monitors[:0]
+	clear(r.monByName)
+
+	r.current = nil
+	r.killed = false
+	r.steps = 0
+	r.maxSteps = cfg.maxSteps
+	r.decisions = r.decisions[:0]
+	r.bug = nil
+	r.faults = cfg.faults
+	r.crashes, r.drops, r.dups = 0, 0, 0
+	r.pendingCrash = r.pendingCrash[:0]
+	r.divergence = nil
+	r.temperature = cfg.temperature
+	r.livenessAtBound = cfg.livenessAtBound
+	r.deadlockDetection = cfg.deadlockDetection
+	r.collectLog = cfg.collectLog
+	r.log = r.log[:0]
+	r.logCap = effectiveLogCap(cfg.logCap)
+	r.abort = cfg.abort
+	r.aborted = false
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// --- inbox: the head-indexed queue replacing slice-shift dequeues ---
+
+func TestInboxFIFOAndRemoval(t *testing.T) {
+	var q inbox
+	for i := 0; i < 5; i++ {
+		q.push(Signal(fmt.Sprintf("e%d", i)))
+	}
+	if q.size() != 5 {
+		t.Fatalf("size = %d, want 5", q.size())
+	}
+	// Remove a middle element: the events in front of it keep their order.
+	if got := q.removeAt(2).Name(); got != "e2" {
+		t.Fatalf("removeAt(2) = %s", got)
+	}
+	for _, want := range []string{"e0", "e1", "e3", "e4"} {
+		if got := q.removeAt(0).Name(); got != want {
+			t.Fatalf("pop = %s, want %s", got, want)
+		}
+	}
+	if q.size() != 0 {
+		t.Fatalf("size = %d after draining", q.size())
+	}
+	// A drained inbox rewinds to the start of its buffer.
+	if q.head != 0 || len(q.buf) != 0 {
+		t.Fatalf("drained inbox not rewound: head=%d len=%d", q.head, len(q.buf))
+	}
+}
+
+func TestInboxCompactionBoundsBuffer(t *testing.T) {
+	var q inbox
+	// Steady-state churn: push one, pop one, live window stays at 1. The
+	// dead prefix must be compacted away instead of growing without bound.
+	for i := 0; i < 10000; i++ {
+		q.push(Signal("x"))
+		if q.size() > 1 {
+			q.removeAt(0)
+		}
+	}
+	if cap(q.buf) > 64 {
+		t.Fatalf("buffer grew to cap %d under steady-state churn", cap(q.buf))
+	}
+	// Cleared slots must not retain events.
+	q.clear()
+	for i := range q.buf[:cap(q.buf)] {
+		if q.buf[:cap(q.buf)][i] != nil {
+			t.Fatalf("slot %d retains an event after clear", i)
+		}
+	}
+}
+
+// --- pooling determinism: bit-identical results with reuse on and off ---
+
+// faultHeavyTest exercises every per-execution fault counter the pooled
+// runtime must rewind: timers (DecisionTimer), a crash budget consumed
+// through CrashPoint with restart (crashes, pendingCrash), and drop and
+// duplicate budgets consumed through SendUnreliable (drops, dups). Under
+// some schedules the sink misses or double-counts pings, or the crash
+// wipes its state — a schedule-dependent safety bug.
+func faultHeavyTest() Test {
+	return Test{
+		Name: "fault-heavy",
+		Entry: func(ctx *Context) {
+			sink := ctx.CreateMachine(&counterSink{want: 3}, "sink")
+			tid := ctx.StartTimer("T", sink, Signal("ping"))
+			ctx.CrashPoint(sink)
+			for i := 0; i < 3; i++ {
+				ctx.SendUnreliable(sink, Signal("ping"))
+			}
+			ctx.StopTimer(tid)
+			ctx.Send(sink, Signal("done"))
+		},
+		Faults: Faults{MaxCrashes: 1, MaxDrops: 2, MaxDuplicates: 2},
+	}
+}
+
+// assertIdenticalResults compares every canonical field of two Results and
+// the byte-encoded traces of their reports.
+func assertIdenticalResults(t *testing.T, label string, a, b Result) {
+	t.Helper()
+	if a.BugFound != b.BugFound {
+		t.Fatalf("%s: BugFound %v vs %v", label, a.BugFound, b.BugFound)
+	}
+	if a.Executions != b.Executions || a.TotalSteps != b.TotalSteps ||
+		a.Choices != b.Choices || a.Exhausted != b.Exhausted {
+		t.Fatalf("%s: statistics diverge:\na: %+v\nb: %+v", label, a, b)
+	}
+	if !a.BugFound {
+		return
+	}
+	if a.Report.Iteration != b.Report.Iteration {
+		t.Fatalf("%s: buggy iteration %d vs %d", label, a.Report.Iteration, b.Report.Iteration)
+	}
+	if a.Report.Message != b.Report.Message {
+		t.Fatalf("%s: bug message diverges:\na: %s\nb: %s", label, a.Report.Message, b.Report.Message)
+	}
+	ea, err := a.Report.Trace.Encode()
+	if err != nil {
+		t.Fatalf("%s: encode a: %v", label, err)
+	}
+	eb, err := b.Report.Trace.Encode()
+	if err != nil {
+		t.Fatalf("%s: encode b: %v", label, err)
+	}
+	if !bytes.Equal(ea, eb) {
+		t.Fatalf("%s: encoded traces differ:\na: %s\nb: %s", label, ea, eb)
+	}
+}
+
+// TestPoolingDeterminism is the pooled engine's core contract: for a fixed
+// seed, pooling on and off produce byte-identical encoded traces and
+// identical Results, at every tested worker count, for plain and
+// fault-heavy workloads alike.
+func TestPoolingDeterminism(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() Test
+		opts  Options
+	}{
+		{"race-random", raceTest, Options{Scheduler: "random", Iterations: 2000, Seed: 7, NoReplayLog: true}},
+		{"race-pct", raceTest, Options{Scheduler: "pct", Iterations: 1000, Seed: 42, NoReplayLog: true}},
+		{"fault-heavy", faultHeavyTest, Options{Scheduler: "random", Iterations: 500, Seed: 3, NoReplayLog: true}},
+		{"fault-heavy-clean", faultHeavyTest, Options{Scheduler: "rr", Iterations: 50, Seed: 1, NoReplayLog: true, NoFaults: true}},
+		{"clean-choices", cleanChoiceTest, Options{Scheduler: "random", Iterations: 300, Seed: 9, NoReplayLog: true}},
+	}
+	for _, c := range cases {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", c.name, workers), func(t *testing.T) {
+				pooled := c.opts
+				pooled.Workers = workers
+				fresh := pooled
+				fresh.NoReuse = true
+				a := Run(c.build(), pooled)
+				b := Run(c.build(), fresh)
+				assertIdenticalResults(t, "pooled vs NoReuse", a, b)
+			})
+		}
+	}
+}
+
+// TestPoolingDeterminismPortfolio extends the contract to RunPortfolio:
+// winner attribution, per-member statistics and the winning trace are
+// bit-identical with pooling on and off.
+func TestPoolingDeterminismPortfolio(t *testing.T) {
+	base := PortfolioOptions{
+		Options: Options{Iterations: 500, Seed: 11, Workers: 4, NoReplayLog: true},
+		Members: []string{"random", "pct", "delay"},
+	}
+	fresh := base
+	fresh.NoReuse = true
+	a := RunPortfolio(faultHeavyTest(), base)
+	b := RunPortfolio(faultHeavyTest(), fresh)
+	assertIdenticalResults(t, "portfolio pooled vs NoReuse", a, b)
+	if a.Winner != b.Winner {
+		t.Fatalf("winner diverges: %d vs %d", a.Winner, b.Winner)
+	}
+	for m := range a.Portfolio {
+		pa, pb := a.Portfolio[m], b.Portfolio[m]
+		if pa.Executions != pb.Executions || pa.TotalSteps != pb.TotalSteps ||
+			pa.Winner != pb.Winner || pa.Exhausted != pb.Exhausted {
+			t.Fatalf("member %d stats diverge:\npooled: %+v\nfresh: %+v", m, pa, pb)
+		}
+	}
+}
+
+// TestPooledTraceReplays: a trace found by the pooled engine replays
+// single-threaded to the identical violation — the copy newTrace takes
+// must be immune to the runtime's next reset.
+func TestPooledTraceReplays(t *testing.T) {
+	opts := Options{Scheduler: "random", Iterations: 500, Seed: 3, Workers: 4, NoReplayLog: true}
+	res := Run(faultHeavyTest(), opts)
+	if !res.BugFound {
+		t.Fatal("fault-heavy bug not found")
+	}
+	rep, err := Replay(faultHeavyTest(), res.Report.Trace, opts)
+	if err != nil {
+		t.Fatalf("replay diverged: %v", err)
+	}
+	if rep == nil || rep.Message != res.Report.Message {
+		t.Fatalf("replay mismatch: %+v vs %+v", rep, res.Report)
+	}
+}
+
+// TestPoolReusesRuntimeAndWorkers drives an execPool directly and asserts
+// the mechanics the benchmarks measure: one Runtime per pool, recycled
+// machine structs, and parked goroutines re-armed instead of respawned.
+func TestPoolReusesRuntimeAndWorkers(t *testing.T) {
+	o := Options{Iterations: 1, MaxSteps: 1000}.withDefaults()
+	pool := newExecPool(o)
+	defer pool.release()
+	sched := NewRandomScheduler()
+	test := pingPongTest(5, false)
+
+	sched.Prepare(1, o.MaxSteps)
+	r1 := pool.runtime(sched, o.runtimeConfig(test, false))
+	if rep := r1.execute(test); rep != nil {
+		t.Fatalf("unexpected bug: %v", rep.Error())
+	}
+	machinesBefore := len(r1.machineCache) + len(r1.machines)
+	workersBefore := len(r1.freeWorkers)
+	if workersBefore == 0 {
+		t.Fatal("no workers parked after the first pooled execution")
+	}
+
+	sched.Prepare(2, o.MaxSteps)
+	r2 := pool.runtime(sched, o.runtimeConfig(test, false))
+	if r2 != r1 {
+		t.Fatal("pool handed out a different Runtime on reuse")
+	}
+	if rep := r2.execute(test); rep != nil {
+		t.Fatalf("unexpected bug: %v", rep.Error())
+	}
+	if got := len(r2.machineCache) + len(r2.machines); got != machinesBefore {
+		t.Fatalf("machine structs not recycled: %d before, %d after", machinesBefore, got)
+	}
+	if got := len(r2.freeWorkers); got != workersBefore {
+		t.Fatalf("goroutines not recycled: %d workers before, %d after", workersBefore, got)
+	}
+}
+
+// TestPoolReleaseStopsWorkers: after Run returns, the pooled machine
+// goroutines must be gone — pooling trades spawns for parking, not leaks.
+func TestPoolReleaseStopsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		res := Run(faultHeavyTest(), Options{Scheduler: "random", Iterations: 20, Seed: int64(i), Workers: 4, NoReplayLog: true})
+		_ = res
+	}
+	time.Sleep(50 * time.Millisecond)
+	after := runtime.NumGoroutine()
+	if after > before+5 {
+		t.Fatalf("goroutine leak with pooling: before=%d after=%d", before, after)
+	}
+}
+
+// TestTraceOwnsItsDecisions pins the newTrace copy: resetting the runtime
+// that recorded a trace must not clobber the trace's decision sequence.
+func TestTraceOwnsItsDecisions(t *testing.T) {
+	o := Options{Iterations: 1, MaxSteps: 1000}.withDefaults()
+	pool := newExecPool(o)
+	defer pool.release()
+	sched := NewRandomScheduler()
+	test := pingPongTest(5, false)
+
+	sched.Prepare(1, o.MaxSteps)
+	r := pool.runtime(sched, o.runtimeConfig(test, false))
+	r.execute(test)
+	tr := newTrace(test.Name, sched.Name(), 1, Faults{}, r.decisions)
+	recorded := append([]Decision(nil), tr.Decisions...)
+
+	sched.Prepare(99, o.MaxSteps)
+	r2 := pool.runtime(sched, o.runtimeConfig(test, false))
+	r2.execute(test)
+
+	if len(tr.Decisions) != len(recorded) {
+		t.Fatalf("trace length changed after reset: %d vs %d", len(tr.Decisions), len(recorded))
+	}
+	for i := range recorded {
+		if tr.Decisions[i] != recorded[i] {
+			t.Fatalf("decision %d clobbered by reset: %s vs %s", i, tr.Decisions[i], recorded[i])
+		}
+	}
+}
+
+// --- Options.LogCap: the formerly hardcoded replay-log bound ---
+
+// TestLogCapBoundsReplayLog: a small LogCap truncates the confirmation
+// replay's log, and the cap is re-applied (not accumulated) when the
+// pooled runtime is reused.
+func TestLogCapBoundsReplayLog(t *testing.T) {
+	opts := Options{Scheduler: "random", Iterations: 1000, Seed: 42, LogCap: 5}
+	res := Run(raceTest(), opts)
+	if !res.BugFound {
+		t.Fatal("bug not found")
+	}
+	if len(res.Report.Log) == 0 || len(res.Report.Log) > 5 {
+		t.Fatalf("replay log has %d lines, want 1..5", len(res.Report.Log))
+	}
+
+	// Unset cap: the default applies and the full log comes back.
+	res = Run(raceTest(), Options{Scheduler: "random", Iterations: 1000, Seed: 42})
+	if !res.BugFound {
+		t.Fatal("bug not found")
+	}
+	if len(res.Report.Log) <= 5 {
+		t.Fatalf("default-cap replay log has only %d lines", len(res.Report.Log))
+	}
+}

@@ -193,10 +193,14 @@ func RunPortfolio(t Test, po PortfolioOptions) Result {
 
 		globalPos := func(i int) int64 { return int64(i)*int64(nm) + int64(m) }
 
-		// runIteration executes member iteration i on sched. It returns
+		// runIteration executes member iteration i on sched, drawing the
+		// runtime from the calling worker's pool (nil = unpooled). cfg must
+		// carry an abort predicate reading *curG, which runIteration sets
+		// to the iteration's global position before executing — the closure
+		// is built once per worker instead of once per execution. Returns
 		// false when the member must stop claiming work (exhaustion or a
 		// winning bug that prunes everything the member has left).
-		runIteration := func(sched Scheduler, i int) bool {
+		runIteration := func(sched Scheduler, pool *execPool, cfg runtimeConfig, curG *int64, i int) bool {
 			g := globalPos(i)
 			seed := mo.execSeed(i)
 			if !sched.Prepare(seed, o.MaxSteps) {
@@ -208,9 +212,8 @@ func RunPortfolio(t Test, po PortfolioOptions) Result {
 				}
 				return false
 			}
-			cfg := o.runtimeConfig(t, false)
-			cfg.abort = func() bool { return g >= bestGlobal.Load() }
-			r := newRuntime(sched, cfg)
+			*curG = g
+			r := pool.runtime(sched, cfg)
 			t0 := time.Now()
 			rep := r.execute(t)
 			mr.elapsed.Add(int64(time.Since(t0)))
@@ -243,6 +246,11 @@ func RunPortfolio(t Test, po PortfolioOptions) Result {
 		}
 
 		work := func(sched Scheduler) {
+			pool := newExecPool(o)
+			defer pool.release()
+			var curG int64
+			cfg := o.runtimeConfig(t, false)
+			cfg.abort = func() bool { return curG >= bestGlobal.Load() }
 			for {
 				i := int(mr.next.Add(1) - 1)
 				if i >= o.Iterations || globalPos(i) >= bestGlobal.Load() {
@@ -251,7 +259,7 @@ func RunPortfolio(t Test, po PortfolioOptions) Result {
 				if !deadline.IsZero() && time.Now().After(deadline) {
 					return
 				}
-				if !runIteration(sched, i) {
+				if !runIteration(sched, pool, cfg, &curG, i) {
 					return
 				}
 			}
@@ -269,7 +277,10 @@ func RunPortfolio(t Test, po PortfolioOptions) Result {
 					return
 				}
 				sched := f.New()
-				if !runIteration(sched, 0) || bestGlobal.Load() <= globalPos(0) {
+				var calG int64
+				calCfg := o.runtimeConfig(t, false)
+				calCfg.abort = func() bool { return calG >= bestGlobal.Load() }
+				if !runIteration(sched, nil, calCfg, &calG, 0) || bestGlobal.Load() <= globalPos(0) {
 					return
 				}
 				hint := int(mr.steps[0])

@@ -5,9 +5,24 @@ import (
 	"runtime/debug"
 )
 
+// defaultLogCap bounds the replay log when Options.LogCap is left zero.
+const defaultLogCap = 100000
+
+// effectiveLogCap resolves a runtimeConfig logCap to the cap actually
+// enforced (<= 0 — direct newRuntime callers in tests — means the default).
+func effectiveLogCap(cap int) int {
+	if cap <= 0 {
+		return defaultLogCap
+	}
+	return cap
+}
+
 // Runtime executes one test run from start to completion under the control
-// of a Scheduler. A fresh Runtime is built for every execution; it owns the
-// machines, the monitors, the decision trace, and the bug report (if any).
+// of a Scheduler. It owns the machines, the monitors, the decision trace,
+// and the bug report (if any). The engine either builds a fresh Runtime per
+// execution (Options.NoReuse) or — the fast path — recycles one per
+// exploration worker through an execPool (see pool.go), resetting it
+// between executions so repeated execution allocates almost nothing.
 //
 // Concurrency model: every machine runs on its own goroutine, but the
 // runtime enforces that exactly one goroutine — either the engine loop or a
@@ -67,6 +82,17 @@ type Runtime struct {
 	aborted bool
 
 	enabledBuf []MachineID
+
+	// reuse marks a pooled runtime: machine goroutines park on their
+	// machineWorker between assignments instead of exiting, and the caches
+	// below recycle per-execution storage across resets (see pool.go).
+	reuse        bool
+	machineCache []*machine
+	freeWorkers  []*machineWorker
+	monCache     []*monitorEntry
+	// entry hosts the test's entry function so starting an execution does
+	// not allocate an entryMachine.
+	entry entryMachine
 }
 
 // runtimeConfig carries the per-execution knobs from Options to newRuntime.
@@ -76,6 +102,7 @@ type runtimeConfig struct {
 	livenessAtBound   bool
 	deadlockDetection bool
 	collectLog        bool
+	logCap            int
 	faults            Faults
 	abort             func() bool
 }
@@ -92,13 +119,14 @@ func newRuntime(sched Scheduler, cfg runtimeConfig) *Runtime {
 		collectLog:        cfg.collectLog,
 		faults:            cfg.faults,
 		abort:             cfg.abort,
-		logCap:            100000,
+		logCap:            effectiveLogCap(cfg.logCap),
 	}
 }
 
 // execute runs the test to completion and returns the violation found, or
 // nil for a clean execution. It always reaps all machine goroutines before
-// returning.
+// returning (pooled runtimes park them on their workers; unpooled ones let
+// them exit).
 func (r *Runtime) execute(t Test) (rep *BugReport) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -118,7 +146,8 @@ func (r *Runtime) execute(t Test) (rep *BugReport) {
 	for _, mk := range t.Monitors {
 		r.addMonitor(mk())
 	}
-	r.createMachine(&entryMachine{entry: t.Entry}, "harness")
+	r.entry = entryMachine{entry: t.Entry}
+	r.createMachine(&r.entry, "harness")
 	r.loop()
 	return r.bug
 }
@@ -176,22 +205,36 @@ func (r *Runtime) enabledMachines() []MachineID {
 	return r.enabledBuf
 }
 
-// stepMachine transfers control to m until its next scheduling point.
+// stepMachine transfers control to m until its next scheduling point. A
+// machine's first step arms its goroutine: a recycled machineWorker on a
+// pooled runtime, a fresh goroutine otherwise.
 func (r *Runtime) stepMachine(m *machine) {
 	r.current = m
 	if m.status == statusCreated {
 		m.status = statusRunning
-		go r.machineLoop(m)
+		if r.reuse {
+			w := r.getWorker()
+			w.r, w.m = r, m
+			m.resume = w.resume
+			w.resume <- struct{}{}
+		} else {
+			m.resume = make(chan struct{})
+			go r.runMachine(m, nil)
+		}
 	} else {
 		m.resume <- struct{}{}
 	}
 	<-r.yield
 }
 
-// machineLoop is the body of a machine goroutine: Init, then the event
+// runMachine is the body of a machine's goroutine: Init, then the event
 // loop. It unwinds via panic signals (halt, kill, bug) and always hands
-// control back to the engine exactly once on exit.
-func (r *Runtime) machineLoop(m *machine) {
+// control back to the engine exactly once on exit. When hosted by a pooled
+// machineWorker, the worker is returned to the free list before that final
+// handoff — the engine receives the handoff on its side of the shared
+// yield channel (the crash-reaping invariant), so it never observes a
+// terminated machine whose worker is still in flight.
+func (r *Runtime) runMachine(m *machine, w *machineWorker) {
 	defer func() {
 		switch p := recover().(type) {
 		case nil, haltSignal, killSignal:
@@ -209,18 +252,23 @@ func (r *Runtime) machineLoop(m *machine) {
 			})
 		}
 		m.status = statusHalted
-		m.queue = nil
+		m.queue.clear()
 		m.recvPred = nil
+		if w != nil {
+			r.putWorker(w)
+		}
 		r.yield <- struct{}{}
 	}()
-	ctx := &Context{r: r, m: m}
-	m.impl.Init(ctx)
+	m.ctx = Context{r: r, m: m}
+	m.impl.Init(&m.ctx)
 	for {
 		m.status = statusWaitDequeue
 		r.yieldToEngine(m)
 		ev := m.popDequeuable()
-		r.logf("%s dequeued %s", m.label(), ev.Name())
-		m.impl.Handle(ctx, ev)
+		if r.logging() {
+			r.logf("%s dequeued %s", m.label(), ev.Name())
+		}
+		m.impl.Handle(&m.ctx, ev)
 	}
 }
 
@@ -250,7 +298,7 @@ func (r *Runtime) reapCrashes() {
 		case statusCreated:
 			// The goroutine never started; no unwinding needed.
 			m.status = statusHalted
-			m.queue = nil
+			m.queue.clear()
 			m.recvPred = nil
 		default:
 			m.crashed = true
@@ -267,37 +315,53 @@ func (r *Runtime) schedulingPoint(m *machine) {
 }
 
 // createMachine registers a machine; its goroutine starts lazily on its
-// first scheduling step.
+// first scheduling step. Pooled runtimes recycle the machine struct (and
+// its inbox buffer) from a previous execution when one is available.
 func (r *Runtime) createMachine(impl Machine, name string) MachineID {
 	id := MachineID(len(r.machines))
-	m := &machine{
-		id:     id,
-		name:   name,
-		impl:   impl,
-		status: statusCreated,
-		resume: make(chan struct{}),
+	var m *machine
+	if n := len(r.machineCache); n > 0 {
+		m = r.machineCache[n-1]
+		r.machineCache = r.machineCache[:n-1]
+	} else {
+		m = &machine{}
 	}
+	m.id = id
+	m.name = name
+	m.impl = impl
+	m.status = statusCreated
 	if d, ok := impl.(Deferrer); ok {
 		m.defr = d
+	} else {
+		m.defr = nil
 	}
 	r.machines = append(r.machines, m)
 	return id
 }
 
-// addMonitor registers and initializes a specification monitor.
+// addMonitor registers and initializes a specification monitor, recycling
+// the entry and context structs on pooled runtimes.
 func (r *Runtime) addMonitor(mon Monitor) {
 	if _, dup := r.monByName[mon.Name()]; dup {
 		panic(fmt.Sprintf("core: duplicate monitor %q", mon.Name()))
 	}
-	e := &monitorEntry{mon: mon, mc: &MonitorContext{r: r}}
-	e.mc.mon = mon
+	var e *monitorEntry
+	if n := len(r.monCache); n > 0 {
+		e = r.monCache[n-1]
+		r.monCache = r.monCache[:n-1]
+		e.mon = mon
+		*e.mc = MonitorContext{r: r, mon: mon}
+	} else {
+		e = &monitorEntry{mon: mon, mc: &MonitorContext{r: r, mon: mon}}
+	}
 	r.monitors = append(r.monitors, e)
 	r.monByName[mon.Name()] = e
 	mon.Init(e.mc)
 }
 
 // shutdown reaps every live machine goroutine. After it returns no
-// goroutine of this runtime remains.
+// goroutine of this runtime remains runnable: unpooled goroutines have
+// exited, pooled ones are parked on their workers in the free list.
 func (r *Runtime) shutdown() {
 	r.killed = true
 	for _, m := range r.machines {
@@ -385,9 +449,19 @@ func (r *Runtime) checkTemperature() {
 	}
 }
 
+// logging reports whether logf would record a line right now. Every logf
+// call site guards on it so that on the exploration fast path — which
+// collects no log — the arguments (machine labels, event names) are never
+// evaluated and no varargs slice is boxed; before this guard, eager
+// label() Sprintfs at logf call sites were the single largest source of
+// per-step allocations in the engine.
+func (r *Runtime) logging() bool {
+	return r.collectLog && len(r.log) < r.logCap
+}
+
 // logf appends to the execution log when collection is enabled.
 func (r *Runtime) logf(format string, args ...any) {
-	if !r.collectLog || len(r.log) >= r.logCap {
+	if !r.logging() {
 		return
 	}
 	r.log = append(r.log, fmt.Sprintf("[%6d] ", r.steps)+fmt.Sprintf(format, args...))

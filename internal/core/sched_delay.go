@@ -35,7 +35,7 @@ func NewDelayScheduler(budget int) Scheduler {
 func (s *delayScheduler) Name() string { return "delay" }
 
 func (s *delayScheduler) Prepare(seed int64, maxSteps int) bool {
-	s.rng = rand.New(rand.NewSource(seed))
+	s.rng = reseed(s.rng, seed)
 	if maxSteps <= 0 {
 		maxSteps = 10000
 	}
@@ -47,13 +47,21 @@ func (s *delayScheduler) Prepare(seed int64, maxSteps int) bool {
 	if bound < 10 {
 		bound = maxSteps
 	}
-	s.delays = make(map[int]bool, s.budget)
+	if s.delays == nil {
+		s.delays = make(map[int]bool, s.budget)
+	} else {
+		clear(s.delays)
+	}
 	for i := 0; i < s.budget; i++ {
 		s.delays[1+s.rng.Intn(bound)] = true
 	}
 	s.step = 0
 	s.last = NoMachine
-	s.delayed = make(map[MachineID]bool)
+	if s.delayed == nil {
+		s.delayed = make(map[MachineID]bool)
+	} else {
+		clear(s.delayed)
+	}
 	return true
 }
 

@@ -162,6 +162,22 @@ func checkIntBound(sched string, n int) {
 	}
 }
 
+// reseed returns a generator seeded with seed, reusing rng when non-nil.
+// math/rand's Seed fully re-initializes the generator state, so the
+// resulting stream is bit-identical to a freshly constructed
+// rand.New(rand.NewSource(seed)) — the determinism contract (execution i's
+// schedule is a pure function of its seed) depends on that equivalence.
+// Reuse matters because Prepare runs once per execution: on the pooled
+// fast path the two rand.New allocations were among the last remaining
+// per-execution allocations in the engine.
+func reseed(rng *rand.Rand, seed int64) *rand.Rand {
+	if rng == nil {
+		return rand.New(rand.NewSource(seed))
+	}
+	rng.Seed(seed)
+	return rng
+}
+
 // randomScheduler implements the paper's "random scheduler": at every
 // scheduling point it picks uniformly among the enabled machines. Random
 // scheduling is simple but has proven effective at finding concurrency
@@ -176,7 +192,7 @@ func NewRandomScheduler() Scheduler { return &randomScheduler{} }
 func (s *randomScheduler) Name() string { return "random" }
 
 func (s *randomScheduler) Prepare(seed int64, _ int) bool {
-	s.rng = rand.New(rand.NewSource(seed))
+	s.rng = reseed(s.rng, seed)
 	return true
 }
 
@@ -231,13 +247,21 @@ func NewPCTScheduler(depth int) Scheduler {
 func (s *pctScheduler) Name() string { return "pct" }
 
 func (s *pctScheduler) Prepare(seed int64, maxSteps int) bool {
-	s.rng = rand.New(rand.NewSource(seed))
-	s.prio = make(map[MachineID]int)
+	s.rng = reseed(s.rng, seed)
+	if s.prio == nil {
+		s.prio = make(map[MachineID]int)
+	} else {
+		clear(s.prio)
+	}
 	s.nextPrio = 0
 	s.lowest = 0
 	s.prevSteps = s.step
 	s.step = 0
-	s.changePoints = make(map[int]bool, s.depth)
+	if s.changePoints == nil {
+		s.changePoints = make(map[int]bool, s.depth)
+	} else {
+		clear(s.changePoints)
+	}
 	if maxSteps <= 0 {
 		maxSteps = 10000
 	}
@@ -341,7 +365,7 @@ func NewRoundRobinScheduler() Scheduler { return &rrScheduler{} }
 func (s *rrScheduler) Name() string { return "rr" }
 
 func (s *rrScheduler) Prepare(seed int64, _ int) bool {
-	s.rng = rand.New(rand.NewSource(seed))
+	s.rng = reseed(s.rng, seed)
 	s.last = NoMachine
 	return true
 }

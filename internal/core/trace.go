@@ -106,6 +106,9 @@ type Trace struct {
 }
 
 // newTrace builds an engine-recorded trace at the current format version.
+// The decision sequence is copied: the engine's pooled runtimes recycle
+// their decisions buffer across executions, so a trace must own its slice
+// to survive the runtime's next reset.
 func newTrace(test, scheduler string, seed int64, faults Faults, decisions []Decision) *Trace {
 	return &Trace{
 		Version:   TraceVersion,
@@ -113,7 +116,7 @@ func newTrace(test, scheduler string, seed int64, faults Faults, decisions []Dec
 		Scheduler: scheduler,
 		Seed:      seed,
 		Faults:    faults,
-		Decisions: decisions,
+		Decisions: append([]Decision(nil), decisions...),
 	}
 }
 

@@ -36,3 +36,24 @@ func TestParallelWorkersFindSamePromotionBug(t *testing.T) {
 	}
 	harnesstest.AssertReplayRoundTrip(t, build, res.Report, base)
 }
+
+// TestPoolingInvariance: the pooled engine reports the identical §5
+// promotion bug as fresh-per-execution runtimes. The failover scenario
+// injects crashes through the fault plane, so the pooled reset of the
+// crash budget and pending-crash list is on the replayed path.
+func TestPoolingInvariance(t *testing.T) {
+	build := func() core.Test {
+		return FailoverScenario(FailoverConfig{
+			Fabric:      Config{BugUncheckedPromotion: true},
+			FailPrimary: true,
+		})
+	}
+	base := core.Options{
+		Scheduler: "random", Iterations: 5000, MaxSteps: 20000, Seed: 1,
+		Workers: 4, NoReplayLog: true,
+	}
+	res := harnesstest.AssertPoolingInvariance(t, build, base)
+	if !res.BugFound {
+		t.Fatal("promotion bug not found")
+	}
+}

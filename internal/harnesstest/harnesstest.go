@@ -1,11 +1,14 @@
 // Package harnesstest holds the shared assertions for the per-harness
 // determinism and replay round-trip tests. Every harness package
-// (replsys, vnext, mtable) exercises the same two engine contracts —
-// worker-count invariance and trace replayability — on its own seeded
-// bugs; this package is the single implementation those tests share.
+// (replsys, vnext, mtable, fabric) exercises the same three engine
+// contracts — worker-count invariance, pooling invariance (recycled
+// runtimes and goroutines change nothing), and trace replayability — on
+// its own seeded bugs; this package is the single implementation those
+// tests share.
 package harnesstest
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -40,6 +43,53 @@ func AssertWorkerCountInvariance(t *testing.T, build func() core.Test, base core
 	}
 	AssertSameDecisions(t, a.Report.Trace, b.Report.Trace)
 	return b
+}
+
+// AssertPoolingInvariance runs build's test with the pooled execution
+// engine and with Options.NoReuse under the same options and asserts the
+// two runs are indistinguishable: same bug at the same iteration, same
+// canonical statistics, and byte-identical encoded traces. base.NoReuse is
+// overwritten on both sides. This is the reuse contract of the pooled
+// engine — recycling runtimes, machine goroutines and buffers must never
+// change what a run explores or reports. It returns the pooled result for
+// further checks.
+func AssertPoolingInvariance(t *testing.T, build func() core.Test, base core.Options) core.Result {
+	t.Helper()
+	pooled := base
+	pooled.NoReuse = false
+	fresh := base
+	fresh.NoReuse = true
+
+	a := core.Run(build(), pooled)
+	b := core.Run(build(), fresh)
+	if a.BugFound != b.BugFound {
+		t.Fatalf("pooled found-bug=%v, NoReuse found-bug=%v", a.BugFound, b.BugFound)
+	}
+	if a.Executions != b.Executions || a.TotalSteps != b.TotalSteps || a.Choices != b.Choices {
+		t.Fatalf("statistics diverge:\npooled: %+v\nNoReuse: %+v", a, b)
+	}
+	if !a.BugFound {
+		return a
+	}
+	if a.Report.Iteration != b.Report.Iteration {
+		t.Fatalf("buggy iteration diverges: %d vs %d", a.Report.Iteration, b.Report.Iteration)
+	}
+	if a.Report.Message != b.Report.Message {
+		t.Fatalf("bug message diverges:\npooled: %s\nNoReuse: %s", a.Report.Message, b.Report.Message)
+	}
+	ea, err := a.Report.Trace.Encode()
+	if err != nil {
+		t.Fatalf("encoding pooled trace: %v", err)
+	}
+	eb, err := b.Report.Trace.Encode()
+	if err != nil {
+		t.Fatalf("encoding NoReuse trace: %v", err)
+	}
+	if !bytes.Equal(ea, eb) {
+		t.Fatalf("encoded traces differ between pooled and NoReuse runs")
+	}
+	AssertSameDecisions(t, a.Report.Trace, b.Report.Trace)
+	return a
 }
 
 // AssertSameDecisions asserts two traces recorded the identical decision

@@ -173,7 +173,11 @@ func (t *tablesMachine) handleBackendReq(ctx *core.Context, req backendReq) {
 	seq := t.seq
 	ctx.Send(req.From, resp)
 
-	dec := ctx.ReceiveWhere(fmt.Sprintf("LPDecision(%d)", req.ID), func(ev core.Event) bool {
+	desc := ""
+	if ctx.Logging() {
+		desc = fmt.Sprintf("LPDecision(%d)", req.ID)
+	}
+	dec := ctx.ReceiveWhere(desc, func(ev core.Event) bool {
 		d, ok := ev.(lpDecision)
 		return ok && d.ID == req.ID
 	}).(lpDecision)
@@ -229,7 +233,11 @@ func (c *stubClient) call(req backendReq) backendResp {
 	req.ID = c.nextID
 	req.From = c.ctx.ID()
 	c.ctx.Send(c.tablesID, req)
-	resp := c.ctx.ReceiveWhere(fmt.Sprintf("BackendResp(%d)", req.ID), func(ev core.Event) bool {
+	desc := ""
+	if c.ctx.Logging() {
+		desc = fmt.Sprintf("BackendResp(%d)", req.ID)
+	}
+	resp := c.ctx.ReceiveWhere(desc, func(ev core.Event) bool {
 		r, ok := ev.(backendResp)
 		return ok && r.ID == req.ID
 	}).(backendResp)
@@ -256,7 +264,11 @@ func (c *stubClient) LP() {
 	id := c.pending
 	c.pending = 0
 	c.ctx.Send(c.tablesID, lpDecision{ID: id, IsLP: true, Logical: c.logical})
-	res := c.ctx.ReceiveWhere(fmt.Sprintf("RTResult(%d)", id), func(ev core.Event) bool {
+	desc := ""
+	if c.ctx.Logging() {
+		desc = fmt.Sprintf("RTResult(%d)", id)
+	}
+	res := c.ctx.ReceiveWhere(desc, func(ev core.Event) bool {
 		r, ok := ev.(rtResult)
 		return ok && r.ID == id
 	}).(rtResult)

@@ -23,3 +23,22 @@ func TestParallelExplorationFindsSeededBug(t *testing.T) {
 	res := harnesstest.AssertWorkerCountInvariance(t, build, base, 4)
 	harnesstest.AssertReplayRoundTrip(t, build, res.Report, base)
 }
+
+// TestPoolingInvariance: the pooled engine digs out the identical
+// MigratingTable bug as fresh-per-execution runtimes on the heaviest
+// harness in the repository — the workload where runtime reuse pays the
+// most and where a reset bug (a leaked inbox, a stale monitor table)
+// would surface as a trace divergence.
+func TestPoolingInvariance(t *testing.T) {
+	build := func() core.Test {
+		return Test(HarnessConfig{Bugs: mtable.BugDeletePrimaryKey})
+	}
+	base := core.Options{
+		Scheduler: "random", Iterations: 4000, MaxSteps: 30000, Seed: 1,
+		Workers: 4, NoReplayLog: true,
+	}
+	res := harnesstest.AssertPoolingInvariance(t, build, base)
+	if !res.BugFound {
+		t.Fatal("seeded MigratingTable bug not found")
+	}
+}

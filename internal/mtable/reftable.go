@@ -2,7 +2,9 @@ package mtable
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -40,7 +42,6 @@ func (t *RefTable) validateBatch(batch []Operation) error {
 		return &BatchError{Index: 0, Err: fmt.Errorf("%w: batch of %d exceeds 100 operations", ErrBadRequest, len(batch))}
 	}
 	part := batch[0].Key.Partition
-	seen := make(map[string]bool, len(batch))
 	for i, op := range batch {
 		if op.Key.Partition == "" || op.Key.Row == "" {
 			return &BatchError{Index: i, Err: fmt.Errorf("%w: empty key", ErrBadRequest)}
@@ -48,10 +49,14 @@ func (t *RefTable) validateBatch(batch []Operation) error {
 		if op.Key.Partition != part {
 			return &BatchError{Index: i, Err: fmt.Errorf("%w: cross-partition batch", ErrBadRequest)}
 		}
-		if seen[op.Key.Row] {
-			return &BatchError{Index: i, Err: fmt.Errorf("%w: duplicate row %q in batch", ErrBadRequest, op.Key.Row)}
+		// Duplicate detection by linear scan: batches are a handful of
+		// operations (hard cap 100), where the scan beats allocating a
+		// set — ExecuteBatch is on the harness's per-step hot path.
+		for _, prev := range batch[:i] {
+			if prev.Key.Row == op.Key.Row {
+				return &BatchError{Index: i, Err: fmt.Errorf("%w: duplicate row %q in batch", ErrBadRequest, op.Key.Row)}
+			}
 		}
-		seen[op.Key.Row] = true
 		if op.Kind.needsETag() && op.ETag == 0 {
 			return &BatchError{Index: i, Err: fmt.Errorf("%w: %s requires an etag", ErrBadRequest, op.Kind)}
 		}
@@ -146,8 +151,15 @@ func (t *RefTable) QueryAtomic(q Query) ([]Row, error) {
 		}
 		out = append(out, row.Clone())
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key.Row < out[j].Key.Row })
+	sortRows(out)
 	return out, nil
+}
+
+// sortRows orders rows by row key. slices.SortFunc instead of sort.Slice:
+// the reflection-based swapper sort.Slice builds was a measurable
+// allocation on the query path, which every harness operation hits.
+func sortRows(rows []Row) {
+	slices.SortFunc(rows, func(a, b Row) int { return strings.Compare(a.Key.Row, b.Key.Row) })
 }
 
 // FetchPage returns up to limit rows with key strictly greater than after,
@@ -159,16 +171,17 @@ func (t *RefTable) FetchPage(partition, after string, filter *Filter, limit int)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	keys := make([]string, 0, len(t.parts[partition]))
-	for rowKey := range t.parts[partition] {
+	// Collect the candidate window, then sort rows directly — one slice
+	// instead of a key slice plus per-key map lookups.
+	candidates := make([]Row, 0, len(t.parts[partition]))
+	for rowKey, row := range t.parts[partition] {
 		if rowKey > after {
-			keys = append(keys, rowKey)
+			candidates = append(candidates, row)
 		}
 	}
-	sort.Strings(keys)
+	sortRows(candidates)
 	var out []Row
-	for _, k := range keys {
-		row := t.parts[partition][k]
+	for _, row := range candidates {
 		if !filter.Matches(row.Props) {
 			continue
 		}

@@ -22,6 +22,24 @@ func TestParallelWorkersFindSameBug(t *testing.T) {
 	harnesstest.AssertReplayRoundTrip(t, build, res.Report, base)
 }
 
+// TestPoolingInvariance: recycling runtimes, machine goroutines and
+// buffers across executions (the pooled engine) reports the identical §2
+// safety bug — same iteration, byte-identical trace — as fresh-per-
+// execution runtimes, at one worker and at eight.
+func TestPoolingInvariance(t *testing.T) {
+	build := func() core.Test { return Scenario(ScenarioConfig{Monitors: WithSafety}) }
+	for _, workers := range []int{1, 8} {
+		base := core.Options{
+			Scheduler: "random", Iterations: 5000, MaxSteps: 2000, Seed: 1,
+			Workers: workers, NoReplayLog: true,
+		}
+		res := harnesstest.AssertPoolingInvariance(t, build, base)
+		if !res.BugFound {
+			t.Fatalf("workers=%d: seeded bug not found", workers)
+		}
+	}
+}
+
 // TestParallelConfirmationReplayLog: with the confirmation replay enabled,
 // a parallel run attaches the detailed single-threaded replay log to the
 // report, exactly as a sequential run does.

@@ -33,6 +33,23 @@ func TestParallelWorkerCountsAgree(t *testing.T) {
 	harnesstest.AssertWorkerCountInvariance(t, build, base, 4)
 }
 
+// TestPoolingInvariance: the pooled engine reports the identical §3.6
+// liveness bug as fresh-per-execution runtimes. The fail-and-repair
+// scenario consumes its crash budget through the fault plane, so this
+// covers the pooled reset of the crash counters and pending-crash list on
+// a real harness.
+func TestPoolingInvariance(t *testing.T) {
+	build := func() core.Test { return Test(HarnessConfig{Scenario: ScenarioFailAndRepair}) }
+	base := core.Options{
+		Scheduler: "random", Iterations: 3000, MaxSteps: 3000, Seed: 1,
+		Workers: 4, NoReplayLog: true,
+	}
+	res := harnesstest.AssertPoolingInvariance(t, build, base)
+	if !res.BugFound || res.Report.Kind != core.LivenessBug {
+		t.Fatalf("liveness bug not found: %+v", res)
+	}
+}
+
 // TestPortfolioFindsLivenessBug: the portfolio surfaces the §3.6 liveness
 // bug and the winning member's trace replays to the same violation.
 func TestPortfolioFindsLivenessBug(t *testing.T) {
