@@ -1,0 +1,167 @@
+package core
+
+import "fmt"
+
+// This file is the scheduler conformance checker: the executable contract
+// every registered scheduler — built-in or user-registered — must satisfy
+// for the engine's determinism guarantees to hold. The cross-scheduler
+// conformance matrix (TestSchedulerConformance) drives it over the whole
+// registry, and the public package exports it as gostorm.VerifyScheduler
+// so extension authors can hold their strategies to the same contract
+// without touching core.
+
+// conformanceDrive pushes a scheduler through a fixed synthetic workload —
+// a mix of NextMachine calls over varied (sorted, possibly non-contiguous)
+// enabled sets, NextBool, NextInt over several bounds, and NextFault over
+// every fault kind — validating every answer and returning the decision
+// stream as comparable strings.
+func conformanceDrive(name string, s Scheduler) ([]string, error) {
+	fs := asFaultScheduler(s)
+	enabledSets := [][]MachineID{
+		{0},
+		{0, 1},
+		{0, 1, 2},
+		{1, 3, 7},
+		{2, 5},
+		{0, 1, 2, 3, 4, 5, 6, 7},
+		{4},
+		{3, 9},
+	}
+	faultChoices := []FaultChoice{
+		{Kind: FaultTimer, N: 2, Machine: 4},
+		{Kind: FaultCrash, N: 3, Machine: NoMachine, Candidates: []MachineID{1, 5}},
+		{Kind: FaultCrash, N: 5, Machine: NoMachine, Candidates: []MachineID{0, 2, 4, 6}},
+		{Kind: FaultDeliver, N: 3, Machine: 2, Outcomes: []DeliveryOutcome{Deliver, Drop, Duplicate}},
+		{Kind: FaultDeliver, N: 2, Machine: 6, Outcomes: []DeliveryOutcome{Deliver, Duplicate}},
+	}
+	var stream []string
+	current := NoMachine
+	for step := 0; step < 64; step++ {
+		enabled := enabledSets[step%len(enabledSets)]
+		got := s.NextMachine(enabled, current)
+		member := false
+		for _, id := range enabled {
+			if id == got {
+				member = true
+			}
+		}
+		if !member {
+			return nil, fmt.Errorf("%s: NextMachine(%v) = %d, not a member of the enabled set", name, enabled, got)
+		}
+		current = got
+		stream = append(stream, fmt.Sprintf("m%d", got))
+		stream = append(stream, fmt.Sprintf("b%t", s.NextBool()))
+		for _, n := range []int{1, 2, 3, 10, 1000} {
+			v := s.NextInt(n)
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("%s: NextInt(%d) = %d, out of [0, %d)", name, n, v, n)
+			}
+			stream = append(stream, fmt.Sprintf("i%d/%d", v, n))
+		}
+		c := faultChoices[step%len(faultChoices)]
+		f := fs.NextFault(c)
+		if f < 0 || f >= c.N {
+			return nil, fmt.Errorf("%s: NextFault(%v/%d) = %d, out of [0, %d)", name, c.Kind, c.N, f, c.N)
+		}
+		stream = append(stream, fmt.Sprintf("f%v:%d/%d", c.Kind, f, c.N))
+	}
+	return stream, nil
+}
+
+// compareStreams reports the first divergence between two decision
+// streams from the same factory and seed.
+func compareStreams(name, what string, a, b []string) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%s: %s: stream lengths diverge: %d vs %d", name, what, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("%s: %s: decision %d diverges: %s vs %s", name, what, i, a[i], b[i])
+		}
+	}
+	return nil
+}
+
+// VerifySchedulerConformance holds the named registered scheduler to the
+// factory contract the exploration engine and portfolio attribution rest
+// on, returning the first violation found (nil when the scheduler
+// conforms):
+//
+//   - NextMachine always returns a member of the enabled set, and
+//     NextBool/NextInt/NextFault stay in range on valid input;
+//   - two fresh instances from one factory make identical decisions for
+//     the same seed (the property the parallel worker pool rests on);
+//   - Prepare reseeding is total for non-sequential schedulers:
+//     re-preparing the same instance with the same seed reproduces the
+//     identical decision stream, with no state leaking across executions.
+//     Adaptive schedulers are checked under a pinned length estimate,
+//     which is exactly how the engine runs them. Sequential schedulers
+//     (dfs) are exempt by contract — their Prepare deliberately advances
+//     to the next branch of their enumeration — and are checked for
+//     fresh-instance determinism only;
+//   - with exactly one enabled machine the scheduler picks it, whatever
+//     its internal state.
+//
+// Pass depth <= 0 for the default exploration depth.
+func VerifySchedulerConformance(name string, depth int) error {
+	f, err := NewSchedulerFactory(name, depth)
+	if err != nil {
+		return err
+	}
+	if f.Name() != name {
+		return fmt.Errorf("%s: factory reports name %q", name, f.Name())
+	}
+	if f.Adaptive() {
+		f = f.WithLengthHint(64)
+	}
+	for _, seed := range []int64{0, 1, 42, -7} {
+		a, b := f.New(), f.New()
+		if a == nil || b == nil {
+			return fmt.Errorf("%s: factory handed out a nil scheduler", name)
+		}
+		if a == b {
+			return fmt.Errorf("%s: factory handed out the same instance twice", name)
+		}
+		if !a.Prepare(seed, 1000) || !b.Prepare(seed, 1000) {
+			return fmt.Errorf("%s: Prepare(%d) refused the first execution", name, seed)
+		}
+		sa, err := conformanceDrive(name, a)
+		if err != nil {
+			return err
+		}
+		sb, err := conformanceDrive(name, b)
+		if err != nil {
+			return err
+		}
+		if err := compareStreams(name, fmt.Sprintf("fresh instances, seed %d", seed), sa, sb); err != nil {
+			return err
+		}
+
+		if f.Sequential() {
+			continue
+		}
+		if !a.Prepare(seed, 1000) {
+			return fmt.Errorf("%s: re-Prepare(%d) refused (reseeding must be total)", name, seed)
+		}
+		sc, err := conformanceDrive(name, a)
+		if err != nil {
+			return err
+		}
+		if err := compareStreams(name, fmt.Sprintf("re-Prepare, seed %d", seed), sa, sc); err != nil {
+			return err
+		}
+	}
+
+	// Singleton enabled set: with one choice there is no choice.
+	s := f.New()
+	if !s.Prepare(3, 1000) {
+		return fmt.Errorf("%s: Prepare(3) refused the first execution", name)
+	}
+	for step := 0; step < 50; step++ {
+		only := MachineID(step % 11)
+		if got := s.NextMachine([]MachineID{only}, NoMachine); got != only {
+			return fmt.Errorf("%s: step %d: NextMachine([%d]) = %d", name, step, only, got)
+		}
+	}
+	return nil
+}

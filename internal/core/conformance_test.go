@@ -1,132 +1,20 @@
 package core
 
-import (
-	"fmt"
-	"testing"
-)
-
-// conformanceDrive pushes a scheduler through a fixed synthetic workload —
-// a mix of NextMachine calls over varied (sorted, possibly non-contiguous)
-// enabled sets, NextBool, NextInt over several bounds, and NextFault over
-// every fault kind — validating every answer and returning the decision
-// stream as comparable strings.
-func conformanceDrive(t *testing.T, name string, s Scheduler) []string {
-	t.Helper()
-	fs := asFaultScheduler(s)
-	enabledSets := [][]MachineID{
-		{0},
-		{0, 1},
-		{0, 1, 2},
-		{1, 3, 7},
-		{2, 5},
-		{0, 1, 2, 3, 4, 5, 6, 7},
-		{4},
-		{3, 9},
-	}
-	faultChoices := []FaultChoice{
-		{Kind: FaultTimer, N: 2, Machine: 4},
-		{Kind: FaultCrash, N: 3, Machine: NoMachine, Candidates: []MachineID{1, 5}},
-		{Kind: FaultCrash, N: 5, Machine: NoMachine, Candidates: []MachineID{0, 2, 4, 6}},
-		{Kind: FaultDeliver, N: 3, Machine: 2, Outcomes: []DeliveryOutcome{Deliver, Drop, Duplicate}},
-		{Kind: FaultDeliver, N: 2, Machine: 6, Outcomes: []DeliveryOutcome{Deliver, Duplicate}},
-	}
-	var stream []string
-	current := NoMachine
-	for step := 0; step < 64; step++ {
-		enabled := enabledSets[step%len(enabledSets)]
-		got := s.NextMachine(enabled, current)
-		member := false
-		for _, id := range enabled {
-			if id == got {
-				member = true
-			}
-		}
-		if !member {
-			t.Fatalf("%s: NextMachine(%v) = %d, not a member of the enabled set", name, enabled, got)
-		}
-		current = got
-		stream = append(stream, fmt.Sprintf("m%d", got))
-		stream = append(stream, fmt.Sprintf("b%t", s.NextBool()))
-		for _, n := range []int{1, 2, 3, 10, 1000} {
-			v := s.NextInt(n)
-			if v < 0 || v >= n {
-				t.Fatalf("%s: NextInt(%d) = %d, out of [0, %d)", name, n, v, n)
-			}
-			stream = append(stream, fmt.Sprintf("i%d/%d", v, n))
-		}
-		c := faultChoices[step%len(faultChoices)]
-		f := fs.NextFault(c)
-		if f < 0 || f >= c.N {
-			t.Fatalf("%s: NextFault(%v/%d) = %d, out of [0, %d)", name, c.Kind, c.N, f, c.N)
-		}
-		stream = append(stream, fmt.Sprintf("f%v:%d/%d", c.Kind, f, c.N))
-	}
-	return stream
-}
-
-func assertStreamsEqual(t *testing.T, name, what string, a, b []string) {
-	t.Helper()
-	if len(a) != len(b) {
-		t.Fatalf("%s: %s: stream lengths diverge: %d vs %d", name, what, len(a), len(b))
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("%s: %s: decision %d diverges: %s vs %s", name, what, i, a[i], b[i])
-		}
-	}
-}
+import "testing"
 
 // TestSchedulerConformance is the cross-scheduler conformance matrix: it
-// is table-driven over every registered scheduler name, so a new
-// portfolio member is automatically held to the factory contract:
-//
-//   - NextMachine always returns a member of the enabled set and
-//     NextInt/NextBool never panic or stray out of range on valid input
-//     (checked inside conformanceDrive);
-//   - two fresh instances from one factory make identical decisions for
-//     the same seed (the property the parallel worker pool rests on);
-//   - Prepare reseeding is total for non-sequential schedulers: re-
-//     preparing the same instance with the same seed reproduces the
-//     identical decision stream, with no state leaking across executions.
-//     Adaptive schedulers satisfy this under a pinned length estimate,
-//     which is exactly how the engine runs them. The sequential dfs
-//     scheduler is exempt by contract — its Prepare deliberately advances
-//     to the next branch of its enumeration — and is instead checked for
-//     fresh-instance determinism only.
+// is table-driven over every registered scheduler name — including any
+// registered by other tests in this binary via RegisterScheduler — so a
+// new portfolio member is automatically held to the factory contract.
+// The contract itself lives in VerifySchedulerConformance (exported to
+// the public package as gostorm.VerifyScheduler), so user-defined
+// schedulers outside this repository are held to the identical checks.
 func TestSchedulerConformance(t *testing.T) {
 	for _, name := range SchedulerNames() {
 		name := name
 		t.Run(name, func(t *testing.T) {
-			f, err := NewSchedulerFactory(name, 2)
-			if err != nil {
+			if err := VerifySchedulerConformance(name, 2); err != nil {
 				t.Fatal(err)
-			}
-			if f.Name() != name {
-				t.Fatalf("factory name %q, want %q", f.Name(), name)
-			}
-			if f.Adaptive() {
-				f = f.WithLengthHint(64)
-			}
-			for _, seed := range []int64{0, 1, 42, -7} {
-				a, b := f.New(), f.New()
-				if a == b {
-					t.Fatal("factory handed out the same instance twice")
-				}
-				if !a.Prepare(seed, 1000) || !b.Prepare(seed, 1000) {
-					t.Fatalf("Prepare(%d) refused the first execution", seed)
-				}
-				sa := conformanceDrive(t, name, a)
-				sb := conformanceDrive(t, name, b)
-				assertStreamsEqual(t, name, fmt.Sprintf("fresh instances, seed %d", seed), sa, sb)
-
-				if f.Sequential() {
-					continue
-				}
-				if !a.Prepare(seed, 1000) {
-					t.Fatalf("re-Prepare(%d) refused (reseeding must be total)", seed)
-				}
-				sc := conformanceDrive(t, name, a)
-				assertStreamsEqual(t, name, fmt.Sprintf("re-Prepare, seed %d", seed), sa, sc)
 			}
 		})
 	}

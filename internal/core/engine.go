@@ -30,8 +30,18 @@ type Test struct {
 // random scheduler, 10,000 executions of up to 10,000 steps each, one
 // exploration worker per CPU.
 type Options struct {
-	// Scheduler is "random" (default), "pct", "rr", "delay" or "dfs".
+	// Scheduler names the exploration strategy: any registered scheduler
+	// ("random" — the default —, "pct", "rr", "delay", "dfs", or a name
+	// added via RegisterScheduler). Ignored when Portfolio is non-empty.
 	Scheduler string
+	// Portfolio, when non-empty, races the named schedulers against the
+	// test instead of running the single Scheduler: the worker budget is
+	// split across the members, the fleet stops on the first confirmed
+	// bug, and Result.Portfolio/Winner attribute the win. Duplicates are
+	// allowed and useful: each member derives an independent base seed
+	// from its index, so two "random" members explore disjoint
+	// pseudo-random schedule spaces.
+	Portfolio []string
 	// PCTDepth is the number of priority change points for "pct"
 	// (default 2, the paper's configuration).
 	PCTDepth int
@@ -112,9 +122,9 @@ type Options struct {
 
 // validate rejects option values that used to be silently reinterpreted
 // (negative bounds fell back to defaults, masking caller bugs) with
-// engine-attributed errors. Run, RunPortfolio and Replay panic on a
-// validation error before any execution starts.
-func (o Options) validate() error {
+// typed ConfigErrors. Explore and Replay return the error before any
+// execution starts.
+func (o Options) validate() *ConfigError {
 	for _, c := range []struct {
 		name string
 		v    int
@@ -127,7 +137,18 @@ func (o Options) validate() error {
 		{"LogCap", o.LogCap},
 	} {
 		if c.v < 0 {
-			return fmt.Errorf("core: Options.%s must be non-negative, got %d", c.name, c.v)
+			return &ConfigError{
+				Field:  "Options." + c.name,
+				Reason: fmt.Sprintf("must be non-negative, got %d", c.v),
+			}
+		}
+	}
+	for m, name := range o.Portfolio {
+		if _, err := lookupScheduler(name); err != nil {
+			return &ConfigError{
+				Field:  fmt.Sprintf("Options.Portfolio[%d]", m),
+				Reason: err.Reason,
+			}
 		}
 	}
 	return o.Faults.validate("Options.Faults")
@@ -136,7 +157,7 @@ func (o Options) validate() error {
 // validateTest rejects invalid test declarations (negative fault budgets
 // would otherwise silently disable the fault plane — a harness typo must
 // fail loudly, exactly like a bad Options field).
-func validateTest(t Test) error {
+func validateTest(t Test) *ConfigError {
 	return t.Faults.validate("Test.Faults")
 }
 
@@ -158,6 +179,35 @@ func effectiveFaults(t Test, o Options) Faults {
 // Test.Faults) the engine applies, exported so callers surfacing the
 // budget (CLI banners, reports) cannot drift from it.
 func (o Options) EffectiveFaults(t Test) Faults { return effectiveFaults(t, o) }
+
+// ValidateTest checks a test declaration without running it, returning
+// the same *ConfigError Explore would (a negative declared fault budget
+// must fail loudly, not silently disable the fault plane).
+func ValidateTest(t Test) error {
+	if err := validateTest(t); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Validate checks the options without running anything, returning the
+// same *ConfigError Explore would: negative bounds, unknown portfolio
+// members, invalid fault budgets. The scheduler name is validated by
+// NewSchedulerFactory (Explore's first act), so configuration viewers
+// should check both.
+func (o Options) Validate() error {
+	if err := o.validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WithDefaults returns the options with every unset field resolved to the
+// engine default (scheduler "random", 10,000 iterations of 10,000 steps,
+// PCT depth 2, one worker per CPU, the default log cap). Explore applies
+// it internally; it is exported so configuration viewers — the public
+// package's Resolve, CLI banners — report exactly what a run will use.
+func (o Options) WithDefaults() Options { return o.withDefaults() }
 
 func (o Options) withDefaults() Options {
 	if o.Scheduler == "" {
@@ -250,30 +300,61 @@ func (res Result) String() string {
 	return fmt.Sprintf("no bug in %d execution(s), %.2fs%s", res.Executions, res.Elapsed.Seconds(), suffix)
 }
 
-// Run systematically tests t: it executes the harness repeatedly, each time
-// under a different schedule, until a safety or liveness violation is
+// Explore systematically tests t: it executes the harness repeatedly, each
+// time under a different schedule, until a safety or liveness violation is
 // found, the iteration/time budget is exhausted, or the schedule space is
 // fully covered. This is the testing process of the paper's §2: fully
 // automatic, no false positives (assuming an accurate harness), every bug
-// witnessed by a replayable trace.
+// witnessed by a replayable trace. It is the engine's single entry point:
+// Options.Scheduler selects a single strategy, Options.Portfolio races
+// several (see RunPortfolio-era docs on the portfolio determinism
+// contract, now part of this function), and both paths report the one
+// Result shape.
+//
+// A configuration error — a negative bound, an unknown scheduler or
+// portfolio member, an invalid fault budget — is returned as a typed
+// *ConfigError before any execution starts; Explore never panics on
+// configuration.
 //
 // Exploration fans out across Options.Workers goroutines, each owning an
 // independent scheduler instance; execution i's schedule depends only on
-// (Seed, i). When a violation is found the engine cancels every in-flight
-// execution with a higher iteration index, finishes the lower ones, and
-// reports the bug with the lowest iteration index — exactly the bug a
+// (Seed, i) — and, for portfolios, member m's execution i only on
+// (Seed, m, i). When a violation is found the engine cancels every
+// in-flight execution at a higher canonical position, finishes the lower
+// ones, and reports the bug at the lowest position — exactly the bug a
 // single-worker run of the same seed reports first.
-func Run(t Test, o Options) Result {
+func Explore(t Test, o Options) (Result, error) {
 	if err := o.validate(); err != nil {
-		panic(err)
+		return Result{}, err
 	}
 	if err := validateTest(t); err != nil {
-		panic(err)
+		return Result{}, err
 	}
 	o = o.withDefaults()
-	f, err := NewSchedulerFactory(o.Scheduler, o.PCTDepth)
+	if len(o.Portfolio) > 0 {
+		return explorePortfolio(t, o)
+	}
+	return exploreSingle(t, o)
+}
+
+// MustExplore is Explore for callers whose configuration is statically
+// known to be valid — benchmarks and internal tests. It panics on a
+// configuration error; user-facing code goes through the public package's
+// gostorm.Explore instead.
+func MustExplore(t Test, o Options) Result {
+	res, err := Explore(t, o)
 	if err != nil {
 		panic(err)
+	}
+	return res
+}
+
+// exploreSingle is the single-scheduler exploration path. Options have
+// been validated and defaulted.
+func exploreSingle(t Test, o Options) (Result, error) {
+	f, err := NewSchedulerFactory(o.Scheduler, o.PCTDepth)
+	if err != nil {
+		return Result{}, err
 	}
 	workers := o.Workers
 	if f.Sequential() {
@@ -287,13 +368,27 @@ func Run(t Test, o Options) Result {
 	st := runState{start: time.Now()}
 	if f.Adaptive() {
 		if res, done := calibrate(t, o, &f, &st); done {
-			return res
+			return res, nil
 		}
 	}
 	if workers <= 1 {
-		return runSequential(t, o, f.New(), st)
+		return runSequential(t, o, f.New(), st), nil
 	}
-	return runParallel(t, o, f, workers, st)
+	return runParallel(t, o, f, workers, st), nil
+}
+
+// Run is the pre-Explore single-scheduler entry point, kept only so the
+// equivalence tests can pin Explore against the legacy surface before it
+// is removed. It panics on configuration errors, as it always did.
+//
+// Deprecated: use Explore.
+func Run(t Test, o Options) Result {
+	o.Portfolio = nil
+	res, err := Explore(t, o)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 // runState carries exploration progress made before the main loop starts:
@@ -543,12 +638,20 @@ func attachReplayLog(t Test, o Options, rep *BugReport) {
 // taken from the trace itself — it shaped which fault choice points the
 // recording run presented, so the trace is authoritative; Options.Faults
 // and the test's declared budget are ignored here.
+//
+// The returned error is a *ConfigError for configuration mistakes and a
+// divergence error when the system under test did not follow the trace.
 func Replay(t Test, tr *Trace, o Options) (*BugReport, error) {
+	if tr == nil {
+		// A caller that ignored DecodeTrace's error lands here; a typed
+		// error beats the nil dereference it would otherwise hit.
+		return nil, &ConfigError{Field: "Trace", Reason: "must be non-nil (did DecodeTrace fail?)"}
+	}
 	if err := o.validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	if err := validateTest(t); err != nil {
-		panic(err)
+		return nil, err
 	}
 	o = o.withDefaults()
 	sched := newReplayScheduler(tr)

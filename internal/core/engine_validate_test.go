@@ -1,73 +1,84 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
 
-// mustPanicWith runs fn and asserts it panics with a message containing
-// want; engine validation is surfaced as an engine-attributed panic
-// before any execution starts.
-func mustPanicWith(t *testing.T, want string, fn func()) {
+// assertConfigError asserts err is a *ConfigError attributing the given
+// field with a reason containing want.
+func assertConfigError(t *testing.T, err error, field, want string) {
 	t.Helper()
-	defer func() {
-		p := recover()
-		if p == nil {
-			t.Fatalf("no panic; want one mentioning %q", want)
-		}
-		msg := ""
-		switch v := p.(type) {
-		case error:
-			msg = v.Error()
-		case string:
-			msg = v
-		default:
-			t.Fatalf("panicked with %T (%v), want an error", p, p)
-		}
-		if !strings.Contains(msg, "core:") || !strings.Contains(msg, want) {
-			t.Fatalf("panic %q is not engine-attributed or lacks %q", msg, want)
-		}
-	}()
-	fn()
+	if err == nil {
+		t.Fatalf("no error; want a *ConfigError on %s mentioning %q", field, want)
+	}
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v (%T) is not a *ConfigError", err, err)
+	}
+	if ce.Field != field {
+		t.Fatalf("ConfigError.Field = %q, want %q (reason: %s)", ce.Field, field, ce.Reason)
+	}
+	if !strings.Contains(ce.Reason, want) {
+		t.Fatalf("ConfigError.Reason %q lacks %q", ce.Reason, want)
+	}
 }
 
 // TestOptionsValidation: negative bounds and budgets are rejected up
-// front with engine-attributed errors instead of being silently
-// reinterpreted as defaults (which used to mask caller bugs).
+// front with typed, field-attributed ConfigErrors instead of being
+// silently reinterpreted as defaults (which used to mask caller bugs) or
+// surfaced as panics (which forced callers to recover).
 func TestOptionsValidation(t *testing.T) {
 	cases := []struct {
-		name string
-		o    Options
-		want string
+		name  string
+		o     Options
+		field string
+		want  string
 	}{
-		{"negative iterations", Options{Iterations: -1}, "Options.Iterations must be non-negative, got -1"},
-		{"negative max steps", Options{MaxSteps: -5}, "Options.MaxSteps must be non-negative, got -5"},
-		{"negative workers", Options{Workers: -2}, "Options.Workers must be non-negative, got -2"},
-		{"negative pct depth", Options{PCTDepth: -3}, "Options.PCTDepth must be non-negative, got -3"},
-		{"negative temperature", Options{Temperature: -7}, "Options.Temperature must be non-negative, got -7"},
-		{"negative log cap", Options{LogCap: -10}, "Options.LogCap must be non-negative, got -10"},
-		{"negative crash budget", Options{Faults: Faults{MaxCrashes: -1}}, "Options.Faults.MaxCrashes must be non-negative, got -1"},
-		{"negative drop budget", Options{Faults: Faults{MaxDrops: -4}}, "Options.Faults.MaxDrops must be non-negative, got -4"},
-		{"negative duplicate budget", Options{Faults: Faults{MaxDuplicates: -9}}, "Options.Faults.MaxDuplicates must be non-negative, got -9"},
+		{"negative iterations", Options{Iterations: -1}, "Options.Iterations", "must be non-negative, got -1"},
+		{"negative max steps", Options{MaxSteps: -5}, "Options.MaxSteps", "must be non-negative, got -5"},
+		{"negative workers", Options{Workers: -2}, "Options.Workers", "must be non-negative, got -2"},
+		{"negative pct depth", Options{PCTDepth: -3}, "Options.PCTDepth", "must be non-negative, got -3"},
+		{"negative temperature", Options{Temperature: -7}, "Options.Temperature", "must be non-negative, got -7"},
+		{"negative log cap", Options{LogCap: -10}, "Options.LogCap", "must be non-negative, got -10"},
+		{"negative crash budget", Options{Faults: Faults{MaxCrashes: -1}}, "Options.Faults.MaxCrashes", "must be non-negative, got -1"},
+		{"negative drop budget", Options{Faults: Faults{MaxDrops: -4}}, "Options.Faults.MaxDrops", "must be non-negative, got -4"},
+		{"negative duplicate budget", Options{Faults: Faults{MaxDuplicates: -9}}, "Options.Faults.MaxDuplicates", "must be non-negative, got -9"},
+		{"unknown portfolio member", Options{Portfolio: []string{"random", "quantum"}}, "Options.Portfolio[1]", `unknown scheduler "quantum"`},
 	}
 	for _, c := range cases {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
-			t.Run("Run", func(t *testing.T) {
-				mustPanicWith(t, c.want, func() { Run(fixtureTest(), c.o) })
+			t.Run("Explore", func(t *testing.T) {
+				_, err := Explore(fixtureTest(), c.o)
+				assertConfigError(t, err, c.field, c.want)
 			})
-			t.Run("RunPortfolio", func(t *testing.T) {
-				mustPanicWith(t, c.want, func() {
-					RunPortfolio(fixtureTest(), PortfolioOptions{Options: c.o, Members: []string{"random"}})
-				})
+			t.Run("Explore/portfolio", func(t *testing.T) {
+				o := c.o
+				if len(o.Portfolio) == 0 {
+					o.Portfolio = []string{"random"}
+				}
+				_, err := Explore(fixtureTest(), o)
+				assertConfigError(t, err, c.field, c.want)
 			})
 			t.Run("Replay", func(t *testing.T) {
-				mustPanicWith(t, c.want, func() {
-					tr := newTrace("trace-fixture", "random", 1, Faults{}, nil)
-					_, _ = Replay(fixtureTest(), tr, c.o)
-				})
+				tr := newTrace("trace-fixture", "random", 1, Faults{}, nil)
+				_, err := Replay(fixtureTest(), tr, c.o)
+				assertConfigError(t, err, c.field, c.want)
 			})
 		})
+	}
+}
+
+// TestUnknownSchedulerIsConfigError: the classic misconfiguration — a
+// scheduler name that is not registered — comes back as a ConfigError
+// naming the field and listing the known schedulers, not as a panic.
+func TestUnknownSchedulerIsConfigError(t *testing.T) {
+	_, err := Explore(fixtureTest(), Options{Scheduler: "quantum", Iterations: 1})
+	assertConfigError(t, err, "Options.Scheduler", "unknown scheduler")
+	if !strings.Contains(err.Error(), "random") {
+		t.Fatalf("error does not list known schedulers: %v", err)
 	}
 }
 
@@ -77,14 +88,44 @@ func TestOptionsValidation(t *testing.T) {
 func TestTestFaultsValidation(t *testing.T) {
 	bad := fixtureTest()
 	bad.Faults = Faults{MaxCrashes: -1}
-	want := "Test.Faults.MaxCrashes must be non-negative, got -1"
-	mustPanicWith(t, want, func() { Run(bad, Options{Iterations: 1}) })
-	mustPanicWith(t, want, func() {
-		RunPortfolio(bad, PortfolioOptions{Options: Options{Iterations: 1}, Members: []string{"random"}})
-	})
-	mustPanicWith(t, want, func() {
-		_, _ = Replay(bad, newTrace("trace-fixture", "random", 1, Faults{}, nil), Options{})
-	})
+	want := "must be non-negative, got -1"
+
+	if _, err := Explore(bad, Options{Iterations: 1}); err != nil {
+		assertConfigError(t, err, "Test.Faults.MaxCrashes", want)
+	} else {
+		t.Fatal("Explore accepted a negative Test.Faults budget")
+	}
+	if _, err := Explore(bad, Options{Iterations: 1, Portfolio: []string{"random"}}); err != nil {
+		assertConfigError(t, err, "Test.Faults.MaxCrashes", want)
+	} else {
+		t.Fatal("portfolio Explore accepted a negative Test.Faults budget")
+	}
+	if _, err := Replay(bad, newTrace("trace-fixture", "random", 1, Faults{}, nil), Options{}); err != nil {
+		assertConfigError(t, err, "Test.Faults.MaxCrashes", want)
+	} else {
+		t.Fatal("Replay accepted a negative Test.Faults budget")
+	}
+}
+
+// TestMustExplorePanicsOnConfigError: the internal convenience wrapper
+// keeps the fail-fast behavior for benchmarks and tests whose options are
+// statically known; the panic payload is the typed error.
+func TestMustExplorePanicsOnConfigError(t *testing.T) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("no panic")
+		}
+		err, ok := p.(error)
+		if !ok {
+			t.Fatalf("panicked with %T, want error", p)
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Fatalf("panic payload %v is not a *ConfigError", err)
+		}
+	}()
+	MustExplore(fixtureTest(), Options{Iterations: -1})
 }
 
 // TestOptionsValidationAcceptsZeroAndPositive: the zero value and
@@ -94,6 +135,7 @@ func TestOptionsValidationAcceptsZeroAndPositive(t *testing.T) {
 		{},
 		{Iterations: 5, MaxSteps: 100, Workers: 2, PCTDepth: 3, Temperature: 50, LogCap: 500,
 			Faults: Faults{MaxCrashes: 1, MaxDrops: 2, MaxDuplicates: 3}},
+		{Portfolio: []string{"random", "pct", "random"}},
 	} {
 		if err := o.validate(); err != nil {
 			t.Fatalf("valid options rejected: %v", err)
@@ -116,6 +158,29 @@ func TestParseFaultsSpec(t *testing.T) {
 	for _, bad := range []string{"crashes", "crashes=-1", "crashes=x", "warp=3"} {
 		if _, err := ParseFaultsSpec(bad); err == nil {
 			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestRegisterSchedulerValidation: registration rejects names the rest of
+// the surface cannot represent, nil constructors, and duplicates.
+func TestRegisterSchedulerValidation(t *testing.T) {
+	dummy := func(int) Scheduler { return NewRandomScheduler() }
+	for _, c := range []struct {
+		name string
+		spec SchedulerSpec
+		want string
+	}{
+		{"", SchedulerSpec{New: dummy}, "non-empty"},
+		{"has space", SchedulerSpec{New: dummy}, "whitespace"},
+		{"has,comma", SchedulerSpec{New: dummy}, "commas"},
+		{"portfolio", SchedulerSpec{New: dummy}, "reserved"},
+		{"nil-new", SchedulerSpec{}, "non-nil"},
+		{"random", SchedulerSpec{New: dummy}, "already registered"},
+	} {
+		err := RegisterScheduler(c.name, c.spec)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("RegisterScheduler(%q) = %v, want error mentioning %q", c.name, err, c.want)
 		}
 	}
 }

@@ -1,0 +1,25 @@
+package core
+
+// ConfigError describes an invalid engine configuration: a negative
+// bound, an unknown scheduler name, a malformed portfolio. The engine
+// returns it from Explore and Replay instead of panicking, so callers —
+// CLIs validating flags, services building runs from requests — can
+// attribute the mistake to the exact field and present it without
+// recovering from a panic.
+//
+// The public gostorm package aliases this type: errors reported through
+// gostorm.Explore carry the functional option's name in Field
+// ("WithIterations"), errors detected inside the engine carry the
+// Options field path ("Options.Iterations").
+type ConfigError struct {
+	// Field names the configuration field or option at fault, as the
+	// caller spelled it: "Options.Iterations", "Test.Faults.MaxCrashes",
+	// "WithScheduler".
+	Field string
+	// Reason describes what is wrong with the value.
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return "gostorm: " + e.Field + ": " + e.Reason
+}

@@ -102,9 +102,20 @@ func ParseFaultsSpec(spec string) (Faults, error) {
 	return f, nil
 }
 
-// validate rejects negative budgets with engine-attributed errors; what
-// names the budget's origin ("Options.Faults" or "Test.Faults").
-func (f Faults) validate(what string) error {
+// Validate rejects negative budgets with a typed *ConfigError whose
+// Field carries the offending sub-field ("Faults.MaxCrashes"). The
+// public package's WithFaults pre-validates through it, so the checked
+// field set can never drift from the engine's own validation.
+func (f Faults) Validate() error {
+	if err := f.validate("Faults"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validate rejects negative budgets with typed ConfigErrors; what names
+// the budget's origin ("Options.Faults" or "Test.Faults").
+func (f Faults) validate(what string) *ConfigError {
 	for _, c := range []struct {
 		name string
 		v    int
@@ -114,7 +125,10 @@ func (f Faults) validate(what string) error {
 		{"MaxDuplicates", f.MaxDuplicates},
 	} {
 		if c.v < 0 {
-			return fmt.Errorf("core: %s.%s must be non-negative, got %d", what, c.name, c.v)
+			return &ConfigError{
+				Field:  what + "." + c.name,
+				Reason: fmt.Sprintf("must be non-negative, got %d", c.v),
+			}
 		}
 	}
 	return nil

@@ -8,17 +8,14 @@ import (
 	"time"
 )
 
-// PortfolioOptions configures RunPortfolio: the base engine Options plus
-// the set of scheduler members racing the test. Options.Scheduler is
-// ignored; every other field keeps its Run meaning, with Iterations and
-// MaxSteps applying to each member individually and Workers divided
-// across the members (each member receives at least one worker).
+// PortfolioOptions is the pre-Explore portfolio configuration, kept only
+// so the equivalence tests can pin Explore against the legacy surface
+// before it is removed. Options.Portfolio replaces it.
+//
+// Deprecated: set Options.Portfolio and use Explore.
 type PortfolioOptions struct {
 	Options
 	// Members are the scheduler names to race (see SchedulerNames).
-	// Duplicates are allowed and useful: each member derives an
-	// independent base seed from its index, so two "random" members
-	// explore disjoint pseudo-random schedule spaces.
 	Members []string
 }
 
@@ -101,44 +98,59 @@ func portfolioWorkerSplit(workers int, factories []SchedulerFactory) []int {
 	return split
 }
 
-// RunPortfolio races a portfolio of schedulers against one test — the
+// RunPortfolio is the pre-Explore portfolio entry point, kept only so the
+// equivalence tests can pin Explore against the legacy surface before it
+// is removed. It panics on configuration errors, as it always did.
+//
+// Deprecated: set Options.Portfolio and use Explore.
+func RunPortfolio(t Test, po PortfolioOptions) Result {
+	if len(po.Members) == 0 {
+		panic("core: RunPortfolio needs at least one member (see SchedulerNames)")
+	}
+	o := po.Options
+	o.Portfolio = po.Members
+	res, err := Explore(t, o)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// explorePortfolio races a portfolio of schedulers against one test — the
 // paper's observation operationalized: no single exploration strategy
 // finds all bugs, so practitioners run several and take the first hit.
 // The fleet stops on the first confirmed bug; Result reports which member
 // won (Winner, Portfolio[Winner]), at which of its iterations, with a
-// trace that replays exactly.
+// trace that replays exactly. Options have been validated and defaulted;
+// Options.Scheduler is ignored, Iterations and MaxSteps apply to each
+// member individually, and Workers are divided across the members (each
+// member receives at least one worker).
 //
 // Determinism contract. Member m's execution i is seeded purely from
-// (Seed, m, i), and adaptive members are calibrated exactly as in Run, so
-// every execution's outcome is a pure function of the portfolio spec and
-// seed. "First bug wins" is resolved on the canonical global order that
-// interleaves members round-robin — global position of (member m,
-// iteration i) is i*len(Members)+m — so the winning bug is the one at the
-// lowest iteration, ties between members at the same iteration broken by
-// the fixed member order. Workers abandon executions at or beyond the
-// current best position but always finish lower ones, so for a fixed seed
-// the winning (member, iteration, trace) and all canonical statistics are
-// bit-identical at any worker count (absent a StopAfter deadline).
-func RunPortfolio(t Test, po PortfolioOptions) Result {
-	if err := po.Options.validate(); err != nil {
-		panic(err)
-	}
-	if err := validateTest(t); err != nil {
-		panic(err)
-	}
-	o := po.Options.withDefaults()
-	if len(po.Members) == 0 {
-		panic("core: RunPortfolio needs at least one member (see SchedulerNames)")
-	}
-	factories := make([]SchedulerFactory, len(po.Members))
-	for m, name := range po.Members {
+// (Seed, m, i), and adaptive members are calibrated exactly as in the
+// single-scheduler path, so every execution's outcome is a pure function
+// of the portfolio spec and seed. "First bug wins" is resolved on the
+// canonical global order that interleaves members round-robin — global
+// position of (member m, iteration i) is i*len(Members)+m — so the
+// winning bug is the one at the lowest iteration, ties between members at
+// the same iteration broken by the fixed member order. Workers abandon
+// executions at or beyond the current best position but always finish
+// lower ones, so for a fixed seed the winning (member, iteration, trace)
+// and all canonical statistics are bit-identical at any worker count
+// (absent a StopAfter deadline).
+func explorePortfolio(t Test, o Options) (Result, error) {
+	factories := make([]SchedulerFactory, len(o.Portfolio))
+	for m, name := range o.Portfolio {
+		// Unknown members were already rejected by Options.validate; this
+		// error path only fires if the registry shrank mid-run, which it
+		// cannot (registration is add-only).
 		f, err := NewSchedulerFactory(name, o.PCTDepth)
 		if err != nil {
-			panic(fmt.Sprintf("core: portfolio member %d: %v", m, err))
+			return Result{}, err
 		}
 		factories[m] = f
 	}
-	nm := len(po.Members)
+	nm := len(o.Portfolio)
 	split := portfolioWorkerSplit(o.Workers, factories)
 
 	start := time.Now()
@@ -321,7 +333,7 @@ func RunPortfolio(t Test, po PortfolioOptions) Result {
 			}
 		}
 		ms := MemberStats{
-			Scheduler: po.Members[m],
+			Scheduler: o.Portfolio[m],
 			Workers:   split[m],
 			Elapsed:   time.Duration(mr.elapsed.Load()),
 			Exhausted: mr.exhaustAt.Load() < int64(limit),
@@ -352,8 +364,8 @@ func RunPortfolio(t Test, po PortfolioOptions) Result {
 			// reproduce the violation decision for decision.
 			attachReplayLog(t, o, bugReport)
 		}
-		return res
+		return res, nil
 	}
 	res.Elapsed = time.Since(start)
-	return res
+	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Scheduler resolves every nondeterministic choice of an execution: which
@@ -54,7 +55,7 @@ func (f SchedulerFactory) Name() string { return f.name }
 func (f SchedulerFactory) New() Scheduler {
 	s := f.build()
 	if f.lengthHint > 0 {
-		if h, ok := s.(lengthHinted); ok {
+		if h, ok := s.(LengthHinted); ok {
 			h.SetLengthHint(f.lengthHint)
 		}
 	}
@@ -86,34 +87,91 @@ func (f SchedulerFactory) WithLengthHint(steps int) SchedulerFactory {
 	return f
 }
 
-// lengthHinted is implemented by adaptive schedulers that can pin their
-// program-length estimate to an engine-provided value.
-type lengthHinted interface {
+// LengthHinted is implemented by adaptive schedulers that can pin their
+// program-length estimate to an engine-provided value. A registered
+// scheduler whose SchedulerSpec declares Adaptive should implement it:
+// the engine calibrates adaptive schedulers by measuring iteration 0 and
+// pinning the observed step count on every instance, which is what makes
+// their decision streams pure functions of the per-execution seed (and
+// results worker-count-independent).
+type LengthHinted interface {
 	SetLengthHint(steps int)
 }
 
-// schedulerSpec describes one registered scheduler for the factory.
-type schedulerSpec struct {
-	sequential bool
-	adaptive   bool
-	build      func(depth int) Scheduler
+// SchedulerSpec describes one registered scheduler: its contract bits and
+// a constructor. depth is the exploration-depth knob (priority change
+// points for pct, delay points for delay — Options.PCTDepth); schedulers
+// without a depth notion ignore it.
+type SchedulerSpec struct {
+	// Sequential marks a scheduler whose correctness depends on seeing
+	// every execution of a run in order on a single instance (see
+	// SchedulerFactory.Sequential). The engine runs it on one worker.
+	Sequential bool
+	// Adaptive marks a scheduler that places probes within an estimate of
+	// the program length; it should implement LengthHinted (see
+	// SchedulerFactory.Adaptive).
+	Adaptive bool
+	// New constructs a fresh, independent instance. It must never return
+	// nil or share mutable state between instances.
+	New func(depth int) Scheduler
 }
 
-// schedulerRegistry is the single source of truth for scheduler names.
-// The conformance test suite iterates it, so a newly registered scheduler
-// is automatically held to the factory contract (total reseeding, valid
-// NextMachine/NextInt behavior) and becomes a valid portfolio member.
-var schedulerRegistry = map[string]schedulerSpec{
-	"random": {build: func(int) Scheduler { return NewRandomScheduler() }},
-	"pct":    {adaptive: true, build: func(d int) Scheduler { return NewPCTScheduler(d) }},
-	"rr":     {build: func(int) Scheduler { return NewRoundRobinScheduler() }},
-	"dfs":    {sequential: true, build: func(int) Scheduler { return NewDFSScheduler() }},
-	"delay":  {adaptive: true, build: func(d int) Scheduler { return NewDelayScheduler(d) }},
+// schedulerRegistry is the single source of truth for scheduler names,
+// guarded by registryMu: RegisterScheduler adds user-defined strategies at
+// runtime. The conformance suite iterates it, so a newly registered
+// scheduler is automatically held to the factory contract (total
+// reseeding, valid NextMachine/NextInt behavior) and becomes a valid
+// Options.Scheduler value and portfolio member.
+var (
+	registryMu        sync.RWMutex
+	schedulerRegistry = map[string]SchedulerSpec{
+		"random": {New: func(int) Scheduler { return NewRandomScheduler() }},
+		"pct":    {Adaptive: true, New: func(d int) Scheduler { return NewPCTScheduler(d) }},
+		"rr":     {New: func(int) Scheduler { return NewRoundRobinScheduler() }},
+		"dfs":    {Sequential: true, New: func(int) Scheduler { return NewDFSScheduler() }},
+		"delay":  {Adaptive: true, New: func(d int) Scheduler { return NewDelayScheduler(d) }},
+	}
+)
+
+// RegisterScheduler adds a user-defined exploration strategy under name,
+// making it a first-class citizen of the engine: valid for
+// Options.Scheduler, eligible as a portfolio member (with its own
+// deterministic member seeding), covered by the scheduler conformance
+// matrix, and — when spec.Adaptive is set and the scheduler implements
+// LengthHinted — calibrated by the engine's shared length-hint mechanism
+// exactly like the built-in pct/delay schedulers.
+//
+// Registration is typically done from an init function or at the top of a
+// test. The name must be non-empty, must not contain commas or whitespace
+// (portfolio specs are comma-separated), must not be "portfolio" (the
+// CLIs' sentinel for portfolio mode), and must not already be registered.
+func RegisterScheduler(name string, spec SchedulerSpec) error {
+	if name == "" {
+		return fmt.Errorf("gostorm: RegisterScheduler: name must be non-empty")
+	}
+	if strings.ContainsAny(name, ", \t\n") {
+		return fmt.Errorf("gostorm: RegisterScheduler: name %q must not contain commas or whitespace", name)
+	}
+	if name == "portfolio" {
+		return fmt.Errorf("gostorm: RegisterScheduler: name %q is reserved", name)
+	}
+	if spec.New == nil {
+		return fmt.Errorf("gostorm: RegisterScheduler(%q): spec.New must be non-nil", name)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := schedulerRegistry[name]; dup {
+		return fmt.Errorf("gostorm: RegisterScheduler: scheduler %q is already registered", name)
+	}
+	schedulerRegistry[name] = spec
+	return nil
 }
 
 // SchedulerNames returns every registered scheduler name, sorted. These
-// are the valid values for Options.Scheduler and PortfolioOptions.Members.
+// are the valid values for Options.Scheduler and Options.Portfolio.
 func SchedulerNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
 	names := make([]string, 0, len(schedulerRegistry))
 	for name := range schedulerRegistry {
 		names = append(names, name)
@@ -122,24 +180,42 @@ func SchedulerNames() []string {
 	return names
 }
 
+// lookupScheduler resolves a registered scheduler name, or reports the
+// unknown name as a ConfigError (Field is filled by the caller's context
+// when it differs from Options.Scheduler).
+func lookupScheduler(name string) (SchedulerSpec, *ConfigError) {
+	registryMu.RLock()
+	spec, ok := schedulerRegistry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return SchedulerSpec{}, &ConfigError{
+			Field: "Options.Scheduler",
+			Reason: fmt.Sprintf("unknown scheduler %q (known: %s)",
+				name, strings.Join(SchedulerNames(), ", ")),
+		}
+	}
+	return spec, nil
+}
+
 // NewSchedulerFactory constructs a factory by scheduler name: "random",
-// "pct", "rr" (round-robin), "delay" (delay-bounded) or "dfs" (exhaustive
-// depth-first enumeration). The pct and delay schedulers use depth change
-// points per execution (the paper uses 2); pass depth <= 0 for the default.
+// "pct", "rr" (round-robin), "delay" (delay-bounded), "dfs" (exhaustive
+// depth-first enumeration), or any name added via RegisterScheduler. The
+// pct and delay schedulers use depth change points per execution (the
+// paper uses 2); pass depth <= 0 for the default. An unknown name is
+// reported as a *ConfigError.
 func NewSchedulerFactory(name string, depth int) (SchedulerFactory, error) {
 	if depth <= 0 {
 		depth = 2
 	}
-	spec, ok := schedulerRegistry[name]
-	if !ok {
-		return SchedulerFactory{}, fmt.Errorf("core: unknown scheduler %q (known: %s)",
-			name, strings.Join(SchedulerNames(), ", "))
+	spec, cerr := lookupScheduler(name)
+	if cerr != nil {
+		return SchedulerFactory{}, cerr
 	}
 	return SchedulerFactory{
 		name:       name,
-		sequential: spec.sequential,
-		adaptive:   spec.adaptive,
-		build:      func() Scheduler { return spec.build(depth) },
+		sequential: spec.Sequential,
+		adaptive:   spec.Adaptive,
+		build:      func() Scheduler { return spec.New(depth) },
 	}, nil
 }
 

@@ -1,0 +1,272 @@
+package gostorm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/gostorm/gostorm/internal/core"
+)
+
+// Option configures an Explore, Replay or Resolve call. Options are
+// applied in order, so later options override earlier ones — which is
+// what lets a caller layer overrides on top of a scenario's recommended
+// options (append(sc.Options(), WithSeed(7))). The override rule covers
+// the strategy axis too: a WithScheduler after a WithPortfolio replaces
+// the portfolio with the single scheduler, and vice versa.
+//
+// An invalid value — WithIterations(0), an unknown scheduler name, a
+// negative fault budget — is reported by the call the option is passed
+// to, as a *ConfigError naming the option; options themselves never
+// panic.
+type Option func(*config)
+
+// config accumulates applied options. The first configuration error
+// sticks: it names the earliest mistake, which is the one the caller
+// should fix first.
+type config struct {
+	opts core.Options
+	err  *ConfigError
+}
+
+// fail records the first configuration error.
+func (c *config) fail(option, reason string) {
+	if c.err == nil {
+		c.err = &ConfigError{Field: option, Reason: reason}
+	}
+}
+
+// resolve applies the options in order.
+func resolve(opts []Option) (*config, error) {
+	c := &config{}
+	for _, opt := range opts {
+		if opt == nil {
+			c.fail("Options", "nil Option (was an option constructor's error ignored?)")
+			continue
+		}
+		opt(c)
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	return c, nil
+}
+
+// WithScheduler selects the exploration strategy by registered name:
+// "random" (the default), "pct", "rr", "delay", "dfs", or any name added
+// via RegisterScheduler. It overrides an earlier WithPortfolio: the run
+// explores the single named scheduler.
+func WithScheduler(name string) Option {
+	return func(c *config) {
+		if name == "" {
+			c.fail("WithScheduler", "scheduler name must be non-empty")
+			return
+		}
+		c.opts.Scheduler = name
+		c.opts.Portfolio = nil
+	}
+}
+
+// WithPortfolio races the named schedulers against the test instead of
+// running a single strategy — the paper's observation that no single
+// exploration strategy finds every bug, made operational. The worker
+// budget is split across the members, the fleet stops on the first
+// confirmed bug, and Result.Portfolio/Result.Winner attribute the win.
+// Duplicate members are allowed and useful: each member derives an
+// independent base seed from its index. It overrides an earlier
+// WithScheduler: the run races the portfolio.
+func WithPortfolio(members ...string) Option {
+	return func(c *config) {
+		if len(members) == 0 {
+			c.fail("WithPortfolio", "needs at least one member (see SchedulerNames)")
+			return
+		}
+		c.opts.Portfolio = append([]string(nil), members...)
+		c.opts.Scheduler = ""
+	}
+}
+
+// WithPCTDepth sets the exploration depth of the depth-budgeted
+// schedulers: priority change points per execution for "pct", delay
+// points for "delay" (the paper uses 2, the default). The value is passed
+// to every registered scheduler's constructor; schedulers without a depth
+// notion ignore it.
+func WithPCTDepth(depth int) Option {
+	return func(c *config) {
+		if depth <= 0 {
+			c.fail("WithPCTDepth", fmt.Sprintf("must be positive, got %d", depth))
+			return
+		}
+		c.opts.PCTDepth = depth
+	}
+}
+
+// WithSeed selects the pseudo-random schedule sequence. Each execution i
+// derives its own sub-seed purely from (Seed, i) — and, in a portfolio,
+// member m's execution i purely from (Seed, m, i) — so runs are
+// reproducible end to end and independent of worker count. The default
+// seed is 0, which is as valid as any other.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.opts.Seed = seed }
+}
+
+// WithIterations bounds the number of executions (default 10,000); in a
+// portfolio run the budget applies to each member individually.
+func WithIterations(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			c.fail("WithIterations", fmt.Sprintf("must be positive, got %d", n))
+			return
+		}
+		c.opts.Iterations = n
+	}
+}
+
+// WithMaxSteps bounds each execution's scheduling steps (default 10,000);
+// reaching the bound treats the execution as infinite for liveness
+// checking.
+func WithMaxSteps(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			c.fail("WithMaxSteps", fmt.Sprintf("must be positive, got %d", n))
+			return
+		}
+		c.opts.MaxSteps = n
+	}
+}
+
+// WithWorkers sets the number of parallel exploration workers (default:
+// one per CPU; in a portfolio the budget is split across members, each
+// receiving at least one). Results are bit-identical at every worker
+// count — the engine's determinism contract — so this is purely a
+// throughput knob. Sequential schedulers (dfs) and replay always run on a
+// single worker regardless.
+func WithWorkers(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			c.fail("WithWorkers", fmt.Sprintf("must be positive, got %d", n))
+			return
+		}
+		c.opts.Workers = n
+	}
+}
+
+// WithTemperature reports a liveness violation as soon as a monitor stays
+// hot for the given number of consecutive steps, instead of waiting for
+// the full step bound.
+func WithTemperature(steps int) Option {
+	return func(c *config) {
+		if steps <= 0 {
+			c.fail("WithTemperature", fmt.Sprintf("must be positive, got %d", steps))
+			return
+		}
+		c.opts.Temperature = steps
+	}
+}
+
+// WithStopAfter bounds the total wall-clock time of the run. The deadline
+// is checked at execution granularity, so a run can overshoot by the
+// length of the executions in flight.
+func WithStopAfter(d time.Duration) Option {
+	return func(c *config) {
+		if d <= 0 {
+			c.fail("WithStopAfter", fmt.Sprintf("must be positive, got %v", d))
+			return
+		}
+		c.opts.StopAfter = d
+	}
+}
+
+// WithFaults overrides the test's declared fault budget wholesale for
+// this run. The zero budget disables the fault plane entirely (equivalent
+// to WithNoFaults): CrashPoint declines, SendUnreliable behaves like
+// Send, injector machines halt.
+func WithFaults(f Faults) Option {
+	return func(c *config) {
+		if err := f.Validate(); err != nil {
+			// Re-attribute the engine's own budget validation to this
+			// option: Field "Faults.MaxCrashes" becomes reason
+			// "MaxCrashes must be non-negative, ...".
+			var ce *ConfigError
+			if errors.As(err, &ce) {
+				c.fail("WithFaults", strings.TrimPrefix(ce.Field, "Faults.")+" "+ce.Reason)
+			} else {
+				c.fail("WithFaults", err.Error())
+			}
+			return
+		}
+		if f == (Faults{}) {
+			c.opts.NoFaults = true
+			c.opts.Faults = Faults{}
+			return
+		}
+		c.opts.NoFaults = false
+		c.opts.Faults = f
+	}
+}
+
+// WithNoFaults disables the fault plane outright, overriding both a
+// WithFaults option and the test's declared budget — the way to run a
+// fault-budgeted scenario crash-free.
+func WithNoFaults() Option {
+	return func(c *config) {
+		c.opts.NoFaults = true
+		c.opts.Faults = Faults{}
+	}
+}
+
+// WithLogCap bounds the number of lines the replay log may collect per
+// execution (default 100,000). Exploration executions collect no log, so
+// the cap only shapes replays and confirmation replays.
+func WithLogCap(lines int) Option {
+	return func(c *config) {
+		if lines <= 0 {
+			c.fail("WithLogCap", fmt.Sprintf("must be positive, got %d", lines))
+			return
+		}
+		c.opts.LogCap = lines
+	}
+}
+
+// WithNoReuse disables the pooled execution engine: every execution gets
+// a freshly allocated runtime with fresh machine goroutines, inboxes and
+// buffers. Pooling is semantically invisible — for a fixed seed, results,
+// traces and statistics are bit-identical with pooling on and off — so
+// this is an escape hatch for debugging and for benchmarking the pool
+// itself, not a correctness knob.
+func WithNoReuse() Option {
+	return func(c *config) { c.opts.NoReuse = true }
+}
+
+// WithNoReplayLog skips the confirmation replay that re-runs a buggy
+// schedule to collect the detailed execution log — useful when only the
+// Result statistics or the raw trace are needed.
+func WithNoReplayLog() Option {
+	return func(c *config) { c.opts.NoReplayLog = true }
+}
+
+// WithNoDeadlockDetection disables reporting machines stuck in Receive.
+func WithNoDeadlockDetection() Option {
+	return func(c *config) { c.opts.NoDeadlockDetection = true }
+}
+
+// WithNoLivenessBoundCheck disables the treat-bound-as-infinite liveness
+// heuristic (hot-at-termination is still checked).
+func WithNoLivenessBoundCheck() Option {
+	return func(c *config) { c.opts.NoLivenessBoundCheck = true }
+}
+
+// WithProgress registers a callback invoked after every completed
+// execution — including the buggy final one — with the number completed
+// so far. Parallel workers serialize the calls, so the callback need not
+// be goroutine-safe; counts are strictly increasing.
+func WithProgress(fn func(executions int)) Option {
+	return func(c *config) {
+		if fn == nil {
+			c.fail("WithProgress", "callback must be non-nil")
+			return
+		}
+		c.opts.Progress = fn
+	}
+}

@@ -1,0 +1,121 @@
+package gostorm
+
+import (
+	"fmt"
+
+	"github.com/gostorm/gostorm/internal/catalog"
+	"github.com/gostorm/gostorm/internal/core"
+)
+
+// Scenario is one of the repository's registered case-study scenarios:
+// the paper's §2 replication example, the Azure Storage vNext extent
+// manager, the MigratingTable specification check (including every
+// Table 2 seeded bug), and the Service Fabric counter/pipeline models.
+// Scenarios are how the bundled systems are reached from the public API —
+// examples and CLIs build them by name and pass the result to Explore.
+type Scenario struct {
+	// Name is the stable scenario name ("replsys-safety",
+	// "ExtentNodeLivenessViolation", "DeletePrimaryKey-custom", ...).
+	Name string
+	// About is a one-line description.
+	About string
+
+	entry catalog.Entry
+}
+
+// Test builds the scenario's systematic test, fresh for each call.
+func (s Scenario) Test() Test { return s.entry.Build() }
+
+// Options returns the scenario's recommended engine options (step bounds
+// sized to the workload, iteration budgets for expected-clean runs).
+// Callers layer their own options on top — later options override
+// earlier ones — e.g.:
+//
+//	res, err := gostorm.Explore(sc.Test(), append(sc.Options(), gostorm.WithSeed(7))...)
+func (s Scenario) Options() []Option {
+	return optionsFromCore(s.entry.Options)
+}
+
+// optionsFromCore translates a core.Options value, field by field, into
+// the equivalent public option list. It must cover every core.Options
+// field a catalog entry could recommend — a recommended setting that is
+// not translated would silently diverge between the public consumers
+// (Scenario.Options) and the engine-level ones, which
+// TestScenarioOptionsCoverCatalog guards against.
+func optionsFromCore(o core.Options) []Option {
+	var out []Option
+	if len(o.Portfolio) > 0 {
+		out = append(out, WithPortfolio(o.Portfolio...))
+	} else if o.Scheduler != "" {
+		out = append(out, WithScheduler(o.Scheduler))
+	}
+	if o.PCTDepth > 0 {
+		out = append(out, WithPCTDepth(o.PCTDepth))
+	}
+	if o.Seed != 0 {
+		out = append(out, WithSeed(o.Seed))
+	}
+	if o.Iterations > 0 {
+		out = append(out, WithIterations(o.Iterations))
+	}
+	if o.MaxSteps > 0 {
+		out = append(out, WithMaxSteps(o.MaxSteps))
+	}
+	if o.Workers > 0 {
+		out = append(out, WithWorkers(o.Workers))
+	}
+	if o.Temperature > 0 {
+		out = append(out, WithTemperature(o.Temperature))
+	}
+	if o.StopAfter > 0 {
+		out = append(out, WithStopAfter(o.StopAfter))
+	}
+	if o.LogCap > 0 {
+		out = append(out, WithLogCap(o.LogCap))
+	}
+	if o.NoFaults {
+		out = append(out, WithNoFaults())
+	} else if o.Faults != (core.Faults{}) {
+		out = append(out, WithFaults(o.Faults))
+	}
+	if o.NoReuse {
+		out = append(out, WithNoReuse())
+	}
+	if o.NoReplayLog {
+		out = append(out, WithNoReplayLog())
+	}
+	if o.NoDeadlockDetection {
+		out = append(out, WithNoDeadlockDetection())
+	}
+	if o.NoLivenessBoundCheck {
+		out = append(out, WithNoLivenessBoundCheck())
+	}
+	if o.Progress != nil {
+		out = append(out, WithProgress(o.Progress))
+	}
+	return out
+}
+
+// Scenarios returns every registered scenario, sorted by name.
+func Scenarios() []Scenario {
+	entries := catalog.All()
+	out := make([]Scenario, len(entries))
+	for i, e := range entries {
+		out[i] = Scenario{Name: e.Name, About: e.About, entry: e}
+	}
+	return out
+}
+
+// ScenarioByName returns the named scenario, or an error listing how to
+// discover the valid names.
+func ScenarioByName(name string) (Scenario, error) {
+	e, err := catalog.Get(name)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("gostorm: unknown scenario %q (see Scenarios)", name)
+	}
+	return Scenario{Name: e.Name, About: e.About, entry: e}, nil
+}
+
+// DescribeScenarios renders the scenario catalog as a listing, one
+// "name  description" line per scenario — what `systest -list` prints.
+func DescribeScenarios() string { return catalog.Describe() }

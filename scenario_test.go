@@ -1,0 +1,61 @@
+package gostorm_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gostorm/gostorm"
+	"github.com/gostorm/gostorm/internal/catalog"
+)
+
+// TestScenarioOptionsCoverCatalog guards the public scenario surface
+// against drifting from the catalog: for every registered scenario, the
+// configuration Resolve derives from Scenario.Options() must match what
+// the engine derives from the catalog entry's recommended core.Options
+// directly. A catalog entry recommending a field the option translation
+// does not cover shows up here as a divergence.
+func TestScenarioOptionsCoverCatalog(t *testing.T) {
+	entries := catalog.All()
+	scenarios := gostorm.Scenarios()
+	if len(entries) != len(scenarios) {
+		t.Fatalf("Scenarios() returns %d entries, catalog has %d", len(scenarios), len(entries))
+	}
+	for i, sc := range scenarios {
+		e := entries[i]
+		if sc.Name != e.Name || sc.About != e.About {
+			t.Fatalf("scenario %d: %q/%q vs catalog %q/%q", i, sc.Name, sc.About, e.Name, e.About)
+		}
+		test := sc.Test()
+		cfg, err := gostorm.Resolve(test, sc.Options()...)
+		if err != nil {
+			t.Fatalf("%s: Resolve: %v", sc.Name, err)
+		}
+		want := e.Options.WithDefaults()
+		if cfg.Iterations != want.Iterations || cfg.MaxSteps != want.MaxSteps ||
+			cfg.PCTDepth != want.PCTDepth || cfg.Temperature != want.Temperature ||
+			cfg.Seed != want.Seed || cfg.StopAfter != want.StopAfter || cfg.LogCap != want.LogCap {
+			t.Fatalf("%s: resolved config diverges from catalog recommendation:\nresolved: %+v\ncatalog:  %+v",
+				sc.Name, cfg, want)
+		}
+		if cfg.Faults != want.EffectiveFaults(test) {
+			t.Fatalf("%s: resolved faults %v, catalog %v", sc.Name, cfg.Faults, want.EffectiveFaults(test))
+		}
+	}
+}
+
+// TestScenarioByName covers lookup and the catalog listing.
+func TestScenarioByName(t *testing.T) {
+	sc, err := gostorm.ScenarioByName("replsys-safety")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "replsys-safety" || sc.Test().Name == "" {
+		t.Fatalf("scenario: %+v", sc)
+	}
+	if _, err := gostorm.ScenarioByName("nope"); err == nil {
+		t.Fatal("unknown scenario resolved")
+	}
+	if !strings.Contains(gostorm.DescribeScenarios(), "replsys-safety") {
+		t.Fatal("DescribeScenarios lacks scenarios")
+	}
+}

@@ -1,0 +1,43 @@
+package gostorm
+
+import "github.com/gostorm/gostorm/internal/core"
+
+// RegisterScheduler adds a user-defined exploration strategy under name,
+// making it a first-class citizen of the engine: valid for WithScheduler,
+// eligible as a WithPortfolio member (with its own deterministic member
+// seeding), covered by the scheduler conformance matrix (VerifyScheduler
+// and the repository's conformance tests iterate the registry), and —
+// when spec.Adaptive is set and the scheduler implements LengthHinted —
+// calibrated by the engine's shared program-length estimate exactly like
+// the built-in pct and delay schedulers.
+//
+// A registered Scheduler must be a deterministic function of its Prepare
+// seed and the call sequence — exact replay, and with it bug
+// reproduction, depends on it. Implement FaultScheduler as well to
+// resolve fault choice points with strategy (otherwise they are answered
+// uniformly through the scheduler's NextInt stream). Run VerifyScheduler
+// after registering to hold the implementation to the contract.
+//
+// Registration is typically done from an init function or at the top of
+// a test. The name must be non-empty, must not contain commas or
+// whitespace, must not be "portfolio", and must not already be
+// registered.
+func RegisterScheduler(name string, spec SchedulerSpec) error {
+	return core.RegisterScheduler(name, spec)
+}
+
+// SchedulerNames returns every registered scheduler name, sorted — the
+// valid values for WithScheduler and WithPortfolio.
+func SchedulerNames() []string { return core.SchedulerNames() }
+
+// VerifyScheduler holds the named registered scheduler to the conformance
+// contract the engine's determinism guarantees rest on, returning the
+// first violation found (nil when the scheduler conforms): decisions stay
+// in range, two fresh instances make identical decisions for the same
+// seed, and re-preparing an instance fully reseeds it. Registered
+// user-defined schedulers should pass it before being trusted in
+// portfolios — the same checks back the repository's cross-scheduler
+// conformance matrix.
+func VerifyScheduler(name string) error {
+	return core.VerifySchedulerConformance(name, 0)
+}
