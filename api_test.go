@@ -1,0 +1,249 @@
+package gostorm_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// updateAPI regenerates the golden API surface:
+//
+//	go test -run TestAPISurfaceLocked -update .
+var updateAPI = flag.Bool("update", false, "rewrite api.txt with the current public surface")
+
+// publicAPISurface renders every exported top-level identifier of the
+// root package (non-test files), one canonical line each, sorted. Struct
+// types include their exported field lists, so a changed field breaks
+// the lock exactly like a changed function signature.
+func publicAPISurface(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := regexp.MustCompile(`\s+`)
+	render := func(node any) string {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, node); err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimSpace(ws.ReplaceAllString(buf.String(), " "))
+	}
+	var lines []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				// Methods are part of the surface too: include them when
+				// the receiver's base type name is exported.
+				if d.Recv != nil && !exportedReceiver(d.Recv) {
+					continue
+				}
+				fn := *d
+				fn.Body = nil
+				fn.Doc = nil
+				lines = append(lines, render(&fn))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if !sp.Name.IsExported() {
+							continue
+						}
+						ts := *sp
+						ts.Doc = nil
+						ts.Comment = nil
+						if st, ok := ts.Type.(*ast.StructType); ok {
+							ts.Type = exportedFieldsOnly(st)
+						}
+						lines = append(lines, "type "+render(&ts))
+					case *ast.ValueSpec:
+						exported := false
+						for _, n := range sp.Names {
+							if n.IsExported() {
+								exported = true
+							}
+						}
+						if !exported {
+							continue
+						}
+						vs := *sp
+						vs.Doc = nil
+						vs.Comment = nil
+						lines = append(lines, d.Tok.String()+" "+render(&vs))
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// exportedReceiver reports whether a method receiver's base type name is
+// exported (the method then belongs to the public surface).
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) != 1 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// exportedFieldsOnly strips unexported fields from a struct type so the
+// golden surface records only what importers can see.
+func exportedFieldsOnly(st *ast.StructType) *ast.StructType {
+	out := &ast.StructType{Struct: st.Struct, Fields: &ast.FieldList{}}
+	for _, f := range st.Fields.List {
+		if len(f.Names) == 0 {
+			// Embedded field: visible iff its type name is exported.
+			t := f.Type
+			if se, ok := t.(*ast.StarExpr); ok {
+				t = se.X
+			}
+			if id, ok := t.(*ast.Ident); ok && id.IsExported() {
+				out.Fields.List = append(out.Fields.List, f)
+			}
+			continue
+		}
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(names) > 0 {
+			f2 := *f
+			f2.Names = names
+			f2.Doc = nil
+			f2.Comment = nil
+			out.Fields.List = append(out.Fields.List, &f2)
+		}
+	}
+	return out
+}
+
+// TestAPISurfaceLocked is the API lock: the root package's exported
+// surface must match the committed api.txt byte for byte. An intended
+// API change is a deliberate act — regenerate the golden file with
+// `go test -run TestAPISurfaceLocked -update .` and commit the diff; an
+// unintended one fails the build here.
+func TestAPISurfaceLocked(t *testing.T) {
+	got := strings.Join(publicAPISurface(t), "\n") + "\n"
+	if *updateAPI {
+		if err := os.WriteFile("api.txt", []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("api.txt rewritten")
+		return
+	}
+	want, err := os.ReadFile("api.txt")
+	if err != nil {
+		t.Fatalf("api.txt missing (generate with `go test -run TestAPISurfaceLocked -update .`): %v", err)
+	}
+	if string(want) == got {
+		return
+	}
+	gotLines := strings.Split(strings.TrimSuffix(got, "\n"), "\n")
+	wantLines := strings.Split(strings.TrimSuffix(string(want), "\n"), "\n")
+	gotSet := map[string]bool{}
+	for _, l := range gotLines {
+		gotSet[l] = true
+	}
+	wantSet := map[string]bool{}
+	for _, l := range wantLines {
+		wantSet[l] = true
+	}
+	var diff []string
+	for _, l := range gotLines {
+		if !wantSet[l] {
+			diff = append(diff, "+ "+l)
+		}
+	}
+	for _, l := range wantLines {
+		if !gotSet[l] {
+			diff = append(diff, "- "+l)
+		}
+	}
+	t.Fatalf("public API surface changed (run `go test -run TestAPISurfaceLocked -update .` if intended):\n%s",
+		strings.Join(diff, "\n"))
+}
+
+// TestExamplesUsePublicAPIOnly enforces the public-only import rule on
+// the examples: every examples/ program must compile against nothing but
+// the public package (plus the standard library) — no internal/ imports,
+// which is what makes the examples proof that the API boundary is real.
+func TestExamplesUsePublicAPIOnly(t *testing.T) {
+	const module = "github.com/gostorm/gostorm"
+	fset := token.NewFileSet()
+	found := 0
+	err := filepath.WalkDir("examples", func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		found++
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p == module {
+				continue
+			}
+			if strings.HasPrefix(p, module+"/") {
+				return fmt.Errorf("%s imports %s — examples must import only %s", path, p, module)
+			}
+			if strings.Contains(p, "internal") {
+				return fmt.Errorf("%s imports internal package %s", path, p)
+			}
+			// Anything else must be the standard library: no dots in the
+			// first path element.
+			if first := strings.SplitN(p, "/", 2)[0]; strings.Contains(first, ".") {
+				return fmt.Errorf("%s imports non-stdlib package %s", path, p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found < 4 {
+		t.Fatalf("only %d example files checked; expected the four example programs", found)
+	}
+}

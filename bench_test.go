@@ -59,7 +59,7 @@ func BenchmarkRuntimeSteps(b *testing.B) {
 	b.ResetTimer()
 	totalSteps := int64(0)
 	for i := 0; i < b.N; i++ {
-		res := core.Run(test, opts)
+		res := core.MustExplore(test, opts)
 		totalSteps += res.TotalSteps
 	}
 	b.StopTimer()
@@ -78,7 +78,7 @@ func BenchmarkSchedulers(b *testing.B) {
 		b.Run(sched, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res := core.Run(test, core.Options{
+				res := core.MustExplore(test, core.Options{
 					Scheduler: sched, Iterations: 5, MaxSteps: 2000,
 					Seed: int64(i), NoLivenessBoundCheck: true, NoReplayLog: true,
 				})
@@ -112,7 +112,7 @@ func BenchmarkParallelExploration(b *testing.B) {
 			b.ReportAllocs()
 			execs := 0
 			for i := 0; i < b.N; i++ {
-				res := core.Run(test, core.Options{
+				res := core.MustExplore(test, core.Options{
 					Scheduler: "random", Iterations: 64, MaxSteps: 500,
 					Seed: int64(i + 1), Workers: w,
 					NoLivenessBoundCheck: true, NoReplayLog: true,
@@ -137,7 +137,7 @@ func BenchmarkParallelMTable(b *testing.B) {
 			b.ReportAllocs()
 			execs := 0
 			for i := 0; i < b.N; i++ {
-				res := core.Run(test, core.Options{
+				res := core.MustExplore(test, core.Options{
 					Scheduler: "random", Iterations: 16, MaxSteps: 30000,
 					Seed: int64(i + 1), Workers: w, NoReplayLog: true,
 				})
@@ -200,7 +200,7 @@ func BenchmarkExecutionReuse(b *testing.B) {
 						opts.Seed = int64(i + 1)
 						opts.Workers = w
 						opts.NoReuse = mode.noReuse
-						res := core.Run(wl.test, opts)
+						res := core.MustExplore(wl.test, opts)
 						if res.BugFound {
 							b.Fatalf("unexpected bug: %v", res.Report.Error())
 						}
@@ -308,7 +308,7 @@ func BenchmarkFaultPlane(b *testing.B) {
 			b.ReportAllocs()
 			execs := 0
 			for i := 0; i < b.N; i++ {
-				res := core.Run(tc.build(), core.Options{
+				res := core.MustExplore(tc.build(), core.Options{
 					Scheduler: "random", Iterations: 64, MaxSteps: 500,
 					Seed: int64(i + 1), NoLivenessBoundCheck: true, NoReplayLog: true,
 				})
@@ -397,7 +397,7 @@ func BenchmarkTable2(b *testing.B) {
 				execs := 0
 				found := 0
 				for i := 0; i < b.N; i++ {
-					res := core.Run(row.build(), core.Options{
+					res := core.MustExplore(row.build(), core.Options{
 						Scheduler:   sched,
 						Iterations:  row.budget,
 						MaxSteps:    row.maxSteps,
@@ -462,7 +462,8 @@ func BenchmarkPortfolio(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				opts := base
 				opts.Seed = int64(i + 1)
-				res := core.RunPortfolio(tgt.build(), core.PortfolioOptions{Options: opts, Members: members})
+				opts.Portfolio = members
+				res := core.MustExplore(tgt.build(), opts)
 				execs += res.Executions
 				if res.BugFound {
 					found++
@@ -479,7 +480,7 @@ func BenchmarkPortfolio(b *testing.B) {
 					opts := base
 					opts.Scheduler = sched
 					opts.Seed = int64(i + 1)
-					res := core.Run(tgt.build(), opts)
+					res := core.MustExplore(tgt.build(), opts)
 					execs += res.Executions
 					if res.BugFound {
 						found++
@@ -503,7 +504,7 @@ func BenchmarkAblationPCTDepth(b *testing.B) {
 			b.ReportAllocs()
 			execs := 0
 			for i := 0; i < b.N; i++ {
-				res := core.Run(test, core.Options{
+				res := core.MustExplore(test, core.Options{
 					Scheduler: "pct", PCTDepth: depth,
 					Iterations: 5000, MaxSteps: 3000, Seed: int64(i + 1), NoReplayLog: true,
 				})
@@ -533,7 +534,7 @@ func BenchmarkAblationLivenessDetection(b *testing.B) {
 				opts := c.opts
 				opts.Seed = int64(i + 1)
 				opts.NoReplayLog = true
-				res := core.Run(test, opts)
+				res := core.MustExplore(test, opts)
 				if !res.BugFound {
 					b.Fatal("liveness bug not found")
 				}
@@ -549,7 +550,7 @@ func BenchmarkMTableCleanExecution(b *testing.B) {
 	b.ReportAllocs()
 	test := mharness.Test(mharness.HarnessConfig{})
 	for i := 0; i < b.N; i++ {
-		res := core.Run(test, core.Options{
+		res := core.MustExplore(test, core.Options{
 			Scheduler: "random", Iterations: 1, MaxSteps: 30000,
 			Seed: int64(i + 1), NoReplayLog: true,
 		})

@@ -3,6 +3,11 @@
 // with its decision trace, and can replay a previously recorded trace to
 // reproduce a bug exactly.
 //
+// The command is a pure consumer of the public gostorm API: scenarios
+// come from gostorm.Scenarios, flags translate into functional options
+// layered over each scenario's recommendations, and runs go through
+// gostorm.Explore/Replay — the same surface user harnesses call.
+//
 // Usage:
 //
 //	systest -list
@@ -17,11 +22,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"strings"
 
-	"github.com/gostorm/gostorm/internal/catalog"
-	"github.com/gostorm/gostorm/internal/core"
+	"github.com/gostorm/gostorm"
 )
 
 func main() {
@@ -36,7 +39,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		list        = fs.Bool("list", false, "list registered scenarios and exit")
 		test        = fs.String("test", "", "scenario name (see -list)")
-		scheduler   = fs.String("scheduler", "random", "scheduler: "+strings.Join(core.SchedulerNames(), ", ")+", or portfolio (see -portfolio)")
+		scheduler   = fs.String("scheduler", "random", "scheduler: "+strings.Join(gostorm.SchedulerNames(), ", ")+", or portfolio (see -portfolio)")
 		portfolio   = fs.String("portfolio", "", "comma-separated scheduler portfolio to race (implies -scheduler portfolio)")
 		pctDepth    = fs.Int("pct-depth", 2, "priority change points for the pct/delay schedulers")
 		iterations  = fs.Int("iterations", 0, "maximum executions (0 = scenario default); per member for a portfolio")
@@ -61,11 +64,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	})
 
 	if *list {
-		fmt.Fprint(stdout, catalog.Describe())
+		fmt.Fprint(stdout, gostorm.DescribeScenarios())
 		return 0
 	}
 	// Validate everything up front: a bad flag must fail here with a clear
-	// message, not as an engine panic thousands of executions in.
+	// message, not thousands of executions in. The heavy lifting is the
+	// public API's own validation (typed ConfigErrors); the CLI only adds
+	// the flag-level rules the option set cannot see.
 	if *pctDepth <= 0 {
 		fmt.Fprintf(stderr, "systest: -pct-depth must be positive, got %d\n", *pctDepth)
 		return 2
@@ -74,12 +79,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "systest:", err)
 		return 2
-	}
-	if len(members) == 0 && *scheduler != "portfolio" {
-		if _, err := core.NewSchedulerFactory(*scheduler, *pctDepth); err != nil {
-			fmt.Fprintln(stderr, "systest:", err)
-			return 2
-		}
 	}
 	faultsOverride, err := parseFaults(*faults, *maxCrashes)
 	if err != nil {
@@ -90,44 +89,64 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "systest: -test is required (use -list to see scenarios)")
 		return 2
 	}
-	entry, err := catalog.Get(*test)
+	sc, err := gostorm.ScenarioByName(*test)
 	if err != nil {
-		fmt.Fprintln(stderr, "systest:", err)
+		fmt.Fprintln(stderr, "systest: unknown scenario", *test, "(use -list)")
 		return 2
 	}
 	if faultsOverride == nil && *maxCrashes > 0 {
 		// -max-crashes without -faults adjusts only the crashes component
 		// of the scenario's declared budget, keeping its drop/duplicate
 		// allowances intact.
-		f := entry.Build().Faults
+		f := sc.Test().Faults
 		f.MaxCrashes = *maxCrashes
 		faultsOverride = &f
 	}
-	ov := catalog.Overrides{
-		Scheduler:   *scheduler,
-		PCTDepth:    *pctDepth,
-		Seed:        *seed,
-		Iterations:  *iterations,
-		MaxSteps:    *maxSteps,
-		Workers:     *workers,
-		Temperature: *temperature,
-		Portfolio:   members,
-		Faults:      faultsOverride,
+
+	// Layer CLI overrides over the scenario's recommended options; later
+	// options win, so only explicitly set flags are appended.
+	opts := sc.Options()
+	opts = append(opts, gostorm.WithPCTDepth(*pctDepth), gostorm.WithSeed(*seed))
+	if len(members) > 0 {
+		opts = append(opts, gostorm.WithPortfolio(members...))
+	} else {
+		opts = append(opts, gostorm.WithScheduler(*scheduler))
+	}
+	if *iterations > 0 {
+		opts = append(opts, gostorm.WithIterations(*iterations))
+	}
+	if *maxSteps > 0 {
+		opts = append(opts, gostorm.WithMaxSteps(*maxSteps))
+	}
+	if *workers > 0 {
+		opts = append(opts, gostorm.WithWorkers(*workers))
+	}
+	if *temperature > 0 {
+		opts = append(opts, gostorm.WithTemperature(*temperature))
+	}
+	if faultsOverride != nil {
+		opts = append(opts, gostorm.WithFaults(*faultsOverride))
+	}
+
+	target := sc.Test()
+	cfg, err := gostorm.Resolve(target, opts...)
+	if err != nil {
+		fmt.Fprintln(stderr, "systest:", err)
+		return 2
 	}
 
 	if *replay != "" {
-		opts := entry.RunOptions(ov)
 		data, err := os.ReadFile(*replay)
 		if err != nil {
 			fmt.Fprintln(stderr, "systest:", err)
 			return 1
 		}
-		tr, err := core.DecodeTrace(data)
+		tr, err := gostorm.DecodeTrace(data)
 		if err != nil {
 			fmt.Fprintln(stderr, "systest:", err)
 			return 1
 		}
-		rep, err := core.Replay(entry.Build(), tr, opts)
+		rep, err := gostorm.Replay(target, tr, opts...)
 		if err != nil {
 			fmt.Fprintln(stderr, "systest: replay diverged:", err)
 			return 1
@@ -143,42 +162,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	var res core.Result
-	if len(members) > 0 {
-		po := entry.PortfolioOptions(ov)
-		budget := po.Workers
-		if budget <= 0 {
-			budget = runtime.NumCPU()
-		}
-		test := entry.Build()
+	if len(cfg.Portfolio) > 0 {
 		// The engine gives every member at least one worker, so the true
 		// fleet size is in the per-member lines below; the banner reports
 		// the requested budget.
 		fmt.Fprintf(stdout, "racing a %s portfolio on %s (up to %d executions of %d steps per member, seed %d, %d-worker budget across %d members, faults %s)\n",
-			strings.Join(members, "+"), entry.Name,
-			orDefault(po.Iterations, 10000), orDefault(po.MaxSteps, 10000),
-			po.Seed, budget, len(members), describeFaults(po.Options, test))
-		res = core.RunPortfolio(test, po)
-		for m, ms := range res.Portfolio {
-			marker := " "
-			if ms.Winner {
-				marker = "*"
-			}
-			fmt.Fprintf(stdout, "%s member %d %-8s workers=%d executions=%d steps=%d elapsed=%.2fs\n",
-				marker, m, ms.Scheduler, ms.Workers, ms.Executions, ms.TotalSteps, ms.Elapsed.Seconds())
-		}
+			strings.Join(cfg.Portfolio, "+"), sc.Name,
+			cfg.Iterations, cfg.MaxSteps, cfg.Seed, cfg.Workers, len(cfg.Portfolio), cfg.Faults)
 	} else {
-		opts := entry.RunOptions(ov)
-		factory, err := core.NewSchedulerFactory(opts.Scheduler, opts.PCTDepth)
-		if err != nil {
-			fmt.Fprintln(stderr, "systest:", err)
-			return 2
-		}
-		test := entry.Build()
 		fmt.Fprintf(stdout, "exploring %s with the %s scheduler (up to %d executions of %d steps, seed %d, %s, faults %s)\n",
-			entry.Name, opts.Scheduler, orDefault(opts.Iterations, 10000), orDefault(opts.MaxSteps, 10000),
-			opts.Seed, describeWorkers(opts.Workers, factory.Sequential()), describeFaults(opts, test))
-		res = core.Run(test, opts)
+			sc.Name, cfg.Scheduler, cfg.Iterations, cfg.MaxSteps, cfg.Seed,
+			describeWorkers(cfg), cfg.Faults)
+	}
+	res, err := gostorm.Explore(target, opts...)
+	if err != nil {
+		fmt.Fprintln(stderr, "systest:", err)
+		return 2
+	}
+	for m, ms := range res.Portfolio {
+		marker := " "
+		if ms.Winner {
+			marker = "*"
+		}
+		fmt.Fprintf(stdout, "%s member %d %-8s workers=%d executions=%d steps=%d elapsed=%.2fs\n",
+			marker, m, ms.Scheduler, ms.Workers, ms.Executions, ms.TotalSteps, ms.Elapsed.Seconds())
 	}
 	fmt.Fprintln(stdout, res.String())
 	if !res.BugFound {
@@ -217,7 +224,7 @@ func parsePortfolio(spec, scheduler string, schedulerSet bool) ([]string, error)
 	if schedulerSet && scheduler != "portfolio" {
 		return nil, fmt.Errorf("-portfolio conflicts with -scheduler %s (drop one, or add %s to the member list)", scheduler, scheduler)
 	}
-	members, err := core.ParsePortfolioSpec(spec)
+	members, err := gostorm.ParsePortfolioSpec(spec)
 	if err != nil {
 		return nil, fmt.Errorf("-portfolio: %v", err)
 	}
@@ -227,17 +234,18 @@ func parsePortfolio(spec, scheduler string, schedulerSet bool) ([]string, error)
 // parseFaults turns the -faults spec into an optional wholesale budget
 // override (nil = no spec given). A non-empty spec always overrides —
 // "-faults crashes=0" (all zeros) disables the scenario's fault plane
-// entirely. An explicit -max-crashes wins over the spec's crashes
-// component; with no spec it instead adjusts only the crashes component
-// of the scenario's declared budget (see run).
-func parseFaults(spec string, maxCrashes int) (*core.Faults, error) {
+// entirely (gostorm.WithFaults treats the zero budget as WithNoFaults).
+// An explicit -max-crashes wins over the spec's crashes component; with
+// no spec it instead adjusts only the crashes component of the
+// scenario's declared budget (see run).
+func parseFaults(spec string, maxCrashes int) (*gostorm.Faults, error) {
 	if maxCrashes < 0 {
 		return nil, fmt.Errorf("-max-crashes must be non-negative, got %d", maxCrashes)
 	}
 	if strings.TrimSpace(spec) == "" {
 		return nil, nil
 	}
-	f, err := core.ParseFaultsSpec(spec)
+	f, err := gostorm.ParseFaultsSpec(spec)
 	if err != nil {
 		return nil, fmt.Errorf("-faults: %v", err)
 	}
@@ -247,28 +255,14 @@ func parseFaults(spec string, maxCrashes int) (*core.Faults, error) {
 	return &f, nil
 }
 
-func orDefault(v, def int) int {
-	if v > 0 {
-		return v
-	}
-	return def
-}
-
-// describeFaults renders the run's effective fault budget, exactly as the
-// engine resolves it.
-func describeFaults(o core.Options, t core.Test) string {
-	return o.EffectiveFaults(t).String()
-}
-
-func describeWorkers(w int, sequential bool) string {
-	if sequential {
+// describeWorkers renders the resolved worker count, which Resolve has
+// already clamped to 1 for sequential schedulers.
+func describeWorkers(cfg gostorm.Config) string {
+	if cfg.Sequential {
 		return "1 worker (sequential scheduler)"
 	}
-	if w <= 0 {
-		w = runtime.NumCPU()
-	}
-	if w == 1 {
+	if cfg.Workers == 1 {
 		return "1 worker"
 	}
-	return fmt.Sprintf("%d workers", w)
+	return fmt.Sprintf("%d workers", cfg.Workers)
 }

@@ -14,7 +14,7 @@ import (
 	"path/filepath"
 	"strings"
 
-	"github.com/gostorm/gostorm/internal/core"
+	"github.com/gostorm/gostorm"
 	"github.com/gostorm/gostorm/internal/fabric"
 	mharness "github.com/gostorm/gostorm/internal/mtable/harness"
 	vharness "github.com/gostorm/gostorm/internal/vnext/harness"
@@ -27,7 +27,7 @@ type row struct {
 	system  []string
 	harness []string
 	bugs    int
-	meta    []core.MachineStats
+	meta    []gostorm.MachineStats
 }
 
 func main() {

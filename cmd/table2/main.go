@@ -19,7 +19,7 @@ import (
 	"os"
 	"strings"
 
-	"github.com/gostorm/gostorm/internal/core"
+	"github.com/gostorm/gostorm"
 	"github.com/gostorm/gostorm/internal/mtable"
 	mharness "github.com/gostorm/gostorm/internal/mtable/harness"
 	vharness "github.com/gostorm/gostorm/internal/vnext/harness"
@@ -31,7 +31,7 @@ type tableRow struct {
 	name   string
 	custom bool // run as a custom test case (the paper's ◐ rows)
 	star   bool // notional bug (the paper's ∗ rows)
-	build  func() core.Test
+	build  func() gostorm.Test
 	// maxSteps bounds each execution (liveness rows need long ones).
 	maxSteps int
 }
@@ -46,10 +46,15 @@ func main() {
 	)
 	flag.Parse()
 
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "table2: -workers must be non-negative, got %d\n", *workers)
+		os.Exit(2)
+	}
+
 	var members []string
 	if *portfolio != "" {
 		var err error
-		if members, err = core.ParsePortfolioSpec(*portfolio); err != nil {
+		if members, err = gostorm.ParsePortfolioSpec(*portfolio); err != nil {
 			fmt.Fprintln(os.Stderr, "table2:", err)
 			os.Exit(2)
 		}
@@ -58,7 +63,7 @@ func main() {
 	rows := []tableRow{{
 		cs:   "1",
 		name: "ExtentNodeLivenessViolation",
-		build: func() core.Test {
+		build: func() gostorm.Test {
 			return vharness.Test(vharness.HarnessConfig{Scenario: vharness.ScenarioFailAndRepair})
 		},
 		maxSteps: 3000,
@@ -84,9 +89,9 @@ func main() {
 			maxSteps: 30000,
 		}
 		if r.custom {
-			r.build = func() core.Test { return mharness.CustomTest(bug) }
+			r.build = func() gostorm.Test { return mharness.CustomTest(bug) }
 		} else {
-			r.build = func() core.Test { return mharness.Test(mharness.HarnessConfig{Bugs: bug}) }
+			r.build = func() gostorm.Test { return mharness.Test(mharness.HarnessConfig{Bugs: bug}) }
 		}
 		rows = append(rows, r)
 	}
@@ -124,19 +129,31 @@ func main() {
 	}
 }
 
+// cellOptions is the shared option set of one table cell.
+func cellOptions(r tableRow, iterations int, seed int64, pctDepth, workers int) []gostorm.Option {
+	opts := []gostorm.Option{
+		gostorm.WithPCTDepth(pctDepth),
+		gostorm.WithIterations(iterations),
+		gostorm.WithMaxSteps(r.maxSteps),
+		gostorm.WithSeed(seed),
+		gostorm.WithNoReplayLog(),
+	}
+	if workers > 0 {
+		opts = append(opts, gostorm.WithWorkers(workers))
+	}
+	return opts
+}
+
 // runCell runs one (bug, scheduler) cell and formats it. Cells explore in
 // parallel; time-to-bug therefore reflects the machine's core count, while
 // #NDC stays a property of the (deterministically chosen) buggy execution.
 func runCell(r tableRow, scheduler string, iterations int, seed int64, pctDepth, workers int) string {
-	res := core.Run(r.build(), core.Options{
-		Scheduler:   scheduler,
-		PCTDepth:    pctDepth,
-		Iterations:  iterations,
-		MaxSteps:    r.maxSteps,
-		Seed:        seed,
-		Workers:     workers,
-		NoReplayLog: true,
-	})
+	opts := append(cellOptions(r, iterations, seed, pctDepth, workers), gostorm.WithScheduler(scheduler))
+	res, err := gostorm.Explore(r.build(), opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table2:", err)
+		os.Exit(2)
+	}
 	if !res.BugFound {
 		return fmt.Sprintf("%-3s %12s %8s", "no", "-", "-")
 	}
@@ -146,17 +163,12 @@ func runCell(r tableRow, scheduler string, iterations int, seed int64, pctDepth,
 // runPortfolioCell races the portfolio on one bug and reports the winning
 // member alongside the usual columns.
 func runPortfolioCell(r tableRow, members []string, iterations int, seed int64, pctDepth, workers int) string {
-	res := core.RunPortfolio(r.build(), core.PortfolioOptions{
-		Options: core.Options{
-			PCTDepth:    pctDepth,
-			Iterations:  iterations,
-			MaxSteps:    r.maxSteps,
-			Seed:        seed,
-			Workers:     workers,
-			NoReplayLog: true,
-		},
-		Members: members,
-	})
+	opts := append(cellOptions(r, iterations, seed, pctDepth, workers), gostorm.WithPortfolio(members...))
+	res, err := gostorm.Explore(r.build(), opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table2:", err)
+		os.Exit(2)
+	}
 	if !res.BugFound {
 		return fmt.Sprintf("%-3s %12s %8s %-8s", "no", "-", "-", "-")
 	}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// table2Binary compiles the command once per test binary via the go
+// tool (`go build`, the compile step `go run .` performs) and returns the
+// path. Running the artifact directly — rather than through `go run` —
+// preserves the CLI's real exit codes, which `go run` collapses to 1.
+var table2Binary = struct {
+	once sync.Once
+	path string
+	err  error
+}{}
+
+func buildTable2(t *testing.T) string {
+	t.Helper()
+	b := &table2Binary
+	b.once.Do(func() {
+		dir, err := os.MkdirTemp("", "table2-cli")
+		if err != nil {
+			b.err = err
+			return
+		}
+		b.path = filepath.Join(dir, "table2")
+		out, err := exec.Command("go", "build", "-o", b.path, ".").CombinedOutput()
+		if err != nil {
+			b.err = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if b.err != nil {
+		t.Fatal(b.err)
+	}
+	return b.path
+}
+
+// runTable2 invokes the compiled CLI and returns combined output plus
+// the exit code.
+func runTable2(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(buildTable2(t), args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return string(out), ee.ExitCode()
+	}
+	t.Fatalf("table2 failed to start: %v\n%s", err, out)
+	return "", -1
+}
+
+// TestCLISmoke drives the compiled binary on a small budget: the table
+// renders with the header, the scheduler columns, every Table 2 row
+// family, and the portfolio column naming a winning member for the
+// quick-surfacing rows.
+func TestCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the real binary")
+	}
+	out, code := runTable2(t, "-iterations", "100", "-seed", "1", "-portfolio", "random,pct,delay")
+	if code != 0 {
+		t.Fatalf("exit = %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"Table 2:",
+		"random scheduler",
+		"priority-based scheduler",
+		"portfolio random+pct+delay",
+		"ExtentNodeLivenessViolation",
+		"DeletePrimaryKey",
+		"MigrateSkipPreferOld (c)", // custom rows keep the paper's ◐ marker
+		"crashes=1",                // the vNext row shows its declared fault budget
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output lacks %q:\n%s", want, out)
+		}
+	}
+	// The vNext liveness bug surfaces in ~1 execution at seed 1, so its
+	// row must report a find under every column — including a named
+	// portfolio winner rather than the no-bug "-" placeholder.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "ExtentNodeLivenessViolation") {
+			if strings.Count(line, "yes") < 3 {
+				t.Fatalf("vNext row does not report the bug under all three columns:\n%s", line)
+			}
+			fields := strings.Fields(line)
+			winner := fields[len(fields)-1]
+			if winner != "random" && winner != "pct" && winner != "delay" {
+				t.Fatalf("portfolio winner %q is not a member:\n%s", winner, line)
+			}
+		}
+	}
+}
+
+// TestCLIOmitsPortfolioColumn: an empty -portfolio drops the third
+// column, matching the documented flag semantics.
+func TestCLIOmitsPortfolioColumn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the real binary")
+	}
+	out, code := runTable2(t, "-iterations", "20", "-seed", "1", "-portfolio", "")
+	if code != 0 {
+		t.Fatalf("exit = %d:\n%s", code, out)
+	}
+	// The fixed header sentence still mentions portfolios; the column
+	// itself is identified by its "winner" header and member list.
+	if strings.Contains(out, "winner") || strings.Contains(out, "portfolio random") {
+		t.Fatalf("portfolio column rendered despite -portfolio \"\":\n%s", out)
+	}
+}
+
+// TestCLIValidatesFlags: a bad portfolio spec fails up front with exit
+// code 2 and a pointed message, like the other CLIs.
+func TestCLIValidatesFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the real binary")
+	}
+	out, code := runTable2(t, "-portfolio", "random,quantum")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2:\n%s", code, out)
+	}
+	if !strings.Contains(out, "unknown scheduler") {
+		t.Fatalf("error output lacks the unknown-scheduler message:\n%s", out)
+	}
+	out, code = runTable2(t, "-workers", "-4")
+	if code != 2 || !strings.Contains(out, "-workers must be non-negative") {
+		t.Fatalf("negative -workers not rejected (exit %d):\n%s", code, out)
+	}
+}

@@ -7,35 +7,74 @@
 // Fabric replica-management model — their test harnesses, seeded bugs,
 // and the benchmark harnesses that regenerate the paper's tables.
 //
-// The engine explores schedules in parallel across all cores while keeping
-// every bug trace exactly replayable, and can race a portfolio of
-// heterogeneous schedulers (core.RunPortfolio) against one test — the
-// paper's observation that no single exploration strategy finds every bug,
-// made operational.
+// # Quickstart
 //
-// # Portfolio determinism contract
+// Model your system as Machines exchanging Events through a Context,
+// declare correctness as monitors or inline assertions, and hand the
+// Test to Explore:
 //
-// A portfolio run is reproducible down to the bit, at any worker count,
-// from (Seed, Members):
+//	test := gostorm.Test{
+//		Name: "lost-update",
+//		Entry: func(ctx *gostorm.Context) {
+//			store := ctx.CreateMachine(&register{}, "register")
+//			ctx.CreateMachine(&incrementer{store: store}, "inc0")
+//			ctx.CreateMachine(&incrementer{store: store}, "inc1")
+//		},
+//	}
+//	res, err := gostorm.Explore(test,
+//		gostorm.WithSeed(1),
+//		gostorm.WithIterations(10000),
+//	)
 //
-//   - Member m's execution i is seeded purely from (Seed, m, i): each
-//     member derives an independent base seed from its index, and each
-//     execution derives its sub-seed from that base and its iteration.
-//     Which goroutine runs an execution is irrelevant to what it explores.
+// Explore is the single entry point: it repeatedly executes the harness,
+// each time under a different schedule, until a safety or liveness
+// violation is found or the budget is exhausted — fully automatic, no
+// false positives, every bug witnessed by a Trace that Replay reproduces
+// decision for decision. Functional options configure the run:
+// WithScheduler picks a strategy ("random", "pct", "rr", "delay",
+// "dfs"), WithPortfolio races several at once, WithFaults sets the
+// fault-injection budget, WithWorkers the parallelism, and so on; a bad
+// value comes back as a typed *ConfigError, never a panic. Resolve
+// reports the fully defaulted configuration without running anything.
+//
+// The bundled case studies are reachable through the same surface:
+// Scenarios lists them, ScenarioByName builds one, and a scenario's
+// recommended options layer under caller overrides
+// (append(sc.Options(), gostorm.WithSeed(7))). The examples/ programs
+// import only this package — they are the proof that the API boundary
+// is real.
+//
+// # Determinism contract
+//
+// A run is reproducible down to the bit, at any worker count, from its
+// seed and option set:
+//
+//   - Execution i's schedule is a pure function of (seed, i); which
+//     goroutine runs an execution is irrelevant to what it explores.
+//   - Portfolio member m's execution i is seeded purely from
+//     (seed, m, i); "first bug wins" is resolved on the canonical global
+//     order that interleaves members round-robin, ties broken by member
+//     order, so the winning (member, iteration, trace) and all canonical
+//     statistics are worker-count-independent.
 //   - Adaptive schedulers (pct, delay) are calibrated: iteration 0 runs
 //     first and its observed step count is pinned on every scheduler
 //     instance as the shared program-length estimate, so their decision
 //     streams are pure functions of the iteration seed too.
-//   - First bug wins on the canonical global order that interleaves
-//     members round-robin: the winning bug is the one at the lowest
-//     iteration, with ties between members at the same iteration broken
-//     by the fixed member order. Workers abandon executions at or beyond
-//     the current best position but always finish lower ones.
-//   - Per-member statistics (executions, steps, winner flag) count only
-//     the executions at or below the winning position, so they are as
-//     reproducible as the winner itself; only wall-clock times vary.
-//   - The winning trace replays exactly, single-threaded, like any other
-//     trace the engine reports.
+//   - Pooling (see below) is semantically invisible, and every reported
+//     trace replays exactly, single-threaded.
+//
+// # Scheduler extension surface
+//
+// Exploration strategies are an open registry, not a hardcoded switch:
+// RegisterScheduler adds a user-defined Scheduler under a name, which
+// makes it valid for WithScheduler, eligible as a portfolio member with
+// its own deterministic seeding, covered by the conformance matrix
+// (VerifyScheduler runs the same checks the repository's tests apply to
+// the built-ins), and — when its SchedulerSpec declares Adaptive and the
+// implementation accepts LengthHinted — calibrated by the engine exactly
+// like pct and delay. Implement FaultScheduler to resolve fault choice
+// points with strategy; otherwise they are answered uniformly through
+// the scheduler's NextInt stream.
 //
 // # Fault plane
 //
@@ -59,51 +98,41 @@
 //
 // Budgets and determinism: faults are budgeted per execution by Faults
 // {MaxCrashes, MaxDrops, MaxDuplicates} — a Test declares the budget its
-// scenario is built for, Options.Faults overrides it wholesale, and the
-// zero budget disables the fault plane entirely (SendUnreliable becomes
-// Send, CrashPoint declines, injectors halt). Every fault outcome is a
-// typed Decision in the trace, so buggy executions replay bit-exactly —
-// replay validates kind, subject and outcome and reports a divergence
-// otherwise — and traces are versioned (TraceVersion): version-0 traces
-// from before the fault plane still decode and replay, while unknown
-// versions or decision kinds are strict decode errors. Schedulers resolve
-// fault choices through FaultScheduler.NextFault; the adaptive schedulers
-// (pct, delay) treat fault points as change-point candidates, spending a
-// change point that lands on one to force a faulty outcome.
+// scenario is built for, WithFaults overrides it wholesale, and
+// WithNoFaults (or the zero budget) disables the fault plane entirely
+// (SendUnreliable becomes Send, CrashPoint declines, injectors halt).
+// Every fault outcome is a typed Decision in the trace, so buggy
+// executions replay bit-exactly — replay validates kind, subject and
+// outcome and reports a divergence otherwise — and traces are versioned
+// (TraceVersion): version-0 traces from before the fault plane still
+// decode and replay, while unknown versions or decision kinds are strict
+// decode errors. The adaptive schedulers treat fault points as
+// change-point candidates, spending a change point that lands on one to
+// force a faulty outcome.
 //
 // # Performance and pooling
 //
 // Repeated execution is the engine's fast path: bug probability is a
-// function of schedules explored per unit time, so per-execution setup is
-// schedules not explored. Each exploration worker recycles its execution
-// state through a runtime pool instead of rebuilding it per iteration:
+// function of schedules explored per unit time, so per-execution setup
+// is schedules not explored. Each exploration worker recycles its
+// execution state through a runtime pool instead of rebuilding it per
+// iteration — runtimes reset in place, machine structs and inboxes are
+// recycled, machine goroutines park between assignments, and log
+// arguments are only materialized when a log is collected
+// (Context.Logging lets harnesses guard their own expensive
+// descriptions the same way).
 //
-//   - The Runtime is reset in place between executions — decision trace,
-//     enabled buffer, log, monitor tables, fault counters and the
-//     pending-crash list rewind while keeping their storage.
-//   - Machine structs and their inboxes are recycled; the inbox is a
-//     head-indexed window over a reusable buffer, so dequeuing the front
-//     event is O(1) instead of an O(n) slice shift.
-//   - Machine goroutines park between assignments and are re-armed with
-//     the next execution's machines instead of being spawned and reaped
-//     per execution. The engine↔machine handoff protocol is unchanged; a
-//     terminating machine parks its worker before its final handoff, so
-//     the engine never observes a live goroutine it did not schedule.
-//   - Log lines and expensive log arguments are only materialized when a
-//     log is collected (replays); Context.Logging lets harnesses guard
-//     their own expensive descriptions the same way.
+// The reuse contract: pooling is semantically invisible. For a fixed
+// seed the results, encoded traces, winner attribution and statistics
+// are bit-identical with pooling on and off, at every worker count —
+// enforced by the pooling determinism tests. WithNoReuse disables reuse
+// as a debugging escape hatch, and WithLogCap bounds the replay log
+// (default 100,000 lines).
 //
-// The reuse contract: pooling is semantically invisible. For a fixed seed
-// the results, encoded traces, winner attribution and statistics are
-// bit-identical with pooling on and off, at every worker count — enforced
-// by the pooling determinism tests (internal/core and every harness).
-// Pools never cross workers, so `go test -race` keeps proving executions
-// share no state. Options.NoReuse disables reuse (fresh runtime, fresh
-// goroutines per execution) as a debugging escape hatch, and
-// Options.LogCap bounds the replay log (default 100,000 lines).
-// BenchmarkExecutionReuse tracks the pooled-vs-fresh delta and
-// cmd/benchjson records the trajectory in BENCH_*.json snapshots.
+// # API stability
 //
-// See README.md for a package tour and the parallel-exploration design,
-// and ROADMAP.md for open items.
+// The exported surface of this package is locked by a golden file
+// (api.txt) checked in CI; see README.md for the package tour and the
+// migration table from the pre-redesign engine options, and ROADMAP.md
+// for open items.
 package gostorm

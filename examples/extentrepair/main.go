@@ -3,25 +3,28 @@
 // records, so the extent repair loop never repairs the lost replica — and
 // verify the fix survives the same exploration.
 //
+// The example imports only the public gostorm package; the shipped
+// (buggy) manager is the "ExtentNodeLivenessViolation" scenario and the
+// fixed one is "vnext-repair".
+//
 // Run with: go run ./examples/extentrepair
 package main
 
 import (
 	"fmt"
+	"os"
 	"strings"
 
-	"github.com/gostorm/gostorm/internal/core"
-	"github.com/gostorm/gostorm/internal/vnext"
-	"github.com/gostorm/gostorm/internal/vnext/harness"
+	"github.com/gostorm/gostorm"
 )
 
 func main() {
 	fmt.Println("== Scenario 2 (§3.4): fail one extent node, launch a fresh one, await repair ==")
 	fmt.Println()
 
-	buggy := harness.Test(harness.HarnessConfig{Scenario: harness.ScenarioFailAndRepair})
 	fmt.Println("-- shipped manager (stale sync reports accepted) --")
-	res := core.Run(buggy, core.Options{Scheduler: "random", Iterations: 20000, MaxSteps: 3000, Seed: 1})
+	res := explore("ExtentNodeLivenessViolation",
+		gostorm.WithIterations(20000), gostorm.WithSeed(1))
 	fmt.Println(res)
 	if res.BugFound {
 		fmt.Println("\nmanager traffic on the buggy schedule (sync reports and expirations):")
@@ -38,10 +41,22 @@ func main() {
 	}
 
 	fmt.Println("\n-- fixed manager (sync reports from unknown nodes discarded) --")
-	fixed := harness.Test(harness.HarnessConfig{
-		Scenario: harness.ScenarioFailAndRepair,
-		Manager:  vnext.Config{IgnoreSyncFromUnknownNodes: true},
-	})
-	res = core.Run(fixed, core.Options{Scheduler: "random", Iterations: 200, MaxSteps: 5000, Seed: 1})
+	res = explore("vnext-repair", gostorm.WithIterations(200), gostorm.WithSeed(1))
 	fmt.Println(res)
+}
+
+// explore runs a named scenario with overrides layered over its
+// recommended options.
+func explore(name string, opts ...gostorm.Option) gostorm.Result {
+	sc, err := gostorm.ScenarioByName(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := gostorm.Explore(sc.Test(), append(sc.Options(), opts...)...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return res
 }

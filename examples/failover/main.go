@@ -3,15 +3,19 @@
 // state copy is in flight, and crash the CScale-analog pipeline with the
 // data-races-open NullReferenceException analog.
 //
+// The example imports only the public gostorm package; the fixed and
+// buggy variants are the "fabric-failover" / "fabric-promotion-bug" and
+// "fabric-pipeline" / "fabric-pipeline-crash" scenarios.
+//
 // Run with: go run ./examples/failover
 package main
 
 import (
 	"fmt"
+	"os"
 	"strings"
 
-	"github.com/gostorm/gostorm/internal/core"
-	"github.com/gostorm/gostorm/internal/fabric"
+	"github.com/gostorm/gostorm"
 )
 
 func main() {
@@ -19,16 +23,11 @@ func main() {
 	fmt.Println()
 
 	fmt.Println("-- fixed model: primary fails at a nondeterministic point, no violation --")
-	fixed := fabric.FailoverScenario(fabric.FailoverConfig{FailPrimary: true})
-	res := core.Run(fixed, core.Options{Scheduler: "random", Iterations: 200, MaxSteps: 20000, Seed: 1})
+	res := explore("fabric-failover", gostorm.WithIterations(200), gostorm.WithSeed(1))
 	fmt.Println(res)
 
 	fmt.Println("\n-- §5 bug: promotion without a role check --")
-	buggy := fabric.FailoverScenario(fabric.FailoverConfig{
-		Fabric:      fabric.Config{BugUncheckedPromotion: true},
-		FailPrimary: true,
-	})
-	res = core.Run(buggy, core.Options{Scheduler: "random", Iterations: 20000, MaxSteps: 20000, Seed: 1})
+	res = explore("fabric-promotion-bug", gostorm.WithIterations(20000), gostorm.WithSeed(1))
 	fmt.Println(res)
 	if res.BugFound {
 		fmt.Println("\nthe catch-up/election race on the buggy schedule:")
@@ -47,14 +46,26 @@ func main() {
 
 	fmt.Println("\n== CScale-analog pipeline ==")
 	fmt.Println("\n-- fixed pipeline --")
-	res = core.Run(fabric.PipelineScenario(fabric.PipelineConfig{}), core.Options{
-		Scheduler: "random", Iterations: 200, MaxSteps: 5000, Seed: 1,
-	})
+	res = explore("fabric-pipeline", gostorm.WithIterations(200), gostorm.WithSeed(1))
 	fmt.Println(res)
 
 	fmt.Println("\n-- nil-state crash: a data record outruns the Open control message --")
-	res = core.Run(fabric.PipelineScenario(fabric.PipelineConfig{BugNilState: true}), core.Options{
-		Scheduler: "random", Iterations: 5000, MaxSteps: 5000, Seed: 1,
-	})
+	res = explore("fabric-pipeline-crash", gostorm.WithIterations(5000), gostorm.WithSeed(1))
 	fmt.Println(res)
+}
+
+// explore runs a named scenario with overrides layered over its
+// recommended options.
+func explore(name string, opts ...gostorm.Option) gostorm.Result {
+	sc, err := gostorm.ScenarioByName(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := gostorm.Explore(sc.Test(), append(sc.Options(), opts...)...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return res
 }

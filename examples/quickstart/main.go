@@ -4,20 +4,25 @@
 // three distinct replicas exist) and a liveness violation (the server
 // never acknowledges a second request).
 //
+// The example imports only the public gostorm package: scenarios are
+// built by name, runs are configured with functional options layered
+// over each scenario's recommendations, and every bug comes back with a
+// trace that gostorm.Replay reproduces exactly.
+//
 // Run with: go run ./examples/quickstart
 package main
 
 import (
 	"fmt"
+	"os"
 
-	"github.com/gostorm/gostorm/internal/core"
-	"github.com/gostorm/gostorm/internal/replsys"
+	"github.com/gostorm/gostorm"
 )
 
 func main() {
 	fmt.Println("== 1. Safety bug: duplicate sync reports counted as distinct replicas ==")
-	safety := replsys.Scenario(replsys.ScenarioConfig{Monitors: replsys.WithSafety})
-	res := core.Run(safety, core.Options{Scheduler: "random", Iterations: 10000, MaxSteps: 2000, Seed: 1})
+	safety := scenario("replsys-safety")
+	res := explore(safety, gostorm.WithIterations(10000), gostorm.WithSeed(1))
 	fmt.Println(res)
 	if res.BugFound {
 		fmt.Println("\nlast lines of the replayed execution:")
@@ -25,29 +30,45 @@ func main() {
 	}
 
 	fmt.Println("\n== 2. Liveness bug: replica counter never reset, client blocks forever ==")
-	liveness := replsys.Scenario(replsys.ScenarioConfig{Monitors: replsys.WithLiveness})
-	res = core.Run(liveness, core.Options{Scheduler: "random", Iterations: 100, MaxSteps: 3000, Seed: 1})
+	res = explore(scenario("replsys-liveness"), gostorm.WithSeed(1))
 	fmt.Println(res)
 
 	fmt.Println("\n== 3. Both fixes applied: exploration finds nothing ==")
-	fixed := replsys.Scenario(replsys.ScenarioConfig{
-		Server: replsys.Config{FixUniqueReplicas: true, FixCounterReset: true},
-	})
-	res = core.Run(fixed, core.Options{Scheduler: "random", Iterations: 100, MaxSteps: 8000, Seed: 1})
+	res = explore(scenario("replsys-fixed"), gostorm.WithSeed(1))
 	fmt.Println(res)
 
 	fmt.Println("\n== 4. Reproducing the safety bug exactly, from its trace ==")
-	res = core.Run(safety, core.Options{Scheduler: "random", Iterations: 10000, MaxSteps: 2000, Seed: 1, NoReplayLog: true})
+	res = explore(safety, gostorm.WithIterations(10000), gostorm.WithSeed(1), gostorm.WithNoReplayLog())
 	if res.BugFound {
-		rep, err := core.Replay(safety, res.Report.Trace, core.Options{
-			Scheduler: "random", Iterations: 10000, MaxSteps: 2000, Seed: 1,
-		})
+		rep, err := gostorm.Replay(safety.Test(), res.Report.Trace,
+			append(safety.Options(), gostorm.WithSeed(1))...)
 		if err != nil {
 			fmt.Println("replay failed:", err)
 			return
 		}
 		fmt.Printf("replay reproduced the identical violation: %v\n", rep.Error())
 	}
+}
+
+// scenario resolves a catalog scenario by name, exiting on a typo.
+func scenario(name string) gostorm.Scenario {
+	sc, err := gostorm.ScenarioByName(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return sc
+}
+
+// explore layers the given options over the scenario's recommendations
+// and runs it.
+func explore(sc gostorm.Scenario, opts ...gostorm.Option) gostorm.Result {
+	res, err := gostorm.Explore(sc.Test(), append(sc.Options(), opts...)...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return res
 }
 
 func tail(lines []string, n int) {

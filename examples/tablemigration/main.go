@@ -3,15 +3,18 @@
 // race, then re-introduce one Table 2 bug and watch the spec check catch
 // it.
 //
+// The example imports only the public gostorm package; every Table 2 bug
+// is a catalog scenario under its own name ("DeletePrimaryKey", ...),
+// with a "-custom" variant pinning the paper's custom triggering inputs.
+//
 // Run with: go run ./examples/tablemigration
 package main
 
 import (
 	"fmt"
+	"os"
 
-	"github.com/gostorm/gostorm/internal/core"
-	"github.com/gostorm/gostorm/internal/mtable"
-	"github.com/gostorm/gostorm/internal/mtable/harness"
+	"github.com/gostorm/gostorm"
 )
 
 func main() {
@@ -19,27 +22,39 @@ func main() {
 	fmt.Println()
 
 	fmt.Println("-- fixed system: concurrent services + migrator, outputs compared at linearization points --")
-	fixed := harness.Test(harness.HarnessConfig{})
-	res := core.Run(fixed, core.Options{Scheduler: "random", Iterations: 150, MaxSteps: 30000, Seed: 1})
+	res := explore("mtable", gostorm.WithIterations(150), gostorm.WithSeed(1))
 	fmt.Println(res)
 
 	fmt.Println("\n-- DeletePrimaryKey re-introduced: tombstone written under a corrupted key --")
-	bug, _ := mtable.BugByName("DeletePrimaryKey")
-	buggy := harness.Test(harness.HarnessConfig{Bugs: bug})
-	res = core.Run(buggy, core.Options{Scheduler: "random", Iterations: 20000, MaxSteps: 30000, Seed: 1})
+	res = explore("DeletePrimaryKey", gostorm.WithIterations(20000), gostorm.WithSeed(1))
 	fmt.Println(res)
 	if res.BugFound {
 		fmt.Println("\nviolation:", res.Report.Message)
 	}
 
 	fmt.Println("\n-- QueryStreamedBackUpNewStream re-introduced: merged stream trusts stale pages --")
-	bug, _ = mtable.BugByName("QueryStreamedBackUpNewStream")
-	buggy = harness.Test(harness.HarnessConfig{Bugs: bug})
-	res = core.Run(buggy, core.Options{Scheduler: "pct", Iterations: 20000, MaxSteps: 30000, Seed: 1})
+	res = explore("QueryStreamedBackUpNewStream",
+		gostorm.WithScheduler("pct"), gostorm.WithIterations(20000), gostorm.WithSeed(1))
 	fmt.Println(res)
 
 	fmt.Println("\n-- MigrateSkipPreferOld (notional, custom test case pinning the inputs) --")
-	bug, _ = mtable.BugByName("MigrateSkipPreferOld")
-	res = core.Run(harness.CustomTest(bug), core.Options{Scheduler: "pct", Iterations: 20000, MaxSteps: 30000, Seed: 1})
+	res = explore("MigrateSkipPreferOld-custom",
+		gostorm.WithScheduler("pct"), gostorm.WithIterations(20000), gostorm.WithSeed(1))
 	fmt.Println(res)
+}
+
+// explore runs a named scenario with overrides layered over its
+// recommended options.
+func explore(name string, opts ...gostorm.Option) gostorm.Result {
+	sc, err := gostorm.ScenarioByName(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := gostorm.Explore(sc.Test(), append(sc.Options(), opts...)...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return res
 }

@@ -28,66 +28,6 @@ type Entry struct {
 	Options core.Options
 }
 
-// Overrides are the command-line adjustments the CLIs layer on top of a
-// scenario's recommended options. Zero values mean "keep the scenario's
-// default", with two exceptions: Seed is always applied (0 is a valid,
-// meaningful seed, and scenarios never recommend one), and Workers
-// follows the engine convention (0 = one per CPU).
-type Overrides struct {
-	Scheduler   string
-	PCTDepth    int
-	Seed        int64
-	Iterations  int
-	MaxSteps    int
-	Workers     int
-	Temperature int
-	// Portfolio, when non-empty, races the named schedulers against the
-	// scenario instead of running the single Scheduler; see
-	// Entry.PortfolioOptions and core.RunPortfolio.
-	Portfolio []string
-	// Faults, when non-nil, replaces the scenario's fault budget
-	// wholesale via core.Options.Faults. A pointer distinguishes "not
-	// overridden" (nil) from an explicit budget; an explicit all-zero
-	// budget disables the scenario's fault plane (core.Options.NoFaults).
-	Faults *core.Faults
-}
-
-// RunOptions merges the entry's recommended options with CLI overrides.
-func (e Entry) RunOptions(ov Overrides) core.Options {
-	o := e.Options
-	if ov.Scheduler != "" {
-		o.Scheduler = ov.Scheduler
-	}
-	if ov.PCTDepth > 0 {
-		o.PCTDepth = ov.PCTDepth
-	}
-	o.Seed = ov.Seed
-	if ov.Iterations > 0 {
-		o.Iterations = ov.Iterations
-	}
-	if ov.MaxSteps > 0 {
-		o.MaxSteps = ov.MaxSteps
-	}
-	if ov.Workers > 0 {
-		o.Workers = ov.Workers
-	}
-	if ov.Temperature > 0 {
-		o.Temperature = ov.Temperature
-	}
-	if ov.Faults != nil {
-		o.Faults = *ov.Faults
-		o.NoFaults = *ov.Faults == (core.Faults{})
-	}
-	return o
-}
-
-// PortfolioOptions merges the entry's recommended options with CLI
-// overrides into a portfolio spec racing ov.Portfolio's members (the
-// scenario keeps its iteration/step recommendations per member).
-func (e Entry) PortfolioOptions(ov Overrides) core.PortfolioOptions {
-	return core.PortfolioOptions{Options: e.RunOptions(ov), Members: ov.Portfolio}
-}
-
 // Get returns the named entry.
 func Get(name string) (Entry, error) {
 	for _, e := range All() {

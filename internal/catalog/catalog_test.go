@@ -35,7 +35,7 @@ func TestCatalogEntriesBuildAndRun(t *testing.T) {
 			opts.Iterations = 2
 			opts.Seed = 1
 			opts.NoReplayLog = true
-			res := core.Run(e.Build(), opts)
+			res := core.MustExplore(e.Build(), opts)
 			if res.BugFound && strings.Contains(res.Report.Message, "panic in harness") {
 				t.Fatalf("harness wiring panicked: %s", res.Report.Message)
 			}
@@ -71,46 +71,29 @@ func TestCleanScenariosAreClean(t *testing.T) {
 		opts.Iterations = 20
 		opts.Seed = 2
 		opts.NoReplayLog = true
-		res := core.Run(e.Build(), opts)
+		res := core.MustExplore(e.Build(), opts)
 		if res.BugFound {
 			t.Fatalf("%s reported a bug: %v", name, res.Report.Error())
 		}
 	}
 }
 
-func TestRunOptionsOverrides(t *testing.T) {
-	e := Entry{Options: core.Options{Scheduler: "pct", Iterations: 500, MaxSteps: 3000}}
-
-	// Zero-valued overrides keep the scenario's recommendations — except
-	// Seed, which is always applied (0 is a valid seed).
-	e.Options.Seed = 42
-	o := e.RunOptions(Overrides{})
-	if o.Scheduler != "pct" || o.Iterations != 500 || o.MaxSteps != 3000 || o.Workers != 0 {
-		t.Fatalf("zero overrides changed options: %+v", o)
-	}
-	if o.Seed != 0 {
-		t.Fatalf("Seed = %d, want 0 (Seed is always taken from the overrides)", o.Seed)
-	}
-
-	o = e.RunOptions(Overrides{
-		Scheduler: "random", Seed: 9, Iterations: 42, MaxSteps: 100, Workers: 8, Temperature: 50,
-	})
-	if o.Scheduler != "random" || o.Seed != 9 || o.Iterations != 42 ||
-		o.MaxSteps != 100 || o.Workers != 8 || o.Temperature != 50 {
-		t.Fatalf("overrides not applied: %+v", o)
-	}
-}
-
 func TestCatalogRunsWithParallelWorkers(t *testing.T) {
-	// A catalog entry run through RunOptions with a worker-pool override
-	// must behave exactly like the direct engine call.
+	// A catalog entry run with a worker-pool override must behave exactly
+	// like the direct engine call. (Override *merging* now lives in the
+	// public option layering — see gostorm.Scenario.Options and the
+	// catalog_test external package.)
 	e, err := Get("replsys-safety")
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts := e.RunOptions(Overrides{Scheduler: "random", Seed: 1, Iterations: 5000, Workers: 4})
+	opts := e.Options
+	opts.Scheduler = "random"
+	opts.Seed = 1
+	opts.Iterations = 5000
+	opts.Workers = 4
 	opts.NoReplayLog = true
-	res := core.Run(e.Build(), opts)
+	res := core.MustExplore(e.Build(), opts)
 	if !res.BugFound {
 		t.Fatal("parallel catalog run did not find the seeded safety bug")
 	}

@@ -21,12 +21,14 @@ func TestCatalogFaultScenarios(t *testing.T) {
 		}
 		faulty++
 		t.Run(e.Name, func(t *testing.T) {
-			opts := e.RunOptions(Overrides{Scheduler: "random", Seed: 1})
+			opts := e.Options
+			opts.Scheduler = "random"
+			opts.Seed = 1
 			opts.NoReplayLog = true
 			if opts.Iterations <= 0 || opts.Iterations > 3000 {
 				opts.Iterations = 3000
 			}
-			res := core.Run(e.Build(), opts)
+			res := core.MustExplore(e.Build(), opts)
 			switch e.Name {
 			case "ExtentNodeLivenessViolation", "fabric-promotion-bug":
 				if !res.BugFound {

@@ -1,9 +1,14 @@
-package catalog
+// External test package: the catalog-wide replay round-trip drives the
+// public gostorm surface through internal/harnesstest, which imports the
+// root package — an in-package test would close an import cycle (root →
+// catalog → harnesses).
+package catalog_test
 
 import (
 	"testing"
 
-	"github.com/gostorm/gostorm/internal/core"
+	"github.com/gostorm/gostorm"
+	"github.com/gostorm/gostorm/internal/catalog"
 	"github.com/gostorm/gostorm/internal/harnesstest"
 )
 
@@ -16,27 +21,33 @@ import (
 // pins that the property was actually exercised, not vacuously true.
 func TestPortfolioReplayRoundTripAcrossCatalog(t *testing.T) {
 	found := 0
-	for _, e := range All() {
+	for _, e := range catalog.All() {
 		e := e
 		t.Run(e.Name, func(t *testing.T) {
-			opts := e.Options
-			opts.Seed = 1
-			opts.Workers = 4
-			opts.NoReplayLog = true
 			// Cap the budget: heavy scenarios (30k-step mtable executions)
 			// get a handful of executions per member, light ones a few
 			// hundred.
-			cap := 300
-			if opts.MaxSteps >= 20000 {
-				cap = 12
+			budget := 300
+			if e.Options.MaxSteps >= 20000 {
+				budget = 12
 			}
-			if opts.Iterations <= 0 || opts.Iterations > cap {
-				opts.Iterations = cap
+			if e.Options.Iterations > 0 && e.Options.Iterations < budget {
+				budget = e.Options.Iterations
 			}
-			res := core.RunPortfolio(e.Build(), core.PortfolioOptions{
-				Options: opts,
-				Members: []string{"random", "pct", "delay"},
-			})
+			opts := []gostorm.Option{
+				gostorm.WithPortfolio("random", "pct", "delay"),
+				gostorm.WithSeed(1),
+				gostorm.WithWorkers(4),
+				gostorm.WithIterations(budget),
+				gostorm.WithNoReplayLog(),
+			}
+			if e.Options.MaxSteps > 0 {
+				opts = append(opts, gostorm.WithMaxSteps(e.Options.MaxSteps))
+			}
+			res, err := gostorm.Explore(e.Build(), opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if !res.BugFound {
 				return
 			}
@@ -52,25 +63,32 @@ func TestPortfolioReplayRoundTripAcrossCatalog(t *testing.T) {
 	}
 }
 
-// TestPortfolioOverrides: the catalog's portfolio plumbing hands the CLI
-// overrides through to a runnable spec.
-func TestPortfolioOverrides(t *testing.T) {
-	e, err := Get("replsys-safety")
+// TestScenarioOptionLayering: the public pattern the catalog recommends —
+// scenario options first, caller overrides appended — produces a runnable
+// portfolio with winner attribution.
+func TestScenarioOptionLayering(t *testing.T) {
+	sc, err := gostorm.ScenarioByName("replsys-safety")
 	if err != nil {
 		t.Fatal(err)
 	}
-	po := e.PortfolioOptions(Overrides{
-		Portfolio: []string{"random", "pct"}, Seed: 1, Iterations: 5000, Workers: 4,
-	})
-	if len(po.Members) != 2 {
-		t.Fatalf("members = %v, want the two overridden ones", po.Members)
+	opts := append(sc.Options(),
+		gostorm.WithPortfolio("random", "pct"),
+		gostorm.WithSeed(1),
+		gostorm.WithIterations(5000),
+		gostorm.WithWorkers(4),
+		gostorm.WithNoReplayLog(),
+	)
+	res, err := gostorm.Explore(sc.Test(), opts...)
+	if err != nil {
+		t.Fatal(err)
 	}
-	po.NoReplayLog = true
-	res := core.RunPortfolio(e.Build(), po)
 	if !res.BugFound {
 		t.Fatal("portfolio catalog run did not find the seeded safety bug")
 	}
 	if res.Winner < 0 || res.Portfolio[res.Winner].Scheduler == "" {
 		t.Fatalf("winner not attributed: %+v", res)
+	}
+	if len(res.Portfolio) != 2 {
+		t.Fatalf("members = %d, want the two overridden ones", len(res.Portfolio))
 	}
 }

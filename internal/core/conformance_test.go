@@ -145,10 +145,8 @@ func TestSchedulerNamesCoverRegistry(t *testing.T) {
 	}
 	// Every registered scheduler is a valid portfolio member: an
 	// all-members portfolio on a trivially clean test must run through.
-	res := RunPortfolio(cleanChoiceTest(), PortfolioOptions{
-		Options: Options{Iterations: 4, Seed: 1, Workers: 2, NoReplayLog: true},
-		Members: names,
-	})
+	res := MustExplore(cleanChoiceTest(), withMembers(
+		Options{Iterations: 4, Seed: 1, Workers: 2, NoReplayLog: true}, names...))
 	if res.BugFound {
 		t.Fatalf("unexpected bug: %v", res.Report.Error())
 	}

@@ -9,7 +9,7 @@ import "testing"
 // number of distinct executions explored.
 func countSchedules(t *testing.T, test Test) int {
 	t.Helper()
-	res := Run(test, Options{Scheduler: "dfs", Iterations: 1 << 20, NoReplayLog: true})
+	res := MustExplore(test, Options{Scheduler: "dfs", Iterations: 1 << 20, NoReplayLog: true})
 	if res.BugFound {
 		t.Fatalf("unexpected bug: %v", res.Report.Error())
 	}

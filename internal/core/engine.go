@@ -274,7 +274,7 @@ type Result struct {
 	// exhaustion only when every member exhausted its space.
 	Exhausted bool
 	// Portfolio holds per-member statistics when the run raced a scheduler
-	// portfolio (see RunPortfolio); nil for single-scheduler runs.
+	// portfolio (Options.Portfolio); nil for single-scheduler runs.
 	Portfolio []MemberStats
 	// Winner is the index into Portfolio of the member whose bug won the
 	// race, -1 when a portfolio run found no bug. Zero (and meaningless)
@@ -307,9 +307,8 @@ func (res Result) String() string {
 // automatic, no false positives (assuming an accurate harness), every bug
 // witnessed by a replayable trace. It is the engine's single entry point:
 // Options.Scheduler selects a single strategy, Options.Portfolio races
-// several (see RunPortfolio-era docs on the portfolio determinism
-// contract, now part of this function), and both paths report the one
-// Result shape.
+// several (see explorePortfolio for the portfolio determinism
+// contract), and both paths report the one Result shape.
 //
 // A configuration error — a negative bound, an unknown scheduler or
 // portfolio member, an invalid fault budget — is returned as a typed
@@ -375,20 +374,6 @@ func exploreSingle(t Test, o Options) (Result, error) {
 		return runSequential(t, o, f.New(), st), nil
 	}
 	return runParallel(t, o, f, workers, st), nil
-}
-
-// Run is the pre-Explore single-scheduler entry point, kept only so the
-// equivalence tests can pin Explore against the legacy surface before it
-// is removed. It panics on configuration errors, as it always did.
-//
-// Deprecated: use Explore.
-func Run(t Test, o Options) Result {
-	o.Portfolio = nil
-	res, err := Explore(t, o)
-	if err != nil {
-		panic(err)
-	}
-	return res
 }
 
 // runState carries exploration progress made before the main loop starts:

@@ -28,8 +28,8 @@ func TestParallelMatchesSequential(t *testing.T) {
 	par := base
 	par.Workers = 8
 
-	a := Run(raceTest(), seq)
-	b := Run(raceTest(), par)
+	a := MustExplore(raceTest(), seq)
+	b := MustExplore(raceTest(), par)
 	if !a.BugFound || !b.BugFound {
 		t.Fatalf("bug not found: seq=%v par=%v", a.BugFound, b.BugFound)
 	}
@@ -58,7 +58,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 // single-threaded, to the identical violation.
 func TestParallelTraceReplays(t *testing.T) {
 	opts := Options{Scheduler: "random", Iterations: 2000, Seed: 11, Workers: 8, NoReplayLog: true}
-	res := Run(raceTest(), opts)
+	res := MustExplore(raceTest(), opts)
 	if !res.BugFound {
 		t.Fatal("bug not found")
 	}
@@ -74,7 +74,7 @@ func TestParallelTraceReplays(t *testing.T) {
 // TestParallelCleanRunCoversAllIterations: without a bug, every iteration
 // of the budget runs exactly once no matter how many workers share it.
 func TestParallelCleanRunCoversAllIterations(t *testing.T) {
-	res := Run(cleanChoiceTest(), Options{
+	res := MustExplore(cleanChoiceTest(), Options{
 		Scheduler: "random", Iterations: 500, Seed: 3, Workers: 4, NoReplayLog: true,
 	})
 	if res.BugFound {
@@ -89,7 +89,7 @@ func TestParallelCleanRunCoversAllIterations(t *testing.T) {
 // itself sequential, so a parallel request still enumerates the schedule
 // tree correctly on one worker.
 func TestParallelForcesSequentialDFS(t *testing.T) {
-	res := Run(boolComboTest(), Options{Scheduler: "dfs", Iterations: 100, Workers: 8})
+	res := MustExplore(boolComboTest(), Options{Scheduler: "dfs", Iterations: 100, Workers: 8})
 	if !res.BugFound {
 		t.Fatal("dfs did not find the all-true combination")
 	}
@@ -102,7 +102,7 @@ func TestParallelForcesSequentialDFS(t *testing.T) {
 // fires for every completed execution, including the final buggy one.
 func TestProgressIncludesBuggyExecution(t *testing.T) {
 	var calls []int
-	res := Run(raceTest(), Options{
+	res := MustExplore(raceTest(), Options{
 		Scheduler: "random", Iterations: 2000, Seed: 7, Workers: 1, NoReplayLog: true,
 		Progress: func(n int) { calls = append(calls, n) },
 	})
@@ -122,7 +122,7 @@ func TestProgressIncludesBuggyExecution(t *testing.T) {
 // serialized and strictly increasing.
 func TestParallelProgressMonotonic(t *testing.T) {
 	var calls []int
-	res := Run(cleanChoiceTest(), Options{
+	res := MustExplore(cleanChoiceTest(), Options{
 		Scheduler: "random", Iterations: 200, Seed: 5, Workers: 4, NoReplayLog: true,
 		Progress: func(n int) { calls = append(calls, n) },
 	})

@@ -124,7 +124,7 @@ func assertFaultTraceReplays(t *testing.T, test Test, res Result, o Options) {
 
 func TestTimerFiringIsSchedulerControlled(t *testing.T) {
 	o := Options{Scheduler: "random", Iterations: 20, MaxSteps: 200, Seed: 1, NoReplayLog: true}
-	res := Run(timerBugTest(), o)
+	res := MustExplore(timerBugTest(), o)
 	if !res.BugFound {
 		t.Fatal("timer never fired in 20 executions")
 	}
@@ -146,7 +146,7 @@ func TestStopTimerSilencesTimer(t *testing.T) {
 			ctx.Assert(ctx.Step() < 150, "timer kept the execution alive")
 		},
 	}
-	res := Run(test, Options{Scheduler: "random", Iterations: 30, MaxSteps: 400, Seed: 2})
+	res := MustExplore(test, Options{Scheduler: "random", Iterations: 30, MaxSteps: 400, Seed: 2})
 	if res.BugFound {
 		t.Fatalf("unexpected bug: %v", res.Report.Error())
 	}
@@ -165,7 +165,7 @@ func TestDeliveryFaultsDropAndDuplicate(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			o := Options{Scheduler: "random", Iterations: 50, MaxSteps: 300, Seed: 1,
 				Faults: tc.faults, NoReplayLog: true}
-			res := Run(deliveryBugTest(3), o)
+			res := MustExplore(deliveryBugTest(3), o)
 			if !res.BugFound {
 				t.Fatal("no delivery fault was injected in 50 executions")
 			}
@@ -181,7 +181,7 @@ func TestDeliveryFaultsDropAndDuplicate(t *testing.T) {
 }
 
 func TestDeliveryFaultsDisabledByZeroBudget(t *testing.T) {
-	res := Run(deliveryBugTest(3), Options{Scheduler: "random", Iterations: 100, MaxSteps: 300, Seed: 1})
+	res := MustExplore(deliveryBugTest(3), Options{Scheduler: "random", Iterations: 100, MaxSteps: 300, Seed: 1})
 	if res.BugFound {
 		t.Fatalf("delivery fault injected with a zero budget: %v", res.Report.Error())
 	}
@@ -193,7 +193,7 @@ func TestDeliveryFaultsDisabledByZeroBudget(t *testing.T) {
 func TestCrashPointCrashesWithinBudget(t *testing.T) {
 	o := Options{Scheduler: "random", Iterations: 20, MaxSteps: 300, Seed: 1,
 		Faults: Faults{MaxCrashes: 1}, NoReplayLog: true}
-	res := Run(crashBugTest(), o)
+	res := MustExplore(crashBugTest(), o)
 	if !res.BugFound {
 		t.Fatal("crash never taken in 20 executions")
 	}
@@ -207,7 +207,7 @@ func TestCrashPointCrashesWithinBudget(t *testing.T) {
 }
 
 func TestCrashPointRespectsZeroBudget(t *testing.T) {
-	res := Run(crashBugTest(), Options{Scheduler: "random", Iterations: 50, MaxSteps: 300, Seed: 1})
+	res := MustExplore(crashBugTest(), Options{Scheduler: "random", Iterations: 50, MaxSteps: 300, Seed: 1})
 	if res.BugFound {
 		t.Fatalf("crash taken with a zero budget: %v", res.Report.Error())
 	}
@@ -238,12 +238,12 @@ func TestCrashAndRestartSemantics(t *testing.T) {
 	}
 	// Every schedule must be clean: the assertion inside counterSink
 	// fails if crash/restart leaks state or delivers discarded events.
-	res := Run(test, Options{Scheduler: "random", Iterations: 200, MaxSteps: 400, Seed: 3})
+	res := MustExplore(test, Options{Scheduler: "random", Iterations: 200, MaxSteps: 400, Seed: 3})
 	if res.BugFound {
 		t.Fatalf("crash/restart semantics violated: %v\n%s", res.Report.Error(), res.Report.FormatLog())
 	}
 	// And the dfs scheduler agrees on every interleaving.
-	res = Run(test, Options{Scheduler: "dfs", Iterations: 5000, MaxSteps: 400})
+	res = MustExplore(test, Options{Scheduler: "dfs", Iterations: 5000, MaxSteps: 400})
 	if res.BugFound {
 		t.Fatalf("dfs found a crash/restart violation: %v", res.Report.Error())
 	}
@@ -271,7 +271,7 @@ func TestFaultInjectorLifecycle(t *testing.T) {
 	}
 	o := Options{Scheduler: "random", Iterations: 20, MaxSteps: 300, Seed: 1,
 		Faults: Faults{MaxCrashes: 1}, NoReplayLog: true}
-	res := Run(build(), o)
+	res := MustExplore(build(), o)
 	if !res.BugFound {
 		t.Fatal("injector never crashed anything in 20 executions")
 	}
@@ -281,7 +281,7 @@ func TestFaultInjectorLifecycle(t *testing.T) {
 	assertFaultTraceReplays(t, build(), res, o)
 
 	// Zero budget: the injector halts immediately and the run is clean.
-	res = Run(build(), Options{Scheduler: "random", Iterations: 20, MaxSteps: 300, Seed: 1})
+	res = MustExplore(build(), Options{Scheduler: "random", Iterations: 20, MaxSteps: 300, Seed: 1})
 	if res.BugFound {
 		t.Fatalf("injector acted on a zero budget: %v", res.Report.Error())
 	}
@@ -300,7 +300,7 @@ func TestFaultBudgetsAreCaps(t *testing.T) {
 			ctx.Send(sink, Signal("done"))
 		},
 	}
-	res := Run(test, Options{Scheduler: "random", Iterations: 300, MaxSteps: 300, Seed: 1,
+	res := MustExplore(test, Options{Scheduler: "random", Iterations: 300, MaxSteps: 300, Seed: 1,
 		Faults: Faults{MaxDrops: 2}})
 	if res.BugFound {
 		t.Fatalf("budget exceeded: %v", res.Report.Error())
@@ -329,25 +329,25 @@ func (s *minSink) Handle(ctx *Context, ev Event) {
 func TestTestFaultsDefaultAndOverride(t *testing.T) {
 	test := crashBugTest()
 	test.Faults = Faults{MaxCrashes: 1}
-	res := Run(test, Options{Scheduler: "random", Iterations: 20, MaxSteps: 300, Seed: 1, NoReplayLog: true})
+	res := MustExplore(test, Options{Scheduler: "random", Iterations: 20, MaxSteps: 300, Seed: 1, NoReplayLog: true})
 	if !res.BugFound {
 		t.Fatal("Test.Faults budget was not applied")
 	}
 	// Overriding with a different class replaces the whole budget —
 	// crashes included.
-	res = Run(test, Options{Scheduler: "random", Iterations: 50, MaxSteps: 300, Seed: 1,
+	res = MustExplore(test, Options{Scheduler: "random", Iterations: 50, MaxSteps: 300, Seed: 1,
 		Faults: Faults{MaxDrops: 1}, NoReplayLog: true})
 	if res.BugFound {
 		t.Fatalf("Options.Faults did not override Test.Faults: %v", res.Report.Error())
 	}
 	// NoFaults disables the scenario's declared budget outright.
-	res = Run(test, Options{Scheduler: "random", Iterations: 50, MaxSteps: 300, Seed: 1,
+	res = MustExplore(test, Options{Scheduler: "random", Iterations: 50, MaxSteps: 300, Seed: 1,
 		NoFaults: true, NoReplayLog: true})
 	if res.BugFound {
 		t.Fatalf("NoFaults did not disable the fault plane: %v", res.Report.Error())
 	}
 	// ...and wins over an explicit budget too.
-	res = Run(test, Options{Scheduler: "random", Iterations: 50, MaxSteps: 300, Seed: 1,
+	res = MustExplore(test, Options{Scheduler: "random", Iterations: 50, MaxSteps: 300, Seed: 1,
 		NoFaults: true, Faults: Faults{MaxCrashes: 3}, NoReplayLog: true})
 	if res.BugFound {
 		t.Fatalf("NoFaults did not win over Options.Faults: %v", res.Report.Error())

@@ -37,7 +37,7 @@ func TestFIFODeliveryProperty(t *testing.T) {
 				}, "sender")
 			},
 		}
-		res := Run(test, Options{Scheduler: "random", Iterations: 20, Seed: seed, NoReplayLog: true})
+		res := MustExplore(test, Options{Scheduler: "random", Iterations: 20, Seed: seed, NoReplayLog: true})
 		return !res.BugFound && !violated
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
@@ -76,7 +76,7 @@ func TestInterleavedSendersPreservePerSenderOrder(t *testing.T) {
 				}
 			},
 		}
-		res := Run(test, Options{Scheduler: "random", Iterations: 20, Seed: seed, NoReplayLog: true})
+		res := MustExplore(test, Options{Scheduler: "random", Iterations: 20, Seed: seed, NoReplayLog: true})
 		return !res.BugFound && ok
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
@@ -89,7 +89,7 @@ func TestInterleavedSendersPreservePerSenderOrder(t *testing.T) {
 // (the runtime would panic on an invalid pick).
 func TestAllSchedulersProduceValidExecutions(t *testing.T) {
 	for _, sched := range []string{"random", "pct", "rr", "dfs", "delay"} {
-		res := Run(pingPongTest(8, false), Options{Scheduler: sched, Iterations: 30, Seed: 3, NoReplayLog: true})
+		res := MustExplore(pingPongTest(8, false), Options{Scheduler: sched, Iterations: 30, Seed: 3, NoReplayLog: true})
 		if res.BugFound {
 			t.Fatalf("%s: unexpected bug: %v", sched, res.Report.Error())
 		}

@@ -19,7 +19,7 @@ package core
 //     machine — within the same execution or the next one — instead of
 //     spawning a new goroutine.
 //
-// Pools never cross exploration workers: Run and RunPortfolio build one
+// Pools never cross exploration workers: the exploration paths build one
 // execPool per worker goroutine, exactly like scheduler instances, so the
 // race detector can keep proving no execution state is shared. Results are
 // bit-identical with pooling on and off (Options.NoReuse is the escape

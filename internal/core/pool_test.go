@@ -139,26 +139,24 @@ func TestPoolingDeterminism(t *testing.T) {
 				pooled.Workers = workers
 				fresh := pooled
 				fresh.NoReuse = true
-				a := Run(c.build(), pooled)
-				b := Run(c.build(), fresh)
+				a := MustExplore(c.build(), pooled)
+				b := MustExplore(c.build(), fresh)
 				assertIdenticalResults(t, "pooled vs NoReuse", a, b)
 			})
 		}
 	}
 }
 
-// TestPoolingDeterminismPortfolio extends the contract to RunPortfolio:
-// winner attribution, per-member statistics and the winning trace are
-// bit-identical with pooling on and off.
+// TestPoolingDeterminismPortfolio extends the contract to portfolio
+// runs: winner attribution, per-member statistics and the winning trace
+// are bit-identical with pooling on and off.
 func TestPoolingDeterminismPortfolio(t *testing.T) {
-	base := PortfolioOptions{
-		Options: Options{Iterations: 500, Seed: 11, Workers: 4, NoReplayLog: true},
-		Members: []string{"random", "pct", "delay"},
-	}
+	base := withMembers(Options{Iterations: 500, Seed: 11, Workers: 4, NoReplayLog: true},
+		"random", "pct", "delay")
 	fresh := base
 	fresh.NoReuse = true
-	a := RunPortfolio(faultHeavyTest(), base)
-	b := RunPortfolio(faultHeavyTest(), fresh)
+	a := MustExplore(faultHeavyTest(), base)
+	b := MustExplore(faultHeavyTest(), fresh)
 	assertIdenticalResults(t, "portfolio pooled vs NoReuse", a, b)
 	if a.Winner != b.Winner {
 		t.Fatalf("winner diverges: %d vs %d", a.Winner, b.Winner)
@@ -177,7 +175,7 @@ func TestPoolingDeterminismPortfolio(t *testing.T) {
 // must be immune to the runtime's next reset.
 func TestPooledTraceReplays(t *testing.T) {
 	opts := Options{Scheduler: "random", Iterations: 500, Seed: 3, Workers: 4, NoReplayLog: true}
-	res := Run(faultHeavyTest(), opts)
+	res := MustExplore(faultHeavyTest(), opts)
 	if !res.BugFound {
 		t.Fatal("fault-heavy bug not found")
 	}
@@ -232,7 +230,7 @@ func TestPoolReusesRuntimeAndWorkers(t *testing.T) {
 func TestPoolReleaseStopsWorkers(t *testing.T) {
 	before := runtime.NumGoroutine()
 	for i := 0; i < 100; i++ {
-		res := Run(faultHeavyTest(), Options{Scheduler: "random", Iterations: 20, Seed: int64(i), Workers: 4, NoReplayLog: true})
+		res := MustExplore(faultHeavyTest(), Options{Scheduler: "random", Iterations: 20, Seed: int64(i), Workers: 4, NoReplayLog: true})
 		_ = res
 	}
 	time.Sleep(50 * time.Millisecond)
@@ -278,7 +276,7 @@ func TestTraceOwnsItsDecisions(t *testing.T) {
 // pooled runtime is reused.
 func TestLogCapBoundsReplayLog(t *testing.T) {
 	opts := Options{Scheduler: "random", Iterations: 1000, Seed: 42, LogCap: 5}
-	res := Run(raceTest(), opts)
+	res := MustExplore(raceTest(), opts)
 	if !res.BugFound {
 		t.Fatal("bug not found")
 	}
@@ -287,7 +285,7 @@ func TestLogCapBoundsReplayLog(t *testing.T) {
 	}
 
 	// Unset cap: the default applies and the full log comes back.
-	res = Run(raceTest(), Options{Scheduler: "random", Iterations: 1000, Seed: 42})
+	res = MustExplore(raceTest(), Options{Scheduler: "random", Iterations: 1000, Seed: 42})
 	if !res.BugFound {
 		t.Fatal("bug not found")
 	}

@@ -8,18 +8,7 @@ import (
 	"time"
 )
 
-// PortfolioOptions is the pre-Explore portfolio configuration, kept only
-// so the equivalence tests can pin Explore against the legacy surface
-// before it is removed. Options.Portfolio replaces it.
-//
-// Deprecated: set Options.Portfolio and use Explore.
-type PortfolioOptions struct {
-	Options
-	// Members are the scheduler names to race (see SchedulerNames).
-	Members []string
-}
-
-// MemberStats describes one portfolio member's share of a RunPortfolio.
+// MemberStats describes one portfolio member's share of a portfolio run.
 // All fields except Elapsed are canonical — identical for a fixed seed at
 // any worker count (absent a StopAfter deadline).
 type MemberStats struct {
@@ -96,24 +85,6 @@ func portfolioWorkerSplit(workers int, factories []SchedulerFactory) []int {
 		}
 	}
 	return split
-}
-
-// RunPortfolio is the pre-Explore portfolio entry point, kept only so the
-// equivalence tests can pin Explore against the legacy surface before it
-// is removed. It panics on configuration errors, as it always did.
-//
-// Deprecated: set Options.Portfolio and use Explore.
-func RunPortfolio(t Test, po PortfolioOptions) Result {
-	if len(po.Members) == 0 {
-		panic("core: RunPortfolio needs at least one member (see SchedulerNames)")
-	}
-	o := po.Options
-	o.Portfolio = po.Members
-	res, err := Explore(t, o)
-	if err != nil {
-		panic(err)
-	}
-	return res
 }
 
 // explorePortfolio races a portfolio of schedulers against one test — the

@@ -54,17 +54,14 @@ func assertSameWin(t *testing.T, a, b Result) {
 // at Workers=1 and Workers=8.
 func TestPortfolioDeterministicAcrossWorkers(t *testing.T) {
 	for _, seed := range []int64{1, 7, 42} {
-		base := PortfolioOptions{
-			Options: Options{Iterations: 2000, Seed: seed, NoReplayLog: true},
-			Members: portfolioMembers,
-		}
+		base := withMembers(Options{Iterations: 2000, Seed: seed, NoReplayLog: true}, portfolioMembers...)
 		w1 := base
 		w1.Workers = 1
 		w8 := base
 		w8.Workers = 8
 
-		a := RunPortfolio(raceTest(), w1)
-		b := RunPortfolio(raceTest(), w8)
+		a := MustExplore(raceTest(), w1)
+		b := MustExplore(raceTest(), w8)
 		assertSameWin(t, a, b)
 	}
 }
@@ -81,8 +78,8 @@ func TestAdaptiveSchedulersWorkerCountIndependent(t *testing.T) {
 			w8 := base
 			w8.Workers = 8
 
-			a := Run(raceTest(), w1)
-			b := Run(raceTest(), w8)
+			a := MustExplore(raceTest(), w1)
+			b := MustExplore(raceTest(), w8)
 			if !a.BugFound || !b.BugFound {
 				t.Fatalf("bug not found: w1=%v w8=%v", a.BugFound, b.BugFound)
 			}
@@ -109,10 +106,8 @@ func TestAdaptiveSchedulersWorkerCountIndependent(t *testing.T) {
 // TestPortfolioWinnerAttribution: the winning member is reported
 // coherently — index, stats flag, and the trace's scheduler name agree.
 func TestPortfolioWinnerAttribution(t *testing.T) {
-	res := RunPortfolio(raceTest(), PortfolioOptions{
-		Options: Options{Iterations: 2000, Seed: 7, Workers: 4, NoReplayLog: true},
-		Members: portfolioMembers,
-	})
+	res := MustExplore(raceTest(), withMembers(
+		Options{Iterations: 2000, Seed: 7, Workers: 4, NoReplayLog: true}, portfolioMembers...))
 	if !res.BugFound {
 		t.Fatal("bug not found")
 	}
@@ -149,10 +144,8 @@ func TestPortfolioImmediateBugTieBreaksByMemberOrder(t *testing.T) {
 		Entry: func(ctx *Context) { ctx.Assert(false, "seeded") },
 	}
 	for run := 0; run < 3; run++ {
-		res := RunPortfolio(alwaysBug, PortfolioOptions{
-			Options: Options{Iterations: 100, Seed: int64(run), Workers: 8, NoReplayLog: true},
-			Members: portfolioMembers,
-		})
+		res := MustExplore(alwaysBug, withMembers(
+			Options{Iterations: 100, Seed: int64(run), Workers: 8, NoReplayLog: true}, portfolioMembers...))
 		if !res.BugFound {
 			t.Fatal("bug not found")
 		}
@@ -169,10 +162,8 @@ func TestPortfolioImmediateBugTieBreaksByMemberOrder(t *testing.T) {
 // TestPortfolioCleanRunCoversAllMembers: without a bug every member runs
 // its full budget, and the aggregate statistics add up.
 func TestPortfolioCleanRunCoversAllMembers(t *testing.T) {
-	res := RunPortfolio(cleanChoiceTest(), PortfolioOptions{
-		Options: Options{Iterations: 200, Seed: 3, Workers: 4, NoReplayLog: true},
-		Members: portfolioMembers,
-	})
+	res := MustExplore(cleanChoiceTest(), withMembers(
+		Options{Iterations: 200, Seed: 3, Workers: 4, NoReplayLog: true}, portfolioMembers...))
 	if res.BugFound {
 		t.Fatalf("unexpected bug: %v", res.Report.Error())
 	}
@@ -200,15 +191,12 @@ func TestPortfolioCleanRunCoversAllMembers(t *testing.T) {
 // TestPortfolioTraceReplays: the winning trace replays single-threaded to
 // the identical violation.
 func TestPortfolioTraceReplays(t *testing.T) {
-	opts := PortfolioOptions{
-		Options: Options{Iterations: 2000, Seed: 11, Workers: 8, NoReplayLog: true},
-		Members: portfolioMembers,
-	}
-	res := RunPortfolio(raceTest(), opts)
+	opts := withMembers(Options{Iterations: 2000, Seed: 11, Workers: 8, NoReplayLog: true}, portfolioMembers...)
+	res := MustExplore(raceTest(), opts)
 	if !res.BugFound {
 		t.Fatal("bug not found")
 	}
-	rep, err := Replay(raceTest(), res.Report.Trace, opts.Options)
+	rep, err := Replay(raceTest(), res.Report.Trace, opts)
 	if err != nil {
 		t.Fatalf("replay diverged: %v", err)
 	}
@@ -220,10 +208,8 @@ func TestPortfolioTraceReplays(t *testing.T) {
 // TestPortfolioConfirmationReplayLog: without NoReplayLog the winning
 // report carries the detailed confirmation-replay log.
 func TestPortfolioConfirmationReplayLog(t *testing.T) {
-	res := RunPortfolio(raceTest(), PortfolioOptions{
-		Options: Options{Iterations: 2000, Seed: 11, Workers: 4},
-		Members: portfolioMembers,
-	})
+	res := MustExplore(raceTest(), withMembers(
+		Options{Iterations: 2000, Seed: 11, Workers: 4}, portfolioMembers...))
 	if !res.BugFound {
 		t.Fatal("bug not found")
 	}
@@ -252,13 +238,10 @@ func TestPortfolioMemberSeedsAreIndependent(t *testing.T) {
 // strictly increasing across the whole fleet.
 func TestPortfolioProgressMonotonic(t *testing.T) {
 	var calls []int
-	res := RunPortfolio(cleanChoiceTest(), PortfolioOptions{
-		Options: Options{
-			Iterations: 50, Seed: 5, Workers: 4, NoReplayLog: true,
-			Progress: func(n int) { calls = append(calls, n) },
-		},
-		Members: portfolioMembers,
-	})
+	res := MustExplore(cleanChoiceTest(), withMembers(Options{
+		Iterations: 50, Seed: 5, Workers: 4, NoReplayLog: true,
+		Progress: func(n int) { calls = append(calls, n) },
+	}, portfolioMembers...))
 	if res.BugFound {
 		t.Fatalf("unexpected bug: %v", res.Report.Error())
 	}
@@ -296,27 +279,14 @@ func TestPortfolioWorkerSplit(t *testing.T) {
 	}
 }
 
-// TestPortfolioRejectsBadSpecs: an empty or unknown member list fails
-// loudly before any execution starts.
+// TestPortfolioRejectsBadSpecs: an unknown member fails loudly — as a
+// typed ConfigError naming the member — before any execution starts.
+// (An empty member list is not an error at this layer: Options with no
+// Portfolio is simply a single-scheduler run; the public WithPortfolio
+// option rejects an empty list at the API boundary.)
 func TestPortfolioRejectsBadSpecs(t *testing.T) {
-	assertPanics := func(name string, fn func()) {
-		t.Helper()
-		defer func() {
-			if recover() == nil {
-				t.Fatalf("%s did not panic", name)
-			}
-		}()
-		fn()
-	}
-	assertPanics("empty member list", func() {
-		RunPortfolio(raceTest(), PortfolioOptions{Options: Options{Iterations: 1}})
-	})
-	assertPanics("unknown member", func() {
-		RunPortfolio(raceTest(), PortfolioOptions{
-			Options: Options{Iterations: 1},
-			Members: []string{"random", "quantum"},
-		})
-	})
+	_, err := Explore(raceTest(), withMembers(Options{Iterations: 1}, "random", "quantum"))
+	assertConfigError(t, err, "Options.Portfolio[1]", `unknown scheduler "quantum"`)
 }
 
 // TestPortfolioExhaustionIsCanonical: a dfs member that covers its whole
@@ -331,10 +301,8 @@ func TestPortfolioExhaustionIsCanonical(t *testing.T) {
 			ctx.RandomBool()
 		},
 	}
-	res := RunPortfolio(clean, PortfolioOptions{
-		Options: Options{Iterations: 50, Seed: 1, Workers: 4, NoReplayLog: true},
-		Members: []string{"dfs", "random"},
-	})
+	res := MustExplore(clean, withMembers(
+		Options{Iterations: 50, Seed: 1, Workers: 4, NoReplayLog: true}, "dfs", "random"))
 	if res.BugFound {
 		t.Fatalf("unexpected bug: %v", res.Report.Error())
 	}
@@ -375,15 +343,13 @@ func TestParsePortfolioSpec(t *testing.T) {
 // to a plain run of that scheduler under the member's derived seed — the
 // same discovering iteration and trace as Run with that seed.
 func TestPortfolioSingleMemberMatchesRun(t *testing.T) {
-	po := PortfolioOptions{
-		Options: Options{Iterations: 2000, Seed: 9, Workers: 4, NoReplayLog: true},
-		Members: []string{"random"},
-	}
-	a := RunPortfolio(raceTest(), po)
-	direct := po.Options
+	po := withMembers(Options{Iterations: 2000, Seed: 9, Workers: 4, NoReplayLog: true}, "random")
+	a := MustExplore(raceTest(), po)
+	direct := po
+	direct.Portfolio = nil
 	direct.Scheduler = "random"
 	direct.Seed = memberSeed(po.Seed, 0)
-	b := Run(raceTest(), direct)
+	b := MustExplore(raceTest(), direct)
 	if !a.BugFound || !b.BugFound {
 		t.Fatalf("bug not found: portfolio=%v run=%v", a.BugFound, b.BugFound)
 	}

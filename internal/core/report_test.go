@@ -54,15 +54,15 @@ func TestDecisionStrings(t *testing.T) {
 }
 
 func TestResultString(t *testing.T) {
-	res := Run(boolComboTest(), Options{Scheduler: "dfs", Iterations: 100})
+	res := MustExplore(boolComboTest(), Options{Scheduler: "dfs", Iterations: 100})
 	if !strings.Contains(res.String(), "bug found") {
 		t.Fatalf("result string: %q", res.String())
 	}
-	clean := Run(pingPongTest(3, false), Options{Iterations: 3, Seed: 1})
+	clean := MustExplore(pingPongTest(3, false), Options{Iterations: 3, Seed: 1})
 	if !strings.Contains(clean.String(), "no bug in 3 execution(s)") {
 		t.Fatalf("clean result string: %q", clean.String())
 	}
-	exhausted := Run(Test{Name: "t", Entry: func(ctx *Context) { ctx.RandomBool() }},
+	exhausted := MustExplore(Test{Name: "t", Entry: func(ctx *Context) { ctx.RandomBool() }},
 		Options{Scheduler: "dfs", Iterations: 100})
 	if !strings.Contains(exhausted.String(), "exhausted") {
 		t.Fatalf("exhausted result string: %q", exhausted.String())
@@ -71,7 +71,7 @@ func TestResultString(t *testing.T) {
 
 func TestProgressCallback(t *testing.T) {
 	calls := 0
-	Run(pingPongTest(3, false), Options{
+	MustExplore(pingPongTest(3, false), Options{
 		Iterations: 5, Seed: 1,
 		Progress: func(n int) { calls++ },
 	})

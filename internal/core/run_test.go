@@ -1,0 +1,8 @@
+package core
+
+// withMembers returns o configured to race the given portfolio members —
+// the test suite's shorthand for the Options.Portfolio plumbing.
+func withMembers(o Options, members ...string) Options {
+	o.Portfolio = members
+	return o
+}

@@ -54,7 +54,7 @@ func pingPongTest(rounds int, notify bool) Test {
 }
 
 func TestPingPongCompletes(t *testing.T) {
-	res := Run(pingPongTest(10, false), Options{Iterations: 50, Seed: 1})
+	res := MustExplore(pingPongTest(10, false), Options{Iterations: 50, Seed: 1})
 	if res.BugFound {
 		t.Fatalf("unexpected bug: %v", res.Report.Error())
 	}
@@ -77,7 +77,7 @@ func TestAssertFailureIsSafetyBug(t *testing.T) {
 			}, "bomb")
 		},
 	}
-	res := Run(test, Options{Iterations: 5, Seed: 1})
+	res := MustExplore(test, Options{Iterations: 5, Seed: 1})
 	if !res.BugFound {
 		t.Fatal("bug not found")
 	}
@@ -104,7 +104,7 @@ func TestPanicInMachineIsSafetyBug(t *testing.T) {
 			}, "crasher")
 		},
 	}
-	res := Run(test, Options{Iterations: 2, Seed: 1})
+	res := MustExplore(test, Options{Iterations: 2, Seed: 1})
 	if !res.BugFound || res.Report.Kind != SafetyBug {
 		t.Fatalf("want safety bug, got %+v", res)
 	}
@@ -134,7 +134,7 @@ func TestSendToHaltedMachineIsDropped(t *testing.T) {
 	// can be delivered... but with random schedules the late events may be
 	// enqueued before the halt. Either way the events must never be
 	// handled after the halt — the queue is discarded.
-	res := Run(test, Options{Iterations: 200, Seed: 7})
+	res := MustExplore(test, Options{Iterations: 200, Seed: 7})
 	if res.BugFound {
 		t.Fatalf("unexpected bug: %v\n%s", res.Report.Error(), res.Report.FormatLog())
 	}
@@ -159,7 +159,7 @@ func TestReceiveBlocksUntilMatch(t *testing.T) {
 			ctx.Send(waiter, Signal("wanted"))
 		},
 	}
-	res := Run(test, Options{Iterations: 1, Seed: 3})
+	res := MustExplore(test, Options{Iterations: 1, Seed: 3})
 	if res.BugFound {
 		t.Fatalf("unexpected bug: %v", res.Report.Error())
 	}
@@ -179,7 +179,7 @@ func TestDeadlockDetection(t *testing.T) {
 			}, "stuck")
 		},
 	}
-	res := Run(test, Options{Iterations: 1, Seed: 1})
+	res := MustExplore(test, Options{Iterations: 1, Seed: 1})
 	if !res.BugFound || res.Report.Kind != DeadlockBug {
 		t.Fatalf("want deadlock, got %+v", res)
 	}
@@ -187,7 +187,7 @@ func TestDeadlockDetection(t *testing.T) {
 		t.Fatalf("message %q does not name the stuck machine", res.Report.Message)
 	}
 
-	res = Run(test, Options{Iterations: 1, Seed: 1, NoDeadlockDetection: true})
+	res = MustExplore(test, Options{Iterations: 1, Seed: 1, NoDeadlockDetection: true})
 	if res.BugFound {
 		t.Fatalf("deadlock reported with detection disabled: %+v", res.Report)
 	}
@@ -224,7 +224,7 @@ func TestLivenessHotAtTermination(t *testing.T) {
 		},
 		Monitors: []func() Monitor{newProgressMonitor},
 	}
-	res := Run(test, Options{Iterations: 1, Seed: 1})
+	res := MustExplore(test, Options{Iterations: 1, Seed: 1})
 	if !res.BugFound || res.Report.Kind != LivenessBug {
 		t.Fatalf("want liveness bug, got %+v", res)
 	}
@@ -239,7 +239,7 @@ func TestLivenessColdAtTerminationIsClean(t *testing.T) {
 		},
 		Monitors: []func() Monitor{newProgressMonitor},
 	}
-	res := Run(test, Options{Iterations: 5, Seed: 1})
+	res := MustExplore(test, Options{Iterations: 5, Seed: 1})
 	if res.BugFound {
 		t.Fatalf("unexpected bug: %v", res.Report.Error())
 	}
@@ -264,19 +264,19 @@ func hotLooperTest() Test {
 }
 
 func TestLivenessAtBound(t *testing.T) {
-	res := Run(hotLooperTest(), Options{Iterations: 1, Seed: 1, MaxSteps: 500})
+	res := MustExplore(hotLooperTest(), Options{Iterations: 1, Seed: 1, MaxSteps: 500})
 	if !res.BugFound || res.Report.Kind != LivenessBug {
 		t.Fatalf("want liveness bug at bound, got %+v", res)
 	}
 
-	res = Run(hotLooperTest(), Options{Iterations: 1, Seed: 1, MaxSteps: 500, NoLivenessBoundCheck: true})
+	res = MustExplore(hotLooperTest(), Options{Iterations: 1, Seed: 1, MaxSteps: 500, NoLivenessBoundCheck: true})
 	if res.BugFound {
 		t.Fatalf("bound check disabled but bug reported: %+v", res.Report)
 	}
 }
 
 func TestLivenessTemperature(t *testing.T) {
-	res := Run(hotLooperTest(), Options{Iterations: 1, Seed: 1, MaxSteps: 100000, Temperature: 50})
+	res := MustExplore(hotLooperTest(), Options{Iterations: 1, Seed: 1, MaxSteps: 100000, Temperature: 50})
 	if !res.BugFound || res.Report.Kind != LivenessBug {
 		t.Fatalf("want liveness bug via temperature, got %+v", res)
 	}
@@ -311,7 +311,7 @@ func TestMonitorSafetyViolation(t *testing.T) {
 		},
 		Monitors: []func() Monitor{mon},
 	}
-	res := Run(test, Options{Iterations: 1, Seed: 1})
+	res := MustExplore(test, Options{Iterations: 1, Seed: 1})
 	if !res.BugFound || res.Report.Kind != SafetyBug {
 		t.Fatalf("want monitor safety bug, got %+v", res)
 	}
@@ -323,7 +323,7 @@ func TestMonitorSafetyViolation(t *testing.T) {
 func TestNoGoroutineLeaks(t *testing.T) {
 	before := runtime.NumGoroutine()
 	for i := 0; i < 200; i++ {
-		res := Run(pingPongTest(5, false), Options{Iterations: 5, Seed: int64(i)})
+		res := MustExplore(pingPongTest(5, false), Options{Iterations: 5, Seed: int64(i)})
 		if res.BugFound {
 			t.Fatalf("unexpected bug: %v", res.Report.Error())
 		}
@@ -349,7 +349,7 @@ func TestRandomChoicesAreRecorded(t *testing.T) {
 			ctx.Assert(false, "stop")
 		},
 	}
-	res := Run(test, Options{Iterations: 1, Seed: 1})
+	res := MustExplore(test, Options{Iterations: 1, Seed: 1})
 	if !res.BugFound {
 		t.Fatal("bug not found")
 	}
@@ -374,7 +374,7 @@ func TestRandomChoicesAreRecorded(t *testing.T) {
 
 func TestStopAfterBudget(t *testing.T) {
 	test := pingPongTest(50, false)
-	res := Run(test, Options{Iterations: 1 << 30, StopAfter: 50 * time.Millisecond, Seed: 1})
+	res := MustExplore(test, Options{Iterations: 1 << 30, StopAfter: 50 * time.Millisecond, Seed: 1})
 	if res.BugFound {
 		t.Fatalf("unexpected bug: %v", res.Report.Error())
 	}

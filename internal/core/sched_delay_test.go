@@ -6,14 +6,14 @@ func TestDelaySchedulerFindsOrderingBug(t *testing.T) {
 	// The engine calibrates delay's program-length estimate from
 	// iteration 0, so the discovering iteration no longer depends on
 	// worker count (see pct).
-	res := Run(raceTest(), Options{Scheduler: "delay", Iterations: 2000, Seed: 42})
+	res := MustExplore(raceTest(), Options{Scheduler: "delay", Iterations: 2000, Seed: 42})
 	if !res.BugFound {
 		t.Fatal("delay scheduler did not find the ordering bug")
 	}
 }
 
 func TestDelaySchedulerCompletesCleanPrograms(t *testing.T) {
-	res := Run(pingPongTest(10, false), Options{Scheduler: "delay", Iterations: 100, Seed: 7})
+	res := MustExplore(pingPongTest(10, false), Options{Scheduler: "delay", Iterations: 100, Seed: 7})
 	if res.BugFound {
 		t.Fatalf("unexpected bug: %v", res.Report.Error())
 	}

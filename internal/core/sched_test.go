@@ -18,7 +18,7 @@ func boolComboTest() Test {
 }
 
 func TestDFSEnumeratesChoiceTree(t *testing.T) {
-	res := Run(boolComboTest(), Options{Scheduler: "dfs", Iterations: 100})
+	res := MustExplore(boolComboTest(), Options{Scheduler: "dfs", Iterations: 100})
 	if !res.BugFound {
 		t.Fatal("dfs did not find the all-true combination")
 	}
@@ -35,7 +35,7 @@ func TestDFSExhaustsCleanProgram(t *testing.T) {
 			ctx.RandomBool()
 		},
 	}
-	res := Run(test, Options{Scheduler: "dfs", Iterations: 100})
+	res := MustExplore(test, Options{Scheduler: "dfs", Iterations: 100})
 	if res.BugFound {
 		t.Fatalf("unexpected bug: %v", res.Report.Error())
 	}
@@ -70,14 +70,14 @@ func raceTest() Test {
 }
 
 func TestDFSFindsOrderingBug(t *testing.T) {
-	res := Run(raceTest(), Options{Scheduler: "dfs", Iterations: 10000})
+	res := MustExplore(raceTest(), Options{Scheduler: "dfs", Iterations: 10000})
 	if !res.BugFound {
 		t.Fatal("dfs did not find the ordering bug")
 	}
 }
 
 func TestRandomFindsOrderingBug(t *testing.T) {
-	res := Run(raceTest(), Options{Scheduler: "random", Iterations: 1000, Seed: 42})
+	res := MustExplore(raceTest(), Options{Scheduler: "random", Iterations: 1000, Seed: 42})
 	if !res.BugFound {
 		t.Fatal("random did not find the ordering bug")
 	}
@@ -86,7 +86,7 @@ func TestRandomFindsOrderingBug(t *testing.T) {
 func TestPCTFindsOrderingBug(t *testing.T) {
 	// The engine calibrates pct's program-length estimate from iteration
 	// 0, so the discovering iteration no longer depends on worker count.
-	res := Run(raceTest(), Options{Scheduler: "pct", Iterations: 1000, Seed: 42})
+	res := MustExplore(raceTest(), Options{Scheduler: "pct", Iterations: 1000, Seed: 42})
 	if !res.BugFound {
 		t.Fatal("pct did not find the ordering bug")
 	}
@@ -95,8 +95,8 @@ func TestPCTFindsOrderingBug(t *testing.T) {
 func TestRoundRobinIsDeterministic(t *testing.T) {
 	// Two runs with different seeds take identical schedules (round-robin
 	// ignores the RNG for machine selection), so results must match.
-	r1 := Run(raceTest(), Options{Scheduler: "rr", Iterations: 1, Seed: 1})
-	r2 := Run(raceTest(), Options{Scheduler: "rr", Iterations: 1, Seed: 999})
+	r1 := MustExplore(raceTest(), Options{Scheduler: "rr", Iterations: 1, Seed: 1})
+	r2 := MustExplore(raceTest(), Options{Scheduler: "rr", Iterations: 1, Seed: 999})
 	if r1.BugFound != r2.BugFound {
 		t.Fatalf("rr nondeterministic: %v vs %v", r1.BugFound, r2.BugFound)
 	}
@@ -109,8 +109,8 @@ func TestNewSchedulerUnknown(t *testing.T) {
 }
 
 func TestSeedReproducibility(t *testing.T) {
-	a := Run(raceTest(), Options{Scheduler: "random", Iterations: 500, Seed: 123})
-	b := Run(raceTest(), Options{Scheduler: "random", Iterations: 500, Seed: 123})
+	a := MustExplore(raceTest(), Options{Scheduler: "random", Iterations: 500, Seed: 123})
+	b := MustExplore(raceTest(), Options{Scheduler: "random", Iterations: 500, Seed: 123})
 	if a.BugFound != b.BugFound || a.Executions != b.Executions {
 		t.Fatalf("same seed, different outcomes: %+v vs %+v", a, b)
 	}

@@ -38,7 +38,7 @@ func runSingleMachine(t *testing.T, m Machine, events ...Event) Result {
 			}
 		},
 	}
-	return Run(test, Options{Scheduler: "rr", Iterations: 1, Seed: 1})
+	return MustExplore(test, Options{Scheduler: "rr", Iterations: 1, Seed: 1})
 }
 
 func TestStateMachineTransitions(t *testing.T) {

@@ -67,7 +67,7 @@ func TestTraceRoundTripProperty(t *testing.T) {
 
 func TestReplayReproducesBug(t *testing.T) {
 	opts := Options{Scheduler: "random", Iterations: 2000, Seed: 5, NoReplayLog: true}
-	res := Run(raceTest(), opts)
+	res := MustExplore(raceTest(), opts)
 	if !res.BugFound {
 		t.Fatal("setup: bug not found")
 	}
@@ -91,7 +91,7 @@ func TestReplayReproducesBug(t *testing.T) {
 func TestReplayDeterminismProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		opts := Options{Scheduler: "random", Iterations: 50, Seed: seed, NoReplayLog: true}
-		res := Run(raceTest(), opts)
+		res := MustExplore(raceTest(), opts)
 		if !res.BugFound {
 			return true // nothing to replay
 		}
@@ -108,7 +108,7 @@ func TestReplayDeterminismProperty(t *testing.T) {
 
 func TestReplayDivergenceDetected(t *testing.T) {
 	opts := Options{Scheduler: "random", Iterations: 2000, Seed: 5, NoReplayLog: true}
-	res := Run(raceTest(), opts)
+	res := MustExplore(raceTest(), opts)
 	if !res.BugFound {
 		t.Fatal("setup: bug not found")
 	}
@@ -124,7 +124,7 @@ func TestReplayDivergenceDetected(t *testing.T) {
 }
 
 func TestRunAttachesReplayLog(t *testing.T) {
-	res := Run(raceTest(), Options{Scheduler: "random", Iterations: 2000, Seed: 5})
+	res := MustExplore(raceTest(), Options{Scheduler: "random", Iterations: 2000, Seed: 5})
 	if !res.BugFound {
 		t.Fatal("bug not found")
 	}

@@ -61,7 +61,7 @@ func TestLegacyTraceDecodesAndReplays(t *testing.T) {
 // TestEncodeStampsCurrentVersion: engine-recorded traces carry the
 // current format version on the wire.
 func TestEncodeStampsCurrentVersion(t *testing.T) {
-	res := Run(fixtureTest(), Options{Scheduler: "random", Iterations: 100, Seed: 1, NoReplayLog: true})
+	res := MustExplore(fixtureTest(), Options{Scheduler: "random", Iterations: 100, Seed: 1, NoReplayLog: true})
 	if !res.BugFound {
 		t.Fatal("setup: fixture bug not found")
 	}

@@ -29,7 +29,7 @@ func TestCounterServiceSemantics(t *testing.T) {
 }
 
 func TestBaselineNoFailureIsClean(t *testing.T) {
-	res := core.Run(FailoverScenario(FailoverConfig{NoFailure: true}), core.Options{
+	res := core.MustExplore(FailoverScenario(FailoverConfig{NoFailure: true}), core.Options{
 		Scheduler:  "random",
 		Iterations: 200,
 		MaxSteps:   20000,
@@ -41,7 +41,7 @@ func TestBaselineNoFailureIsClean(t *testing.T) {
 }
 
 func TestFixedFailoverSurvivesExploration(t *testing.T) {
-	res := core.Run(FailoverScenario(FailoverConfig{FailPrimary: true}), core.Options{
+	res := core.MustExplore(FailoverScenario(FailoverConfig{FailPrimary: true}), core.Options{
 		Scheduler:  "random",
 		Iterations: 300,
 		MaxSteps:   20000,
@@ -53,7 +53,7 @@ func TestFixedFailoverSurvivesExploration(t *testing.T) {
 }
 
 func TestFixedFailoverAnyReplicaSurvives(t *testing.T) {
-	res := core.Run(FailoverScenario(FailoverConfig{}), core.Options{
+	res := core.MustExplore(FailoverScenario(FailoverConfig{}), core.Options{
 		Scheduler:  "pct",
 		Iterations: 300,
 		MaxSteps:   20000,
@@ -69,7 +69,7 @@ func TestPromotionBugFound(t *testing.T) {
 		Fabric:      Config{BugUncheckedPromotion: true},
 		FailPrimary: true,
 	}
-	res := core.Run(FailoverScenario(cfg), core.Options{
+	res := core.MustExplore(FailoverScenario(cfg), core.Options{
 		Scheduler:  "random",
 		Iterations: 5000,
 		MaxSteps:   20000,
@@ -91,7 +91,7 @@ func TestPromotionBugFoundByPCT(t *testing.T) {
 		Fabric:      Config{BugUncheckedPromotion: true},
 		FailPrimary: true,
 	}
-	res := core.Run(FailoverScenario(cfg), core.Options{
+	res := core.MustExplore(FailoverScenario(cfg), core.Options{
 		Scheduler:  "pct",
 		Iterations: 5000,
 		MaxSteps:   20000,
@@ -107,7 +107,7 @@ func TestPromotionBugFoundByPCT(t *testing.T) {
 func TestPromotionBugReplays(t *testing.T) {
 	cfg := FailoverConfig{Fabric: Config{BugUncheckedPromotion: true}, FailPrimary: true}
 	opts := core.Options{Scheduler: "random", Iterations: 5000, MaxSteps: 20000, Seed: 1, NoReplayLog: true}
-	res := core.Run(FailoverScenario(cfg), opts)
+	res := core.MustExplore(FailoverScenario(cfg), opts)
 	if !res.BugFound {
 		t.Fatal("setup: bug not found")
 	}
@@ -125,7 +125,7 @@ func TestPromotionBugReplays(t *testing.T) {
 }
 
 func TestPipelineFixedIsClean(t *testing.T) {
-	res := core.Run(PipelineScenario(PipelineConfig{}), core.Options{
+	res := core.MustExplore(PipelineScenario(PipelineConfig{}), core.Options{
 		Scheduler:  "random",
 		Iterations: 300,
 		MaxSteps:   5000,
@@ -137,7 +137,7 @@ func TestPipelineFixedIsClean(t *testing.T) {
 }
 
 func TestPipelineNilStateBugFound(t *testing.T) {
-	res := core.Run(PipelineScenario(PipelineConfig{BugNilState: true}), core.Options{
+	res := core.MustExplore(PipelineScenario(PipelineConfig{BugNilState: true}), core.Options{
 		Scheduler:  "random",
 		Iterations: 2000,
 		MaxSteps:   5000,
@@ -154,8 +154,8 @@ func TestPipelineNilStateBugFound(t *testing.T) {
 func TestHarnessDeterministicPerSeed(t *testing.T) {
 	cfg := FailoverConfig{Fabric: Config{BugUncheckedPromotion: true}, FailPrimary: true}
 	opts := core.Options{Scheduler: "random", Iterations: 150, MaxSteps: 20000, Seed: 9, NoReplayLog: true}
-	a := core.Run(FailoverScenario(cfg), opts)
-	b := core.Run(FailoverScenario(cfg), opts)
+	a := core.MustExplore(FailoverScenario(cfg), opts)
+	b := core.MustExplore(FailoverScenario(cfg), opts)
 	if a.BugFound != b.BugFound || a.Executions != b.Executions || a.Choices != b.Choices {
 		t.Fatalf("nondeterministic harness: %+v vs %+v", a, b)
 	}

@@ -30,7 +30,7 @@ func multiClientScenario(bug bool, failPrimary bool) core.Test {
 }
 
 func TestMultiClientFixedIsClean(t *testing.T) {
-	res := core.Run(multiClientScenario(false, true), core.Options{
+	res := core.MustExplore(multiClientScenario(false, true), core.Options{
 		Scheduler:  "random",
 		Iterations: 200,
 		MaxSteps:   30000,
@@ -42,7 +42,7 @@ func TestMultiClientFixedIsClean(t *testing.T) {
 }
 
 func TestMultiClientPromotionBugFound(t *testing.T) {
-	res := core.Run(multiClientScenario(true, true), core.Options{
+	res := core.MustExplore(multiClientScenario(true, true), core.Options{
 		Scheduler:  "pct",
 		Iterations: 10000,
 		MaxSteps:   30000,
@@ -58,7 +58,7 @@ func TestMultiClientPromotionBugFound(t *testing.T) {
 // TestLargerReplicaSet checks the model at replica-set size five with
 // quorum three.
 func TestLargerReplicaSet(t *testing.T) {
-	res := core.Run(FailoverScenario(FailoverConfig{
+	res := core.MustExplore(FailoverScenario(FailoverConfig{
 		Fabric:      Config{Replicas: 5, WriteQuorum: 3},
 		FailPrimary: false,
 	}), core.Options{

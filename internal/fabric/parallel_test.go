@@ -1,11 +1,35 @@
-package fabric
+// External test package: these determinism tests drive the public
+// gostorm surface (see internal/harnesstest), which transitively imports
+// this harness through the scenario catalog.
+package fabric_test
 
 import (
 	"testing"
 
-	"github.com/gostorm/gostorm/internal/core"
+	"github.com/gostorm/gostorm"
+	"github.com/gostorm/gostorm/internal/fabric"
 	"github.com/gostorm/gostorm/internal/harnesstest"
 )
+
+// promotionBugBuild builds the §5 failover scenario with the unchecked
+// promotion re-introduced.
+func promotionBugBuild() gostorm.Test {
+	return fabric.FailoverScenario(fabric.FailoverConfig{
+		Fabric:      fabric.Config{BugUncheckedPromotion: true},
+		FailPrimary: true,
+	})
+}
+
+// promotionBugOpts is the shared fixed-seed configuration of these tests.
+func promotionBugOpts(extra ...gostorm.Option) []gostorm.Option {
+	return append([]gostorm.Option{
+		gostorm.WithScheduler("random"),
+		gostorm.WithIterations(5000),
+		gostorm.WithMaxSteps(20000),
+		gostorm.WithSeed(1),
+		gostorm.WithNoReplayLog(),
+	}, extra...)
+}
 
 // TestParallelWorkersFindSamePromotionBug: for a fixed seed, one worker
 // and four report the identical §5 promotion bug — same iteration, same
@@ -14,19 +38,11 @@ import (
 // The shared assertions live in internal/harnesstest, as for the other
 // harnesses.
 func TestParallelWorkersFindSamePromotionBug(t *testing.T) {
-	build := func() core.Test {
-		return FailoverScenario(FailoverConfig{
-			Fabric:      Config{BugUncheckedPromotion: true},
-			FailPrimary: true,
-		})
-	}
-	base := core.Options{
-		Scheduler: "random", Iterations: 5000, MaxSteps: 20000, Seed: 1, NoReplayLog: true,
-	}
-	res := harnesstest.AssertWorkerCountInvariance(t, build, base, 4)
+	base := promotionBugOpts()
+	res := harnesstest.AssertWorkerCountInvariance(t, promotionBugBuild, base, 4)
 	hasCrash := false
 	for _, d := range res.Report.Trace.Decisions {
-		if d.Kind == core.DecisionCrash {
+		if d.Kind == gostorm.DecisionCrash {
 			hasCrash = true
 			break
 		}
@@ -34,7 +50,7 @@ func TestParallelWorkersFindSamePromotionBug(t *testing.T) {
 	if !hasCrash {
 		t.Fatal("promotion-bug trace records no DecisionCrash entries")
 	}
-	harnesstest.AssertReplayRoundTrip(t, build, res.Report, base)
+	harnesstest.AssertReplayRoundTrip(t, promotionBugBuild, res.Report, base)
 }
 
 // TestPoolingInvariance: the pooled engine reports the identical §5
@@ -42,17 +58,7 @@ func TestParallelWorkersFindSamePromotionBug(t *testing.T) {
 // injects crashes through the fault plane, so the pooled reset of the
 // crash budget and pending-crash list is on the replayed path.
 func TestPoolingInvariance(t *testing.T) {
-	build := func() core.Test {
-		return FailoverScenario(FailoverConfig{
-			Fabric:      Config{BugUncheckedPromotion: true},
-			FailPrimary: true,
-		})
-	}
-	base := core.Options{
-		Scheduler: "random", Iterations: 5000, MaxSteps: 20000, Seed: 1,
-		Workers: 4, NoReplayLog: true,
-	}
-	res := harnesstest.AssertPoolingInvariance(t, build, base)
+	res := harnesstest.AssertPoolingInvariance(t, promotionBugBuild, promotionBugOpts(gostorm.WithWorkers(4)))
 	if !res.BugFound {
 		t.Fatal("promotion bug not found")
 	}

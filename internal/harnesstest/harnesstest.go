@@ -5,30 +5,46 @@
 // runtimes and goroutines change nothing), and trace replayability — on
 // its own seeded bugs; this package is the single implementation those
 // tests share.
+//
+// The assertions drive the public gostorm surface (Explore, functional
+// options) rather than internal/core: the harness determinism tests are
+// exactly where the repository's harnesses stand in for user code, so
+// they must prove the contracts hold through the API users actually
+// call. Because the root package (transitively) imports the harness
+// packages via the scenario catalog, tests importing this package must
+// live in external test packages (package foo_test).
 package harnesstest
 
 import (
 	"bytes"
+	"slices"
 	"strings"
 	"testing"
 
-	"github.com/gostorm/gostorm/internal/core"
+	"github.com/gostorm/gostorm"
 )
 
-// AssertWorkerCountInvariance runs build's test with 1 worker and with
-// `workers` workers under the same options and asserts the two results
-// report the identical bug: same iteration, message, statistics, and
-// decision trace. base.Workers is overwritten. It returns the many-worker
-// result for further checks.
-func AssertWorkerCountInvariance(t *testing.T, build func() core.Test, base core.Options, workers int) core.Result {
+// explore runs the public entry point, failing the test on a
+// configuration error.
+func explore(t *testing.T, test gostorm.Test, opts []gostorm.Option) gostorm.Result {
 	t.Helper()
-	w1 := base
-	w1.Workers = 1
-	wn := base
-	wn.Workers = workers
+	res, err := gostorm.Explore(test, opts...)
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	return res
+}
 
-	a := core.Run(build(), w1)
-	b := core.Run(build(), wn)
+// AssertWorkerCountInvariance runs build's test with 1 worker and with
+// `workers` workers under the same base options and asserts the two runs
+// report the identical bug: same iteration, message, statistics, and
+// decision trace. base must not contain a WithWorkers option (both sides
+// append their own). It returns the many-worker result for further
+// checks.
+func AssertWorkerCountInvariance(t *testing.T, build func() gostorm.Test, base []gostorm.Option, workers int) gostorm.Result {
+	t.Helper()
+	a := explore(t, build(), append(slices.Clone(base), gostorm.WithWorkers(1)))
+	b := explore(t, build(), append(slices.Clone(base), gostorm.WithWorkers(workers)))
 	if !a.BugFound || !b.BugFound {
 		t.Fatalf("bug not found: workers=1 %v, workers=%d %v", a.BugFound, workers, b.BugFound)
 	}
@@ -46,22 +62,17 @@ func AssertWorkerCountInvariance(t *testing.T, build func() core.Test, base core
 }
 
 // AssertPoolingInvariance runs build's test with the pooled execution
-// engine and with Options.NoReuse under the same options and asserts the
+// engine and with WithNoReuse under the same base options and asserts the
 // two runs are indistinguishable: same bug at the same iteration, same
-// canonical statistics, and byte-identical encoded traces. base.NoReuse is
-// overwritten on both sides. This is the reuse contract of the pooled
-// engine — recycling runtimes, machine goroutines and buffers must never
-// change what a run explores or reports. It returns the pooled result for
-// further checks.
-func AssertPoolingInvariance(t *testing.T, build func() core.Test, base core.Options) core.Result {
+// canonical statistics, and byte-identical encoded traces. base must not
+// contain WithNoReuse (the fresh side appends it). This is the reuse
+// contract of the pooled engine — recycling runtimes, machine goroutines
+// and buffers must never change what a run explores or reports. It
+// returns the pooled result for further checks.
+func AssertPoolingInvariance(t *testing.T, build func() gostorm.Test, base []gostorm.Option) gostorm.Result {
 	t.Helper()
-	pooled := base
-	pooled.NoReuse = false
-	fresh := base
-	fresh.NoReuse = true
-
-	a := core.Run(build(), pooled)
-	b := core.Run(build(), fresh)
+	a := explore(t, build(), slices.Clone(base))
+	b := explore(t, build(), append(slices.Clone(base), gostorm.WithNoReuse()))
 	if a.BugFound != b.BugFound {
 		t.Fatalf("pooled found-bug=%v, NoReuse found-bug=%v", a.BugFound, b.BugFound)
 	}
@@ -94,7 +105,7 @@ func AssertPoolingInvariance(t *testing.T, build func() core.Test, base core.Opt
 
 // AssertSameDecisions asserts two traces recorded the identical decision
 // sequence.
-func AssertSameDecisions(t *testing.T, a, b *core.Trace) {
+func AssertSameDecisions(t *testing.T, a, b *gostorm.Trace) {
 	t.Helper()
 	if len(a.Decisions) != len(b.Decisions) {
 		t.Fatalf("decision counts diverge: %d vs %d", len(a.Decisions), len(b.Decisions))
@@ -110,9 +121,9 @@ func AssertSameDecisions(t *testing.T, a, b *core.Trace) {
 // test and asserts it reproduces the identical violation — the paper's
 // core debugging loop: any bug the engine reports must replay exactly,
 // single-threaded, whatever strategy or worker pool found it.
-func AssertReplayRoundTrip(t *testing.T, build func() core.Test, rep *core.BugReport, opts core.Options) {
+func AssertReplayRoundTrip(t *testing.T, build func() gostorm.Test, rep *gostorm.BugReport, opts []gostorm.Option) {
 	t.Helper()
-	confirm, err := core.Replay(build(), rep.Trace, opts)
+	confirm, err := gostorm.Replay(build(), rep.Trace, opts...)
 	if err != nil {
 		t.Fatalf("trace did not replay: %v", err)
 	}

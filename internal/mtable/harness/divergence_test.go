@@ -1,0 +1,49 @@
+// External test package: drives the public gostorm surface (see
+// parallel_test.go for why these tests live outside package harness).
+package harness_test
+
+import (
+	"testing"
+
+	"github.com/gostorm/gostorm"
+	mharness "github.com/gostorm/gostorm/internal/mtable/harness"
+)
+
+// TestLatentFixedSystemDivergenceSeeds pins the ROADMAP open item
+// "Latent mtable fixed-system divergences" as an executable regression
+// test instead of prose: sweeping pct seeds over the *fixed*
+// MigratingTable harness reports output divergences that predate the
+// fault plane — stream-window violations (pct seed 1 on the PR-2 tree)
+// and batch-outcome mismatches such as `conflict@1` vs `conflict@0` when
+// several ops of one batch conflict at once (seeds 1/5/6 on the current
+// tree). The suspected mechanism is the oracle's strict error-index
+// comparison and/or stream-window bookkeeping, not the runtime.
+//
+// The test is quarantined with t.Skip until that investigation lands:
+// remove the Skip to reproduce, and delete the Skip permanently once the
+// oracle is fixed so the seeds become a real regression gate.
+func TestLatentFixedSystemDivergenceSeeds(t *testing.T) {
+	t.Skip("quarantined: ROADMAP open item 'Latent mtable fixed-system divergences' — " +
+		"pct seeds 1/5/6 report stream-window / batch-outcome mismatches on the fixed system; " +
+		"unskip after the oracle's error-index and stream-window bookkeeping are vetted")
+	if testing.Short() {
+		t.Skip("sweeps 400 executions of a 30k-step harness per seed")
+	}
+	build := func() gostorm.Test { return mharness.Test(mharness.HarnessConfig{}) }
+	for _, seed := range []int64{1, 5, 6} {
+		res, err := gostorm.Explore(build(),
+			gostorm.WithScheduler("pct"),
+			gostorm.WithSeed(seed),
+			gostorm.WithIterations(400),
+			gostorm.WithMaxSteps(30000),
+			gostorm.WithNoReplayLog(),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BugFound {
+			t.Errorf("pct seed %d: fixed system diverges from the reference table at iteration %d: %v",
+				seed, res.Report.Iteration, res.Report.Error())
+		}
+	}
+}

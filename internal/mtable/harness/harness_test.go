@@ -11,7 +11,7 @@ import (
 // seeded, no schedule may produce an output divergence. A failure here
 // means the migration protocol itself (or the oracle) is wrong.
 func TestFixedSystemSurvivesExploration(t *testing.T) {
-	res := core.Run(Test(HarnessConfig{}), core.Options{
+	res := core.MustExplore(Test(HarnessConfig{}), core.Options{
 		Scheduler:  "random",
 		Iterations: 400,
 		MaxSteps:   30000,
@@ -23,7 +23,7 @@ func TestFixedSystemSurvivesExploration(t *testing.T) {
 }
 
 func TestFixedSystemSurvivesPCT(t *testing.T) {
-	res := core.Run(Test(HarnessConfig{}), core.Options{
+	res := core.MustExplore(Test(HarnessConfig{}), core.Options{
 		Scheduler:  "pct",
 		Iterations: 400,
 		MaxSteps:   30000,
@@ -35,7 +35,7 @@ func TestFixedSystemSurvivesPCT(t *testing.T) {
 }
 
 func TestFixedSystemBiggerWorkload(t *testing.T) {
-	res := core.Run(Test(HarnessConfig{Services: 3, OpsPerService: 6, SeedRows: 4}), core.Options{
+	res := core.MustExplore(Test(HarnessConfig{Services: 3, OpsPerService: 6, SeedRows: 4}), core.Options{
 		Scheduler:  "random",
 		Iterations: 120,
 		MaxSteps:   60000,
@@ -49,7 +49,7 @@ func TestFixedSystemBiggerWorkload(t *testing.T) {
 // findBug runs the harness with one seeded bug under the given scheduler.
 func findBug(t *testing.T, bug mtable.Bugs, scheduler string, iterations int) core.Result {
 	t.Helper()
-	return core.Run(Test(HarnessConfig{Bugs: bug}), core.Options{
+	return core.MustExplore(Test(HarnessConfig{Bugs: bug}), core.Options{
 		Scheduler:  scheduler,
 		Iterations: iterations,
 		MaxSteps:   30000,
@@ -136,7 +136,7 @@ func TestCustomCaseBugs(t *testing.T) {
 	for _, bug := range cases {
 		bug := bug
 		t.Run(bug.String(), func(t *testing.T) {
-			res := core.Run(CustomTest(bug), core.Options{
+			res := core.MustExplore(CustomTest(bug), core.Options{
 				Scheduler:  "pct",
 				Iterations: 6000,
 				MaxSteps:   30000,
@@ -144,7 +144,7 @@ func TestCustomCaseBugs(t *testing.T) {
 				Workers:    calibratedWorkers("pct"),
 			})
 			if !res.BugFound {
-				res = core.Run(CustomTest(bug), core.Options{
+				res = core.MustExplore(CustomTest(bug), core.Options{
 					Scheduler:  "random",
 					Iterations: 6000,
 					MaxSteps:   30000,
@@ -165,7 +165,7 @@ func TestCustomCasesCleanOnFixedSystem(t *testing.T) {
 		mtable.BugMigrateSkipPreferOld,
 		mtable.BugInsertBehindMigrator,
 	} {
-		res := core.Run(CustomTestFixed(bug), core.Options{
+		res := core.MustExplore(CustomTestFixed(bug), core.Options{
 			Scheduler:  "random",
 			Iterations: 150,
 			MaxSteps:   30000,
@@ -179,8 +179,8 @@ func TestCustomCasesCleanOnFixedSystem(t *testing.T) {
 
 func TestHarnessDeterministicPerSeed(t *testing.T) {
 	opts := core.Options{Scheduler: "random", Iterations: 60, MaxSteps: 30000, Seed: 11, NoReplayLog: true}
-	a := core.Run(Test(HarnessConfig{Bugs: mtable.BugDeletePrimaryKey}), opts)
-	b := core.Run(Test(HarnessConfig{Bugs: mtable.BugDeletePrimaryKey}), opts)
+	a := core.MustExplore(Test(HarnessConfig{Bugs: mtable.BugDeletePrimaryKey}), opts)
+	b := core.MustExplore(Test(HarnessConfig{Bugs: mtable.BugDeletePrimaryKey}), opts)
 	if a.BugFound != b.BugFound || a.Executions != b.Executions || a.Choices != b.Choices {
 		t.Fatalf("nondeterministic harness: %+v vs %+v", a, b)
 	}
@@ -189,7 +189,7 @@ func TestHarnessDeterministicPerSeed(t *testing.T) {
 func TestBugReplays(t *testing.T) {
 	opts := core.Options{Scheduler: "random", Iterations: 4000, MaxSteps: 30000, Seed: 1, NoReplayLog: true}
 	test := Test(HarnessConfig{Bugs: mtable.BugDeletePrimaryKey})
-	res := core.Run(test, opts)
+	res := core.MustExplore(test, opts)
 	if !res.BugFound {
 		t.Skip("bug not found under this seed; replay exercised elsewhere")
 	}

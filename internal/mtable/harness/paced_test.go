@@ -14,7 +14,7 @@ import (
 // may produce an output divergence on the fixed system. Random scheduler
 // only: pct can starve everything but the timer (see TimerPacedMigrator).
 func TestTimerPacedMigratorFixedIsClean(t *testing.T) {
-	res := core.Run(Test(HarnessConfig{TimerPacedMigrator: true}), core.Options{
+	res := core.MustExplore(Test(HarnessConfig{TimerPacedMigrator: true}), core.Options{
 		Scheduler:  "random",
 		Iterations: 60,
 		MaxSteps:   30000,
@@ -34,7 +34,7 @@ func TestTimerPacedMigratorFindsSeededBug(t *testing.T) {
 	opts := core.Options{
 		Scheduler: "random", Iterations: 4000, MaxSteps: 30000, Seed: 1, NoReplayLog: true,
 	}
-	res := core.Run(build(), opts)
+	res := core.MustExplore(build(), opts)
 	if !res.BugFound {
 		t.Fatal("seeded bug not found under the timer-paced migrator")
 	}

@@ -1,12 +1,32 @@
-package harness
+// External test package: these determinism tests drive the public
+// gostorm surface (see internal/harnesstest), which transitively imports
+// this harness through the scenario catalog.
+package harness_test
 
 import (
 	"testing"
 
-	"github.com/gostorm/gostorm/internal/core"
+	"github.com/gostorm/gostorm"
 	"github.com/gostorm/gostorm/internal/harnesstest"
 	"github.com/gostorm/gostorm/internal/mtable"
+	mharness "github.com/gostorm/gostorm/internal/mtable/harness"
 )
+
+// deletePKBuild re-introduces the DeletePrimaryKey Table 2 bug.
+func deletePKBuild() gostorm.Test {
+	return mharness.Test(mharness.HarnessConfig{Bugs: mtable.BugDeletePrimaryKey})
+}
+
+// deletePKOpts is the shared fixed-seed configuration of these tests.
+func deletePKOpts(extra ...gostorm.Option) []gostorm.Option {
+	return append([]gostorm.Option{
+		gostorm.WithScheduler("random"),
+		gostorm.WithIterations(4000),
+		gostorm.WithMaxSteps(30000),
+		gostorm.WithSeed(1),
+		gostorm.WithNoReplayLog(),
+	}, extra...)
+}
 
 // TestParallelExplorationFindsSeededBug: the worker pool digs out a
 // MigratingTable bug and its trace replays to the identical output
@@ -14,14 +34,9 @@ import (
 // worker count, so this doubles as a determinism check on the heaviest
 // harness in the repository (shared assertions in internal/harnesstest).
 func TestParallelExplorationFindsSeededBug(t *testing.T) {
-	build := func() core.Test {
-		return Test(HarnessConfig{Bugs: mtable.BugDeletePrimaryKey})
-	}
-	base := core.Options{
-		Scheduler: "random", Iterations: 4000, MaxSteps: 30000, Seed: 1, NoReplayLog: true,
-	}
-	res := harnesstest.AssertWorkerCountInvariance(t, build, base, 4)
-	harnesstest.AssertReplayRoundTrip(t, build, res.Report, base)
+	base := deletePKOpts()
+	res := harnesstest.AssertWorkerCountInvariance(t, deletePKBuild, base, 4)
+	harnesstest.AssertReplayRoundTrip(t, deletePKBuild, res.Report, base)
 }
 
 // TestPoolingInvariance: the pooled engine digs out the identical
@@ -30,14 +45,7 @@ func TestParallelExplorationFindsSeededBug(t *testing.T) {
 // most and where a reset bug (a leaked inbox, a stale monitor table)
 // would surface as a trace divergence.
 func TestPoolingInvariance(t *testing.T) {
-	build := func() core.Test {
-		return Test(HarnessConfig{Bugs: mtable.BugDeletePrimaryKey})
-	}
-	base := core.Options{
-		Scheduler: "random", Iterations: 4000, MaxSteps: 30000, Seed: 1,
-		Workers: 4, NoReplayLog: true,
-	}
-	res := harnesstest.AssertPoolingInvariance(t, build, base)
+	res := harnesstest.AssertPoolingInvariance(t, deletePKBuild, deletePKOpts(gostorm.WithWorkers(4)))
 	if !res.BugFound {
 		t.Fatal("seeded MigratingTable bug not found")
 	}

@@ -9,7 +9,7 @@ import (
 
 func TestHarnessFindsSafetyBug(t *testing.T) {
 	test := Scenario(ScenarioConfig{Monitors: WithSafety})
-	res := core.Run(test, core.Options{
+	res := core.MustExplore(test, core.Options{
 		Scheduler:  "random",
 		Iterations: 5000,
 		MaxSteps:   2000,
@@ -28,7 +28,7 @@ func TestHarnessFindsSafetyBug(t *testing.T) {
 
 func TestHarnessFindsLivenessBug(t *testing.T) {
 	test := Scenario(ScenarioConfig{Monitors: WithLiveness})
-	res := core.Run(test, core.Options{
+	res := core.MustExplore(test, core.Options{
 		Scheduler:  "random",
 		Iterations: 50,
 		MaxSteps:   3000,
@@ -47,7 +47,7 @@ func TestHarnessFindsLivenessBug(t *testing.T) {
 
 func TestHarnessPCTFindsSafetyBug(t *testing.T) {
 	test := Scenario(ScenarioConfig{Monitors: WithSafety})
-	res := core.Run(test, core.Options{
+	res := core.MustExplore(test, core.Options{
 		Scheduler:  "pct",
 		Iterations: 5000,
 		MaxSteps:   2000,
@@ -64,7 +64,7 @@ func TestFixedSystemIsClean(t *testing.T) {
 	test := Scenario(ScenarioConfig{
 		Server: Config{FixUniqueReplicas: true, FixCounterReset: true},
 	})
-	res := core.Run(test, core.Options{
+	res := core.MustExplore(test, core.Options{
 		Scheduler:  "random",
 		Iterations: 30,
 		MaxSteps:   8000,
@@ -78,7 +78,7 @@ func TestFixedSystemIsClean(t *testing.T) {
 func TestHarnessBugReplays(t *testing.T) {
 	test := Scenario(ScenarioConfig{Monitors: WithSafety})
 	opts := core.Options{Scheduler: "random", Iterations: 5000, MaxSteps: 2000, Seed: 3, NoReplayLog: true}
-	res := core.Run(test, opts)
+	res := core.MustExplore(test, opts)
 	if !res.BugFound {
 		t.Fatal("setup: no bug found")
 	}
@@ -97,8 +97,8 @@ func TestHarnessBugReplays(t *testing.T) {
 func TestHarnessDeterministicPerSeed(t *testing.T) {
 	test := Scenario(ScenarioConfig{Monitors: WithSafety})
 	opts := core.Options{Scheduler: "random", Iterations: 200, MaxSteps: 1500, Seed: 11, NoReplayLog: true}
-	a := core.Run(test, opts)
-	b := core.Run(test, opts)
+	a := core.MustExplore(test, opts)
+	b := core.MustExplore(test, opts)
 	if a.BugFound != b.BugFound || a.Executions != b.Executions || a.Choices != b.Choices {
 		t.Fatalf("nondeterministic harness: %+v vs %+v", a, b)
 	}

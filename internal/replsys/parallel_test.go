@@ -1,11 +1,22 @@
-package replsys
+// These tests live in an external test package and drive the public
+// gostorm surface: they are where the §2 harness stands in for user
+// code, so the determinism contracts are proven through the API users
+// actually call (and the external package breaks the import cycle with
+// the root package, which reaches replsys through the scenario catalog).
+package replsys_test
 
 import (
 	"testing"
 
-	"github.com/gostorm/gostorm/internal/core"
+	"github.com/gostorm/gostorm"
 	"github.com/gostorm/gostorm/internal/harnesstest"
+	"github.com/gostorm/gostorm/internal/replsys"
 )
+
+// safetyBuild builds the §2 scenario with only the safety monitor.
+func safetyBuild() gostorm.Test {
+	return replsys.Scenario(replsys.ScenarioConfig{Monitors: replsys.WithSafety})
+}
 
 // TestParallelWorkersFindSameBug is the end-to-end determinism check the
 // parallel engine promises on a real seeded-bug harness: for a fixed seed,
@@ -14,12 +25,15 @@ import (
 // identical violation. The assertions live in internal/harnesstest,
 // shared with the vnext and mtable harnesses.
 func TestParallelWorkersFindSameBug(t *testing.T) {
-	build := func() core.Test { return Scenario(ScenarioConfig{Monitors: WithSafety}) }
-	base := core.Options{
-		Scheduler: "random", Iterations: 5000, MaxSteps: 2000, Seed: 1, NoReplayLog: true,
+	base := []gostorm.Option{
+		gostorm.WithScheduler("random"),
+		gostorm.WithIterations(5000),
+		gostorm.WithMaxSteps(2000),
+		gostorm.WithSeed(1),
+		gostorm.WithNoReplayLog(),
 	}
-	res := harnesstest.AssertWorkerCountInvariance(t, build, base, 8)
-	harnesstest.AssertReplayRoundTrip(t, build, res.Report, base)
+	res := harnesstest.AssertWorkerCountInvariance(t, safetyBuild, base, 8)
+	harnesstest.AssertReplayRoundTrip(t, safetyBuild, res.Report, base)
 }
 
 // TestPoolingInvariance: recycling runtimes, machine goroutines and
@@ -27,13 +41,16 @@ func TestParallelWorkersFindSameBug(t *testing.T) {
 // safety bug — same iteration, byte-identical trace — as fresh-per-
 // execution runtimes, at one worker and at eight.
 func TestPoolingInvariance(t *testing.T) {
-	build := func() core.Test { return Scenario(ScenarioConfig{Monitors: WithSafety}) }
 	for _, workers := range []int{1, 8} {
-		base := core.Options{
-			Scheduler: "random", Iterations: 5000, MaxSteps: 2000, Seed: 1,
-			Workers: workers, NoReplayLog: true,
+		base := []gostorm.Option{
+			gostorm.WithScheduler("random"),
+			gostorm.WithIterations(5000),
+			gostorm.WithMaxSteps(2000),
+			gostorm.WithSeed(1),
+			gostorm.WithWorkers(workers),
+			gostorm.WithNoReplayLog(),
 		}
-		res := harnesstest.AssertPoolingInvariance(t, build, base)
+		res := harnesstest.AssertPoolingInvariance(t, safetyBuild, base)
 		if !res.BugFound {
 			t.Fatalf("workers=%d: seeded bug not found", workers)
 		}
@@ -44,10 +61,16 @@ func TestPoolingInvariance(t *testing.T) {
 // a parallel run attaches the detailed single-threaded replay log to the
 // report, exactly as a sequential run does.
 func TestParallelConfirmationReplayLog(t *testing.T) {
-	test := Scenario(ScenarioConfig{Monitors: WithSafety})
-	res := core.Run(test, core.Options{
-		Scheduler: "random", Iterations: 5000, MaxSteps: 2000, Seed: 3, Workers: 4,
-	})
+	res, err := gostorm.Explore(safetyBuild(),
+		gostorm.WithScheduler("random"),
+		gostorm.WithIterations(5000),
+		gostorm.WithMaxSteps(2000),
+		gostorm.WithSeed(3),
+		gostorm.WithWorkers(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.BugFound {
 		t.Fatal("bug not found")
 	}
@@ -64,17 +87,23 @@ func TestParallelConfirmationReplayLog(t *testing.T) {
 // TestPortfolioFindsSeededBug: the scheduler portfolio digs out the §2
 // safety bug, attributes it to a member, and the winning trace replays.
 func TestPortfolioFindsSeededBug(t *testing.T) {
-	build := func() core.Test { return Scenario(ScenarioConfig{Monitors: WithSafety}) }
-	po := core.PortfolioOptions{
-		Options: core.Options{Iterations: 5000, MaxSteps: 2000, Seed: 1, Workers: 6, NoReplayLog: true},
-		Members: []string{"random", "pct", "delay"},
+	base := []gostorm.Option{
+		gostorm.WithPortfolio("random", "pct", "delay"),
+		gostorm.WithIterations(5000),
+		gostorm.WithMaxSteps(2000),
+		gostorm.WithSeed(1),
+		gostorm.WithWorkers(6),
+		gostorm.WithNoReplayLog(),
 	}
-	res := core.RunPortfolio(build(), po)
+	res, err := gostorm.Explore(safetyBuild(), base...)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.BugFound {
 		t.Fatal("portfolio did not find the seeded safety bug")
 	}
 	if res.Portfolio[res.Winner].Scheduler != res.Report.Trace.Scheduler {
 		t.Fatalf("winner attribution mismatch: %+v vs trace %q", res.Portfolio[res.Winner], res.Report.Trace.Scheduler)
 	}
-	harnesstest.AssertReplayRoundTrip(t, build, res.Report, po.Options)
+	harnesstest.AssertReplayRoundTrip(t, safetyBuild, res.Report, base)
 }

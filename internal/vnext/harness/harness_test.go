@@ -19,7 +19,7 @@ func fixed(s Scenario) HarnessConfig {
 }
 
 func TestReplicateScenarioConverges(t *testing.T) {
-	res := core.Run(Test(fixed(ScenarioReplicate)), core.Options{
+	res := core.MustExplore(Test(fixed(ScenarioReplicate)), core.Options{
 		Scheduler:  "random",
 		Iterations: 25,
 		MaxSteps:   4000,
@@ -31,7 +31,7 @@ func TestReplicateScenarioConverges(t *testing.T) {
 }
 
 func TestFailAndRepairFixedIsClean(t *testing.T) {
-	res := core.Run(Test(fixed(ScenarioFailAndRepair)), core.Options{
+	res := core.MustExplore(Test(fixed(ScenarioFailAndRepair)), core.Options{
 		Scheduler:  "random",
 		Iterations: 25,
 		MaxSteps:   5000,
@@ -43,7 +43,7 @@ func TestFailAndRepairFixedIsClean(t *testing.T) {
 }
 
 func TestLivenessBugFoundByRandom(t *testing.T) {
-	res := core.Run(Test(buggy(ScenarioFailAndRepair)), core.Options{
+	res := core.MustExplore(Test(buggy(ScenarioFailAndRepair)), core.Options{
 		Scheduler:  "random",
 		Iterations: 2000,
 		MaxSteps:   3000,
@@ -61,7 +61,7 @@ func TestLivenessBugFoundByRandom(t *testing.T) {
 }
 
 func TestLivenessBugFoundByPCT(t *testing.T) {
-	res := core.Run(Test(buggy(ScenarioFailAndRepair)), core.Options{
+	res := core.MustExplore(Test(buggy(ScenarioFailAndRepair)), core.Options{
 		Scheduler:  "pct",
 		Iterations: 2000,
 		MaxSteps:   3000,
@@ -76,7 +76,7 @@ func TestLivenessBugFoundByPCT(t *testing.T) {
 
 func TestLivenessBugReplays(t *testing.T) {
 	opts := core.Options{Scheduler: "random", Iterations: 2000, MaxSteps: 3000, Seed: 1, NoReplayLog: true}
-	res := core.Run(Test(buggy(ScenarioFailAndRepair)), opts)
+	res := core.MustExplore(Test(buggy(ScenarioFailAndRepair)), opts)
 	if !res.BugFound {
 		t.Fatal("setup: bug not found")
 	}
@@ -99,7 +99,7 @@ func TestLivenessBugReplays(t *testing.T) {
 func TestDropMessagesStillConvergesWhenFixed(t *testing.T) {
 	cfg := fixed(ScenarioFailAndRepair)
 	cfg.DropMessages = true
-	res := core.Run(Test(cfg), core.Options{
+	res := core.MustExplore(Test(cfg), core.Options{
 		Scheduler:  "random",
 		Iterations: 10,
 		MaxSteps:   6000,
@@ -130,8 +130,8 @@ func TestMetadataShape(t *testing.T) {
 
 func TestHarnessDeterministicPerSeed(t *testing.T) {
 	opts := core.Options{Scheduler: "random", Iterations: 100, MaxSteps: 2000, Seed: 9, NoReplayLog: true}
-	a := core.Run(Test(buggy(ScenarioFailAndRepair)), opts)
-	b := core.Run(Test(buggy(ScenarioFailAndRepair)), opts)
+	a := core.MustExplore(Test(buggy(ScenarioFailAndRepair)), opts)
+	b := core.MustExplore(Test(buggy(ScenarioFailAndRepair)), opts)
 	if a.BugFound != b.BugFound || a.Executions != b.Executions || a.Choices != b.Choices {
 		t.Fatalf("nondeterministic harness: %+v vs %+v", a, b)
 	}

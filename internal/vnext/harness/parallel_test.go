@@ -1,36 +1,52 @@
-package harness
+// External test package: these determinism tests drive the public
+// gostorm surface (see internal/harnesstest), which transitively imports
+// this harness through the scenario catalog.
+package harness_test
 
 import (
 	"testing"
 
-	"github.com/gostorm/gostorm/internal/core"
+	"github.com/gostorm/gostorm"
 	"github.com/gostorm/gostorm/internal/harnesstest"
+	vharness "github.com/gostorm/gostorm/internal/vnext/harness"
 )
+
+// failRepairBuild builds the §3.4 fail-and-repair scenario on the
+// shipped (buggy) manager.
+func failRepairBuild() gostorm.Test {
+	return vharness.Test(vharness.HarnessConfig{Scenario: vharness.ScenarioFailAndRepair})
+}
+
+// failRepairOpts is the shared fixed-seed configuration of these tests.
+func failRepairOpts(extra ...gostorm.Option) []gostorm.Option {
+	return append([]gostorm.Option{
+		gostorm.WithScheduler("random"),
+		gostorm.WithIterations(3000),
+		gostorm.WithMaxSteps(3000),
+		gostorm.WithSeed(1),
+		gostorm.WithNoReplayLog(),
+	}, extra...)
+}
 
 // TestParallelExplorationFindsLivenessBug: the worker pool finds the §3.6
 // liveness bug and hands back a trace that replays, single-threaded, to
 // the identical violation (shared assertions in internal/harnesstest).
 func TestParallelExplorationFindsLivenessBug(t *testing.T) {
-	build := func() core.Test { return Test(HarnessConfig{Scenario: ScenarioFailAndRepair}) }
-	opts := core.Options{
-		Scheduler: "random", Iterations: 3000, MaxSteps: 3000, Seed: 1,
-		Workers: 4, NoReplayLog: true,
+	opts := failRepairOpts(gostorm.WithWorkers(4))
+	res, err := gostorm.Explore(failRepairBuild(), opts...)
+	if err != nil {
+		t.Fatal(err)
 	}
-	res := core.Run(build(), opts)
-	if !res.BugFound || res.Report.Kind != core.LivenessBug {
+	if !res.BugFound || res.Report.Kind != gostorm.LivenessBug {
 		t.Fatalf("liveness bug not found by parallel exploration: %+v", res)
 	}
-	harnesstest.AssertReplayRoundTrip(t, build, res.Report, opts)
+	harnesstest.AssertReplayRoundTrip(t, failRepairBuild, res.Report, opts)
 }
 
 // TestParallelWorkerCountsAgree: one worker and four workers report the
 // same buggy iteration, statistics and trace for a fixed seed.
 func TestParallelWorkerCountsAgree(t *testing.T) {
-	build := func() core.Test { return Test(HarnessConfig{Scenario: ScenarioFailAndRepair}) }
-	base := core.Options{
-		Scheduler: "random", Iterations: 3000, MaxSteps: 3000, Seed: 1, NoReplayLog: true,
-	}
-	harnesstest.AssertWorkerCountInvariance(t, build, base, 4)
+	harnesstest.AssertWorkerCountInvariance(t, failRepairBuild, failRepairOpts(), 4)
 }
 
 // TestPoolingInvariance: the pooled engine reports the identical §3.6
@@ -39,13 +55,8 @@ func TestParallelWorkerCountsAgree(t *testing.T) {
 // covers the pooled reset of the crash counters and pending-crash list on
 // a real harness.
 func TestPoolingInvariance(t *testing.T) {
-	build := func() core.Test { return Test(HarnessConfig{Scenario: ScenarioFailAndRepair}) }
-	base := core.Options{
-		Scheduler: "random", Iterations: 3000, MaxSteps: 3000, Seed: 1,
-		Workers: 4, NoReplayLog: true,
-	}
-	res := harnesstest.AssertPoolingInvariance(t, build, base)
-	if !res.BugFound || res.Report.Kind != core.LivenessBug {
+	res := harnesstest.AssertPoolingInvariance(t, failRepairBuild, failRepairOpts(gostorm.WithWorkers(4)))
+	if !res.BugFound || res.Report.Kind != gostorm.LivenessBug {
 		t.Fatalf("liveness bug not found: %+v", res)
 	}
 }
@@ -53,14 +64,20 @@ func TestPoolingInvariance(t *testing.T) {
 // TestPortfolioFindsLivenessBug: the portfolio surfaces the §3.6 liveness
 // bug and the winning member's trace replays to the same violation.
 func TestPortfolioFindsLivenessBug(t *testing.T) {
-	build := func() core.Test { return Test(HarnessConfig{Scenario: ScenarioFailAndRepair}) }
-	po := core.PortfolioOptions{
-		Options: core.Options{Iterations: 3000, MaxSteps: 3000, Seed: 1, Workers: 6, NoReplayLog: true},
-		Members: []string{"random", "pct", "delay"},
+	opts := []gostorm.Option{
+		gostorm.WithPortfolio("random", "pct", "delay"),
+		gostorm.WithIterations(3000),
+		gostorm.WithMaxSteps(3000),
+		gostorm.WithSeed(1),
+		gostorm.WithWorkers(6),
+		gostorm.WithNoReplayLog(),
 	}
-	res := core.RunPortfolio(build(), po)
-	if !res.BugFound || res.Report.Kind != core.LivenessBug {
+	res, err := gostorm.Explore(failRepairBuild(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BugFound || res.Report.Kind != gostorm.LivenessBug {
 		t.Fatalf("liveness bug not found by the portfolio: %+v", res)
 	}
-	harnesstest.AssertReplayRoundTrip(t, build, res.Report, po.Options)
+	harnesstest.AssertReplayRoundTrip(t, failRepairBuild, res.Report, opts)
 }

@@ -16,7 +16,7 @@ func TestStressManyExtentsFixedIsClean(t *testing.T) {
 		Manager:  vnext.Config{IgnoreSyncFromUnknownNodes: true},
 		Extents:  4,
 	}
-	res := core.Run(Test(cfg), core.Options{
+	res := core.MustExplore(Test(cfg), core.Options{
 		Scheduler:  "random",
 		Iterations: 15,
 		MaxSteps:   12000,
@@ -30,7 +30,7 @@ func TestStressManyExtentsFixedIsClean(t *testing.T) {
 
 func TestStressManyExtentsBugStillFound(t *testing.T) {
 	cfg := HarnessConfig{Scenario: ScenarioFailAndRepair, Extents: 4}
-	res := core.Run(Test(cfg), core.Options{
+	res := core.MustExplore(Test(cfg), core.Options{
 		Scheduler:  "random",
 		Iterations: 2000,
 		MaxSteps:   6000,
@@ -53,7 +53,7 @@ func TestStressManyNodes(t *testing.T) {
 		Nodes:    5,
 		Extents:  2,
 	}
-	res := core.Run(Test(cfg), core.Options{
+	res := core.MustExplore(Test(cfg), core.Options{
 		Scheduler:  "random",
 		Iterations: 15,
 		MaxSteps:   12000,
@@ -71,7 +71,7 @@ func TestReplicateManyExtentsConverges(t *testing.T) {
 		Manager:  vnext.Config{IgnoreSyncFromUnknownNodes: true},
 		Extents:  3,
 	}
-	res := core.Run(Test(cfg), core.Options{
+	res := core.MustExplore(Test(cfg), core.Options{
 		Scheduler:  "random",
 		Iterations: 15,
 		MaxSteps:   12000,
