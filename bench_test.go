@@ -51,20 +51,28 @@ type pingEv struct {
 func (pingEv) Name() string { return "ping" }
 
 // BenchmarkRuntimeSteps measures raw scheduling throughput: cooperative
-// handoffs per second on a ping-pong workload.
+// handoffs per second on a ping-pong workload. It reports both ns/step
+// (the handoff cost the tentpole rewrites target) and execs/s (the
+// product metric), so benchjson reads them directly instead of
+// re-deriving them from ns/op.
 func BenchmarkRuntimeSteps(b *testing.B) {
 	b.ReportAllocs()
 	test := pingPongTest()
 	opts := core.Options{Scheduler: "rr", Iterations: 1, MaxSteps: 10000, Seed: 1, NoLivenessBoundCheck: true}
 	b.ResetTimer()
 	totalSteps := int64(0)
+	execs := 0
 	for i := 0; i < b.N; i++ {
 		res := core.MustExplore(test, opts)
 		totalSteps += res.TotalSteps
+		execs += res.Executions
 	}
 	b.StopTimer()
 	if totalSteps > 0 {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalSteps), "ns/step")
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(execs)/s, "execs/s")
 	}
 }
 
@@ -154,23 +162,25 @@ func BenchmarkParallelMTable(b *testing.B) {
 	}
 }
 
-// reuseWorkerCounts is the sweep for the pooled-vs-fresh comparison:
-// one worker (the pure per-execution cost) and one per CPU (deduplicated).
-func reuseWorkerCounts() []int {
-	if n := runtime.NumCPU(); n > 1 {
-		return []int{1, n}
-	}
-	return []int{1}
+// scalingWorkerCounts is the fixed 1/2/4/8 sweep of the worker-scaling
+// matrix. It is deliberately not capped at NumCPU: the oversubscribed
+// points document how the engine behaves past the core count, and the
+// fixed grid keeps BENCH_*.json files comparable across machines.
+func scalingWorkerCounts() []int {
+	return []int{1, 2, 4, 8}
 }
 
-// BenchmarkExecutionReuse pits the pooled engine (the default) against
-// Options.NoReuse — a fresh Runtime, fresh machine goroutines and fresh
-// buffers per execution — on the two clean-execution workloads the
-// acceptance criteria track: the ping-pong micro-workload behind
-// BenchmarkParallelExploration and the clean MigratingTable execution
-// behind BenchmarkMTableCleanExecution. Same seeds, same schedules on
-// both sides (pooling is bit-identical by contract); the delta is pure
-// setup cost, reported as execs/s and allocs/op.
+// BenchmarkExecutionReuse is the worker-scaling matrix: the pooled engine
+// (the default) against Options.NoReuse — a fresh Runtime, fresh machine
+// goroutines and fresh buffers per execution — at 1/2/4/8 workers, on the
+// two clean-execution workloads the acceptance criteria track: the
+// ping-pong micro-workload behind BenchmarkParallelExploration and the
+// clean MigratingTable execution behind BenchmarkMTableCleanExecution.
+// Same seeds, same schedules in every cell (pooling and worker count are
+// bit-identical by contract); the pooled-vs-noreuse delta is pure setup
+// cost and the across-workers delta is scaling. Each cell reports
+// sustained execs/s and ns/step so benchjson can derive per-harness
+// headlines and scaling efficiency without touching ns/op.
 func BenchmarkExecutionReuse(b *testing.B) {
 	workloads := []struct {
 		name string
@@ -187,7 +197,7 @@ func BenchmarkExecutionReuse(b *testing.B) {
 		}},
 	}
 	for _, wl := range workloads {
-		for _, w := range reuseWorkerCounts() {
+		for _, w := range scalingWorkerCounts() {
 			for _, mode := range []struct {
 				name    string
 				noReuse bool
@@ -195,6 +205,7 @@ func BenchmarkExecutionReuse(b *testing.B) {
 				b.Run(fmt.Sprintf("%s/workers=%d/%s", wl.name, w, mode.name), func(b *testing.B) {
 					b.ReportAllocs()
 					execs := 0
+					steps := int64(0)
 					for i := 0; i < b.N; i++ {
 						opts := wl.opts
 						opts.Seed = int64(i + 1)
@@ -205,10 +216,14 @@ func BenchmarkExecutionReuse(b *testing.B) {
 							b.Fatalf("unexpected bug: %v", res.Report.Error())
 						}
 						execs += res.Executions
+						steps += res.TotalSteps
 					}
 					b.StopTimer()
 					if s := b.Elapsed().Seconds(); s > 0 {
 						b.ReportMetric(float64(execs)/s, "execs/s")
+					}
+					if steps > 0 {
+						b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(steps), "ns/step")
 					}
 				})
 			}

@@ -1,17 +1,24 @@
 // Command benchjson runs the repository's benchmark suite (`go test
 // -bench`) and writes a machine-readable JSON snapshot of the results —
-// execs/sec, ns/op, bytes/op and allocs/op per benchmark — so the perf
-// trajectory can be committed alongside the code (BENCH_pr4.json, ...).
+// execs/sec, ns/op, ns/step, bytes/op and allocs/op per benchmark — so
+// the perf trajectory can be committed alongside the code
+// (BENCH_pr4.json, BENCH_pr6.json, ...).
 //
-// Beyond the flat per-benchmark list, the snapshot derives a
-// pooled-vs-NoReuse comparison from the BenchmarkExecutionReuse sub-runs:
-// for every workload/worker-count pair it reports the pooled engine's
-// execs/sec gain and allocs/op reduction over fresh-per-execution
-// runtimes, the numbers the pooling acceptance criteria are stated in.
+// Beyond the flat per-benchmark list, the snapshot derives three views
+// from the BenchmarkExecutionReuse worker-scaling matrix
+// (<workload>/workers=<n>/{pooled,noreuse}):
+//
+//   - execution_reuse: the pooled engine's execs/sec gain and allocs/op
+//     reduction over fresh-per-execution runtimes, per cell;
+//   - worker_scaling: per workload and mode, speedup and scaling
+//     efficiency (execs/sec at N workers relative to N× the 1-worker
+//     rate) across the worker sweep;
+//   - headlines: the per-harness sustained executions/sec — the product
+//     metric — at 1 worker and at the best-scaling worker count.
 //
 // Usage:
 //
-//	go run ./cmd/benchjson -out BENCH_pr4.json -benchtime 30x
+//	go run ./cmd/benchjson -out BENCH_pr6.json -benchtime 30x
 //	go run ./cmd/benchjson -bench ExecutionReuse -benchtime 5x -out /tmp/smoke.json
 package main
 
@@ -21,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -35,6 +43,10 @@ type Benchmark struct {
 	NsPerStep   float64 `json:"ns_per_step,omitempty"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds any further b.ReportMetric units the parser has no
+	// dedicated field for, so custom metrics survive the snapshot instead
+	// of being dropped.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // ReuseComparison is one pooled-vs-NoReuse pair derived from
@@ -50,6 +62,36 @@ type ReuseComparison struct {
 	AllocsPerOpReductionPct float64 `json:"allocs_per_op_reduction_pct"`
 }
 
+// ScalingPoint is one worker count of a workload/mode scaling curve.
+type ScalingPoint struct {
+	Workers     int     `json:"workers"`
+	ExecsPerSec float64 `json:"execs_per_sec"`
+	// Speedup is execs/sec relative to the 1-worker rate of the same
+	// workload/mode; EfficiencyPct divides it by the worker count
+	// (100 = perfect linear scaling).
+	Speedup       float64 `json:"speedup"`
+	EfficiencyPct float64 `json:"efficiency_pct"`
+}
+
+// WorkloadScaling is the scaling curve of one workload/mode pair of the
+// BenchmarkExecutionReuse matrix.
+type WorkloadScaling struct {
+	Workload string         `json:"workload"`
+	Mode     string         `json:"mode"`
+	Points   []ScalingPoint `json:"points"`
+}
+
+// Headline is the per-harness executions/sec summary, taken from the
+// pooled (default-configuration) side of the matrix.
+type Headline struct {
+	Workload    string  `json:"workload"`
+	ExecsPerSec float64 `json:"execs_per_sec"`
+	// Best is the highest rate across the worker sweep and the worker
+	// count that achieved it.
+	BestExecsPerSec float64 `json:"best_execs_per_sec"`
+	BestWorkers     int     `json:"best_workers"`
+}
+
 // Snapshot is the file layout of BENCH_*.json.
 type Snapshot struct {
 	GoVersion  string            `json:"go_version"`
@@ -59,6 +101,8 @@ type Snapshot struct {
 	BenchTime  string            `json:"benchtime"`
 	Benchmarks []Benchmark       `json:"benchmarks"`
 	Reuse      []ReuseComparison `json:"execution_reuse,omitempty"`
+	Scaling    []WorkloadScaling `json:"worker_scaling,omitempty"`
+	Headlines  []Headline        `json:"headlines,omitempty"`
 }
 
 func main() {
@@ -94,6 +138,8 @@ func main() {
 		BenchTime:  *benchtime,
 		Benchmarks: benches,
 		Reuse:      compareReuse(benches),
+		Scaling:    deriveScaling(benches),
+		Headlines:  deriveHeadlines(benches),
 	}
 	enc, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -105,16 +151,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("benchjson: wrote %d benchmarks (%d reuse comparisons) to %s\n",
-		len(snap.Benchmarks), len(snap.Reuse), *out)
+	fmt.Printf("benchjson: wrote %d benchmarks (%d reuse comparisons, %d scaling curves) to %s\n",
+		len(snap.Benchmarks), len(snap.Reuse), len(snap.Scaling), *out)
 }
+
+// gomaxprocsSuffix matches the "-P" suffix `go test` appends to every
+// benchmark name. It is stripped by pattern, not by the GOMAXPROCS of the
+// benchjson process: the benchmarked subprocess may run under a different
+// GOMAXPROCS (the CI smoke runs the suite at 1 and 2), and stripping the
+// wrong number used to leave the suffix glued to the name, breaking the
+// sub-benchmark keys every derivation below depends on.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 // parse extracts benchmark lines from `go test -bench` output. A line is
 //
 //	BenchmarkName[/sub...][-P]  N  V ns/op  [V unit]...
 //
-// Unknown units are ignored so future ReportMetric additions don't break
-// the snapshot format.
+// Units without a dedicated field land in Metrics, so future ReportMetric
+// additions extend the snapshot instead of breaking it.
 func parse(out string) ([]Benchmark, error) {
 	var benches []Benchmark
 	for _, line := range strings.Split(out, "\n") {
@@ -122,7 +176,7 @@ func parse(out string) ([]Benchmark, error) {
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		b := Benchmark{Name: strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", runtime.GOMAXPROCS(0)))}
+		b := Benchmark{Name: gomaxprocsSuffix.ReplaceAllString(fields[0], "")}
 		n, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("parsing iteration count in %q: %v", line, err)
@@ -133,7 +187,7 @@ func parse(out string) ([]Benchmark, error) {
 			if err != nil {
 				return nil, fmt.Errorf("parsing metric value in %q: %v", line, err)
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				b.NsPerOp = v
 			case "execs/s":
@@ -144,6 +198,11 @@ func parse(out string) ([]Benchmark, error) {
 				b.BytesPerOp = v
 			case "allocs/op":
 				b.AllocsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
 			}
 		}
 		benches = append(benches, b)
@@ -151,30 +210,129 @@ func parse(out string) ([]Benchmark, error) {
 	return benches, nil
 }
 
+// reuseCell is one parsed BenchmarkExecutionReuse sub-benchmark name.
+type reuseCell struct {
+	workload string
+	workers  int
+	mode     string
+}
+
+// parseReuseCell splits BenchmarkExecutionReuse/<wl>/workers=<n>/<mode>.
+func parseReuseCell(name string) (reuseCell, bool) {
+	const prefix = "BenchmarkExecutionReuse/"
+	if !strings.HasPrefix(name, prefix) {
+		return reuseCell{}, false
+	}
+	parts := strings.Split(strings.TrimPrefix(name, prefix), "/")
+	if len(parts) != 3 {
+		return reuseCell{}, false
+	}
+	w, err := strconv.Atoi(strings.TrimPrefix(parts[1], "workers="))
+	if err != nil {
+		return reuseCell{}, false
+	}
+	return reuseCell{workload: parts[0], workers: w, mode: parts[2]}, true
+}
+
+// deriveScaling builds the per-workload/mode scaling curves from the
+// BenchmarkExecutionReuse matrix. Efficiency is execs/sec at N workers
+// over N times the 1-worker rate; curves without a 1-worker point carry
+// raw rates with zero speedup/efficiency rather than being dropped.
+func deriveScaling(benches []Benchmark) []WorkloadScaling {
+	type key struct{ workload, mode string }
+	curves := map[key]*WorkloadScaling{}
+	var order []key
+	for i := range benches {
+		c, ok := parseReuseCell(benches[i].Name)
+		if !ok {
+			continue
+		}
+		k := key{c.workload, c.mode}
+		s := curves[k]
+		if s == nil {
+			s = &WorkloadScaling{Workload: c.workload, Mode: c.mode}
+			curves[k] = s
+			order = append(order, k)
+		}
+		s.Points = append(s.Points, ScalingPoint{
+			Workers:     c.workers,
+			ExecsPerSec: benches[i].ExecsPerSec,
+		})
+	}
+	var out []WorkloadScaling
+	for _, k := range order {
+		s := curves[k]
+		base := 0.0
+		for _, p := range s.Points {
+			if p.Workers == 1 {
+				base = p.ExecsPerSec
+			}
+		}
+		if base > 0 {
+			for i := range s.Points {
+				p := &s.Points[i]
+				p.Speedup = p.ExecsPerSec / base
+				p.EfficiencyPct = 100 * p.Speedup / float64(p.Workers)
+			}
+		}
+		out = append(out, *s)
+	}
+	return out
+}
+
+// deriveHeadlines reduces the pooled side of the matrix to one
+// executions/sec line per harness: the 1-worker sustained rate and the
+// best rate across the sweep.
+func deriveHeadlines(benches []Benchmark) []Headline {
+	heads := map[string]*Headline{}
+	var order []string
+	for i := range benches {
+		c, ok := parseReuseCell(benches[i].Name)
+		if !ok || c.mode != "pooled" {
+			continue
+		}
+		h := heads[c.workload]
+		if h == nil {
+			h = &Headline{Workload: c.workload}
+			heads[c.workload] = h
+			order = append(order, c.workload)
+		}
+		rate := benches[i].ExecsPerSec
+		if c.workers == 1 {
+			h.ExecsPerSec = rate
+		}
+		if rate > h.BestExecsPerSec {
+			h.BestExecsPerSec = rate
+			h.BestWorkers = c.workers
+		}
+	}
+	var out []Headline
+	for _, w := range order {
+		out = append(out, *heads[w])
+	}
+	return out
+}
+
 // compareReuse pairs up the pooled/noreuse sub-benchmarks of
 // BenchmarkExecutionReuse and derives the acceptance metrics.
 func compareReuse(benches []Benchmark) []ReuseComparison {
-	const prefix = "BenchmarkExecutionReuse/"
 	type key struct{ workload, workers string }
 	pairs := map[key]*ReuseComparison{}
 	var order []key
 	for i := range benches {
 		b := &benches[i]
-		if !strings.HasPrefix(b.Name, prefix) {
+		cell, ok := parseReuseCell(b.Name)
+		if !ok {
 			continue
 		}
-		parts := strings.Split(strings.TrimPrefix(b.Name, prefix), "/")
-		if len(parts) != 3 {
-			continue
-		}
-		k := key{parts[0], strings.TrimPrefix(parts[1], "workers=")}
+		k := key{cell.workload, strconv.Itoa(cell.workers)}
 		c := pairs[k]
 		if c == nil {
 			c = &ReuseComparison{Workload: k.workload, Workers: k.workers}
 			pairs[k] = c
 			order = append(order, k)
 		}
-		switch parts[2] {
+		switch cell.mode {
 		case "pooled":
 			c.Pooled = b
 		case "noreuse":

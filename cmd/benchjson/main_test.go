@@ -6,7 +6,7 @@ const sample = `goos: linux
 goarch: amd64
 pkg: github.com/gostorm/gostorm
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
-BenchmarkRuntimeSteps 	     100	   1203456 ns/op	       120.5 ns/step	   47589 B/op	     425 allocs/op
+BenchmarkRuntimeSteps 	     100	   1203456 ns/op	       120.5 ns/step	      332.3 execs/s	   47589 B/op	     425 allocs/op
 BenchmarkExecutionReuse/pingpong/workers=1/pooled 	      30	  20757478 ns/op	      3083 execs/s	   47589 B/op	     425 allocs/op
 BenchmarkExecutionReuse/pingpong/workers=1/noreuse 	      30	  20200698 ns/op	      3168 execs/s	 2205795 B/op	    2228 allocs/op
 PASS
@@ -22,7 +22,7 @@ func TestParseAndCompare(t *testing.T) {
 		t.Fatalf("parsed %d benchmarks, want 3", len(benches))
 	}
 	if b := benches[0]; b.Name != "BenchmarkRuntimeSteps" || b.Iterations != 100 ||
-		b.NsPerOp != 1203456 || b.NsPerStep != 120.5 || b.AllocsPerOp != 425 {
+		b.NsPerOp != 1203456 || b.NsPerStep != 120.5 || b.ExecsPerSec != 332.3 || b.AllocsPerOp != 425 {
 		t.Fatalf("first benchmark parsed wrong: %+v", b)
 	}
 
@@ -42,12 +42,108 @@ func TestParseAndCompare(t *testing.T) {
 	}
 }
 
-func TestParseIgnoresUnknownUnits(t *testing.T) {
-	benches, err := parse("BenchmarkX 	 10	 5 ns/op	 3 widgets/op\n")
+// TestParseStripsAnyGOMAXPROCSSuffix: the -P suffix must be stripped by
+// pattern, whatever P the benchmarked subprocess ran under — the CI smoke
+// runs the suite at GOMAXPROCS values that differ from benchjson's own.
+func TestParseStripsAnyGOMAXPROCSSuffix(t *testing.T) {
+	out := "BenchmarkRuntimeSteps-2 	 10	 5 ns/op\n" +
+		"BenchmarkExecutionReuse/pingpong/workers=4/pooled-128 	 10	 5 ns/op	 100 execs/s\n"
+	benches, err := parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(benches))
+	}
+	if benches[0].Name != "BenchmarkRuntimeSteps" {
+		t.Fatalf("suffix not stripped: %q", benches[0].Name)
+	}
+	if benches[1].Name != "BenchmarkExecutionReuse/pingpong/workers=4/pooled" {
+		t.Fatalf("suffix not stripped from sub-benchmark: %q", benches[1].Name)
+	}
+	// The stripped sub-benchmark must still key into the derivations.
+	if cell, ok := parseReuseCell(benches[1].Name); !ok || cell.workers != 4 || cell.mode != "pooled" {
+		t.Fatalf("stripped name does not parse as a reuse cell: %+v ok=%v", cell, ok)
+	}
+}
+
+// TestParseKeepsUnknownUnits: custom ReportMetric units the parser has no
+// field for land in Metrics instead of being dropped.
+func TestParseKeepsUnknownUnits(t *testing.T) {
+	benches, err := parse("BenchmarkX 	 10	 5 ns/op	 3 widgets/op	 7.5 execs-to-bug\n")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(benches) != 1 || benches[0].NsPerOp != 5 {
 		t.Fatalf("parse with unknown unit: %+v", benches)
+	}
+	if benches[0].Metrics["widgets/op"] != 3 || benches[0].Metrics["execs-to-bug"] != 7.5 {
+		t.Fatalf("unknown units not kept: %+v", benches[0].Metrics)
+	}
+}
+
+// scalingSample is a full 1/2/4/8 matrix with clean round numbers: the
+// pooled pingpong curve scales at exactly 100/90/75/50 percent
+// efficiency, mtable has no workers=1 point (simulating a filtered -bench
+// run) and must survive with raw rates only.
+var scalingSample = []Benchmark{
+	{Name: "BenchmarkExecutionReuse/pingpong/workers=1/pooled", ExecsPerSec: 1000},
+	{Name: "BenchmarkExecutionReuse/pingpong/workers=2/pooled", ExecsPerSec: 1800},
+	{Name: "BenchmarkExecutionReuse/pingpong/workers=4/pooled", ExecsPerSec: 3000},
+	{Name: "BenchmarkExecutionReuse/pingpong/workers=8/pooled", ExecsPerSec: 4000},
+	{Name: "BenchmarkExecutionReuse/pingpong/workers=1/noreuse", ExecsPerSec: 500},
+	{Name: "BenchmarkExecutionReuse/pingpong/workers=2/noreuse", ExecsPerSec: 800},
+	{Name: "BenchmarkExecutionReuse/mtable/workers=2/pooled", ExecsPerSec: 120},
+	{Name: "BenchmarkRuntimeSteps", NsPerStep: 300},
+}
+
+func TestDeriveScaling(t *testing.T) {
+	curves := deriveScaling(scalingSample)
+	if len(curves) != 3 {
+		t.Fatalf("derived %d curves, want 3 (pingpong/pooled, pingpong/noreuse, mtable/pooled): %+v", len(curves), curves)
+	}
+	pp := curves[0]
+	if pp.Workload != "pingpong" || pp.Mode != "pooled" || len(pp.Points) != 4 {
+		t.Fatalf("first curve wrong: %+v", pp)
+	}
+	wantEff := map[int]float64{1: 100, 2: 90, 4: 75, 8: 50}
+	wantSpeed := map[int]float64{1: 1, 2: 1.8, 4: 3, 8: 4}
+	for _, p := range pp.Points {
+		if p.EfficiencyPct != wantEff[p.Workers] {
+			t.Errorf("workers=%d efficiency = %.1f%%, want %.1f%%", p.Workers, p.EfficiencyPct, wantEff[p.Workers])
+		}
+		if p.Speedup != wantSpeed[p.Workers] {
+			t.Errorf("workers=%d speedup = %.2f, want %.2f", p.Workers, p.Speedup, wantSpeed[p.Workers])
+		}
+	}
+	nr := curves[1]
+	if nr.Mode != "noreuse" || len(nr.Points) != 2 {
+		t.Fatalf("second curve wrong: %+v", nr)
+	}
+	if nr.Points[1].EfficiencyPct != 80 {
+		t.Errorf("noreuse workers=2 efficiency = %.1f%%, want 80%%", nr.Points[1].EfficiencyPct)
+	}
+	// mtable has no 1-worker baseline: raw rate kept, derived fields zero.
+	mt := curves[2]
+	if mt.Workload != "mtable" || len(mt.Points) != 1 {
+		t.Fatalf("third curve wrong: %+v", mt)
+	}
+	if mt.Points[0].ExecsPerSec != 120 || mt.Points[0].Speedup != 0 || mt.Points[0].EfficiencyPct != 0 {
+		t.Errorf("baseline-less curve should keep raw rate with zero derivations: %+v", mt.Points[0])
+	}
+}
+
+func TestDeriveHeadlines(t *testing.T) {
+	heads := deriveHeadlines(scalingSample)
+	if len(heads) != 2 {
+		t.Fatalf("derived %d headlines, want 2: %+v", len(heads), heads)
+	}
+	pp := heads[0]
+	if pp.Workload != "pingpong" || pp.ExecsPerSec != 1000 || pp.BestExecsPerSec != 4000 || pp.BestWorkers != 8 {
+		t.Fatalf("pingpong headline wrong: %+v", pp)
+	}
+	mt := heads[1]
+	if mt.Workload != "mtable" || mt.ExecsPerSec != 0 || mt.BestExecsPerSec != 120 || mt.BestWorkers != 2 {
+		t.Fatalf("mtable headline wrong: %+v", mt)
 	}
 }

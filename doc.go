@@ -114,13 +114,29 @@
 //
 // Repeated execution is the engine's fast path: bug probability is a
 // function of schedules explored per unit time, so per-execution setup
-// is schedules not explored. Each exploration worker recycles its
-// execution state through a runtime pool instead of rebuilding it per
-// iteration — runtimes reset in place, machine structs and inboxes are
-// recycled, machine goroutines park between assignments, and log
-// arguments are only materialized when a log is collected
-// (Context.Logging lets harnesses guard their own expensive
-// descriptions the same way).
+// is schedules not explored. Two mechanisms carry the throughput story.
+//
+// Direct handoff. The runtime keeps exactly one goroutine runnable at a
+// time, but control is not routed through a central engine loop: a
+// machine reaching a scheduling point runs the next scheduling-loop
+// iteration on its own goroutine and hands control straight to the
+// chosen successor through a one-token parking primitive, so a step
+// costs one goroutine wake plus one park (and nothing at all when the
+// scheduler picks the same machine again) instead of the two channel
+// round-trips of an engine-mediated yield/resume. Decisions are recorded
+// into a packed word arena and materialized as trace structs once per
+// execution, only for executions somebody will look at. Together with
+// pooling this puts a scheduling step at ~290ns on the reference box
+// (BenchmarkRuntimeSteps; 834ns before the rewrite — see BENCH_pr4.json
+// vs BENCH_pr6.json for the full trajectory, including the
+// 1/2/4/8-worker scaling matrix and per-harness executions/sec).
+//
+// Pooling. Each exploration worker recycles its execution state through
+// a runtime pool instead of rebuilding it per iteration — runtimes reset
+// in place, machine structs and inboxes are recycled, machine goroutines
+// park between assignments, and log arguments are only materialized when
+// a log is collected (Context.Logging lets harnesses guard their own
+// expensive descriptions the same way).
 //
 // The reuse contract: pooling is semantically invisible. For a fixed
 // seed the results, encoded traces, winner attribution and statistics

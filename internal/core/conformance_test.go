@@ -67,9 +67,10 @@ func TestSchedulerConformanceFaultPlane(t *testing.T) {
 				maxSteps: 300, deadlockDetection: true, faults: probeFaults,
 			})
 			rep := r.execute(faultProbeTest())
+			decisions := r.dec.decode()
 			for _, kind := range []DecisionKind{DecisionTimer, DecisionCrash, DecisionDeliver} {
 				found := false
-				for _, d := range r.decisions {
+				for _, d := range decisions {
 					if d.Kind == kind {
 						found = true
 						break
@@ -79,7 +80,7 @@ func TestSchedulerConformanceFaultPlane(t *testing.T) {
 					t.Fatalf("execution recorded no %q decisions", string(kind))
 				}
 			}
-			tr := newTrace("fault-probe", name, 11, probeFaults, append([]Decision(nil), r.decisions...))
+			tr := newTrace("fault-probe", name, 11, probeFaults, decisions)
 			data, err := tr.Encode()
 			if err != nil {
 				t.Fatal(err)

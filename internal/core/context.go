@@ -49,7 +49,7 @@ func (c *Context) CreateMachine(impl Machine, name string) MachineID {
 // not, and workload choices. Every outcome is recorded in the trace.
 func (c *Context) RandomBool() bool {
 	b := c.r.sched.NextBool()
-	c.r.decisions = append(c.r.decisions, Decision{Kind: DecisionBool, Bool: b})
+	c.r.dec.addBool(b)
 	return b
 }
 
@@ -59,7 +59,7 @@ func (c *Context) RandomInt(n int) int {
 		c.Assert(false, "RandomInt bound must be positive, got %d", n)
 	}
 	v := c.r.sched.NextInt(n)
-	c.r.decisions = append(c.r.decisions, Decision{Kind: DecisionInt, Int: v, N: n})
+	c.r.dec.addInt(v, n)
 	return v
 }
 
@@ -101,12 +101,7 @@ func (c *Context) ReceiveWhere(desc string, pred func(Event) bool) Event {
 	if c.r.logging() {
 		c.r.logf("%s waiting to receive %s", m.label(), desc)
 	}
-	c.r.yield <- struct{}{}
-	<-m.resume
-	m.status = statusRunning
-	if c.r.killed || m.crashed {
-		panic(killSignal{})
-	}
+	c.r.yieldPoint(m)
 	ev := m.popMatch(pred)
 	m.recvPred = nil
 	if c.r.logging() {
@@ -207,7 +202,7 @@ func (c *Context) fireTimer() bool {
 		panic(fmt.Sprintf("core: %s scheduler: timer fault outcome %d out of [0, 2)", r.sched.Name(), out))
 	}
 	fired := out == 1
-	r.decisions = append(r.decisions, Decision{Kind: DecisionTimer, Machine: c.m.id, Bool: fired})
+	r.dec.addTimer(c.m.id, fired)
 	if fired && r.logging() {
 		r.logf("%s fired", c.m.label())
 	}
@@ -246,7 +241,7 @@ func (c *Context) CrashPoint(candidates ...MachineID) MachineID {
 	if out > 0 {
 		victim = live[out-1]
 	}
-	r.decisions = append(r.decisions, Decision{Kind: DecisionCrash, Machine: victim, Int: out, N: n})
+	r.dec.addCrash(victim, out, n)
 	if victim == NoMachine {
 		return NoMachine
 	}
@@ -360,7 +355,7 @@ func (c *Context) SendUnreliable(target MachineID, ev Event) {
 		panic(fmt.Sprintf("core: %s scheduler: delivery fault outcome %d out of [0, %d)", r.sched.Name(), idx, len(outcomes)))
 	}
 	outcome := outcomes[idx]
-	r.decisions = append(r.decisions, Decision{Kind: DecisionDeliver, Machine: target, Int: int(outcome), N: deliveryOutcomes})
+	r.dec.addDeliver(target, int(outcome), deliveryOutcomes)
 	t := r.machines[target]
 	switch outcome {
 	case Drop:

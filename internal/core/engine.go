@@ -406,14 +406,14 @@ func calibrate(t Test, o Options, f *SchedulerFactory, st *runState) (Result, bo
 		o.Progress(1)
 	}
 	if rep != nil {
-		rep.Trace = newTrace(t.Name, sched.Name(), seed, effectiveFaults(t, o), r.decisions)
+		rep.Trace = newTrace(t.Name, sched.Name(), seed, effectiveFaults(t, o), r.dec.decode())
 		rep.Iteration = 0
 		res := Result{
 			BugFound:   true,
 			Report:     rep,
 			Executions: 1,
 			TotalSteps: int64(r.steps),
-			Choices:    len(r.decisions),
+			Choices:    r.dec.len(),
 			Elapsed:    time.Since(st.start),
 		}
 		if !o.NoReplayLog {
@@ -450,11 +450,11 @@ func runSequential(t Test, o Options, sched Scheduler, st runState) Result {
 			o.Progress(res.Executions)
 		}
 		if rep != nil {
-			rep.Trace = newTrace(t.Name, sched.Name(), seed, effectiveFaults(t, o), r.decisions)
+			rep.Trace = newTrace(t.Name, sched.Name(), seed, effectiveFaults(t, o), r.dec.decode())
 			rep.Iteration = i
 			res.BugFound = true
 			res.Report = rep
-			res.Choices = len(r.decisions)
+			res.Choices = r.dec.len()
 			res.Elapsed = time.Since(start)
 			if !o.NoReplayLog {
 				attachReplayLog(t, o, rep)
@@ -561,7 +561,7 @@ func runParallel(t Test, o Options, f SchedulerFactory, workers int, st runState
 					mu.Lock()
 					if int64(i) < bugIndex.Load() {
 						bugIndex.Store(int64(i))
-						rep.Trace = newTrace(t.Name, sched.Name(), seed, effectiveFaults(t, o), r.decisions)
+						rep.Trace = newTrace(t.Name, sched.Name(), seed, effectiveFaults(t, o), r.dec.decode())
 						rep.Iteration = i
 						bugReport = rep
 					}

@@ -143,11 +143,12 @@ type machine struct {
 	defr   Deferrer // impl.(Deferrer), or nil
 	queue  inbox
 	status machineStatus
-	// resume is the channel the engine uses to hand control to the
-	// machine's goroutine. It is assigned at the machine's first scheduling
-	// step: the channel belongs to the hosting machineWorker when the
-	// runtime pools goroutines, or is freshly made otherwise.
-	resume chan struct{}
+	// wait is the parker the machine's goroutine blocks on between
+	// scheduling steps; whoever schedules the machine wakes it. It is
+	// assigned at the machine's first scheduling step: the hosting
+	// machineWorker's parker when the runtime pools goroutines, a fresh
+	// one otherwise.
+	wait parker
 	// ctx is the Context handed to impl's Init/Handle, embedded here so a
 	// machine start allocates nothing.
 	ctx Context

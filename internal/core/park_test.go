@@ -1,0 +1,112 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// parkStressTest is a workload built to exercise every control-transfer
+// path of the parking protocol in one execution: ordinary scheduling
+// handoffs, timer machines, CrashPoint reaping (a machine unwinding a
+// peer's goroutine mid-step), Restart re-arming a recycled machine slot,
+// and — because the timer keeps the system busy until the step bound —
+// shutdown reaping of parked machines at the end.
+func parkStressTest() Test {
+	return Test{
+		Name:   "park-stress",
+		Faults: Faults{MaxCrashes: 2},
+		Entry: func(ctx *Context) {
+			nodes := make([]MachineID, 3)
+			for i := range nodes {
+				nodes[i] = ctx.CreateMachine(&echoMachine{}, fmt.Sprintf("n%d", i))
+			}
+			ctx.StartTimer("tick", nodes[0], Signal("tick"))
+			for round := 0; round < 8; round++ {
+				for _, n := range nodes {
+					ctx.Send(n, pingEvent{From: ctx.ID()})
+				}
+				if v := ctx.CrashPoint(nodes...); v != NoMachine {
+					ctx.Restart(v, &echoMachine{})
+				}
+			}
+		},
+	}
+}
+
+// TestParkingStressCrashRestartRelease makes the free-list ordering
+// argument in pool.go an executable claim: NumCPU concurrent workers,
+// each with its own pool, hammer crash/restart-heavy executions while
+// periodically releasing and rebuilding their pools (the path that tells
+// parked worker goroutines to exit). The race detector is the primary
+// assertion — any handoff missing a happens-before edge shows up here —
+// and on top of it every worker must produce bit-identical decision
+// sequences for identical seeds, pinning that the parking protocol never
+// leaks schedule state across goroutines, executions, or pools.
+func TestParkingStressCrashRestartRelease(t *testing.T) {
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		workers = 4
+	}
+	iters := 200
+	if testing.Short() {
+		iters = 40
+	}
+	o := Options{Iterations: 1, MaxSteps: 500}.withDefaults()
+	digests := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			test := parkStressTest()
+			cfg := o.runtimeConfig(test, false)
+			sched := NewRandomScheduler()
+			pool := newExecPool(o)
+			for i := 0; i < iters; i++ {
+				if i%16 == 15 {
+					// Hammer the release path: all parked worker
+					// goroutines exit, the next execution rebuilds from
+					// scratch.
+					pool.release()
+					pool = newExecPool(o)
+				}
+				if !sched.Prepare(int64(i+1), o.MaxSteps) {
+					t.Errorf("worker %d: Prepare refused execution %d", w, i)
+					return
+				}
+				r := pool.runtime(sched, cfg)
+				if rep := r.execute(test); rep != nil {
+					t.Errorf("worker %d: unexpected bug at seed %d: %v", w, i+1, rep.Error())
+					return
+				}
+				h := fnv.New64a()
+				var buf [8]byte
+				for _, word := range r.dec.words {
+					binary.LittleEndian.PutUint64(buf[:], word)
+					h.Write(buf[:])
+				}
+				digests[w] = append(digests[w], h.Sum64())
+			}
+			pool.release()
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for w := 1; w < workers; w++ {
+		if len(digests[w]) != len(digests[0]) {
+			t.Fatalf("worker %d ran %d executions, worker 0 ran %d", w, len(digests[w]), len(digests[0]))
+		}
+		for i := range digests[w] {
+			if digests[w][i] != digests[0][i] {
+				t.Fatalf("worker %d diverged from worker 0 at seed %d: decision digest %x vs %x",
+					w, i+1, digests[w][i], digests[0][i])
+			}
+		}
+	}
+}

@@ -9,14 +9,15 @@ package core
 // user's own machine code:
 //
 //   - the Runtime itself is reset in place (Runtime.reset) instead of
-//     reallocated: decisions, enabled buffer, pending-crash list, log and
-//     monitor tables keep their storage, fault counters and flags rewind;
+//     reallocated: the decision arena, enabled buffer, pending-crash list,
+//     log and monitor tables keep their storage, fault counters and flags
+//     rewind;
 //   - machine structs and their inbox buffers are recycled through
 //     Runtime.machineCache;
 //   - machine goroutines are recycled through machineWorker: when a machine
-//     terminates, its hosting goroutine parks on the worker's resume
-//     channel instead of exiting, and the engine re-arms it with the next
-//     machine — within the same execution or the next one — instead of
+//     terminates, its hosting goroutine parks on the worker's parker
+//     instead of exiting, and the next first-step arming re-uses it with a
+//     new machine — within the same execution or the next one — instead of
 //     spawning a new goroutine.
 //
 // Pools never cross exploration workers: the exploration paths build one
@@ -25,6 +26,34 @@ package core
 // bit-identical with pooling on and off (Options.NoReuse is the escape
 // hatch); the pooling determinism tests enforce it trace-byte for
 // trace-byte.
+//
+// Free-list ordering argument. The free list (Runtime.freeWorkers) is
+// plain unsynchronized storage, yet it is touched by worker goroutines
+// (putWorker in runMachine's defer) and by whichever goroutine arms a
+// machine's first step (getWorker inside advance). This is race-free
+// because every access happens while holding the runtime's control token,
+// and the token's movement is a chain of parker wake→park edges, each a
+// channel send→receive pair that the memory model orders:
+//
+//   - A reaped worker (crash reaping, shutdown) runs putWorker and then
+//     wakes reapSem; the reaper's park on reapSem returns only after, so
+//     putWorker happens-before any later getWorker on the reaper's side.
+//   - A voluntarily dying worker runs putWorker and then — still on its
+//     own goroutine — the next scheduling iteration (finalStep→advance),
+//     so a getWorker there is ordered by program order; if advance instead
+//     hands off or ends the loop, the wake it issues carries the edge to
+//     the successor.
+//   - Arming (getWorker, then writing w.r/w.m, then w.sem.wake) publishes
+//     the assignment to the worker through the wake→park edge of the
+//     worker's own parker.
+//
+// One consequence of running the iteration on the dying goroutine: it can
+// pop its *own* worker off the free list while arming the successor
+// machine. The worker's parker token is buffered, so this self-handoff
+// just deposits the token and finishes unwinding; the worker's loop
+// consumes it on its next park and picks up the new assignment. (This is
+// also why parker must be buffered — an unbuffered self-send would
+// deadlock; see park.go.)
 
 // execPool recycles one exploration worker's execution state. The zero
 // value is not useful — use newExecPool; a nil pool means "no reuse" and
@@ -66,25 +95,24 @@ func (p *execPool) release() {
 	}
 	for _, w := range p.rt.freeWorkers {
 		w.r = nil
-		w.resume <- struct{}{}
+		w.sem.wake()
 	}
 	p.rt.freeWorkers = nil
 	p.rt = nil
 }
 
 // machineWorker is a pooled goroutine that hosts machine bodies, one at a
-// time. The engine arms it by setting (r, m) and sending on resume; the
-// same channel then carries every subsequent engine→machine handoff for
-// that machine, so the handoff protocol is exactly the unpooled one. When
-// the machine terminates, the worker returns itself to the runtime's free
-// list *before* its final yield to the engine — the engine only pops the
-// free list after receiving that yield, so every free-list access is
-// ordered by the yield/resume channel pair and needs no lock.
+// time. Arming sets (r, m) and wakes the worker's parker; the machine's
+// wait field aliases that same parker, so every subsequent scheduling
+// wake for the machine lands on the worker's park — the handoff protocol
+// is exactly the unpooled one. When the machine terminates, the worker
+// returns itself to the runtime's free list *before* the final token
+// handoff; see the ordering argument at the top of this file.
 type machineWorker struct {
-	resume chan struct{}
-	// r and m are the worker's current assignment, written by the engine
-	// before the arming resume-send and read by the worker after receiving
-	// it. A nil r tells the parked worker to exit (pool release).
+	sem parker
+	// r and m are the worker's current assignment, written by the arming
+	// goroutine before the wake and read by the worker after its park
+	// returns. A nil r tells the parked worker to exit (pool release).
 	r *Runtime
 	m *machine
 }
@@ -93,7 +121,7 @@ type machineWorker struct {
 // and parks again. Exits when released with a nil runtime.
 func (w *machineWorker) loop() {
 	for {
-		<-w.resume
+		w.sem.park()
 		if w.r == nil {
 			return
 		}
@@ -110,14 +138,15 @@ func (r *Runtime) getWorker() *machineWorker {
 		r.freeWorkers = r.freeWorkers[:n-1]
 		return w
 	}
-	w := &machineWorker{resume: make(chan struct{})}
+	w := &machineWorker{sem: newParker()}
 	go w.loop()
 	return w
 }
 
 // putWorker returns a worker to the free list. Called by the worker's own
-// goroutine just before its final yield (see machineWorker); the engine is
-// parked on the yield receive at that moment, so the access is ordered.
+// goroutine in runMachine's defer, before the final token handoff; the
+// ordering argument at the top of this file covers why no other goroutine
+// can be touching the list at that moment.
 func (r *Runtime) putWorker(w *machineWorker) {
 	r.freeWorkers = append(r.freeWorkers, w)
 }
@@ -134,7 +163,7 @@ func (r *Runtime) reset(sched Scheduler, cfg runtimeConfig) {
 		m.impl = nil
 		m.defr = nil
 		m.recvPred = nil
-		m.resume = nil
+		m.wait = parker{}
 		m.crashed = false
 		m.ctx = Context{}
 	}
@@ -152,7 +181,7 @@ func (r *Runtime) reset(sched Scheduler, cfg runtimeConfig) {
 	r.killed = false
 	r.steps = 0
 	r.maxSteps = cfg.maxSteps
-	r.decisions = r.decisions[:0]
+	r.dec.reset()
 	r.bug = nil
 	r.faults = cfg.faults
 	r.crashes, r.drops, r.dups = 0, 0, 0

@@ -133,7 +133,7 @@ func TestPoolingDeterminism(t *testing.T) {
 		{"clean-choices", cleanChoiceTest, Options{Scheduler: "random", Iterations: 300, Seed: 9, NoReplayLog: true}},
 	}
 	for _, c := range cases {
-		for _, workers := range []int{1, 4} {
+		for _, workers := range []int{1, 2, 4, 8} {
 			t.Run(fmt.Sprintf("%s/workers=%d", c.name, workers), func(t *testing.T) {
 				pooled := c.opts
 				pooled.Workers = workers
@@ -240,8 +240,9 @@ func TestPoolReleaseStopsWorkers(t *testing.T) {
 	}
 }
 
-// TestTraceOwnsItsDecisions pins the newTrace copy: resetting the runtime
-// that recorded a trace must not clobber the trace's decision sequence.
+// TestTraceOwnsItsDecisions pins the decode-out-of-the-arena contract:
+// resetting the runtime that recorded a trace must not clobber the
+// trace's decision sequence.
 func TestTraceOwnsItsDecisions(t *testing.T) {
 	o := Options{Iterations: 1, MaxSteps: 1000}.withDefaults()
 	pool := newExecPool(o)
@@ -252,7 +253,7 @@ func TestTraceOwnsItsDecisions(t *testing.T) {
 	sched.Prepare(1, o.MaxSteps)
 	r := pool.runtime(sched, o.runtimeConfig(test, false))
 	r.execute(test)
-	tr := newTrace(test.Name, sched.Name(), 1, Faults{}, r.decisions)
+	tr := newTrace(test.Name, sched.Name(), 1, Faults{}, r.dec.decode())
 	recorded := append([]Decision(nil), tr.Decisions...)
 
 	sched.Prepare(99, o.MaxSteps)

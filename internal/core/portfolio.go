@@ -218,7 +218,7 @@ func explorePortfolio(t Test, o Options) (Result, error) {
 				mu.Lock()
 				if g < bestGlobal.Load() {
 					bestGlobal.Store(g)
-					rep.Trace = newTrace(t.Name, sched.Name(), seed, effectiveFaults(t, o), r.decisions)
+					rep.Trace = newTrace(t.Name, sched.Name(), seed, effectiveFaults(t, o), r.dec.decode())
 					rep.Iteration = i
 					bugReport = rep
 					winner = m

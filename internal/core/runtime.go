@@ -25,33 +25,47 @@ func effectiveLogCap(cap int) int {
 // between executions so repeated execution allocates almost nothing.
 //
 // Concurrency model: every machine runs on its own goroutine, but the
-// runtime enforces that exactly one goroutine — either the engine loop or a
-// single machine — is runnable at a time. Control moves from the engine to
-// a machine through the machine's resume channel and back through the
-// shared yield channel. Every Context operation is therefore a
-// deterministic scheduling point.
+// runtime enforces that exactly one goroutine — the engine, a machine, or
+// the crash reaper — is runnable at a time; whoever is runnable holds the
+// control token. Control moves by direct handoff: a machine reaching a
+// scheduling point runs the next scheduling-loop iteration itself
+// (advance) and wakes the chosen successor's parker before parking its
+// own, so one step costs one goroutine switch instead of the two the old
+// engine-mediated yield/resume handshake paid. The engine goroutine only
+// runs at the start and end of an execution; crash reaping briefly makes
+// the reaping machine a third party (see reapCrashes). Every Context
+// operation is a deterministic scheduling point.
 type Runtime struct {
 	sched     FaultScheduler
 	machines  []*machine
 	monitors  []*monitorEntry
 	monByName map[string]*monitorEntry
 
-	yield   chan struct{}
-	current *machine
-	killed  bool
+	// engineSem parks the engine goroutine for the duration of an
+	// execution's machine-to-machine handoff chain; whichever machine
+	// ends the loop (advance returning advDone) wakes it. reapSem parks a
+	// machine that is reaping a doomed peer (crash, stopped timer, or
+	// shutdown) until the victim's goroutine has finished unwinding.
+	engineSem parker
+	reapSem   parker
+	current   *machine
+	killed    bool
 
-	steps     int
-	maxSteps  int
-	decisions []Decision
-	bug       *BugReport
+	steps    int
+	maxSteps int
+	dec      decArena
+	bug      *BugReport
 
 	// faults is the execution's fault budget; crashes/drops/dups count
 	// the injections charged against it so far. pendingCrash holds
-	// machines doomed by Crash/CrashPoint/StopTimer whose goroutines the
-	// engine reaps at its next loop iteration (a machine cannot safely
-	// unwind another machine's goroutine itself — the victim's final
-	// yield handoff must go to the engine, the only goroutine parked on
-	// the shared yield channel from the engine side).
+	// machines doomed by Crash/CrashPoint/StopTimer, reaped at the next
+	// scheduling-loop iteration by whichever goroutine runs it (usually
+	// the machine that issued the crash, via advance): the reaper wakes
+	// each victim so it unwinds via killSignal, and parks on reapSem
+	// until the victim's defer hands control back. A machine is never in
+	// its own pendingCrash list — Crash(self) takes the Halt path before
+	// the list is touched, and a dying machine is statusHalted before its
+	// defer reaps — so the reaper cannot deadlock on itself.
 	faults       Faults
 	crashes      int
 	drops        int
@@ -111,7 +125,8 @@ func newRuntime(sched Scheduler, cfg runtimeConfig) *Runtime {
 	return &Runtime{
 		sched:             asFaultScheduler(sched),
 		monByName:         make(map[string]*monitorEntry),
-		yield:             make(chan struct{}),
+		engineSem:         newParker(),
+		reapSem:           newParker(),
 		maxSteps:          cfg.maxSteps,
 		temperature:       cfg.temperature,
 		livenessAtBound:   cfg.livenessAtBound,
@@ -148,41 +163,100 @@ func (r *Runtime) execute(t Test) (rep *BugReport) {
 	}
 	r.entry = entryMachine{entry: t.Entry}
 	r.createMachine(&r.entry, "harness")
-	r.loop()
+	r.runLoop()
 	return r.bug
 }
 
-// loop is the engine loop: pick an enabled machine, step it, repeat.
-func (r *Runtime) loop() {
-	for r.bug == nil && r.divergence == nil {
-		r.reapCrashes()
-		if r.abort != nil && r.abort() {
-			r.aborted = true
-			return
-		}
-		if r.steps >= r.maxSteps {
-			if r.livenessAtBound {
-				r.checkLiveness("execution exceeded the step bound and is treated as infinite")
-			}
-			return
-		}
-		enabled := r.enabledMachines()
-		if len(enabled) == 0 {
-			r.checkTermination()
-			return
-		}
-		cur := NoMachine
-		if r.current != nil {
-			cur = r.current.id
-		}
-		next := r.sched.NextMachine(enabled, cur)
-		r.decisions = append(r.decisions, Decision{Kind: DecisionSchedule, Machine: next})
-		r.steps++
-		r.stepMachine(r.machines[next])
-		if r.bug == nil && r.temperature > 0 {
-			r.checkTemperature()
-		}
+// runLoop drives the scheduling loop from the engine goroutine's point of
+// view: kick off the first iteration, then park until some machine ends
+// the loop. Every later iteration runs inline on whichever machine
+// reached a scheduling point (yieldPoint) or terminated (finalStep) —
+// the engine is not involved in steady-state handoffs at all.
+func (r *Runtime) runLoop() {
+	if r.advance(nil) == advHandoff {
+		r.engineSem.park()
 	}
+}
+
+// advAction is advance's verdict on who runs next.
+type advAction int8
+
+const (
+	// advContinue: the caller's own machine was scheduled again — keep
+	// running, no handoff needed.
+	advContinue advAction = iota
+	// advHandoff: control was handed to another machine; the caller must
+	// park (or, for the engine/a dying goroutine, simply step aside).
+	advHandoff
+	// advDone: the execution is over (bug, divergence, abort, bound, or
+	// quiescence); whoever holds the token must wake the engine.
+	advDone
+)
+
+// advance runs one scheduling-loop iteration on the calling goroutine:
+// finish the bookkeeping of the step that just ended, then pick and wake
+// the next machine. from is the caller's machine (nil when called from
+// the engine at loop start or from a dying machine's finalStep). The
+// check order — temperature, loop condition, crash reaping, abort, step
+// bound, quiescence, scheduling — is exactly the old engine loop's and is
+// observable through traces, so don't reorder it.
+func (r *Runtime) advance(from *machine) advAction {
+	if r.steps > 0 && r.bug == nil && r.temperature > 0 {
+		r.checkTemperature()
+	}
+	if r.bug != nil || r.divergence != nil {
+		return advDone
+	}
+	r.reapCrashes()
+	if r.abort != nil && r.abort() {
+		r.aborted = true
+		return advDone
+	}
+	if r.steps >= r.maxSteps {
+		if r.livenessAtBound {
+			r.checkLiveness("execution exceeded the step bound and is treated as infinite")
+		}
+		return advDone
+	}
+	enabled := r.enabledMachines()
+	if len(enabled) == 0 {
+		r.checkTermination()
+		return advDone
+	}
+	cur := NoMachine
+	if r.current != nil {
+		cur = r.current.id
+	}
+	next := r.sched.NextMachine(enabled, cur)
+	r.dec.addSchedule(next)
+	r.steps++
+	m := r.machines[next]
+	r.current = m
+	if m == from {
+		return advContinue
+	}
+	r.startOrWake(m)
+	return advHandoff
+}
+
+// startOrWake transfers control to m: a machine's first scheduling step
+// arms its goroutine (a recycled machineWorker on a pooled runtime, a
+// fresh goroutine otherwise); later steps just deposit its wake token.
+func (r *Runtime) startOrWake(m *machine) {
+	if m.status == statusCreated {
+		m.status = statusRunning
+		if r.reuse {
+			w := r.getWorker()
+			w.r, w.m = r, m
+			m.wait = w.sem
+			w.sem.wake()
+		} else {
+			m.wait = newParker()
+			go r.runMachine(m, nil)
+		}
+		return
+	}
+	m.wait.wake()
 }
 
 // enabledMachines returns the IDs of all schedulable machines in ID order.
@@ -205,40 +279,24 @@ func (r *Runtime) enabledMachines() []MachineID {
 	return r.enabledBuf
 }
 
-// stepMachine transfers control to m until its next scheduling point. A
-// machine's first step arms its goroutine: a recycled machineWorker on a
-// pooled runtime, a fresh goroutine otherwise.
-func (r *Runtime) stepMachine(m *machine) {
-	r.current = m
-	if m.status == statusCreated {
-		m.status = statusRunning
-		if r.reuse {
-			w := r.getWorker()
-			w.r, w.m = r, m
-			m.resume = w.resume
-			w.resume <- struct{}{}
-		} else {
-			m.resume = make(chan struct{})
-			go r.runMachine(m, nil)
-		}
-	} else {
-		m.resume <- struct{}{}
-	}
-	<-r.yield
-}
-
 // runMachine is the body of a machine's goroutine: Init, then the event
-// loop. It unwinds via panic signals (halt, kill, bug) and always hands
-// control back to the engine exactly once on exit. When hosted by a pooled
-// machineWorker, the worker is returned to the free list before that final
-// handoff — the engine receives the handoff on its side of the shared
-// yield channel (the crash-reaping invariant), so it never observes a
-// terminated machine whose worker is still in flight.
+// loop. It unwinds via panic signals (halt, kill, bug) and passes the
+// control token on exactly once on exit: a reaped machine (killSignal)
+// hands it back to the reaper parked on reapSem; every other termination
+// still holds the token and runs the next scheduling iteration itself
+// (finalStep). When hosted by a pooled machineWorker, the worker is
+// returned to the free list before either handoff — see pool.go for why
+// that ordering is race-free.
 func (r *Runtime) runMachine(m *machine, w *machineWorker) {
 	defer func() {
+		reaped := false
 		switch p := recover().(type) {
-		case nil, haltSignal, killSignal:
-			// Normal terminations.
+		case nil, haltSignal:
+			// Voluntary terminations.
+		case killSignal:
+			// Unwound by a reaper (crash reaping or shutdown) that is
+			// parked on reapSem waiting for this goroutine to finish.
+			reaped = true
 		case bugSignal:
 			// Violation already recorded on the runtime.
 		case replayDivergence:
@@ -257,13 +315,17 @@ func (r *Runtime) runMachine(m *machine, w *machineWorker) {
 		if w != nil {
 			r.putWorker(w)
 		}
-		r.yield <- struct{}{}
+		if reaped {
+			r.reapSem.wake()
+			return
+		}
+		r.finalStep()
 	}()
 	m.ctx = Context{r: r, m: m}
 	m.impl.Init(&m.ctx)
 	for {
 		m.status = statusWaitDequeue
-		r.yieldToEngine(m)
+		r.yieldPoint(m)
 		ev := m.popDequeuable()
 		if r.logging() {
 			r.logf("%s dequeued %s", m.label(), ev.Name())
@@ -272,11 +334,43 @@ func (r *Runtime) runMachine(m *machine, w *machineWorker) {
 	}
 }
 
-// yieldToEngine parks the calling machine goroutine until the engine steps
-// it again. Must be called with m == the goroutine's own machine.
-func (r *Runtime) yieldToEngine(m *machine) {
-	r.yield <- struct{}{}
-	<-m.resume
+// finalStep runs the scheduling iteration that follows a machine's death,
+// on the dying goroutine itself, and routes the control token to whoever
+// advance picked (or to the engine when the loop is over). It runs after
+// the machine's cleanup, so advance observes it as halted. The scheduler
+// may detect a replay divergence while picking the successor; since this
+// frame is itself inside a deferred recover, that panic must be caught
+// here — letting it propagate would kill the process.
+func (r *Runtime) finalStep() {
+	defer func() {
+		switch p := recover().(type) {
+		case nil:
+		case replayDivergence:
+			r.divergence = p
+			r.engineSem.wake()
+		default:
+			panic(p)
+		}
+	}()
+	if r.advance(nil) == advDone {
+		r.engineSem.wake()
+	}
+}
+
+// yieldPoint is a machine's scheduling point: run the next loop iteration
+// right here, hand control to whoever was picked, and park until this
+// machine is picked again. Must be called with m == the goroutine's own
+// machine. The advContinue fast path — the scheduler picked m again — is
+// free: no park, no wake, no goroutine switch.
+func (r *Runtime) yieldPoint(m *machine) {
+	switch r.advance(m) {
+	case advContinue:
+	case advHandoff:
+		m.wait.park()
+	case advDone:
+		r.engineSem.wake()
+		m.wait.park()
+	}
 	m.status = statusRunning
 	if r.killed || m.crashed {
 		panic(killSignal{})
@@ -284,10 +378,13 @@ func (r *Runtime) yieldToEngine(m *machine) {
 }
 
 // reapCrashes unwinds the goroutines of machines doomed by the fault plane
-// (Crash, a taken CrashPoint, StopTimer). It runs on the engine goroutine
-// between steps, where resuming a victim so it can panic out of its
-// handler is safe: the engine is the only other runnable goroutine, so the
-// victim's final handoff is received here and nowhere else.
+// (Crash, a taken CrashPoint, StopTimer). It runs inside advance on
+// whatever goroutine holds the control token — usually the machine whose
+// Crash call queued the victim. Waking a victim so it can panic out of
+// its handler momentarily makes two goroutines runnable; the reaper
+// immediately parks on reapSem, which the victim's defer wakes after its
+// cleanup, restoring single-runnability and ordering every write the
+// victim made (free list, machine state) before the reaper continues.
 func (r *Runtime) reapCrashes() {
 	for len(r.pendingCrash) > 0 {
 		m := r.machines[r.pendingCrash[0]]
@@ -302,8 +399,8 @@ func (r *Runtime) reapCrashes() {
 			m.recvPred = nil
 		default:
 			m.crashed = true
-			m.resume <- struct{}{}
-			<-r.yield
+			m.wait.wake()
+			r.reapSem.park()
 		}
 	}
 }
@@ -311,7 +408,7 @@ func (r *Runtime) reapCrashes() {
 // schedulingPoint is a voluntary yield mid-handler (after Send, Create...).
 func (r *Runtime) schedulingPoint(m *machine) {
 	m.status = statusRunning
-	r.yieldToEngine(m)
+	r.yieldPoint(m)
 }
 
 // createMachine registers a machine; its goroutine starts lazily on its
@@ -359,9 +456,10 @@ func (r *Runtime) addMonitor(mon Monitor) {
 	mon.Init(e.mc)
 }
 
-// shutdown reaps every live machine goroutine. After it returns no
-// goroutine of this runtime remains runnable: unpooled goroutines have
-// exited, pooled ones are parked on their workers in the free list.
+// shutdown reaps every live machine goroutine, from the engine goroutine
+// after the loop ended. After it returns no goroutine of this runtime
+// remains runnable: unpooled goroutines have exited, pooled ones are
+// parked on their workers in the free list.
 func (r *Runtime) shutdown() {
 	r.killed = true
 	for _, m := range r.machines {
@@ -369,8 +467,8 @@ func (r *Runtime) shutdown() {
 		case statusCreated, statusHalted:
 			m.status = statusHalted
 		default:
-			m.resume <- struct{}{}
-			<-r.yield
+			m.wait.wake()
+			r.reapSem.park()
 		}
 	}
 }

@@ -106,9 +106,9 @@ type Trace struct {
 }
 
 // newTrace builds an engine-recorded trace at the current format version.
-// The decision sequence is copied: the engine's pooled runtimes recycle
-// their decisions buffer across executions, so a trace must own its slice
-// to survive the runtime's next reset.
+// decisions must be a freshly materialized slice the trace can own —
+// decArena.decode allocates one out of the arena precisely so that pooled
+// reuse of the arena's storage stays invisible to the trace.
 func newTrace(test, scheduler string, seed int64, faults Faults, decisions []Decision) *Trace {
 	return &Trace{
 		Version:   TraceVersion,
@@ -116,8 +116,109 @@ func newTrace(test, scheduler string, seed int64, faults Faults, decisions []Dec
 		Scheduler: scheduler,
 		Seed:      seed,
 		Faults:    faults,
-		Decisions: append([]Decision(nil), decisions...),
+		Decisions: decisions,
 	}
+}
+
+// decArena is the engine's per-execution decision log, packed into a flat
+// word arena instead of a []Decision. Recording a decision on the hot path
+// appends one word (three for the int-carrying kinds) to a growing slice
+// the pool recycles across executions; the 40-byte Decision structs are
+// materialized once per execution by decode — and only for executions
+// somebody will actually look at (a bug was found, or a conformance/test
+// harness wants the trace). Clean exploration executions, the vast
+// majority, never pay for struct encoding at all.
+//
+// Word layout: bits 0..7 the DecisionKind, bit 8 the Bool, bits 32..63 the
+// MachineID as a uint32 bit pattern (NoMachine = -1 round-trips). Kinds
+// that carry Int/N (int, crash, deliver) append both as full words, so
+// arbitrary int values survive unclipped.
+type decArena struct {
+	words []uint64
+	n     int
+}
+
+const decBoolBit = 1 << 8
+
+func decHeader(kind DecisionKind, m MachineID, b bool) uint64 {
+	h := uint64(kind) | uint64(uint32(m))<<32
+	if b {
+		h |= decBoolBit
+	}
+	return h
+}
+
+// len returns the number of decisions recorded so far (the paper's #NDC
+// for the execution).
+func (a *decArena) len() int { return a.n }
+
+// reset rewinds the arena, keeping its storage for the next execution.
+func (a *decArena) reset() {
+	a.words = a.words[:0]
+	a.n = 0
+}
+
+func (a *decArena) addSchedule(m MachineID) {
+	a.words = append(a.words, decHeader(DecisionSchedule, m, false))
+	a.n++
+}
+
+// addBool records a RandomBool outcome. The machine field is the Decision
+// zero value (0, not NoMachine): bool decisions have always been recorded
+// machine-less, and decode must reproduce that bit pattern exactly for
+// struct comparisons and trace bytes to stay identical.
+func (a *decArena) addBool(b bool) {
+	a.words = append(a.words, decHeader(DecisionBool, 0, b))
+	a.n++
+}
+
+// addInt records a RandomInt outcome (machine-less, like addBool).
+func (a *decArena) addInt(v, n int) {
+	a.words = append(a.words, decHeader(DecisionInt, 0, false), uint64(v), uint64(n))
+	a.n++
+}
+
+func (a *decArena) addTimer(m MachineID, fired bool) {
+	a.words = append(a.words, decHeader(DecisionTimer, m, fired))
+	a.n++
+}
+
+func (a *decArena) addCrash(victim MachineID, out, n int) {
+	a.words = append(a.words, decHeader(DecisionCrash, victim, false), uint64(out), uint64(n))
+	a.n++
+}
+
+func (a *decArena) addDeliver(target MachineID, outcome, n int) {
+	a.words = append(a.words, decHeader(DecisionDeliver, target, false), uint64(outcome), uint64(n))
+	a.n++
+}
+
+// decode materializes the recorded sequence as a fresh []Decision the
+// caller owns (safe to hand to newTrace and to outlive the arena's next
+// reset). Returns nil for an empty arena, matching the old nil decisions
+// slice of an execution that made no choices.
+func (a *decArena) decode() []Decision {
+	if a.n == 0 {
+		return nil
+	}
+	out := make([]Decision, a.n)
+	w := a.words
+	i := 0
+	for k := range out {
+		h := w[i]
+		d := &out[k]
+		d.Kind = DecisionKind(h & 0xff)
+		d.Machine = MachineID(int32(uint32(h >> 32)))
+		d.Bool = h&decBoolBit != 0
+		i++
+		switch d.Kind {
+		case DecisionInt, DecisionCrash, DecisionDeliver:
+			d.Int = int(int64(w[i]))
+			d.N = int(int64(w[i+1]))
+			i += 2
+		}
+	}
+	return out
 }
 
 // traceDecisionJSON is the compact wire form of a Decision.

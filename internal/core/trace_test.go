@@ -33,6 +33,59 @@ func TestTraceRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDecArenaRoundTrip pins the arena packing against the struct
+// literals the engine used to append directly: decode must reproduce the
+// exact Decision values — including the Machine=0 zero value of the
+// machine-less bool/int kinds (not NoMachine), which trace-byte and
+// struct-equality compatibility depend on — and the arena must survive
+// reset and negative or large int payloads.
+func TestDecArenaRoundTrip(t *testing.T) {
+	var a decArena
+	a.addSchedule(3)
+	a.addBool(true)
+	a.addBool(false)
+	a.addInt(7, 10)
+	a.addTimer(5, true)
+	a.addTimer(6, false)
+	a.addCrash(NoMachine, 0, 4)
+	a.addCrash(2, 3, 4)
+	a.addDeliver(1, 2, 3)
+	a.addInt(-9, 1<<40)
+	want := []Decision{
+		{Kind: DecisionSchedule, Machine: 3},
+		{Kind: DecisionBool, Bool: true},
+		{Kind: DecisionBool, Bool: false},
+		{Kind: DecisionInt, Int: 7, N: 10},
+		{Kind: DecisionTimer, Machine: 5, Bool: true},
+		{Kind: DecisionTimer, Machine: 6, Bool: false},
+		{Kind: DecisionCrash, Machine: NoMachine, Int: 0, N: 4},
+		{Kind: DecisionCrash, Machine: 2, Int: 3, N: 4},
+		{Kind: DecisionDeliver, Machine: 1, Int: 2, N: 3},
+		{Kind: DecisionInt, Int: -9, N: 1 << 40},
+	}
+	if a.len() != len(want) {
+		t.Fatalf("len = %d, want %d", a.len(), len(want))
+	}
+	got := a.decode()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("decode mismatch:\ngot  %v\nwant %v", got, want)
+	}
+	// decode is a fresh copy: a second call must not alias the first.
+	got2 := a.decode()
+	got2[0].Machine = 99
+	if got[0].Machine != 3 {
+		t.Fatal("decode results alias each other")
+	}
+	a.reset()
+	if a.len() != 0 || a.decode() != nil {
+		t.Fatalf("reset arena not empty: len=%d", a.len())
+	}
+	a.addSchedule(1)
+	if d := a.decode(); len(d) != 1 || d[0] != (Decision{Kind: DecisionSchedule, Machine: 1}) {
+		t.Fatalf("arena after reset decodes wrong: %v", d)
+	}
+}
+
 // TestTraceRoundTripProperty checks encode/decode over randomly generated
 // decision sequences.
 func TestTraceRoundTripProperty(t *testing.T) {
