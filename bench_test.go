@@ -162,6 +162,45 @@ func BenchmarkParallelMTable(b *testing.B) {
 	}
 }
 
+// BenchmarkGuidedMTable is the coverage-guided acceptance benchmark: on
+// the seeded BugTombstoneOutputETag scenario — the rarest of the
+// default-workload mtable bugs, deep enough that the corpus is in
+// active use before the bug lands — the mutational scheduler reaches
+// the violation in fewer iterations than random and pct at the same
+// seed and budget (197 vs 874 vs 4014 at seed 2; every number is
+// deterministic, so the cells are stable). Each cell reports
+// iters-to-bug alongside wall-clock. The margin on mtable is
+// seed-dependent — the harness's event stream hashes novel almost
+// every execution, so the coverage gradient is weak here (see
+// ROADMAP: signal shaping); the workload-robust guided win across
+// seeds is pinned by TestMutationalBeatsRandomOnStagedRatchet in
+// internal/core.
+func BenchmarkGuidedMTable(b *testing.B) {
+	test := mharness.Test(mharness.HarnessConfig{Bugs: mtable.BugTombstoneOutputETag})
+	iters := map[string]int{}
+	for _, sched := range []string{"random", "pct", "mutational"} {
+		b.Run(sched, func(b *testing.B) {
+			b.ReportAllocs()
+			found := 0
+			for i := 0; i < b.N; i++ {
+				res := core.MustExplore(test, core.Options{
+					Scheduler: sched, Iterations: 6000, MaxSteps: 30000,
+					Seed: 2, NoReplayLog: true,
+				})
+				if !res.BugFound {
+					b.Fatalf("%s did not find the seeded bug within the budget", sched)
+				}
+				found = res.Report.Iteration
+			}
+			iters[sched] = found
+			b.ReportMetric(float64(found), "iters-to-bug")
+		})
+	}
+	if m, r, p := iters["mutational"], iters["random"], iters["pct"]; m >= r || m >= p {
+		b.Fatalf("mutational (iteration %d) did not beat random (%d) and pct (%d)", m, r, p)
+	}
+}
+
 // scalingWorkerCounts is the fixed 1/2/4/8 sweep of the worker-scaling
 // matrix. It is deliberately not capped at NumCPU: the oversubscribed
 // points document how the engine behaves past the core count, and the

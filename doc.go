@@ -76,6 +76,43 @@
 // points with strategy; otherwise they are answered uniformly through
 // the scheduler's NextInt stream.
 //
+// # Coverage-guided exploration
+//
+// WithScheduler("mutational") selects the feedback strategy: classic
+// mutational fuzzing transplanted to schedules. Every execution computes
+// a cheap coverage fingerprint — an order-sensitive FNV-style hash mixed
+// incrementally on the hot path at each event dequeue (machine, event
+// name), each monitor notification, and each monitor hot/cold state
+// transition; step numbers are deliberately excluded, so the fingerprint
+// abstracts "which behavior happened" away from "exactly when". An
+// execution whose fingerprint was never seen before witnessed a
+// behaviorally new schedule, and its decision sequence (the same
+// versioned format traces carry) enters a bounded corpus — the first
+// WithCorpusSize novel behaviors, in canonical iteration order, win. The
+// mutational scheduler replays a random prefix of a random corpus entry
+// and re-randomizes everything after the cut (splicing is lenient: any
+// mismatch with the live execution abandons the prefix), so an
+// interleaving that drove the system into a rare state is reused as the
+// starting point for finding the bug behind that state.
+//
+// Determinism is preserved, with one caveat worth knowing. The corpus
+// evolves in fixed-size generations (a constant number of iterations,
+// independent of worker count): frozen within a generation, merged at
+// the barrier in canonical iteration order. Results — including
+// Result.Corpus, the fingerprints of the final corpus — therefore stay
+// bit-identical at every worker count for a fixed seed and budget. The
+// caveat: unlike random or pct, an execution's schedule is a function of
+// (seed, iteration, corpus snapshot), so truncating the iteration budget
+// can change which schedule a given iteration explores; reproduce a
+// feedback run with the same seed AND the same budget. Reported traces
+// replay exactly regardless, as for every scheduler. In a portfolio, one
+// feedback member moves the fleet onto the generation loop and all
+// members share one corpus: a random member that stumbles into a novel
+// behavior seeds the prefixes the mutational member splices. Custom
+// schedulers opt in by declaring Feedback in their SchedulerSpec and
+// implementing FeedbackScheduler; the conformance matrix then also
+// checks them with a synthetic corpus attached.
+//
 // # Fault plane
 //
 // Every classic fault of a distributed storage system is a first-class,

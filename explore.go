@@ -89,6 +89,8 @@ type Config struct {
 	StopAfter time.Duration
 	// LogCap bounds the replay log.
 	LogCap int
+	// CorpusSize bounds the exploration corpus of feedback schedulers.
+	CorpusSize int
 	// Faults is the effective fault budget of the run: the test's
 	// declared budget, a WithFaults override, or the zero budget under
 	// WithNoFaults.
@@ -122,6 +124,7 @@ func Resolve(t Test, opts ...Option) (Config, error) {
 		Temperature: o.Temperature,
 		StopAfter:   o.StopAfter,
 		LogCap:      o.LogCap,
+		CorpusSize:  o.CorpusSize,
 		Faults:      o.EffectiveFaults(t),
 	}
 	if len(o.Portfolio) > 0 {

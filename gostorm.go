@@ -109,11 +109,18 @@ type (
 	// answered uniformly through their NextInt stream.
 	FaultScheduler = core.FaultScheduler
 	// SchedulerSpec describes one registered scheduler: contract bits
-	// (Sequential, Adaptive) and a constructor.
+	// (Sequential, Adaptive, Feedback) and a constructor.
 	SchedulerSpec = core.SchedulerSpec
 	// LengthHinted is implemented by adaptive schedulers that accept the
 	// engine's shared program-length estimate.
 	LengthHinted = core.LengthHinted
+	// FeedbackScheduler is implemented by coverage-guided schedulers: the
+	// engine attaches the run's shared exploration corpus, which the
+	// scheduler must treat as read-only.
+	FeedbackScheduler = core.FeedbackScheduler
+	// Corpus is the bounded, deterministically evolved set of interesting
+	// trace prefixes a feedback scheduler mutates (see WithCorpusSize).
+	Corpus = core.Corpus
 )
 
 // NoMachine is the "no machine" identifier (e.g. a declined CrashPoint).

@@ -100,7 +100,13 @@ func compareStreams(name, what string, a, b []string) error {
 //     to the next branch of their enumeration — and are checked for
 //     fresh-instance determinism only;
 //   - with exactly one enabled machine the scheduler picks it, whatever
-//     its internal state.
+//     its internal state;
+//   - a scheduler whose spec declares Feedback is additionally checked
+//     with a fixed synthetic corpus attached: fresh instances sharing
+//     the corpus must still make identical in-range decisions for the
+//     same seed, and re-preparing must still reseed totally. (The first
+//     pass runs it corpus-less, pinning the required degenerate-to-
+//     ordinary behavior.)
 //
 // Pass depth <= 0 for the default exploration depth.
 func VerifySchedulerConformance(name string, depth int) error {
@@ -114,6 +120,50 @@ func VerifySchedulerConformance(name string, depth int) error {
 	if f.Adaptive() {
 		f = f.WithLengthHint(64)
 	}
+	if err := verifyFactoryDeterminism(name, f); err != nil {
+		return err
+	}
+	if f.Feedback() {
+		// The corpus deliberately mixes prefixes that splice cleanly into
+		// the synthetic workload with ones that diverge immediately, so
+		// both the replay path and the abandon-and-randomize path are
+		// under the determinism check.
+		synth := newCorpus(4)
+		synth.add(0x1001, 0, []Decision{
+			{Kind: DecisionSchedule, Machine: 0},
+			{Kind: DecisionBool, Bool: true},
+			{Kind: DecisionInt, Int: 0, N: 1},
+			{Kind: DecisionInt, Int: 1, N: 2},
+			{Kind: DecisionSchedule, Machine: 1},
+		})
+		synth.add(0x1002, 1, []Decision{
+			{Kind: DecisionSchedule, Machine: 99}, // never enabled: instant divergence
+		})
+		synth.add(0x1003, 2, []Decision{
+			{Kind: DecisionBool, Bool: false}, // wrong kind at the first call
+		})
+		if err := verifyFactoryDeterminism(name+" (with corpus)", f.WithCorpus(synth)); err != nil {
+			return err
+		}
+	}
+
+	// Singleton enabled set: with one choice there is no choice.
+	s := f.New()
+	if !s.Prepare(3, 1000) {
+		return fmt.Errorf("%s: Prepare(3) refused the first execution", name)
+	}
+	for step := 0; step < 50; step++ {
+		only := MachineID(step % 11)
+		if got := s.NextMachine([]MachineID{only}, NoMachine); got != only {
+			return fmt.Errorf("%s: step %d: NextMachine([%d]) = %d", name, step, only, got)
+		}
+	}
+	return nil
+}
+
+// verifyFactoryDeterminism drives the fresh-instance and re-Prepare
+// determinism checks for one factory configuration.
+func verifyFactoryDeterminism(name string, f SchedulerFactory) error {
 	for _, seed := range []int64{0, 1, 42, -7} {
 		a, b := f.New(), f.New()
 		if a == nil || b == nil {
@@ -149,18 +199,6 @@ func VerifySchedulerConformance(name string, depth int) error {
 		}
 		if err := compareStreams(name, fmt.Sprintf("re-Prepare, seed %d", seed), sa, sc); err != nil {
 			return err
-		}
-	}
-
-	// Singleton enabled set: with one choice there is no choice.
-	s := f.New()
-	if !s.Prepare(3, 1000) {
-		return fmt.Errorf("%s: Prepare(3) refused the first execution", name)
-	}
-	for step := 0; step < 50; step++ {
-		only := MachineID(step % 11)
-		if got := s.NextMachine([]MachineID{only}, NoMachine); got != only {
-			return fmt.Errorf("%s: step %d: NextMachine([%d]) = %d", name, step, only, got)
 		}
 	}
 	return nil

@@ -1,0 +1,100 @@
+package core
+
+// This file is the exploration corpus: the bounded set of "interesting"
+// trace prefixes that coverage-guided (feedback) schedulers mutate. An
+// execution is interesting when its coverage fingerprint (Runtime.cov —
+// the incremental hash of event deliveries and monitor-state transitions)
+// has not been seen before: it witnessed a behaviorally new schedule, so
+// its decision sequence is worth replaying and perturbing.
+//
+// Determinism contract. The corpus is shared mutable state between
+// exploration workers, which would normally break the engine's
+// bit-identical-at-any-worker-count guarantee. The feedback exploration
+// paths therefore evolve it in fixed-size generations (feedbackRoundSize
+// iterations, a constant independent of the worker count): within a
+// generation the corpus is frozen — schedulers only read it — and
+// candidates recorded by the generation's executions are merged at the
+// barrier in canonical iteration order. The corpus state any iteration
+// observes is thus a pure function of (seed, iteration), never of how the
+// engine's workers happened to interleave.
+
+// defaultCorpusSize is the corpus capacity when Options.CorpusSize is 0.
+const defaultCorpusSize = 64
+
+// feedbackRoundSize is the number of iterations per corpus generation.
+// It is a fixed constant — NOT derived from the worker count — because
+// the corpus snapshot an iteration runs against is part of the
+// determinism contract: iteration i always observes the corpus as of
+// generation i/feedbackRoundSize, whatever the parallelism.
+const feedbackRoundSize = 64
+
+// corpusEntry is one recorded execution: its fingerprint, the canonical
+// iteration that produced it, and its full decision sequence in the
+// versioned trace format (the same []Decision a Trace carries), ready for
+// prefix splicing.
+type corpusEntry struct {
+	fingerprint uint64
+	iteration   int
+	decisions   []Decision
+}
+
+// Corpus is the bounded, deterministically evolved set of interesting
+// trace prefixes a feedback scheduler (see SchedulerSpec.Feedback)
+// mutates. The engine owns the corpus and merges new entries only at
+// generation barriers; schedulers receive it via
+// FeedbackScheduler.AttachCorpus and must treat it as read-only.
+type Corpus struct {
+	cap     int
+	entries []corpusEntry
+	seen    map[uint64]bool
+}
+
+// newCorpus returns an empty corpus with the given capacity (<= 0 means
+// the default).
+func newCorpus(cap int) *Corpus {
+	if cap <= 0 {
+		cap = defaultCorpusSize
+	}
+	return &Corpus{cap: cap, seen: make(map[uint64]bool, cap)}
+}
+
+// Len returns the number of recorded entries.
+func (c *Corpus) Len() int { return len(c.entries) }
+
+// Entry returns entry i's coverage fingerprint and decision sequence.
+// The slice is owned by the corpus: callers (schedulers) must not mutate
+// it — replay a prefix of it and diverge from there.
+func (c *Corpus) Entry(i int) (fingerprint uint64, decisions []Decision) {
+	e := c.entries[i]
+	return e.fingerprint, e.decisions
+}
+
+// Fingerprints returns the recorded fingerprints in insertion order —
+// the canonical summary the determinism tests compare across worker
+// counts (Result.Corpus).
+func (c *Corpus) Fingerprints() []uint64 {
+	fps := make([]uint64, len(c.entries))
+	for i, e := range c.entries {
+		fps[i] = e.fingerprint
+	}
+	return fps
+}
+
+// has reports whether a fingerprint is already recorded.
+func (c *Corpus) has(fp uint64) bool { return c.seen[fp] }
+
+// full reports that the corpus is at capacity. A full corpus accepts no
+// further entries: the first cap novel behaviors (in canonical iteration
+// order) win, which keeps eviction trivially deterministic.
+func (c *Corpus) full() bool { return len(c.entries) >= c.cap }
+
+// add records a new entry; it refuses duplicates and respects capacity.
+// Only the engine calls it, and only at a generation barrier.
+func (c *Corpus) add(fp uint64, iteration int, decisions []Decision) bool {
+	if c.full() || c.seen[fp] || len(decisions) == 0 {
+		return false
+	}
+	c.seen[fp] = true
+	c.entries = append(c.entries, corpusEntry{fingerprint: fp, iteration: iteration, decisions: decisions})
+	return true
+}

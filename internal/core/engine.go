@@ -54,6 +54,12 @@ type Options struct {
 	// MaxSteps bounds each execution; reaching it treats the execution as
 	// infinite for liveness checking (default 10,000).
 	MaxSteps int
+	// CorpusSize bounds the exploration corpus of a feedback (coverage-
+	// guided) scheduler such as "mutational": the first CorpusSize novel
+	// coverage fingerprints, in canonical iteration order, have their
+	// decision sequences recorded for mutation (default 64). Ignored by
+	// schedulers that declare no feedback.
+	CorpusSize int
 	// Workers is the number of parallel exploration workers (default
 	// runtime.NumCPU()). Each worker owns an independent Scheduler built
 	// by the run's SchedulerFactory, so no mutable scheduler state is
@@ -135,6 +141,7 @@ func (o Options) validate() *ConfigError {
 		{"PCTDepth", o.PCTDepth},
 		{"Temperature", o.Temperature},
 		{"LogCap", o.LogCap},
+		{"CorpusSize", o.CorpusSize},
 	} {
 		if c.v < 0 {
 			return &ConfigError{
@@ -228,6 +235,9 @@ func (o Options) withDefaults() Options {
 	if o.LogCap <= 0 {
 		o.LogCap = defaultLogCap
 	}
+	if o.CorpusSize <= 0 {
+		o.CorpusSize = defaultCorpusSize
+	}
 	return o
 }
 
@@ -280,6 +290,11 @@ type Result struct {
 	// race, -1 when a portfolio run found no bug. Zero (and meaningless)
 	// for single-scheduler runs; use BugFound there.
 	Winner int
+	// Corpus holds the coverage fingerprints of the final exploration
+	// corpus, in insertion (canonical iteration) order, when the run used
+	// a feedback scheduler; nil otherwise. Deterministic for a fixed seed
+	// and budget, independent of worker count.
+	Corpus []uint64
 }
 
 // String renders a one-line summary.
@@ -369,6 +384,13 @@ func exploreSingle(t Test, o Options) (Result, error) {
 		if res, done := calibrate(t, o, &f, &st); done {
 			return res, nil
 		}
+	}
+	if f.Feedback() {
+		// Feedback schedulers need the generation-barrier loop whatever the
+		// worker count: the corpus evolves between rounds. (A calibration
+		// execution, if any, ran corpus-less — iteration 0 has no corpus to
+		// mutate anyway — and contributes no candidate.)
+		return runFeedback(t, o, f, workers, st), nil
 	}
 	if workers <= 1 {
 		return runSequential(t, o, f.New(), st), nil

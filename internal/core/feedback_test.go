@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fpDiverseTest is a clean workload whose coverage fingerprint varies
+// with the schedule: three senders race to a collector, so the dequeue
+// order — part of the fingerprint — differs across interleavings, and
+// the corpus of a feedback run accumulates several entries.
+func fpDiverseTest() Test {
+	return Test{
+		Name: "fp-diverse",
+		Entry: func(ctx *Context) {
+			seen := 0
+			collector := ctx.CreateMachine(&FuncMachine{
+				OnEvent: func(ctx *Context, ev Event) {
+					seen++
+					ctx.RandomInt(3)
+					if seen == 3 {
+						ctx.Halt()
+					}
+				},
+			}, "collector")
+			for _, n := range []string{"a", "b", "c"} {
+				name := n
+				ctx.CreateMachine(&FuncMachine{
+					OnInit: func(ctx *Context) { ctx.Send(collector, Signal(name)) },
+				}, name+"-sender")
+			}
+		},
+	}
+}
+
+// stagedBugTest hides a bug behind a six-stage ratchet: each stage
+// requires RandomInt(4) == 0 to advance, and each stage dequeues a
+// distinctly named event — so the coverage fingerprint identifies how
+// deep an execution got, which is exactly the gradient coverage-guided
+// mutation climbs. A uniform random scheduler needs on the order of
+// 4^6 = 4096 executions; a mutational scheduler that replays the prefix
+// of the deepest recorded execution needs far fewer.
+func stagedBugTest() Test {
+	return Test{
+		Name: "staged",
+		Entry: func(ctx *Context) {
+			stage := 0
+			ctx.CreateMachine(&FuncMachine{
+				OnInit: func(ctx *Context) { ctx.Send(ctx.ID(), Signal("s0")) },
+				OnEvent: func(ctx *Context, ev Event) {
+					if ctx.RandomInt(4) != 0 {
+						ctx.Halt()
+						return
+					}
+					stage++
+					ctx.Assert(stage < 6, "reached the deep stage")
+					ctx.Send(ctx.ID(), Signal(fmt.Sprintf("s%d", stage)))
+				},
+			}, "driver")
+		},
+	}
+}
+
+// TestMutationalDeclaresFeedback pins the registry contract bits: the
+// mutational scheduler declares feedback, the classic strategies do not,
+// and the factory reports the bit.
+func TestMutationalDeclaresFeedback(t *testing.T) {
+	f, err := NewSchedulerFactory("mutational", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Feedback() {
+		t.Fatal("mutational factory does not report Feedback")
+	}
+	if f.Sequential() || f.Adaptive() {
+		t.Fatal("mutational must be neither sequential nor adaptive")
+	}
+	for _, name := range []string{"random", "pct", "rr", "delay", "dfs"} {
+		g, err := NewSchedulerFactory(name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Feedback() {
+			t.Fatalf("%s factory reports Feedback", name)
+		}
+	}
+}
+
+// assertSameCorpus compares the reported corpus fingerprints of two runs
+// element by element — insertion order included, since the order is part
+// of the determinism contract.
+func assertSameCorpus(t *testing.T, label string, a, b Result) {
+	t.Helper()
+	if len(a.Corpus) != len(b.Corpus) {
+		t.Fatalf("%s: corpus sizes diverge: %d vs %d", label, len(a.Corpus), len(b.Corpus))
+	}
+	for i := range a.Corpus {
+		if a.Corpus[i] != b.Corpus[i] {
+			t.Fatalf("%s: corpus entry %d diverges: %#x vs %#x", label, i, a.Corpus[i], b.Corpus[i])
+		}
+	}
+}
+
+// TestFeedbackCorpusDeterministicAcrossWorkers is the acceptance
+// criterion of the generation-barrier loop: a fixed seed and budget must
+// yield a bit-identical corpus — same fingerprints, same insertion
+// order — and identical canonical statistics at every worker count.
+func TestFeedbackCorpusDeterministicAcrossWorkers(t *testing.T) {
+	base := Options{Scheduler: "mutational", Iterations: 300, Seed: 13, NoReplayLog: true}
+	var ref Result
+	for i, w := range []int{1, 2, 3, 4, 8} {
+		o := base
+		o.Workers = w
+		res := MustExplore(fpDiverseTest(), o)
+		if res.BugFound {
+			t.Fatalf("unexpected bug at %d workers: %v", w, res.Report.Error())
+		}
+		if res.Corpus == nil {
+			t.Fatalf("no corpus reported at %d workers", w)
+		}
+		if i == 0 {
+			ref = res
+			if len(ref.Corpus) < 2 {
+				t.Fatalf("corpus too small for the comparison to mean anything: %d entries", len(ref.Corpus))
+			}
+			continue
+		}
+		label := fmt.Sprintf("workers=%d", w)
+		if res.Executions != ref.Executions || res.TotalSteps != ref.TotalSteps {
+			t.Fatalf("%s: statistics diverge:\nref: %+v\ngot: %+v", label, ref, res)
+		}
+		assertSameCorpus(t, label, ref, res)
+	}
+}
+
+// TestMutationalBugDeterministicAcrossWorkers: when the feedback run
+// does find a bug, the winning iteration, trace, statistics, and the
+// reported corpus snapshot are worker-count independent — the staged
+// ratchet takes well over one generation, so the corpus is in active use
+// when the bug lands.
+func TestMutationalBugDeterministicAcrossWorkers(t *testing.T) {
+	base := Options{Scheduler: "mutational", Iterations: 5000, Seed: 3, NoReplayLog: true}
+	var ref Result
+	for i, w := range []int{1, 2, 4, 8} {
+		o := base
+		o.Workers = w
+		res := MustExplore(stagedBugTest(), o)
+		if !res.BugFound {
+			t.Fatalf("bug not found at %d workers", w)
+		}
+		if i == 0 {
+			ref = res
+			continue
+		}
+		label := fmt.Sprintf("workers=%d", w)
+		if res.Report.Iteration != ref.Report.Iteration {
+			t.Fatalf("%s: winning iteration diverges: %d vs %d", label, ref.Report.Iteration, res.Report.Iteration)
+		}
+		if res.Executions != ref.Executions || res.TotalSteps != ref.TotalSteps || res.Choices != ref.Choices {
+			t.Fatalf("%s: statistics diverge:\nref: %+v\ngot: %+v", label, ref, res)
+		}
+		ad, bd := ref.Report.Trace.Decisions, res.Report.Trace.Decisions
+		if len(ad) != len(bd) {
+			t.Fatalf("%s: decision counts diverge: %d vs %d", label, len(ad), len(bd))
+		}
+		for j := range ad {
+			if ad[j] != bd[j] {
+				t.Fatalf("%s: decision %d diverges: %s vs %s", label, j, ad[j], bd[j])
+			}
+		}
+		assertSameCorpus(t, label, ref, res)
+	}
+}
+
+// TestMutationalBeatsRandomOnStagedRatchet is the point of the feature:
+// on a workload whose coverage fingerprint tracks progress toward the
+// bug, coverage-guided mutation reaches it in fewer iterations than
+// uniform random search. Both runs share the seed and budget; random
+// needs on the order of 4^6 executions here, so the margin is wide, not
+// a seed accident.
+func TestMutationalBeatsRandomOnStagedRatchet(t *testing.T) {
+	budget := 20000
+	mut := MustExplore(stagedBugTest(), Options{
+		Scheduler: "mutational", Iterations: budget, Seed: 3, NoReplayLog: true})
+	rnd := MustExplore(stagedBugTest(), Options{
+		Scheduler: "random", Iterations: budget, Seed: 3, NoReplayLog: true})
+	if !mut.BugFound {
+		t.Fatal("mutational did not find the staged bug")
+	}
+	if !rnd.BugFound {
+		t.Fatal("random did not find the staged bug within the budget")
+	}
+	if mut.Report.Iteration >= rnd.Report.Iteration {
+		t.Fatalf("mutational (iteration %d) did not beat random (iteration %d)",
+			mut.Report.Iteration, rnd.Report.Iteration)
+	}
+}
+
+// TestPortfolioWithFeedbackMemberDeterministic drives the shared-corpus
+// portfolio path: racing random against mutational must stay
+// bit-identical across worker counts, corpus included — candidates come
+// from both members, merged in canonical global order.
+func TestPortfolioWithFeedbackMemberDeterministic(t *testing.T) {
+	base := withMembers(Options{Iterations: 300, Seed: 13, NoReplayLog: true}, "random", "mutational")
+	var ref Result
+	for i, w := range []int{1, 2, 4, 8} {
+		o := base
+		o.Workers = w
+		res := MustExplore(fpDiverseTest(), o)
+		if res.BugFound {
+			t.Fatalf("unexpected bug at %d workers: %v", w, res.Report.Error())
+		}
+		if len(res.Portfolio) != 2 {
+			t.Fatalf("portfolio stats missing at %d workers: %+v", w, res.Portfolio)
+		}
+		if i == 0 {
+			ref = res
+			if len(ref.Corpus) < 2 {
+				t.Fatalf("corpus too small for the comparison to mean anything: %d entries", len(ref.Corpus))
+			}
+			continue
+		}
+		label := fmt.Sprintf("workers=%d", w)
+		if res.Executions != ref.Executions || res.TotalSteps != ref.TotalSteps {
+			t.Fatalf("%s: statistics diverge:\nref: %+v\ngot: %+v", label, ref, res)
+		}
+		for m := range ref.Portfolio {
+			am, bm := ref.Portfolio[m], res.Portfolio[m]
+			if am.Executions != bm.Executions || am.TotalSteps != bm.TotalSteps || am.Exhausted != bm.Exhausted {
+				t.Fatalf("%s: member %d statistics diverge:\nref: %+v\ngot: %+v", label, m, am, bm)
+			}
+		}
+		assertSameCorpus(t, label, ref, res)
+	}
+}
+
+// TestPortfolioWithFeedbackMemberFindsBug: the feedback portfolio path
+// resolves first-bug-wins exactly like the classic path, and a raced
+// mutational member still beats random to the staged bug.
+func TestPortfolioWithFeedbackMemberFindsBug(t *testing.T) {
+	base := withMembers(Options{Iterations: 20000, Seed: 3, NoReplayLog: true}, "random", "mutational")
+	a := base
+	a.Workers = 1
+	b := base
+	b.Workers = 8
+	ra := MustExplore(stagedBugTest(), a)
+	rb := MustExplore(stagedBugTest(), b)
+	assertSameWin(t, ra, rb)
+	assertSameCorpus(t, "portfolio bug run", ra, rb)
+}
+
+// TestMutationalTraceReplays: a trace found through corpus splicing is
+// an ordinary versioned trace — it must replay, single-threaded, to the
+// identical violation.
+func TestMutationalTraceReplays(t *testing.T) {
+	res := MustExplore(stagedBugTest(), Options{
+		Scheduler: "mutational", Iterations: 5000, Seed: 3, Workers: 4, NoReplayLog: true})
+	if !res.BugFound {
+		t.Fatal("bug not found")
+	}
+	rep, err := Replay(stagedBugTest(), res.Report.Trace, Options{MaxSteps: 10000})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if rep == nil {
+		t.Fatal("replay did not reproduce the violation")
+	}
+	if rep.Kind != res.Report.Kind {
+		t.Fatalf("replay reproduced a different bug kind: %v vs %v", rep.Kind, res.Report.Kind)
+	}
+}

@@ -41,11 +41,20 @@ func (mc *MonitorContext) Hot(reason string) {
 		mc.hot = true
 		mc.hotStep = mc.r.steps
 	}
+	if mc.hotName != reason {
+		// A monitor-state transition: part of the coverage fingerprint
+		// (the step number deliberately is not — it would make every
+		// interleaving look novel).
+		mc.r.covMix(1 ^ covString(reason))
+	}
 	mc.hotName = reason
 }
 
 // Cold marks the monitor cold: the awaited progress happened.
 func (mc *MonitorContext) Cold() {
+	if mc.hot {
+		mc.r.covMix(2)
+	}
 	mc.hot = false
 	mc.hotName = ""
 }

@@ -182,6 +182,7 @@ func (r *Runtime) reset(sched Scheduler, cfg runtimeConfig) {
 	r.steps = 0
 	r.maxSteps = cfg.maxSteps
 	r.dec.reset()
+	r.cov = covBasis
 	r.bug = nil
 	r.faults = cfg.faults
 	r.crashes, r.drops, r.dups = 0, 0, 0

@@ -121,6 +121,14 @@ func explorePortfolio(t Test, o Options) (Result, error) {
 		}
 		factories[m] = f
 	}
+	for _, f := range factories {
+		if f.Feedback() {
+			// Any feedback member moves the whole fleet onto the
+			// generation-barrier loop: the shared corpus must evolve on a
+			// schedule every member agrees on.
+			return explorePortfolioFeedback(t, o, factories)
+		}
+	}
 	nm := len(o.Portfolio)
 	split := portfolioWorkerSplit(o.Workers, factories)
 

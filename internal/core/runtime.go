@@ -54,7 +54,16 @@ type Runtime struct {
 	steps    int
 	maxSteps int
 	dec      decArena
-	bug      *BugReport
+	// cov is the execution's coverage fingerprint, mixed incrementally at
+	// every abstract event right next to the decision arena: event
+	// dequeues (machine identity and event name), monitor notifications,
+	// and monitor hot/cold transitions. It abstracts away the raw schedule
+	// — two interleavings that deliver the same events in the same order
+	// to the same machines and drive the monitors through the same states
+	// fingerprint identically — so novel fingerprints mark behaviorally
+	// new executions, which is what feedback exploration feeds on.
+	cov uint64
+	bug *BugReport
 
 	// faults is the execution's fault budget; crashes/drops/dups count
 	// the injections charged against it so far. pendingCrash holds
@@ -127,6 +136,7 @@ func newRuntime(sched Scheduler, cfg runtimeConfig) *Runtime {
 		monByName:         make(map[string]*monitorEntry),
 		engineSem:         newParker(),
 		reapSem:           newParker(),
+		cov:               covBasis,
 		maxSteps:          cfg.maxSteps,
 		temperature:       cfg.temperature,
 		livenessAtBound:   cfg.livenessAtBound,
@@ -327,12 +337,43 @@ func (r *Runtime) runMachine(m *machine, w *machineWorker) {
 		m.status = statusWaitDequeue
 		r.yieldPoint(m)
 		ev := m.popDequeuable()
+		r.covMix(uint64(m.id)<<32 ^ covString(ev.Name()))
 		if r.logging() {
 			r.logf("%s dequeued %s", m.label(), ev.Name())
 		}
 		m.impl.Handle(&m.ctx, ev)
 	}
 }
+
+// Coverage fingerprinting (see the cov field). The mix is FNV-1a over
+// 64-bit lanes: xor the observation in, multiply by the FNV prime. The
+// multiply makes the hash order-sensitive, so the fingerprint encodes the
+// *sequence* of abstract events, not their multiset.
+const (
+	covBasis = 0xcbf29ce484222325
+	covPrime = 0x100000001b3
+)
+
+// covMix folds one abstract observation into the execution fingerprint.
+func (r *Runtime) covMix(x uint64) {
+	r.cov = (r.cov ^ x) * covPrime
+}
+
+// covString hashes a short identifier (event name, monitor state). Names
+// come from a small fixed vocabulary per harness, so this stays a few
+// nanoseconds on the hot path.
+func covString(s string) uint64 {
+	h := uint64(covBasis)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * covPrime
+	}
+	return h
+}
+
+// Fingerprint returns the execution's coverage fingerprint. Only valid
+// after execute returned; a pure function of the decision sequence for a
+// deterministic system under test.
+func (r *Runtime) Fingerprint() uint64 { return r.cov }
 
 // finalStep runs the scheduling iteration that follows a machine's death,
 // on the dying goroutine itself, and routes the control token to whoever

@@ -42,7 +42,9 @@ type SchedulerFactory struct {
 	name       string
 	sequential bool
 	adaptive   bool
+	feedback   bool
 	lengthHint int
+	corpus     *Corpus
 	build      func() Scheduler
 }
 
@@ -50,13 +52,19 @@ type SchedulerFactory struct {
 func (f SchedulerFactory) Name() string { return f.name }
 
 // New returns a fresh Scheduler instance owned by the caller. If the
-// factory carries a program-length hint (WithLengthHint), the instance is
-// pre-seeded with it before it is handed out.
+// factory carries a program-length hint (WithLengthHint) or a corpus
+// (WithCorpus), the instance is pre-seeded with them before it is handed
+// out.
 func (f SchedulerFactory) New() Scheduler {
 	s := f.build()
 	if f.lengthHint > 0 {
 		if h, ok := s.(LengthHinted); ok {
 			h.SetLengthHint(f.lengthHint)
+		}
+	}
+	if f.corpus != nil {
+		if fs, ok := s.(FeedbackScheduler); ok {
+			fs.AttachCorpus(f.corpus)
 		}
 	}
 	return s
@@ -87,6 +95,33 @@ func (f SchedulerFactory) WithLengthHint(steps int) SchedulerFactory {
 	return f
 }
 
+// Feedback reports that the scheduler consumes execution feedback — a
+// corpus of coverage-novel trace prefixes — and therefore needs the
+// engine's generation-barrier exploration paths: the corpus must be
+// attached to every instance (WithCorpus) and may only grow at canonical
+// round boundaries, or results would depend on worker interleaving.
+func (f SchedulerFactory) Feedback() bool { return f.feedback }
+
+// WithCorpus returns a copy of the factory whose instances all share the
+// given corpus (attached via FeedbackScheduler.AttachCorpus when the
+// scheduler implements it). The engine owns the corpus lifecycle; the
+// instances must treat it as read-only.
+func (f SchedulerFactory) WithCorpus(c *Corpus) SchedulerFactory {
+	f.corpus = c
+	return f
+}
+
+// FeedbackScheduler is implemented by schedulers whose SchedulerSpec
+// declares Feedback: the engine attaches the run's shared corpus before
+// exploration starts, and keeps it deterministic by only merging new
+// entries at generation barriers. The scheduler must treat the corpus as
+// read-only and keep every decision a pure function of (Prepare seed,
+// corpus contents, call sequence).
+type FeedbackScheduler interface {
+	Scheduler
+	AttachCorpus(c *Corpus)
+}
+
 // LengthHinted is implemented by adaptive schedulers that can pin their
 // program-length estimate to an engine-provided value. A registered
 // scheduler whose SchedulerSpec declares Adaptive should implement it:
@@ -111,6 +146,14 @@ type SchedulerSpec struct {
 	// the program length; it should implement LengthHinted (see
 	// SchedulerFactory.Adaptive).
 	Adaptive bool
+	// Feedback marks a coverage-guided scheduler: the engine attaches a
+	// shared corpus of interesting trace prefixes to every instance and
+	// runs the exploration in fixed-size generations so the corpus state
+	// each iteration observes is worker-count independent. The scheduler
+	// should implement FeedbackScheduler; it must behave like an ordinary
+	// scheduler when the corpus is absent or empty (that is also how the
+	// conformance checker first exercises it).
+	Feedback bool
 	// New constructs a fresh, independent instance. It must never return
 	// nil or share mutable state between instances.
 	New func(depth int) Scheduler
@@ -130,6 +173,8 @@ var (
 		"rr":     {New: func(int) Scheduler { return NewRoundRobinScheduler() }},
 		"dfs":    {Sequential: true, New: func(int) Scheduler { return NewDFSScheduler() }},
 		"delay":  {Adaptive: true, New: func(d int) Scheduler { return NewDelayScheduler(d) }},
+		"mutational": {Feedback: true,
+			New: func(int) Scheduler { return NewMutationalScheduler() }},
 	}
 )
 
@@ -215,6 +260,7 @@ func NewSchedulerFactory(name string, depth int) (SchedulerFactory, error) {
 		name:       name,
 		sequential: spec.Sequential,
 		adaptive:   spec.Adaptive,
+		feedback:   spec.Feedback,
 		build:      func() Scheduler { return spec.New(depth) },
 	}, nil
 }

@@ -9,23 +9,28 @@ import (
 	mharness "github.com/gostorm/gostorm/internal/mtable/harness"
 )
 
-// TestLatentFixedSystemDivergenceSeeds pins the ROADMAP open item
-// "Latent mtable fixed-system divergences" as an executable regression
-// test instead of prose: sweeping pct seeds over the *fixed*
-// MigratingTable harness reports output divergences that predate the
-// fault plane — stream-window violations (pct seed 1 on the PR-2 tree)
-// and batch-outcome mismatches such as `conflict@1` vs `conflict@0` when
-// several ops of one batch conflict at once (seeds 1/5/6 on the current
-// tree). The suspected mechanism is the oracle's strict error-index
-// comparison and/or stream-window bookkeeping, not the runtime.
+// TestLatentFixedSystemDivergenceSeeds is the regression gate for the
+// (closed) ROADMAP item "Latent mtable fixed-system divergences": pct
+// seeds 1/5/6 used to report stream-window violations and batch-outcome
+// mismatches on the *fixed* MigratingTable harness.
 //
-// The test is quarantined with t.Skip until that investigation lands:
-// remove the Skip to reproduce, and delete the Skip permanently once the
-// oracle is fixed so the seeds become a real regression gate.
+// The investigation found the oracle innocent on all three seeds. The
+// real bug was a split-brain window in the migration hand-over protocol:
+// the migrator announced PhasePreferNew in the new table's metadata
+// before freezing the old table's meta guard, so under pct starvation a
+// client whose cached phase was PreferOld kept reading and writing the
+// old table (its guard still validated) while a refreshed client wrote
+// the new table — two halves of the system with mutually invisible
+// writes. Seed 5 surfaced it as a query missing a row, seed 6 as a
+// notfound/conflict outcome mismatch, and seed 1 as a stream emitting a
+// stale new-table row that shadowed the freshly written old-table one.
+// The fix freezes the old table first (Migrator.msFreezeOld) and makes
+// clients treat the frozen old meta as an authoritative transition
+// signal so they converge during the hand-over window.
+//
+// These seeds must stay green forever; a regression here means the
+// hand-over ordering or the client-side window handling broke.
 func TestLatentFixedSystemDivergenceSeeds(t *testing.T) {
-	t.Skip("quarantined: ROADMAP open item 'Latent mtable fixed-system divergences' — " +
-		"pct seeds 1/5/6 report stream-window / batch-outcome mismatches on the fixed system; " +
-		"unskip after the oracle's error-index and stream-window bookkeeping are vetted")
 	if testing.Short() {
 		t.Skip("sweeps 400 executions of a 30k-step harness per seed")
 	}

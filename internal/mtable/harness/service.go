@@ -178,10 +178,22 @@ func (s *serviceMachine) runBatch(ctx *core.Context, vtOps, rtOps []mtable.Opera
 	rt := s.stub.finish()
 	ctx.Assert(rt != nil, "%s: no linearization point reported for %v", s.name, vtOps)
 
+	// The chain-table spec pins batch failures to the LOWEST failing index
+	// (preconditions evaluated in operation order against the pre-batch
+	// state; see TestRefTableReportsLowestFailingIndex). Both sides
+	// implement that rule, so the comparison is exact on (code, index) —
+	// but the diagnostic separates the two, because a same-code
+	// different-index divergence points at snapshot skew between the
+	// sides, not at a wrong error classification.
 	vtCode := mtable.ErrorCode(vtErr)
-	ctx.Assert(vtCode == rt.ErrCode,
+	vtBase, vtIdx := splitCode(vtCode)
+	rtBase, rtIdx := splitCode(rt.ErrCode)
+	ctx.Assert(vtBase == rtBase,
 		"%s: outcome diverged for batch %v: virtual table %q vs reference %q",
 		s.name, describeOps(vtOps), orOK(vtCode), orOK(rt.ErrCode))
+	ctx.Assert(vtIdx == rtIdx,
+		"%s: batch %v failed with %q on both sides but at different indices: virtual table %s vs reference %s (lowest failing index is the agreed semantics)",
+		s.name, describeOps(vtOps), vtBase, vtIdx, rtIdx)
 	if vtErr != nil {
 		return
 	}
@@ -316,4 +328,16 @@ func orOK(code string) string {
 		return "ok"
 	}
 	return code
+}
+
+// splitCode separates an ErrorCode string into its base code and failing
+// index ("conflict@1" -> "conflict", "1"; codes without an index keep an
+// empty index).
+func splitCode(code string) (base, index string) {
+	for i := 0; i < len(code); i++ {
+		if code[i] == '@' {
+			return code[:i], code[i+1:]
+		}
+	}
+	return code, ""
 }

@@ -109,6 +109,17 @@ func (mt *MigratingTable) refreshCache(partition string) error {
 		}
 		if len(oldMeta) == 1 {
 			c.oldMetaETag = oldMeta[0].ETag
+			// Hand-over window: the migrator freezes the old table before
+			// announcing in the new one, so a flipped old meta is an
+			// authoritative "migration started" signal even while the new
+			// table still says PreferOld.
+			ophase, oversion, err := parseMeta(oldMeta[0].Props)
+			if err != nil {
+				return err
+			}
+			if ophase != PhasePreferOld {
+				c.phase, c.version = ophase, oversion
+			}
 		}
 	}
 	return nil
@@ -276,7 +287,7 @@ func (mt *MigratingTable) executeOld(partition string, batch []Operation, c *par
 	if meta == nil {
 		return nil, nil, false, fmt.Errorf("%w: missing old-table metadata", ErrBadRequest)
 	}
-	phase, _, err := parseMeta(meta.Props)
+	phase, version, err := parseMeta(meta.Props)
 	if err != nil {
 		return nil, nil, false, err
 	}
@@ -287,8 +298,11 @@ func (mt *MigratingTable) executeOld(partition string, batch []Operation, c *par
 	// a stale client keeps writing to the old table mid-migration.
 	ensureSwitched := !mt.bugs.Has(BugEnsurePartitionSwitchedFromPopulated)
 	if ensureSwitched && phase != PhasePreferOld {
-		// The migrator has started; refresh and retry on the new path.
-		c.valid = false
+		// The migrator has frozen the old table. Its meta is authoritative
+		// (it flips before the new table's announcement), so adopt it
+		// directly — re-reading the new table's meta here could still say
+		// PreferOld and would send us in circles.
+		c.phase, c.version, c.valid = phase, version, true
 		return nil, nil, true, nil
 	}
 
@@ -387,12 +401,19 @@ func (mt *MigratingTable) translateOld(op Operation, r resident) (*Operation, in
 // table may still hold rows.
 func (mt *MigratingTable) executeNew(partition string, batch []Operation, c *partitionCache) ([]OpResult, error, bool, error) {
 	var oldData map[string]Row
+	oldAnnounced := PhasePreferOld
 	if c.phase == PhasePreferNew {
 		oldRows, err := mt.old.QueryAtomic(Query{Partition: partition})
 		if err != nil {
 			return nil, nil, false, err
 		}
-		oldData, _ = snapshot(oldRows)
+		var oldMeta *Row
+		oldData, oldMeta = snapshot(oldRows)
+		if oldMeta != nil {
+			if p, _, err := parseMeta(oldMeta.Props); err == nil {
+				oldAnnounced = p
+			}
+		}
 	}
 	newRows, err := mt.new.QueryAtomic(Query{Partition: partition})
 	if err != nil {
@@ -407,11 +428,20 @@ func (mt *MigratingTable) executeNew(partition string, batch []Operation, c *par
 		return nil, nil, false, err
 	}
 	if version != c.version || phase != c.phase {
-		c.phase, c.version, c.newMetaETag, c.valid = phase, version, meta.ETag, true
-		if phase == PhasePreferOld {
-			c.valid = false // forces a proper refresh including old meta
+		// Hand-over window: the old table is already frozen (its meta
+		// announces PreferNew) but the migrator has not yet updated the new
+		// table's meta. The new path is safe — the old table cannot change
+		// under us — and the commit stays guarded on the new meta's current
+		// etag, so the migrator's announcement fails it and we retry.
+		handOver := c.phase == PhasePreferNew && phase == PhasePreferOld &&
+			oldAnnounced != PhasePreferOld
+		if !handOver {
+			c.phase, c.version, c.newMetaETag, c.valid = phase, version, meta.ETag, true
+			if phase == PhasePreferOld {
+				c.valid = false // forces a proper refresh including old meta
+			}
+			return nil, nil, true, nil
 		}
-		return nil, nil, true, nil
 	}
 
 	results := make([]OpResult, len(batch))
@@ -607,7 +637,7 @@ func (mt *MigratingTable) queryOnce(q Query, c *partitionCache) ([]Row, bool, er
 		if err != nil {
 			return nil, false, err
 		}
-		if _, retry, err := mt.validateMetaForQuery(mt.old, q.Partition, rows, pushdown, c, PhasePreferOld); err != nil || retry {
+		if _, retry, err := mt.validateMetaForQuery(mt.old, q.Partition, rows, pushdown, c, PhasePreferOld, PhasePreferOld); err != nil || retry {
 			return nil, retry, err
 		}
 		mt.rep.LP()
@@ -616,18 +646,25 @@ func (mt *MigratingTable) queryOnce(q Query, c *partitionCache) ([]Row, bool, er
 	}
 
 	var oldData map[string]Row
+	oldAnnounced := PhasePreferOld
 	if c.phase == PhasePreferNew {
 		oldRows, err := mt.old.QueryAtomic(backendQuery)
 		if err != nil {
 			return nil, false, err
 		}
-		oldData, _ = snapshot(oldRows)
+		var oldMeta *Row
+		oldData, oldMeta = snapshot(oldRows)
+		if oldMeta != nil {
+			if p, _, err := parseMeta(oldMeta.Props); err == nil {
+				oldAnnounced = p
+			}
+		}
 	}
 	newRows, err := mt.new.QueryAtomic(backendQuery)
 	if err != nil {
 		return nil, false, err
 	}
-	_, retry, err := mt.validateMetaForQuery(mt.new, q.Partition, newRows, pushdown, c, c.phase)
+	_, retry, err := mt.validateMetaForQuery(mt.new, q.Partition, newRows, pushdown, c, c.phase, oldAnnounced)
 	if err != nil || retry {
 		return nil, retry, err
 	}
@@ -639,8 +676,11 @@ func (mt *MigratingTable) queryOnce(q Query, c *partitionCache) ([]Row, bool, er
 // validateMetaForQuery confirms the cached phase is still current, using
 // the meta row embedded in the snapshot (or a separate point read when the
 // filter pushdown excluded it). On staleness it updates the cache and asks
-// for a retry.
-func (mt *MigratingTable) validateMetaForQuery(backend Backend, partition string, rows []Row, pushdown bool, c *partitionCache, want Phase) (*Row, bool, error) {
+// for a retry. oldAnnounced is the phase the old table's meta announced in
+// this attempt's pre-read (PhasePreferOld when the old table was not read);
+// it lets the new-table validation accept the hand-over window in which the
+// old table is frozen but the new table's announcement lags.
+func (mt *MigratingTable) validateMetaForQuery(backend Backend, partition string, rows []Row, pushdown bool, c *partitionCache, want, oldAnnounced Phase) (*Row, bool, error) {
 	var meta *Row
 	if pushdown {
 		metaRows, err := backend.QueryAtomic(Query{Partition: partition, RowFrom: metaRowKey, RowTo: metaRowKey})
@@ -662,12 +702,19 @@ func (mt *MigratingTable) validateMetaForQuery(backend Backend, partition string
 	}
 	if want == PhasePreferOld {
 		if phase != PhasePreferOld {
-			c.valid = false
+			// The old table is frozen; its meta is authoritative — adopt it
+			// so the retry takes the new path directly.
+			c.phase, c.version, c.valid = phase, version, true
 			return nil, true, nil
 		}
 		return meta, false, nil
 	}
 	if version != c.version || phase != c.phase {
+		// Hand-over window (see executeNew): the frozen old table already
+		// announced the transition; trust it over the lagging new meta.
+		if c.phase == PhasePreferNew && phase == PhasePreferOld && oldAnnounced != PhasePreferOld {
+			return meta, false, nil
+		}
 		c.phase, c.version, c.newMetaETag, c.valid = phase, version, meta.ETag, true
 		if phase == PhasePreferOld {
 			c.valid = false

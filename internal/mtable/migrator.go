@@ -28,8 +28,8 @@ type Migrator struct {
 type migratorState int
 
 const (
-	msStart migratorState = iota
-	msFlipOld
+	msFreezeOld migratorState = iota
+	msAnnounceNew
 	msSnapshot
 	msCopy
 	msDelete
@@ -55,23 +55,27 @@ func (m *Migrator) Done() bool { return m.state == msDone }
 // retries until open streams close).
 func (m *Migrator) Step() (done bool, err error) {
 	switch m.state {
-	case msStart:
-		// Announce the migration in the new table's metadata: clients
-		// whose cached phase is stale will fail their guards and refresh.
-		if err := m.setPhase(m.new, PhasePreferNew, 2); err != nil {
-			return false, err
-		}
-		m.state = msFlipOld
-	case msFlipOld:
-		// Invalidate the old table's meta guard so clients still writing
-		// to the old table are forced onto the new path before we copy.
+	case msFreezeOld:
+		// Freeze the old table FIRST: flipping its meta row invalidates
+		// every client's old-path guard, so no old-table write can commit
+		// from here on. Only then is it safe to announce PreferNew in the
+		// new table — announcing first opens a window where stale clients
+		// still commit to the old table while refreshed clients write the
+		// new one, and neither sees the other's writes.
 		if m.bugs.Has(BugMigrateSkipPreferOld) {
-			// BUG (*): skip the invalidation — stale clients keep
-			// writing to the old table while (and after) we copy it.
-			m.state = msSnapshot
+			// BUG (*): skip the freeze — stale clients keep writing to
+			// the old table while (and after) we copy it.
+			m.state = msAnnounceNew
 			return false, nil
 		}
 		if err := m.setPhase(m.old, PhasePreferNew, 2); err != nil {
+			return false, err
+		}
+		m.state = msAnnounceNew
+	case msAnnounceNew:
+		// Announce the migration in the new table's metadata: clients
+		// whose cached phase is stale will fail their guards and refresh.
+		if err := m.setPhase(m.new, PhasePreferNew, 2); err != nil {
 			return false, err
 		}
 		m.state = msSnapshot

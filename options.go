@@ -229,6 +229,21 @@ func WithLogCap(lines int) Option {
 	}
 }
 
+// WithCorpusSize bounds the exploration corpus of a feedback
+// (coverage-guided) scheduler such as "mutational" (default 64): the
+// first n novel coverage fingerprints, in canonical iteration order,
+// have their decision sequences recorded for mutation. Ignored by
+// schedulers that declare no feedback.
+func WithCorpusSize(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			c.fail("WithCorpusSize", fmt.Sprintf("must be positive, got %d", n))
+			return
+		}
+		c.opts.CorpusSize = n
+	}
+}
+
 // WithNoReuse disables the pooled execution engine: every execution gets
 // a freshly allocated runtime with fresh machine goroutines, inboxes and
 // buffers. Pooling is semantically invisible — for a fixed seed, results,
