@@ -76,6 +76,67 @@ func BenchmarkRuntimeSteps(b *testing.B) {
 	}
 }
 
+// blockedPingPongTest is pingPongTest surrounded by `blocked` machines
+// parked in ReceiveWhere on a predicate nothing ever satisfies. The
+// blocked machines take one step each to reach their Receive and then
+// never become schedulable again, so the steady-state stepping cost is
+// the two ping-pongers' — *if* the engine's per-step bookkeeping is
+// independent of how many disabled machines exist. The pre-incremental
+// engine rescanned every machine (and its inbox) at every step, so its
+// ns/step grew linearly with the blocked count; the incremental enabled
+// set never touches a machine whose schedulability did not change.
+func blockedPingPongTest(blocked int) core.Test {
+	base := pingPongTest()
+	// The bystander impl, its predicate and the machine names are hoisted
+	// out of the entry (the impl is stateless, so sharing one instance
+	// across machines and executions is safe): per-execution allocation is
+	// workload cost, and it would smear across the ns/step metric.
+	bystander := &core.FuncMachine{
+		OnInit: func(ctx *core.Context) {
+			ctx.ReceiveWhere("never", func(core.Event) bool { return false })
+		},
+	}
+	names := make([]string, blocked)
+	for i := range names {
+		names[i] = fmt.Sprintf("blocked%d", i)
+	}
+	return core.Test{
+		Name: fmt.Sprintf("bench-enabled-%d", blocked),
+		Entry: func(ctx *core.Context) {
+			for _, name := range names {
+				ctx.CreateMachine(bystander, name)
+			}
+			base.Entry(ctx)
+		},
+	}
+}
+
+// BenchmarkEnabledSet measures scheduling throughput as dead weight grows:
+// the ping-pong workload with 32 and 128 permanently blocked bystanders.
+// The acceptance criterion is the *ratio* between the cells — ns/step must
+// not scale with the blocked-machine count. Each op explores several pooled
+// iterations so one-time engine setup (spawning a goroutine per live
+// machine) amortizes away and the metric isolates steady-state stepping.
+func BenchmarkEnabledSet(b *testing.B) {
+	for _, blocked := range []int{32, 128} {
+		b.Run(fmt.Sprintf("blocked=%d", blocked), func(b *testing.B) {
+			b.ReportAllocs()
+			test := blockedPingPongTest(blocked)
+			opts := core.Options{Scheduler: "rr", Iterations: 10, MaxSteps: 10000, Seed: 1, NoLivenessBoundCheck: true}
+			b.ResetTimer()
+			totalSteps := int64(0)
+			for i := 0; i < b.N; i++ {
+				res := core.MustExplore(test, opts)
+				totalSteps += res.TotalSteps
+			}
+			b.StopTimer()
+			if totalSteps > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalSteps), "ns/step")
+			}
+		})
+	}
+}
+
 // BenchmarkSchedulers compares per-execution cost across schedulers on the
 // §2 example system (fixed configuration, bounded executions).
 func BenchmarkSchedulers(b *testing.B) {

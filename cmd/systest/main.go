@@ -15,6 +15,7 @@
 //	systest -test ExtentNodeLivenessViolation -portfolio random,pct,delay
 //	systest -test DeletePrimaryKey -trace-out bug.trace
 //	systest -test DeletePrimaryKey -replay bug.trace -v
+//	systest -test DeletePrimaryKey -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -22,6 +23,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/gostorm/gostorm"
@@ -52,6 +55,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceOut    = fs.String("trace-out", "", "write the buggy trace to this file")
 		replay      = fs.String("replay", "", "replay a trace file instead of exploring")
 		verbose     = fs.Bool("v", false, "print the detailed execution log of the violation")
+		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memprofile  = fs.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -133,6 +138,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "systest:", err)
 		return 2
+	}
+
+	// Profiling wraps the whole run — exploration or replay. Both files
+	// are created up front so a bad path fails here, like every other
+	// flag error, rather than after thousands of executions.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "systest: -cpuprofile:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "systest: -cpuprofile:", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "systest: -memprofile:", err)
+			return 2
+		}
+		defer func() {
+			// Collect garbage first so the profile reports live memory,
+			// not whatever the last GC cycle happened to leave behind.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "systest: -memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	if *replay != "" {

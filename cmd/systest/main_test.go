@@ -161,6 +161,41 @@ func TestCLIFaultPlaneRoundTrip(t *testing.T) {
 // TestCLIValidatesFlagsUpFront pins the fix for deferred validation: bad
 // flags fail immediately with a pointed message and exit code 2, never as
 // an engine panic mid-run.
+// TestCLIProfileFlags runs a short exploration with both profiling flags
+// and checks the profile files materialize non-empty; a bad profile path
+// must fail up front like any other flag error.
+func TestCLIProfileFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the real binary")
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	out, code := runSystest(t,
+		"-test", "replsys-safety", "-scheduler", "random",
+		"-seed", "1", "-iterations", "200", "-workers", "1",
+		"-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 && code != 1 {
+		t.Fatalf("profiled run exit = %d, want 0 or 1:\n%s", code, out)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v\n%s", err, out)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty\n%s", p, out)
+		}
+	}
+
+	out, code = runSystest(t,
+		"-test", "replsys-safety", "-iterations", "1",
+		"-cpuprofile", filepath.Join(dir, "no/such/dir/cpu.pprof"))
+	if code != 2 || !strings.Contains(out, "-cpuprofile") {
+		t.Fatalf("bad -cpuprofile path: exit = %d, want 2 with flag error:\n%s", code, out)
+	}
+}
+
 func TestCLIValidatesFlagsUpFront(t *testing.T) {
 	if testing.Short() {
 		t.Skip("compiles and runs the real binary")

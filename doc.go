@@ -151,7 +151,8 @@
 //
 // Repeated execution is the engine's fast path: bug probability is a
 // function of schedules explored per unit time, so per-execution setup
-// is schedules not explored. Two mechanisms carry the throughput story.
+// is schedules not explored. Three mechanisms carry the throughput
+// story.
 //
 // Direct handoff. The runtime keeps exactly one goroutine runnable at a
 // time, but control is not routed through a central engine loop: a
@@ -162,17 +163,32 @@
 // scheduler picks the same machine again) instead of the two channel
 // round-trips of an engine-mediated yield/resume. Decisions are recorded
 // into a packed word arena and materialized as trace structs once per
-// execution, only for executions somebody will look at. Together with
-// pooling this puts a scheduling step at ~290ns on the reference box
-// (BenchmarkRuntimeSteps; 834ns before the rewrite — see BENCH_pr4.json
-// vs BENCH_pr6.json for the full trajectory, including the
-// 1/2/4/8-worker scaling matrix and per-harness executions/sec).
+// execution, only for executions somebody will look at.
+//
+// Incremental enabled set. The schedulable set the scheduler picks from
+// is maintained event-driven — patched when an enqueue, dequeue,
+// receive, halt, crash or restart actually changes a machine's
+// schedulability — instead of being recomputed by scanning every
+// machine at every step, so step bookkeeping is O(changes) and machines
+// blocked in Receive cost nothing per step (BenchmarkEnabledSet pins
+// this: ns/step no longer grows with the blocked-machine count). The
+// `enabledcheck` build tag compiles in a per-step cross-check against a
+// from-scratch rebuild that panics on any divergence.
+//
+// Together these put a scheduling step at ~266ns on the reference box
+// (BenchmarkRuntimeSteps; 834ns before the handoff rewrite, ~289ns
+// before the incremental enabled set — see BENCH_pr4.json through
+// BENCH_pr8.json for the trajectory, including the 1/2/4/8-worker
+// scaling matrix and per-harness executions/sec). What remains is
+// mostly the Go runtime's own park/wake cost (~190ns of the ~266).
 //
 // Pooling. Each exploration worker recycles its execution state through
 // a runtime pool instead of rebuilding it per iteration — runtimes reset
-// in place, machine structs and inboxes are recycled, machine goroutines
-// park between assignments, and log arguments are only materialized when
-// a log is collected (Context.Logging lets harnesses guard their own
+// in place (machines scrub themselves at death, so a reset is O(1) in
+// the machine count), machine structs and inboxes are recycled, machine
+// goroutines park between assignments, the decision arena is pre-sized
+// to the step bound, and log arguments are only materialized when a log
+// is collected (Context.Logging lets harnesses guard their own
 // expensive descriptions the same way).
 //
 // The reuse contract: pooling is semantically invisible. For a fixed

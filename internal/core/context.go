@@ -98,6 +98,7 @@ func (c *Context) ReceiveWhere(desc string, pred func(Event) bool) Event {
 	m := c.m
 	m.recvPred = pred
 	m.status = statusWaitReceive
+	c.r.blockReceive(m)
 	if c.r.logging() {
 		c.r.logf("%s waiting to receive %s", m.label(), desc)
 	}
@@ -122,7 +123,7 @@ func (c *Context) Halt() {
 // Monitor delivers a notification event to the named specification
 // monitor, synchronously. Monitors are registered on the Test.
 func (c *Context) Monitor(name string, ev Event) {
-	e := c.r.monByName[name]
+	e := c.r.findMonitor(name)
 	if e == nil {
 		c.Assert(false, "notify of unknown monitor %q", name)
 	}
@@ -184,7 +185,7 @@ func (c *Context) StopTimer(id TimerID) {
 		c.Assert(false, "StopTimer of unknown timer %d", id)
 	}
 	m := r.machines[id]
-	if _, ok := m.impl.(*timerMachine); !ok {
+	if !m.timer {
 		c.Assert(false, "StopTimer of machine %d (%s), which is not a timer", id, m.label())
 	}
 	if r.logging() {
@@ -302,10 +303,14 @@ func (c *Context) Restart(id MachineID, impl Machine) {
 	} else {
 		m.defr = nil
 	}
+	_, m.timer = impl.(*timerMachine)
 	m.queue.clear()
 	m.recvPred = nil
 	m.crashed = false
 	m.status = statusCreated
+	// Halted machines are out of the enabled set; a Created one is always
+	// enabled. id sits mid-range, so this is a real sorted insert.
+	r.insertEnabled(m)
 	if r.logging() {
 		r.logf("%s restarted %s", c.m.label(), m.label())
 	}
@@ -382,6 +387,7 @@ func (c *Context) SendUnreliable(target MachineID, ev Event) {
 func (c *Context) enqueue(t *machine, ev Event) {
 	if t.status != statusHalted {
 		t.queue.push(ev)
+		c.r.noteEnqueue(t, ev)
 		if c.r.logging() {
 			c.r.logf("%s send %s -> %s", c.m.label(), ev.Name(), t.label())
 		}

@@ -1,0 +1,11 @@
+//go:build !enabledcheck
+
+package core
+
+// enabledCrossCheckBuild gates the per-step enabled-set cross-check (see
+// verifyEnabledSet). In the default build it is a constant false, so the
+// check compiles down to a single load-and-branch on the runtime's
+// checkEnabled flag; build with `-tags enabledcheck` to verify the
+// incremental set against a from-scratch rebuild at every scheduling step
+// across the whole test suite.
+const enabledCrossCheckBuild = false

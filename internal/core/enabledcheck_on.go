@@ -1,0 +1,9 @@
+//go:build enabledcheck
+
+package core
+
+// enabledCrossCheckBuild: this build was made with `-tags enabledcheck`,
+// so every scheduling step recomputes the enabled set from scratch and
+// panics on any divergence from the incrementally maintained one (see
+// verifyEnabledSet). Orders of magnitude slower; for CI and debugging.
+const enabledCrossCheckBuild = true

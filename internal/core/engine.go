@@ -124,6 +124,13 @@ type Options struct {
 	// iteration indices still complete and are counted, so the final
 	// Progress count can exceed the canonical Executions of the Result.
 	Progress func(executions int)
+
+	// debugCheckEnabled turns on the per-step enabled-set cross-check for
+	// every runtime of the run: the incrementally maintained set is
+	// verified against a from-scratch rebuild at each scheduling step
+	// (see enabled.go). Unexported — a testing hook, not API; the
+	// `enabledcheck` build tag is the whole-binary equivalent.
+	debugCheckEnabled bool
 }
 
 // validate rejects option values that used to be silently reinterpreted
@@ -258,6 +265,7 @@ func (o Options) runtimeConfig(t Test, collectLog bool) runtimeConfig {
 		collectLog:        collectLog,
 		logCap:            o.LogCap,
 		faults:            effectiveFaults(t, o),
+		checkEnabled:      o.debugCheckEnabled,
 	}
 }
 

@@ -136,27 +136,42 @@ func (q *inbox) clear() {
 // inbox buffers and hosting goroutines) are recycled across executions by
 // the pooled engine; createMachine re-arms every field that carries
 // per-execution state.
+// The field order clusters everything a scheduling step touches — status,
+// crash/enabled bits, the wait parker, the deferrer and the inbox — into
+// the struct's first cache lines. A goroutine handoff reenters this struct
+// cold, and the hot-loop profile shows the resulting misses directly, so
+// the cold tail (name, ctx, recvPred) deliberately sits last.
 type machine struct {
-	id     MachineID
-	name   string
-	impl   Machine
-	defr   Deferrer // impl.(Deferrer), or nil
-	queue  inbox
 	status machineStatus
+	// crashed is set by the engine's crash reaper just before resuming
+	// the machine so its goroutine unwinds via killSignal.
+	crashed bool
+	// timer records whether impl is the fault plane's timerMachine. It is
+	// set at createMachine/Restart and survives the machine's death, so
+	// StopTimer can keep validating its target after the timer halted
+	// (impl itself is released at death for the pool's sake).
+	timer bool
+	// epos is the machine's index in the runtime's incrementally
+	// maintained enabled slice, or -1 while the machine is not enabled.
+	// Owned by the insert/remove helpers in enabled.go; nobody else
+	// writes it.
+	epos int32
+	id   MachineID
 	// wait is the parker the machine's goroutine blocks on between
 	// scheduling steps; whoever schedules the machine wakes it. It is
 	// assigned at the machine's first scheduling step: the hosting
 	// machineWorker's parker when the runtime pools goroutines, a fresh
 	// one otherwise.
-	wait parker
+	wait  parker
+	defr  Deferrer // impl.(Deferrer), or nil
+	queue inbox
+	impl  Machine
+	name  string
 	// ctx is the Context handed to impl's Init/Handle, embedded here so a
 	// machine start allocates nothing.
 	ctx Context
 	// recvPred is non-nil while status == statusWaitReceive.
 	recvPred func(Event) bool
-	// crashed is set by the engine's crash reaper just before resuming
-	// the machine so its goroutine unwinds via killSignal.
-	crashed bool
 }
 
 func (m *machine) label() string {
@@ -180,8 +195,12 @@ func (m *machine) hasDequeuable() bool {
 // popDequeuable removes and returns the first non-deferred event.
 // It must only be called when hasDequeuable() is true.
 func (m *machine) popDequeuable() Event {
+	if m.defr == nil {
+		// Non-deferring machine: hasDequeuable() guaranteed a front event.
+		return m.queue.removeAt(0)
+	}
 	for i, n := 0, m.queue.size(); i < n; i++ {
-		if m.defr == nil || !m.defr.Deferred(m.queue.at(i)) {
+		if !m.defr.Deferred(m.queue.at(i)) {
 			return m.queue.removeAt(i)
 		}
 	}

@@ -100,8 +100,11 @@ func (m *MonitorSM) Handle(mc *MonitorContext, ev Event) {
 	}
 }
 
-// monitorEntry pairs a monitor with its context inside one runtime.
+// monitorEntry pairs a monitor with its context inside one runtime. name
+// caches mon.Name() so the runtime's by-name lookup (findMonitor) scans
+// entries without virtual calls.
 type monitorEntry struct {
-	mon Monitor
-	mc  *MonitorContext
+	mon  Monitor
+	name string
+	mc   *MonitorContext
 }

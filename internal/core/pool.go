@@ -157,27 +157,32 @@ func (r *Runtime) putWorker(w *machineWorker) {
 // worker on the free list), so no goroutine of the previous execution can
 // observe the rewind.
 func (r *Runtime) reset(sched Scheduler, cfg runtimeConfig) {
+	r.next = sched
 	r.sched = asFaultScheduler(sched)
-	for _, m := range r.machines {
-		m.queue.clear()
-		m.impl = nil
-		m.defr = nil
-		m.recvPred = nil
-		m.wait = parker{}
-		m.crashed = false
-		m.ctx = Context{}
+	// No per-machine rewind: every machine is already clean — dying
+	// machines scrub themselves (runMachine's defer; reapCrashes and
+	// shutdown do the same for never-started ones), so by the time
+	// execute has returned, each struct holds only status (Halted),
+	// epos (-1), and recyclable storage (inbox buffer, parker, name).
+	// createMachine re-arms the rest when the struct is handed out again.
+	if enabledCrossCheckBuild {
+		for _, m := range r.machines {
+			if m.status != statusHalted || m.queue.size() != 0 ||
+				m.recvPred != nil || m.crashed || m.impl != nil ||
+				m.defr != nil || m.epos != -1 {
+				panic("core: reset found a machine not scrubbed at death: " + m.label())
+			}
+		}
 	}
 	r.machineCache = append(r.machineCache, r.machines...)
 	r.machines = r.machines[:0]
-	for _, e := range r.monitors {
-		e.mon = nil
-		*e.mc = MonitorContext{}
-	}
+	// Monitor entries are recycled as-is: addMonitor overwrites mon, name
+	// and the whole MonitorContext before the entry is reachable again.
 	r.monCache = append(r.monCache, r.monitors...)
 	r.monitors = r.monitors[:0]
-	clear(r.monByName)
+	r.enabled = r.enabled[:0]
 
-	r.current = nil
+	r.current = NoMachine
 	r.killed = false
 	r.steps = 0
 	r.maxSteps = cfg.maxSteps
@@ -196,4 +201,5 @@ func (r *Runtime) reset(sched Scheduler, cfg runtimeConfig) {
 	r.logCap = effectiveLogCap(cfg.logCap)
 	r.abort = cfg.abort
 	r.aborted = false
+	r.checkEnabled = cfg.checkEnabled
 }

@@ -36,24 +36,40 @@ func effectiveLogCap(cap int) int {
 // the reaping machine a third party (see reapCrashes). Every Context
 // operation is a deterministic scheduling point.
 type Runtime struct {
-	sched     FaultScheduler
-	machines  []*machine
-	monitors  []*monitorEntry
-	monByName map[string]*monitorEntry
-
-	// engineSem parks the engine goroutine for the duration of an
-	// execution's machine-to-machine handoff chain; whichever machine
-	// ends the loop (advance returning advDone) wakes it. reapSem parks a
-	// machine that is reaping a doomed peer (crash, stopped timer, or
-	// shutdown) until the victim's goroutine has finished unwinding.
-	engineSem parker
-	reapSem   parker
-	current   *machine
-	killed    bool
-
+	// The leading fields are the per-step hot set — everything advance
+	// reads on its way to the next scheduling decision — clustered so a
+	// step touches as few cache lines of this (large) struct as possible.
+	// next is the scheduler as handed in, used for the per-step
+	// NextMachine call; sched is its fault-choice view, which for
+	// schedulers without native fault support is a forwarding adapter —
+	// calling NextMachine through it would pay a second indirect call
+	// every step.
+	next     Scheduler
+	sched    FaultScheduler
+	machines []*machine
+	// enabled is the incrementally maintained schedulable set, sorted by
+	// MachineID; machine.epos back-points into it. Patched at the status
+	// transitions enumerated in enabled.go instead of being rebuilt every
+	// step, it is handed to NextMachine as-is — schedulers must treat it
+	// as read-only.
+	enabled []MachineID
+	dec     decArena
+	// current is the machine scheduled at the previous step (NoMachine
+	// before the first). Kept as an ID, not a pointer: the hot loop
+	// stores it every step, and an integer store dodges the write
+	// barrier a pointer field would pay.
+	current  MachineID
 	steps    int
 	maxSteps int
-	dec      decArena
+	// temperature, when positive, flags a liveness violation as soon as a
+	// monitor has been hot for that many consecutive scheduling steps.
+	temperature int
+	collectLog  bool
+	killed      bool
+	// checkEnabled turns the per-step enabled-set cross-check on for this
+	// runtime (the enabledcheck build tag turns it on binary-wide); see
+	// verifyEnabledSet. enabledScratch is its rebuild buffer (cold).
+	checkEnabled bool
 	// cov is the execution's coverage fingerprint, mixed incrementally at
 	// every abstract event right next to the decision arena: event
 	// dequeues (machine identity and event name), monitor notifications,
@@ -64,6 +80,21 @@ type Runtime struct {
 	// new executions, which is what feedback exploration feeds on.
 	cov uint64
 	bug *BugReport
+	// abort, when non-nil, is polled at every scheduling step; a true
+	// return cancels the execution (parallel exploration uses it to stop
+	// executions superseded by a bug at a lower iteration index). aborted
+	// records that the execution was cut short and its results are partial.
+	abort   func() bool
+	aborted bool
+
+	// engineSem parks the engine goroutine for the duration of an
+	// execution's machine-to-machine handoff chain; whichever machine
+	// ends the loop (advance returning advDone) wakes it. reapSem parks a
+	// machine that is reaping a doomed peer (crash, stopped timer, or
+	// shutdown) until the victim's goroutine has finished unwinding.
+	engineSem parker
+	reapSem   parker
+	monitors  []*monitorEntry
 
 	// faults is the execution's fault budget; crashes/drops/dups count
 	// the injections charged against it so far. pendingCrash holds
@@ -84,27 +115,16 @@ type Runtime struct {
 	// departed from the recorded trace; it aborts the execution.
 	divergence error
 
-	// temperature, when positive, flags a liveness violation as soon as a
-	// monitor has been hot for that many consecutive scheduling steps.
-	temperature int
 	// livenessAtBound treats an execution that reaches maxSteps as an
 	// infinite execution and checks hot monitors (§2.5 heuristic).
 	livenessAtBound bool
 	// deadlockDetection reports machines stuck in Receive at quiescence.
 	deadlockDetection bool
 
-	collectLog bool
-	log        []string
-	logCap     int
+	log    []string
+	logCap int
 
-	// abort, when non-nil, is polled at every scheduling step; a true
-	// return cancels the execution (parallel exploration uses it to stop
-	// executions superseded by a bug at a lower iteration index). aborted
-	// records that the execution was cut short and its results are partial.
-	abort   func() bool
-	aborted bool
-
-	enabledBuf []MachineID
+	enabledScratch []MachineID
 
 	// reuse marks a pooled runtime: machine goroutines park on their
 	// machineWorker between assignments instead of exiting, and the caches
@@ -128,12 +148,14 @@ type runtimeConfig struct {
 	logCap            int
 	faults            Faults
 	abort             func() bool
+	checkEnabled      bool
 }
 
 func newRuntime(sched Scheduler, cfg runtimeConfig) *Runtime {
-	return &Runtime{
+	r := &Runtime{
+		next:              sched,
 		sched:             asFaultScheduler(sched),
-		monByName:         make(map[string]*monitorEntry),
+		current:           NoMachine,
 		engineSem:         newParker(),
 		reapSem:           newParker(),
 		cov:               covBasis,
@@ -144,8 +166,11 @@ func newRuntime(sched Scheduler, cfg runtimeConfig) *Runtime {
 		collectLog:        cfg.collectLog,
 		faults:            cfg.faults,
 		abort:             cfg.abort,
+		checkEnabled:      cfg.checkEnabled,
 		logCap:            effectiveLogCap(cfg.logCap),
 	}
+	r.dec.presize(cfg.maxSteps)
+	return r
 }
 
 // execute runs the test to completion and returns the violation found, or
@@ -211,13 +236,15 @@ const (
 // bound, quiescence, scheduling — is exactly the old engine loop's and is
 // observable through traces, so don't reorder it.
 func (r *Runtime) advance(from *machine) advAction {
-	if r.steps > 0 && r.bug == nil && r.temperature > 0 {
+	if r.temperature > 0 && r.steps > 0 && r.bug == nil {
 		r.checkTemperature()
 	}
 	if r.bug != nil || r.divergence != nil {
 		return advDone
 	}
-	r.reapCrashes()
+	if len(r.pendingCrash) > 0 {
+		r.reapCrashes()
+	}
 	if r.abort != nil && r.abort() {
 		r.aborted = true
 		return advDone
@@ -228,20 +255,19 @@ func (r *Runtime) advance(from *machine) advAction {
 		}
 		return advDone
 	}
-	enabled := r.enabledMachines()
+	if enabledCrossCheckBuild || r.checkEnabled {
+		r.verifyEnabledSet()
+	}
+	enabled := r.enabled
 	if len(enabled) == 0 {
 		r.checkTermination()
 		return advDone
 	}
-	cur := NoMachine
-	if r.current != nil {
-		cur = r.current.id
-	}
-	next := r.sched.NextMachine(enabled, cur)
+	next := r.next.NextMachine(enabled, r.current)
 	r.dec.addSchedule(next)
 	r.steps++
 	m := r.machines[next]
-	r.current = m
+	r.current = next
 	if m == from {
 		return advContinue
 	}
@@ -267,26 +293,6 @@ func (r *Runtime) startOrWake(m *machine) {
 		return
 	}
 	m.wait.wake()
-}
-
-// enabledMachines returns the IDs of all schedulable machines in ID order.
-func (r *Runtime) enabledMachines() []MachineID {
-	r.enabledBuf = r.enabledBuf[:0]
-	for _, m := range r.machines {
-		switch m.status {
-		case statusCreated, statusRunning:
-			r.enabledBuf = append(r.enabledBuf, m.id)
-		case statusWaitDequeue:
-			if m.hasDequeuable() {
-				r.enabledBuf = append(r.enabledBuf, m.id)
-			}
-		case statusWaitReceive:
-			if m.hasMatch() {
-				r.enabledBuf = append(r.enabledBuf, m.id)
-			}
-		}
-	}
-	return r.enabledBuf
 }
 
 // runMachine is the body of a machine's goroutine: Init, then the event
@@ -319,9 +325,19 @@ func (r *Runtime) runMachine(m *machine, w *machineWorker) {
 				Step:    r.steps,
 			})
 		}
+		// A machine cleans up after itself at death — status, inbox,
+		// predicate, crash flag, enabled-set membership, and the user
+		// implementation (released for the garbage collector's sake; the
+		// struct itself is recycled through machineCache). This is what
+		// lets the pooled reset skip the per-machine rewind loop entirely:
+		// by the time reset runs, every machine is already clean.
 		m.status = statusHalted
 		m.queue.clear()
 		m.recvPred = nil
+		m.crashed = false
+		m.impl = nil
+		m.defr = nil
+		r.removeEnabled(m)
 		if w != nil {
 			r.putWorker(w)
 		}
@@ -335,6 +351,7 @@ func (r *Runtime) runMachine(m *machine, w *machineWorker) {
 	m.impl.Init(&m.ctx)
 	for {
 		m.status = statusWaitDequeue
+		r.blockDequeue(m)
 		r.yieldPoint(m)
 		ev := m.popDequeuable()
 		r.covMix(uint64(m.id)<<32 ^ covString(ev.Name()))
@@ -434,10 +451,14 @@ func (r *Runtime) reapCrashes() {
 		case statusHalted:
 			// Already gone (self-halted, or crashed twice).
 		case statusCreated:
-			// The goroutine never started; no unwinding needed.
+			// The goroutine never started; no unwinding needed, but the
+			// same death cleanup runMachine's defer would do applies.
 			m.status = statusHalted
 			m.queue.clear()
 			m.recvPred = nil
+			m.impl = nil
+			m.defr = nil
+			r.removeEnabled(m)
 		default:
 			m.crashed = true
 			m.wait.wake()
@@ -447,8 +468,9 @@ func (r *Runtime) reapCrashes() {
 }
 
 // schedulingPoint is a voluntary yield mid-handler (after Send, Create...).
+// The machine is necessarily statusRunning here — yieldPoint restored that
+// on its way back into the handler — so no status write is needed.
 func (r *Runtime) schedulingPoint(m *machine) {
-	m.status = statusRunning
 	r.yieldPoint(m)
 }
 
@@ -473,15 +495,24 @@ func (r *Runtime) createMachine(impl Machine, name string) MachineID {
 	} else {
 		m.defr = nil
 	}
+	_, m.timer = impl.(*timerMachine)
 	r.machines = append(r.machines, m)
+	// A Created machine is always enabled, and its ID is the largest so
+	// far, so the sorted insert is a plain append.
+	m.epos = int32(len(r.enabled))
+	r.enabled = append(r.enabled, id)
 	return id
 }
 
 // addMonitor registers and initializes a specification monitor, recycling
-// the entry and context structs on pooled runtimes.
+// the entry and context structs on pooled runtimes. Monitors are looked up
+// by linear scan (findMonitor): tests register a handful at most, so a
+// scan over entries with the name cached inline beats a map lookup — and
+// dropping the map removed a per-reset clear().
 func (r *Runtime) addMonitor(mon Monitor) {
-	if _, dup := r.monByName[mon.Name()]; dup {
-		panic(fmt.Sprintf("core: duplicate monitor %q", mon.Name()))
+	name := mon.Name()
+	if r.findMonitor(name) != nil {
+		panic(fmt.Sprintf("core: duplicate monitor %q", name))
 	}
 	var e *monitorEntry
 	if n := len(r.monCache); n > 0 {
@@ -492,9 +523,19 @@ func (r *Runtime) addMonitor(mon Monitor) {
 	} else {
 		e = &monitorEntry{mon: mon, mc: &MonitorContext{r: r, mon: mon}}
 	}
+	e.name = name
 	r.monitors = append(r.monitors, e)
-	r.monByName[mon.Name()] = e
 	mon.Init(e.mc)
+}
+
+// findMonitor returns the registered monitor entry named name, or nil.
+func (r *Runtime) findMonitor(name string) *monitorEntry {
+	for _, e := range r.monitors {
+		if e.name == name {
+			return e
+		}
+	}
+	return nil
 }
 
 // shutdown reaps every live machine goroutine, from the engine goroutine
@@ -506,7 +547,15 @@ func (r *Runtime) shutdown() {
 	for _, m := range r.machines {
 		switch m.status {
 		case statusCreated, statusHalted:
+			// Never-started machines get the death cleanup here; halted
+			// ones already cleaned up in their own defer (removeEnabled
+			// and queue.clear are no-ops for them).
 			m.status = statusHalted
+			m.queue.clear()
+			m.recvPred = nil
+			m.impl = nil
+			m.defr = nil
+			r.removeEnabled(m)
 		default:
 			m.wait.wake()
 			r.reapSem.park()
@@ -525,8 +574,8 @@ func (r *Runtime) setBug(b *BugReport) {
 // executing machine and unwinds the calling goroutine.
 func (r *Runtime) failSafety(msg string) {
 	label := ""
-	if r.current != nil {
-		label = r.current.label()
+	if r.current != NoMachine {
+		label = r.machines[r.current].label()
 	}
 	r.setBug(&BugReport{Kind: SafetyBug, Message: msg, Machine: label, Step: r.steps})
 	panic(bugSignal{})

@@ -26,7 +26,10 @@ type Scheduler interface {
 	Prepare(seed int64, maxSteps int) bool
 	// NextMachine picks one of the enabled machines. enabled is sorted by
 	// MachineID and never empty; current is the machine scheduled at the
-	// previous step (NoMachine at the first).
+	// previous step (NoMachine at the first). The engine maintains the
+	// enabled set incrementally and passes the same backing array every
+	// step: implementations must treat it as read-only and must not
+	// retain it across calls (copy if needed).
 	NextMachine(enabled []MachineID, current MachineID) MachineID
 	NextBool() bool
 	// NextInt returns a value in [0, n). Implementations must reject
@@ -494,11 +497,16 @@ func (s *rrScheduler) Prepare(seed int64, _ int) bool {
 
 func (s *rrScheduler) NextMachine(enabled []MachineID, _ MachineID) MachineID {
 	// Pick the smallest ID strictly greater than last, wrapping around.
-	idx := sort.Search(len(enabled), func(i int) bool { return enabled[i] > s.last })
-	if idx == len(enabled) {
-		idx = 0
+	// enabled is sorted, so a forward scan finds it; for the small
+	// enabled sets every step hands us, the scan beats sort.Search's
+	// closure-indirected binary search on the hot path.
+	for _, id := range enabled {
+		if id > s.last {
+			s.last = id
+			return id
+		}
 	}
-	s.last = enabled[idx]
+	s.last = enabled[0]
 	return s.last
 }
 

@@ -158,6 +158,21 @@ func (a *decArena) reset() {
 	a.n = 0
 }
 
+// presize reserves capacity for about maxSteps decisions up front. An
+// execution records at least one word per scheduling step, so growing the
+// arena by append-doubling from nil costs ~2× the final size in copied
+// garbage before the first reset; one sized allocation avoids that. The
+// cap keeps a huge step bound from reserving memory no execution uses,
+// and executions recording more than a word per step just fall back to
+// append growth from a warm start.
+func (a *decArena) presize(maxSteps int) {
+	const maxPresize = 1 << 14
+	n := min(maxSteps, maxPresize) + 64
+	if cap(a.words) < n {
+		a.words = make([]uint64, 0, n)
+	}
+}
+
 func (a *decArena) addSchedule(m MachineID) {
 	a.words = append(a.words, decHeader(DecisionSchedule, m, false))
 	a.n++
