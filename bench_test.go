@@ -406,11 +406,23 @@ func faultPlaneTest() core.Test {
 	}
 }
 
+// tornBudgetFaultTest is faultPlaneTest with an armed-but-unused
+// crash-consistency budget: the workload never calls Persist, so the
+// torn allowance must cost nothing — crashed machines have no staged
+// writes, so no FaultPersist choice is ever presented.
+func tornBudgetFaultTest() core.Test {
+	t := faultPlaneTest()
+	t.Faults.MaxTornCrashes = 1
+	return t
+}
+
 // BenchmarkFaultPlane compares fault injection through the shared fault
 // plane (typed choice points, budget bookkeeping, dedicated decision
 // kinds) against the legacy hand-rolled RandomBool idiom it replaced, in
 // executions/sec. The fault plane should cost no more than the idiom —
-// it makes the same number of scheduler calls, just typed.
+// it makes the same number of scheduler calls, just typed. The tornbudget
+// variant pins the crash-consistency plane's zero-cost-when-unused
+// contract: for a persist-free workload it must match faultplane.
 func BenchmarkFaultPlane(b *testing.B) {
 	for _, tc := range []struct {
 		name  string
@@ -418,6 +430,7 @@ func BenchmarkFaultPlane(b *testing.B) {
 	}{
 		{"legacy", legacyFaultTest},
 		{"faultplane", faultPlaneTest},
+		{"tornbudget", tornBudgetFaultTest},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			b.ReportAllocs()

@@ -52,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		temperature = fs.Int("temperature", 0, "liveness temperature threshold (0 = bound check only)")
 		faults      = fs.String("faults", "", "fault budget override, e.g. crashes=1,drops=2,dups=1 (empty = scenario default; all zeros = disable)")
 		maxCrashes  = fs.Int("max-crashes", 0, "adjust the crashes component of the fault budget, keeping the scenario's other allowances (0 = scenario default)")
+		maxTorn     = fs.Int("max-torn-crashes", 0, "adjust the torn-crash component of the fault budget: crashes that may keep un-synced persisted writes (0 = scenario default)")
 		traceOut    = fs.String("trace-out", "", "write the buggy trace to this file")
 		replay      = fs.String("replay", "", "replay a trace file instead of exploring")
 		verbose     = fs.Bool("v", false, "print the detailed execution log of the violation")
@@ -85,7 +86,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "systest:", err)
 		return 2
 	}
-	faultsOverride, err := parseFaults(*faults, *maxCrashes)
+	faultsOverride, err := parseFaults(*faults, *maxCrashes, *maxTorn)
 	if err != nil {
 		fmt.Fprintln(stderr, "systest:", err)
 		return 2
@@ -99,12 +100,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "systest: unknown scenario", *test, "(use -list)")
 		return 2
 	}
-	if faultsOverride == nil && *maxCrashes > 0 {
-		// -max-crashes without -faults adjusts only the crashes component
-		// of the scenario's declared budget, keeping its drop/duplicate
-		// allowances intact.
+	if faultsOverride == nil && (*maxCrashes > 0 || *maxTorn > 0) {
+		// -max-crashes / -max-torn-crashes without -faults adjust only
+		// their own component of the scenario's declared budget, keeping
+		// the other allowances intact.
 		f := sc.Test().Faults
-		f.MaxCrashes = *maxCrashes
+		if *maxCrashes > 0 {
+			f.MaxCrashes = *maxCrashes
+		}
+		if *maxTorn > 0 {
+			f.MaxTornCrashes = *maxTorn
+		}
 		faultsOverride = &f
 	}
 
@@ -275,12 +281,15 @@ func parsePortfolio(spec, scheduler string, schedulerSet bool) ([]string, error)
 // override (nil = no spec given). A non-empty spec always overrides —
 // "-faults crashes=0" (all zeros) disables the scenario's fault plane
 // entirely (gostorm.WithFaults treats the zero budget as WithNoFaults).
-// An explicit -max-crashes wins over the spec's crashes component; with
-// no spec it instead adjusts only the crashes component of the
-// scenario's declared budget (see run).
-func parseFaults(spec string, maxCrashes int) (*gostorm.Faults, error) {
+// An explicit -max-crashes / -max-torn-crashes wins over the spec's
+// matching component; with no spec each instead adjusts only its own
+// component of the scenario's declared budget (see run).
+func parseFaults(spec string, maxCrashes, maxTorn int) (*gostorm.Faults, error) {
 	if maxCrashes < 0 {
 		return nil, fmt.Errorf("-max-crashes must be non-negative, got %d", maxCrashes)
+	}
+	if maxTorn < 0 {
+		return nil, fmt.Errorf("-max-torn-crashes must be non-negative, got %d", maxTorn)
 	}
 	if strings.TrimSpace(spec) == "" {
 		return nil, nil
@@ -291,6 +300,9 @@ func parseFaults(spec string, maxCrashes int) (*gostorm.Faults, error) {
 	}
 	if maxCrashes > 0 {
 		f.MaxCrashes = maxCrashes
+	}
+	if maxTorn > 0 {
+		f.MaxTornCrashes = maxTorn
 	}
 	return &f, nil
 }

@@ -110,8 +110,8 @@ func TestCLIFaultPlaneRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("trace not written: %v", err)
 	}
-	if !strings.Contains(string(data), `"version": 1`) {
-		t.Fatalf("trace is not version 1:\n%.300s", data)
+	if !strings.Contains(string(data), `"version": 2`) {
+		t.Fatalf("trace is not version 2:\n%.300s", data)
 	}
 	if !strings.Contains(string(data), `"k": "c"`) || !strings.Contains(string(data), `"k": "t"`) {
 		t.Fatalf("trace lacks crash/timer decision kinds:\n%.300s", data)
@@ -142,6 +142,18 @@ func TestCLIFaultPlaneRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(out, "faults crashes=2 drops=3 dups=2") {
 		t.Fatalf("-max-crashes did not merge into the scenario budget:\n%s", out)
+	}
+
+	// -max-torn-crashes merges the same way: only the torn component of
+	// the scenario's declared budget changes.
+	out, code = runSystest(t,
+		"-test", "vnext-repair-lossy", "-max-torn-crashes", "1",
+		"-iterations", "5", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("max-torn-crashes run exit = %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "faults crashes=1 drops=3 dups=2 torn=1") {
+		t.Fatalf("-max-torn-crashes did not merge into the scenario budget:\n%s", out)
 	}
 
 	// An explicit all-zero budget disables the scenario's declared
@@ -217,6 +229,7 @@ func TestCLIValidatesFlagsUpFront(t *testing.T) {
 		{"bad faults key", []string{"-test", "replsys", "-faults", "bogus=1"}, "unknown key"},
 		{"bad faults value", []string{"-test", "replsys", "-faults", "crashes=x"}, "non-negative integer"},
 		{"negative max-crashes", []string{"-test", "replsys", "-max-crashes", "-3"}, "-max-crashes must be non-negative"},
+		{"negative max-torn-crashes", []string{"-test", "replsys", "-max-torn-crashes", "-1"}, "-max-torn-crashes must be non-negative"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -132,20 +132,54 @@
 //     scenario.
 //   - Message faults: Context.SendUnreliable lets the scheduler drop or
 //     duplicate a delivery (DecisionDeliver) on the modeled network.
+//   - Durable storage: Context.Persist stages a durable write and
+//     Context.Sync commits the staged writes crash-proof — see the
+//     crash-consistency plane below.
 //
 // Budgets and determinism: faults are budgeted per execution by Faults
-// {MaxCrashes, MaxDrops, MaxDuplicates} — a Test declares the budget its
-// scenario is built for, WithFaults overrides it wholesale, and
-// WithNoFaults (or the zero budget) disables the fault plane entirely
-// (SendUnreliable becomes Send, CrashPoint declines, injectors halt).
-// Every fault outcome is a typed Decision in the trace, so buggy
-// executions replay bit-exactly — replay validates kind, subject and
-// outcome and reports a divergence otherwise — and traces are versioned
-// (TraceVersion): version-0 traces from before the fault plane still
+// {MaxCrashes, MaxDrops, MaxDuplicates, MaxTornCrashes} — a Test
+// declares the budget its scenario is built for, WithFaults overrides it
+// wholesale, and WithNoFaults (or the zero budget) disables the fault
+// plane entirely (SendUnreliable becomes Send, CrashPoint declines,
+// injectors halt). Every fault outcome is a typed Decision in the trace,
+// so buggy executions replay bit-exactly — replay validates kind,
+// subject and outcome and reports a divergence otherwise — and traces
+// are versioned (TraceVersion): traces from before the fault plane still
 // decode and replay, while unknown versions or decision kinds are strict
 // decode errors. The adaptive schedulers treat fault points as
 // change-point candidates, spending a change point that lands on one to
 // force a faulty outcome.
+//
+// # Crash-consistency plane
+//
+// Machine state has a volatile half — the machine struct, lost on Crash
+// — and a durable half managed by the runtime. Context.Persist(key,
+// value) stages a durable write; Context.Sync commits every staged write
+// — the fsync barrier. Both are scheduling points, so a crash can land
+// between a write and its barrier. Context.Recover hands the restarted
+// incarnation (Context.Restart) the durable map its predecessor left
+// behind; volatile state starts fresh, like a process restart.
+//
+// When a machine crashes holding staged, un-synced writes, the scheduler
+// chooses the crash state of the disk: outcome k keeps the first k
+// staged writes in Persist order — a bounded, prefix-based enumeration
+// of crash states rather than the exponential subset space. The choice
+// is a FaultPersist fault (FaultScheduler.NextFault), recorded as
+// DecisionPersist so torn crash states replay bit-exactly; recording it
+// bumped TraceVersion to 2. Outcome 0 (all staged writes lost) is always
+// free; outcomes keeping a torn suffix are budgeted by
+// Faults.MaxTornCrashes. Synced writes always survive, voluntary halts
+// keep durable state but discard staged writes, and a workload that
+// never calls Persist pays nothing and produces traces byte-identical to
+// the pre-plane engine.
+//
+// The recovery-oracle pattern: a monitor tracks write intents and
+// commits (notified around Persist and after Sync) and checks every
+// recovery against them — everything committed must be recovered, and
+// nothing may be recovered that was never written. internal/wal is the
+// flagship (a write-ahead log whose seeded recovery bug trusts a torn,
+// un-synced tail); the replsys DurableNodes and mtable CrashMigrator
+// configurations route those harnesses through the same plane.
 //
 // # Performance and pooling
 //

@@ -138,6 +138,7 @@ const (
 	FaultTimer   = core.FaultTimer
 	FaultCrash   = core.FaultCrash
 	FaultDeliver = core.FaultDeliver
+	FaultPersist = core.FaultPersist
 )
 
 // Delivery outcomes of a FaultDeliver choice.
@@ -155,6 +156,7 @@ const (
 	DecisionTimer    = core.DecisionTimer
 	DecisionCrash    = core.DecisionCrash
 	DecisionDeliver  = core.DecisionDeliver
+	DecisionPersist  = core.DecisionPersist
 )
 
 // TraceVersion is the trace format version this build writes.

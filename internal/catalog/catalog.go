@@ -15,6 +15,7 @@ import (
 	"github.com/gostorm/gostorm/internal/replsys"
 	"github.com/gostorm/gostorm/internal/vnext"
 	vharness "github.com/gostorm/gostorm/internal/vnext/harness"
+	"github.com/gostorm/gostorm/internal/wal"
 )
 
 // Entry is one registered scenario.
@@ -74,6 +75,18 @@ func All() []Entry {
 			Options: core.Options{MaxSteps: 8000, Iterations: 100},
 		},
 		{
+			Name:  "replsys-durable",
+			About: "§2 example, fixed, with write-ahead durable storage nodes under crash injection (expected clean)",
+			Build: func() core.Test {
+				return replsys.Scenario(replsys.ScenarioConfig{
+					Server:       replsys.Config{FixUniqueReplicas: true, FixCounterReset: true},
+					Monitors:     replsys.WithSafety,
+					DurableNodes: true,
+				})
+			},
+			Options: core.Options{MaxSteps: 3000, Iterations: 300},
+		},
+		{
 			Name:  "vnext-repair",
 			About: "§3 extent repair scenario, fixed manager (expected clean)",
 			Build: func() core.Test {
@@ -120,6 +133,14 @@ func All() []Entry {
 			Options: core.Options{MaxSteps: 30000, Iterations: 60},
 		},
 		{
+			Name:  "mtable-crash",
+			About: "§4 MigratingTable, migrator completion durably checkpointed under crash injection (expected clean)",
+			Build: func() core.Test {
+				return mharness.Test(mharness.HarnessConfig{CrashMigrator: true})
+			},
+			Options: core.Options{MaxSteps: 30000, Iterations: 120},
+		},
+		{
 			Name:  "vnext-repair-lossy",
 			About: "§3 fail-and-repair under budgeted message loss/duplication (expected clean)",
 			Build: func() core.Test {
@@ -163,6 +184,18 @@ func All() []Entry {
 				return fabric.PipelineScenario(fabric.PipelineConfig{BugNilState: true})
 			},
 			Options: core.Options{MaxSteps: 5000},
+		},
+		{
+			Name:    "wal-torn-tail",
+			About:   "crash-consistency bug: WAL recovery trusts an un-synced torn tail",
+			Build:   func() core.Test { return wal.Scenario(wal.Config{}) },
+			Options: core.Options{MaxSteps: 2000},
+		},
+		{
+			Name:    "wal-fixed",
+			About:   "WAL recovery truncating the torn tail (expected clean)",
+			Build:   func() core.Test { return wal.Scenario(wal.Config{FixTornTail: true}) },
+			Options: core.Options{MaxSteps: 2000, Iterations: 400},
 		},
 	}
 	// One entry per Table 2 MigratingTable bug, organic workload...

@@ -30,13 +30,14 @@ func TestCatalogFaultScenarios(t *testing.T) {
 			}
 			res := core.MustExplore(e.Build(), opts)
 			switch e.Name {
-			case "ExtentNodeLivenessViolation", "fabric-promotion-bug":
+			case "ExtentNodeLivenessViolation", "fabric-promotion-bug", "wal-torn-tail":
 				if !res.BugFound {
 					t.Fatalf("%s: seeded bug not found at seed 1 within %d executions", e.Name, opts.Iterations)
 				}
 				hasFault := false
 				for _, d := range res.Report.Trace.Decisions {
-					if d.Kind == core.DecisionTimer || d.Kind == core.DecisionCrash || d.Kind == core.DecisionDeliver {
+					if d.Kind == core.DecisionTimer || d.Kind == core.DecisionCrash ||
+						d.Kind == core.DecisionDeliver || d.Kind == core.DecisionPersist {
 						hasFault = true
 						break
 					}

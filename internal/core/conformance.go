@@ -33,6 +33,8 @@ func conformanceDrive(name string, s Scheduler) ([]string, error) {
 		{Kind: FaultCrash, N: 5, Machine: NoMachine, Candidates: []MachineID{0, 2, 4, 6}},
 		{Kind: FaultDeliver, N: 3, Machine: 2, Outcomes: []DeliveryOutcome{Deliver, Drop, Duplicate}},
 		{Kind: FaultDeliver, N: 2, Machine: 6, Outcomes: []DeliveryOutcome{Deliver, Duplicate}},
+		{Kind: FaultPersist, N: 3, Machine: 5, Keys: []string{"wal/0", "wal/1"}},
+		{Kind: FaultPersist, N: 2, Machine: 1, Keys: []string{"meta"}},
 	}
 	var stream []string
 	current := NoMachine

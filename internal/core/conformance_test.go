@@ -20,11 +20,39 @@ func TestSchedulerConformance(t *testing.T) {
 	}
 }
 
+// probeStore stages two durable writes and tells its parent; the probe
+// entry then crashes it, which is what forces a FaultPersist choice (the
+// staged count is schedule-independent: "ready" is sent only after both
+// Persist calls).
+type probeStore struct{ parent MachineID }
+
+func (s *probeStore) Init(ctx *Context) {
+	ctx.Persist("a", []byte{1})
+	ctx.Persist("b", []byte{2})
+	ctx.Send(s.parent, Signal("ready"))
+}
+
+func (s *probeStore) Handle(*Context, Event) {}
+
+// probeRecover is the restarted store incarnation: it reads back whatever
+// the FaultPersist outcome made durable.
+type probeRecover struct{}
+
+func (s *probeRecover) Init(ctx *Context) {
+	if got := ctx.Recover(); len(got) > 2 {
+		ctx.Assert(false, "recovered %d keys, staged only 2", len(got))
+	}
+}
+
+func (s *probeRecover) Handle(*Context, Event) {}
+
 // faultProbeTest is a workload whose every execution — buggy or clean,
-// under any scheduler — records all three fault decision kinds: two
+// under any scheduler — records all four fault decision kinds: two
 // unreliable sends (DecisionDeliver), one crash offer (DecisionCrash),
-// and a timer the entry blocks on (DecisionTimer entries accumulate until
-// it fires or the step bound cuts the execution).
+// a directed crash of a machine with staged persists (DecisionPersist,
+// settled into the restarted incarnation's Recover), and a timer the
+// entry blocks on (DecisionTimer entries accumulate until it fires or
+// the step bound cuts the execution).
 func faultProbeTest() Test {
 	return Test{
 		Name: "fault-probe",
@@ -33,6 +61,10 @@ func faultProbeTest() Test {
 			ctx.SendUnreliable(sink, Signal("ping"))
 			ctx.SendUnreliable(sink, Signal("ping"))
 			ctx.CrashPoint(sink)
+			store := ctx.CreateMachine(&probeStore{parent: ctx.ID()}, "store")
+			ctx.Receive("ready")
+			ctx.Crash(store)
+			ctx.Restart(store, &probeRecover{})
 			tid := ctx.StartTimer("T", ctx.ID(), Signal("tick"))
 			ctx.Receive("tick")
 			ctx.StopTimer(tid)
@@ -41,7 +73,7 @@ func faultProbeTest() Test {
 }
 
 // probeFaults is the budget the fault-probe conformance runs use.
-var probeFaults = Faults{MaxCrashes: 1, MaxDrops: 1, MaxDuplicates: 1}
+var probeFaults = Faults{MaxCrashes: 1, MaxDrops: 1, MaxDuplicates: 1, MaxTornCrashes: 1}
 
 // TestSchedulerConformanceFaultPlane holds every registry scheduler (and,
 // automatically, every future one) to the fault-plane contract: an
@@ -68,7 +100,7 @@ func TestSchedulerConformanceFaultPlane(t *testing.T) {
 			})
 			rep := r.execute(faultProbeTest())
 			decisions := r.dec.decode()
-			for _, kind := range []DecisionKind{DecisionTimer, DecisionCrash, DecisionDeliver} {
+			for _, kind := range []DecisionKind{DecisionTimer, DecisionCrash, DecisionDeliver, DecisionPersist} {
 				found := false
 				for _, d := range decisions {
 					if d.Kind == kind {

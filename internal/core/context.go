@@ -280,6 +280,10 @@ func (c *Context) Crash(target MachineID) {
 // Restart re-creates a crashed (or otherwise halted) machine in place:
 // same MachineID — so routing tables survive — but fresh behavior and an
 // empty inbox, modeling a process restart that lost its volatile state.
+// The machine's durable storage (Persist + Sync, plus whatever staged
+// prefix the crash's FaultPersist choice let survive) is carried over:
+// the new incarnation reads it back through Recover, typically in Init —
+// the recovery path the crash-consistency plane exists to test.
 func (c *Context) Restart(id MachineID, impl Machine) {
 	r := c.r
 	if id < 0 || int(id) >= len(r.machines) {
@@ -315,6 +319,78 @@ func (c *Context) Restart(id MachineID, impl Machine) {
 		r.logf("%s restarted %s", c.m.label(), m.label())
 	}
 	r.schedulingPoint(c.m)
+}
+
+// --- crash-consistency plane ---
+//
+// Machine state is split into a volatile and a durable half. Everything a
+// machine holds in its implementation struct is volatile: a crash (and a
+// Restart) loses it. The durable half is a per-machine key/value store
+// written through Persist and made crash-proof by Sync, modeling a disk
+// behind a write cache: Persist stages a write (issued, not yet fsynced),
+// Sync is the fsync barrier. On a crash, synced writes always survive;
+// staged ones are lost — unless the scheduler, within the execution's
+// Faults.MaxTornCrashes budget, picks a torn crash state in which some
+// prefix of them reached the disk anyway (the FaultPersist choice,
+// recorded as DecisionPersist). The restarted incarnation reads the
+// surviving store back through Recover and must rebuild a consistent
+// state from it — which is exactly the recovery logic these primitives
+// exist to put under systematic test.
+
+// Persist stages a durable write of value under key on the executing
+// machine. The write is not crash-proof until a Sync covers it: a crash
+// before then loses it, except for scheduler-chosen torn crash states
+// (see Faults.MaxTornCrashes). A later Persist of the same key overwrites
+// the earlier value once applied. The value bytes are copied, so the
+// caller may reuse its buffer. Persist is a scheduling point — issuing a
+// write is I/O, and the interesting crashes land between writes. A
+// machine can only persist its own state; a voluntary Halt (and a
+// self-Crash, which is equivalent) discards staged writes deterministically,
+// like a process exiting without fsync.
+func (c *Context) Persist(key string, value []byte) {
+	m := c.m
+	m.staged = append(m.staged, stagedWrite{key: key, val: append([]byte(nil), value...)})
+	if c.r.logging() {
+		c.r.logf("%s persist %q (%d bytes staged)", m.label(), key, len(value))
+	}
+	c.r.schedulingPoint(m)
+}
+
+// Sync makes every staged write of the executing machine durable, in the
+// order they were issued — the fsync barrier of the crash-consistency
+// plane. After Sync returns, those writes survive any crash. Sync is a
+// scheduling point; it resolves no scheduler choice and records no
+// decision.
+func (c *Context) Sync() {
+	m := c.m
+	if c.r.logging() {
+		c.r.logf("%s sync (%d staged writes made durable)", m.label(), len(m.staged))
+	}
+	m.applyStaged(len(m.staged))
+	c.r.schedulingPoint(m)
+}
+
+// Recover returns a snapshot of the executing machine's durable store:
+// every synced write plus whatever staged prefix past crashes let
+// survive, nil when the store is empty. A restarted machine calls it
+// (typically in Init) to rebuild its state — the hand-over from the
+// crashed incarnation. The snapshot is the caller's to keep; mutating it
+// does not touch the store. Iterate it deterministically (sorted keys, or
+// a known key scheme) — ranging over the map directly is hidden
+// nondeterminism that breaks replay.
+func (c *Context) Recover() map[string][]byte {
+	m := c.m
+	if len(m.durable) == 0 {
+		return nil
+	}
+	out := make(map[string][]byte, len(m.durable))
+	for k, v := range m.durable {
+		out[k] = append([]byte(nil), v...)
+	}
+	if c.r.logging() {
+		c.r.logf("%s recovered %d durable keys", m.label(), len(out))
+	}
+	return out
 }
 
 // CrashBudget returns the number of CrashPoint injections the scheduler

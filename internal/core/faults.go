@@ -36,11 +36,17 @@ type Faults struct {
 	// MaxDuplicates bounds how many SendUnreliable deliveries may be
 	// duplicated per execution.
 	MaxDuplicates int `json:"dups,omitempty"`
+	// MaxTornCrashes bounds how many crashes may take a torn outcome: a
+	// FaultPersist choice letting some un-synced staged writes survive
+	// (see Context.Persist). With a zero budget every crash is clean —
+	// staged writes not yet covered by Sync are deterministically lost —
+	// and no persist choice points are presented.
+	MaxTornCrashes int `json:"torn,omitempty"`
 }
 
 // enabled reports whether any fault class has a budget.
 func (f Faults) enabled() bool {
-	return f.MaxCrashes > 0 || f.MaxDrops > 0 || f.MaxDuplicates > 0
+	return f.MaxCrashes > 0 || f.MaxDrops > 0 || f.MaxDuplicates > 0 || f.MaxTornCrashes > 0
 }
 
 // deliveryFaults reports whether SendUnreliable has any fault budget.
@@ -67,11 +73,12 @@ func (f Faults) String() string {
 	add("crashes", f.MaxCrashes)
 	add("drops", f.MaxDrops)
 	add("dups", f.MaxDuplicates)
+	add("torn", f.MaxTornCrashes)
 	return out
 }
 
 // ParseFaultsSpec parses a CLI fault-budget spec of the form
-// "crashes=1,drops=2,dups=1" (any subset of the keys, whitespace
+// "crashes=1,drops=2,dups=1,torn=1" (any subset of the keys, whitespace
 // tolerated) into a Faults budget. An empty spec is the zero budget.
 func ParseFaultsSpec(spec string) (Faults, error) {
 	var f Faults
@@ -82,7 +89,7 @@ func ParseFaultsSpec(spec string) (Faults, error) {
 		part = strings.TrimSpace(part)
 		key, val, ok := strings.Cut(part, "=")
 		if !ok {
-			return Faults{}, fmt.Errorf("core: fault spec %q: %q is not key=value (keys: crashes, drops, dups)", spec, part)
+			return Faults{}, fmt.Errorf("core: fault spec %q: %q is not key=value (keys: crashes, drops, dups, torn)", spec, part)
 		}
 		n, err := strconv.Atoi(strings.TrimSpace(val))
 		if err != nil || n < 0 {
@@ -95,8 +102,10 @@ func ParseFaultsSpec(spec string) (Faults, error) {
 			f.MaxDrops = n
 		case "dups", "duplicates":
 			f.MaxDuplicates = n
+		case "torn":
+			f.MaxTornCrashes = n
 		default:
-			return Faults{}, fmt.Errorf("core: fault spec %q: unknown key %q (keys: crashes, drops, dups)", spec, key)
+			return Faults{}, fmt.Errorf("core: fault spec %q: unknown key %q (keys: crashes, drops, dups, torn)", spec, key)
 		}
 	}
 	return f, nil
@@ -123,6 +132,7 @@ func (f Faults) validate(what string) *ConfigError {
 		{"MaxCrashes", f.MaxCrashes},
 		{"MaxDrops", f.MaxDrops},
 		{"MaxDuplicates", f.MaxDuplicates},
+		{"MaxTornCrashes", f.MaxTornCrashes},
 	} {
 		if c.v < 0 {
 			return &ConfigError{
@@ -147,6 +157,14 @@ const (
 	// FaultDeliver: the fate of one unreliable send. Outcomes are the
 	// DeliveryOutcome codes.
 	FaultDeliver
+	// FaultPersist: which un-synced staged writes of a crashing machine
+	// reach durable storage anyway. Outcome k means the first k staged
+	// writes (in Persist order) survive: 0 — the benign outcome — loses
+	// them all, exactly what a crash with no torn budget does; N-1 keeps
+	// every one, as if the sync had just completed. The prefix bound is
+	// the B3-style crash-state enumeration: writes hit the disk in the
+	// order they were issued, and the crash tears at one point.
+	FaultPersist
 )
 
 func (k FaultKind) String() string {
@@ -157,6 +175,8 @@ func (k FaultKind) String() string {
 		return "crash"
 	case FaultDeliver:
 		return "deliver"
+	case FaultPersist:
+		return "persist"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -172,8 +192,9 @@ type FaultChoice struct {
 	// N >= 2 always — a choice point with only the benign outcome is not
 	// presented.
 	N int
-	// Machine is the subject: the timer machine, the send target. For
-	// FaultCrash it is NoMachine — the candidates are in Candidates.
+	// Machine is the subject: the timer machine, the send target, the
+	// crashed machine whose staged writes a FaultPersist choice settles.
+	// For FaultCrash it is NoMachine — the candidates are in Candidates.
 	Machine MachineID
 	// Candidates, for FaultCrash, lists the live machines eligible to
 	// crash (len == N-1; outcome i > 0 crashes Candidates[i-1]). The
@@ -188,6 +209,11 @@ type FaultChoice struct {
 	// match the recorded outcome even when budget exhaustion has since
 	// narrowed the outcome space.
 	Outcomes []DeliveryOutcome
+	// Keys, for FaultPersist, lists the crashing machine's staged keys in
+	// Persist order (len == N-1); outcome k makes Keys[:k] durable. The
+	// slice is the engine's staging order view — schedulers must treat it
+	// as read-only.
+	Keys []string
 }
 
 // DeliveryOutcome is the semantic outcome of a FaultDeliver choice.

@@ -172,6 +172,61 @@ type machine struct {
 	ctx Context
 	// recvPred is non-nil while status == statusWaitReceive.
 	recvPred func(Event) bool
+
+	// The crash-consistency plane's split of machine state into a durable
+	// and a volatile half lives here: everything else on this struct (and
+	// in impl) is volatile — lost at crash — while durable holds the
+	// synced writes that survive a crash and are handed to the restarted
+	// incarnation through Context.Recover. staged holds writes issued with
+	// Persist but not yet covered by Sync, in issue order; on a crash the
+	// scheduler chooses which prefix of them reaches durable anyway (the
+	// FaultPersist choice). Both maps sit in the cold tail: persist-free
+	// workloads never touch them (both stay nil), so the scheduling hot
+	// loop pays nothing for the plane's existence.
+	durable map[string][]byte
+	staged  []stagedWrite
+}
+
+// stagedWrite is one Persist call awaiting Sync: an ordered (key, value)
+// pair, because the crash-state enumeration is over write *order*.
+type stagedWrite struct {
+	key string
+	val []byte
+}
+
+// applyStaged makes the first k staged writes durable, in issue order,
+// and drops the rest: Sync applies all of them, a crash applies the
+// scheduler-chosen surviving prefix.
+func (m *machine) applyStaged(k int) {
+	if k > 0 && m.durable == nil {
+		m.durable = make(map[string][]byte)
+	}
+	for i := 0; i < k; i++ {
+		m.durable[m.staged[i].key] = m.staged[i].val
+	}
+	m.clearStaged()
+}
+
+// clearStaged drops the staged writes, nilling the value slots so user
+// data does not outlive the execution but keeping the slice for reuse.
+func (m *machine) clearStaged() {
+	for i := range m.staged {
+		m.staged[i] = stagedWrite{}
+	}
+	m.staged = m.staged[:0]
+}
+
+// clearDurable empties the durable map (keeping it allocated for pooled
+// reuse). Only end-of-execution cleanup calls it — durable state must
+// survive mid-execution crashes; that is the point of the plane.
+func (m *machine) clearDurable() {
+	clear(m.durable)
+}
+
+// persistState reports whether the machine holds any crash-consistency
+// state at all; the death/reset scrub assertions use it.
+func (m *machine) persistState() bool {
+	return len(m.durable) > 0 || len(m.staged) > 0
 }
 
 func (m *machine) label() string {

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// --- crash-consistency plane: Persist / Sync / Recover semantics ---
+
+// persistStore is a machine with a synced and an un-synced write: "base"
+// is made durable by Sync, "tail" stays staged. It reports readiness to
+// its parent only after both, so the staged count at a later crash is
+// schedule-independent.
+type persistStore struct{ parent MachineID }
+
+func (s *persistStore) Init(ctx *Context) {
+	ctx.Persist("base", []byte("b"))
+	ctx.Sync()
+	ctx.Persist("tail", []byte("t"))
+	ctx.Send(s.parent, Signal("ready"))
+}
+
+func (s *persistStore) Handle(*Context, Event) {}
+
+// syncedRecover asserts the durability contract at recovery: the synced
+// write is always there, and the staged one only ever survives through a
+// torn crash state — never with a zero torn budget.
+type syncedRecover struct{ allowTorn bool }
+
+func (s *syncedRecover) Init(ctx *Context) {
+	got := ctx.Recover()
+	ctx.Assert(string(got["base"]) == "b", "synced write lost at crash: recovered %q", got["base"])
+	if !s.allowTorn {
+		_, tornTail := got["tail"]
+		ctx.Assert(!tornTail, "un-synced write survived a crash with no torn budget")
+	}
+}
+
+func (s *syncedRecover) Handle(*Context, Event) {}
+
+func syncedSurvivalTest(allowTorn bool) Test {
+	return Test{
+		Name: "persist-synced",
+		Entry: func(ctx *Context) {
+			store := ctx.CreateMachine(&persistStore{parent: ctx.ID()}, "store")
+			ctx.Receive("ready")
+			ctx.Crash(store)
+			ctx.Restart(store, &syncedRecover{allowTorn: allowTorn})
+		},
+	}
+}
+
+// TestSyncedWritesSurviveCrash: with a zero torn budget the crash outcome
+// is fully deterministic — Sync'd writes survive, staged ones are lost —
+// for every scheduler, with and without pooling.
+func TestSyncedWritesSurviveCrash(t *testing.T) {
+	for _, sched := range []string{"random", "rr", "pct", "dfs", "mutational"} {
+		for _, reuse := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/noreuse=%v", sched, reuse), func(t *testing.T) {
+				res := MustExplore(syncedSurvivalTest(false), Options{
+					Scheduler: sched, Iterations: 200, Seed: 5,
+					NoReuse: reuse, NoReplayLog: true,
+				})
+				if res.BugFound {
+					t.Fatalf("durability contract violated: %v", res.Report.Error())
+				}
+			})
+		}
+	}
+}
+
+// TestZeroTornBudgetRecordsNoPersistDecisions: without torn budget the
+// crash settles staged writes silently — no FaultPersist choice point is
+// presented and no DecisionPersist recorded, so persist-free *traces*
+// stay exactly as they were before the plane existed.
+func TestZeroTornBudgetRecordsNoPersistDecisions(t *testing.T) {
+	sched := NewRandomScheduler()
+	for seed := int64(0); seed < 20; seed++ {
+		if !sched.Prepare(seed, 200) {
+			t.Fatal("Prepare refused")
+		}
+		r := newRuntime(sched, runtimeConfig{maxSteps: 200, deadlockDetection: true})
+		if rep := r.execute(syncedSurvivalTest(true)); rep != nil {
+			t.Fatalf("seed %d: unexpected bug: %v", seed, rep.Error())
+		}
+		for _, d := range r.dec.decode() {
+			if d.Kind == DecisionPersist {
+				t.Fatalf("seed %d: DecisionPersist recorded with a zero torn budget", seed)
+			}
+		}
+	}
+}
+
+// tornStore stages three ordered writes (no Sync) and reports readiness.
+type tornStore struct{ parent MachineID }
+
+func (s *tornStore) Init(ctx *Context) {
+	ctx.Persist("a", []byte{1})
+	ctx.Persist("b", []byte{2})
+	ctx.Persist("c", []byte{3})
+	ctx.Send(s.parent, Signal("ready"))
+}
+
+func (s *tornStore) Handle(*Context, Event) {}
+
+// prefixRecover asserts the B3-style prefix bound of torn crash states —
+// a later write never survives without every earlier one — and, when
+// seeded, "fails" on any torn state so exploration provably reaches one.
+type prefixRecover struct{ failOnTorn bool }
+
+func (s *prefixRecover) Init(ctx *Context) {
+	got := ctx.Recover()
+	_, a := got["a"]
+	_, b := got["b"]
+	_, c := got["c"]
+	ctx.Assert(!c || b, "write c survived without b: torn state is not a prefix")
+	ctx.Assert(!b || a, "write b survived without a: torn state is not a prefix")
+	if s.failOnTorn {
+		ctx.Assert(len(got) == 0, "torn crash state reached: %d staged writes survived", len(got))
+	}
+}
+
+func (s *prefixRecover) Handle(*Context, Event) {}
+
+func tornCrashTest(failOnTorn bool) Test {
+	return Test{
+		Name: "persist-torn",
+		Entry: func(ctx *Context) {
+			store := ctx.CreateMachine(&tornStore{parent: ctx.ID()}, "store")
+			ctx.Receive("ready")
+			ctx.Crash(store)
+			ctx.Restart(store, &prefixRecover{failOnTorn: failOnTorn})
+		},
+		Faults: Faults{MaxTornCrashes: 1},
+	}
+}
+
+// TestTornCrashEnumeratesPrefixes: with budget, exploration reaches a
+// non-benign crash state (the seeded assert fires), the trace records the
+// torn DecisionPersist, and the trace replays to the identical violation.
+func TestTornCrashEnumeratesPrefixes(t *testing.T) {
+	for _, sched := range []string{"random", "pct", "mutational"} {
+		t.Run(sched, func(t *testing.T) {
+			opts := Options{Scheduler: sched, Iterations: 500, Seed: 7, NoReplayLog: true}
+			res := MustExplore(tornCrashTest(true), opts)
+			if !res.BugFound {
+				t.Fatal("no torn crash state reached despite the budget")
+			}
+			if !hasDecisionKind(res.Report.Trace, DecisionPersist) {
+				t.Fatal("buggy trace records no DecisionPersist")
+			}
+			torn := false
+			for _, d := range res.Report.Trace.Decisions {
+				if d.Kind == DecisionPersist && d.Int > 0 {
+					torn = true
+				}
+			}
+			if !torn {
+				t.Fatal("recorded persist decisions are all benign, yet writes survived")
+			}
+			assertFaultTraceReplays(t, tornCrashTest(true), res, opts)
+		})
+	}
+}
+
+// TestTornPrefixInvariantHolds: across a wide exploration, every torn
+// crash state the engine enumerates respects the prefix bound.
+func TestTornPrefixInvariantHolds(t *testing.T) {
+	res := MustExplore(tornCrashTest(false), Options{
+		Scheduler: "random", Iterations: 2000, Seed: 3, NoReplayLog: true,
+	})
+	if res.BugFound {
+		t.Fatalf("prefix invariant violated: %v", res.Report.Error())
+	}
+}
+
+// twoCrashTest crashes two independent staged stores in sequence; with a
+// torn budget of one, at most one of the two crashes may take a
+// non-benign outcome.
+func twoCrashTest() Test {
+	return Test{
+		Name: "persist-budget",
+		Entry: func(ctx *Context) {
+			s1 := ctx.CreateMachine(&tornStore{parent: ctx.ID()}, "s1")
+			ctx.Receive("ready")
+			ctx.Crash(s1)
+			ctx.Restart(s1, &prefixRecover{})
+			s2 := ctx.CreateMachine(&tornStore{parent: ctx.ID()}, "s2")
+			ctx.Receive("ready")
+			ctx.Crash(s2)
+			ctx.Restart(s2, &prefixRecover{})
+		},
+		Faults: Faults{MaxTornCrashes: 1},
+	}
+}
+
+// TestTornBudgetCharged: the MaxTornCrashes budget bounds non-benign
+// outcomes per execution — and a taken torn outcome spends it, so the
+// second crash of the execution presents no choice at all.
+func TestTornBudgetCharged(t *testing.T) {
+	sched := NewRandomScheduler()
+	spent := false
+	for seed := int64(0); seed < 40; seed++ {
+		if !sched.Prepare(seed, 300) {
+			t.Fatal("Prepare refused")
+		}
+		r := newRuntime(sched, runtimeConfig{
+			maxSteps: 300, deadlockDetection: true, faults: Faults{MaxTornCrashes: 1},
+		})
+		if rep := r.execute(twoCrashTest()); rep != nil {
+			t.Fatalf("seed %d: unexpected bug: %v", seed, rep.Error())
+		}
+		tornSeen := false
+		for _, d := range r.dec.decode() {
+			if d.Kind != DecisionPersist {
+				continue
+			}
+			if tornSeen {
+				t.Fatalf("seed %d: persist choice presented after the torn budget was spent", seed)
+			}
+			if d.Int > 0 {
+				tornSeen = true
+				spent = true
+			}
+		}
+	}
+	if !spent {
+		t.Fatal("no seed ever took a torn outcome; budget charging is untested")
+	}
+}
+
+// TestPersistPooledReuseLeaksNothing: a persist-heavy workload explored
+// with pooled runtimes must behave exactly like fresh ones — recovered
+// state never bleeds from one execution into the next. (The enabledcheck
+// build additionally asserts at every reset that no machine retains
+// durable or staged state; this test drives that assertion too.)
+func TestPersistPooledReuseLeaksNothing(t *testing.T) {
+	pooled := Options{Scheduler: "random", Iterations: 1000, Seed: 13, NoReplayLog: true}
+	fresh := pooled
+	fresh.NoReuse = true
+	a := MustExplore(tornCrashTest(true), pooled)
+	b := MustExplore(tornCrashTest(true), fresh)
+	assertIdenticalResults(t, "persist pooled vs NoReuse", a, b)
+	if !a.BugFound {
+		t.Fatal("torn bug not found; leak check exercised nothing")
+	}
+}

@@ -169,7 +169,7 @@ func (r *Runtime) reset(sched Scheduler, cfg runtimeConfig) {
 		for _, m := range r.machines {
 			if m.status != statusHalted || m.queue.size() != 0 ||
 				m.recvPred != nil || m.crashed || m.impl != nil ||
-				m.defr != nil || m.epos != -1 {
+				m.defr != nil || m.epos != -1 || m.persistState() {
 				panic("core: reset found a machine not scrubbed at death: " + m.label())
 			}
 		}
@@ -190,7 +190,7 @@ func (r *Runtime) reset(sched Scheduler, cfg runtimeConfig) {
 	r.cov = covBasis
 	r.bug = nil
 	r.faults = cfg.faults
-	r.crashes, r.drops, r.dups = 0, 0, 0
+	r.crashes, r.drops, r.dups, r.tornCrashes = 0, 0, 0, 0
 	r.pendingCrash = r.pendingCrash[:0]
 	r.divergence = nil
 	r.temperature = cfg.temperature

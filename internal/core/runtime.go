@@ -110,6 +110,7 @@ type Runtime struct {
 	crashes      int
 	drops        int
 	dups         int
+	tornCrashes  int
 	pendingCrash []MachineID
 	// divergence is set when a replay scheduler detects that the program
 	// departed from the recorded trace; it aborts the execution.
@@ -331,6 +332,15 @@ func (r *Runtime) runMachine(m *machine, w *machineWorker) {
 		// struct itself is recycled through machineCache). This is what
 		// lets the pooled reset skip the per-machine rewind loop entirely:
 		// by the time reset runs, every machine is already clean.
+		// Crash-consistency state is the exception: durable survives every
+		// mid-execution death by design (shutdown scrubs it at the end),
+		// and a crashed machine's staged writes are left for the reaper,
+		// whose FaultPersist choice decides their fate (reapCrashes). A
+		// voluntary death discards them here — a process that exits
+		// without fsync loses its un-synced writes, deterministically.
+		if !reaped {
+			m.clearStaged()
+		}
 		m.status = statusHalted
 		m.queue.clear()
 		m.recvPred = nil
@@ -459,12 +469,58 @@ func (r *Runtime) reapCrashes() {
 			m.impl = nil
 			m.defr = nil
 			r.removeEnabled(m)
+			r.settleCrashedStorage(m)
 		default:
 			m.crashed = true
 			m.wait.wake()
 			r.reapSem.park()
+			// The victim has finished unwinding; its staged writes (left
+			// in place by the defer for exactly this) meet their crash
+			// state now, while the reaper still holds the control token.
+			r.settleCrashedStorage(m)
 		}
 	}
+}
+
+// settleCrashedStorage resolves the fate of a crashed machine's staged
+// writes. With staged writes present and torn-crash budget left, the
+// scheduler chooses how many of them — a prefix in Persist order — reach
+// durable storage anyway (FaultPersist, recorded as DecisionPersist;
+// outcome 0, the benign choice, loses them all). Without budget the
+// default is deterministic: every un-synced write is lost, no choice
+// point is presented and no decision recorded, so persist-free workloads
+// and zero-budget runs trace identically to a build without the plane.
+// Runs on the reaping goroutine inside reapCrashes, after the victim
+// unwound, which pins the decision's position in the trace: right after
+// the crash that doomed the machine, before the next schedule decision.
+func (r *Runtime) settleCrashedStorage(m *machine) {
+	n := len(m.staged)
+	if n == 0 {
+		return
+	}
+	k := 0
+	if r.tornCrashes < r.faults.MaxTornCrashes {
+		keys := make([]string, n)
+		for i := range m.staged {
+			keys[i] = m.staged[i].key
+		}
+		out := r.sched.NextFault(FaultChoice{Kind: FaultPersist, N: n + 1, Machine: m.id, Keys: keys})
+		if out < 0 || out > n {
+			panic(fmt.Sprintf("core: %s scheduler: persist fault outcome %d out of [0, %d)", r.sched.Name(), out, n+1))
+		}
+		r.dec.addPersist(m.id, out, n+1)
+		if out > 0 {
+			// Only a non-benign outcome — un-synced data surviving — is a
+			// torn crash; the benign "all lost" outcome stays free, like a
+			// declined CrashPoint.
+			r.tornCrashes++
+		}
+		k = out
+		if r.logging() {
+			r.logf("%s crash persisted %d of %d staged writes", m.label(), out, n)
+		}
+	}
+	m.applyStaged(k)
 }
 
 // schedulingPoint is a voluntary yield mid-handler (after Send, Create...).
@@ -559,6 +615,21 @@ func (r *Runtime) shutdown() {
 		default:
 			m.wait.wake()
 			r.reapSem.park()
+		}
+		// The execution is over, so durable storage dies with it —
+		// mid-execution deaths deliberately preserve it (that is the
+		// crash-consistency plane's point), which makes this loop the one
+		// place that scrubs it, keeping pooled reuse from leaking
+		// persisted state into the next execution. Shutdown-reaped
+		// machines also still hold their staged writes (no FaultPersist
+		// choice is presented during shutdown — the scheduler must not be
+		// consulted after the execution ended). Both maps are nil on
+		// machines that never persisted, so this costs nothing there.
+		if m.durable != nil {
+			m.clearDurable()
+		}
+		if m.staged != nil {
+			m.clearStaged()
 		}
 	}
 }

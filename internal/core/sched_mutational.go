@@ -129,6 +129,8 @@ func (s *mutationalScheduler) NextFault(c FaultChoice) int {
 		kind = DecisionCrash
 	case FaultDeliver:
 		kind = DecisionDeliver
+	case FaultPersist:
+		kind = DecisionPersist
 	default:
 		return s.rng.Intn(c.N)
 	}
@@ -157,6 +159,10 @@ func (s *mutationalScheduler) NextFault(c FaultChoice) int {
 						return i
 					}
 				}
+			}
+		case FaultPersist:
+			if d.Machine == c.Machine && d.Int >= 0 && d.Int < c.N {
+				return d.Int
 			}
 		}
 		s.prefix = nil

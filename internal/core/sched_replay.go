@@ -93,6 +93,15 @@ func (s *replayScheduler) NextFault(c FaultChoice) int {
 			}
 		}
 		panic(replayDivergence{msg: fmt.Sprintf("decision %d: recorded crash victim %d is not a live candidate (candidates %v)", s.pos-1, d.Machine, c.Candidates)})
+	case FaultPersist:
+		d := s.next(DecisionPersist)
+		if d.Machine != c.Machine {
+			panic(replayDivergence{msg: fmt.Sprintf("decision %d: persist choice for machine %d, trace holds %s", s.pos-1, c.Machine, d)})
+		}
+		if d.Int < 0 || d.Int >= c.N {
+			panic(replayDivergence{msg: fmt.Sprintf("decision %d: recorded persist outcome %d out of range %d (staged-write count changed)", s.pos-1, d.Int, c.N)})
+		}
+		return d.Int
 	case FaultDeliver:
 		d := s.next(DecisionDeliver)
 		if d.Machine != c.Machine {

@@ -8,7 +8,8 @@ import (
 // DecisionKind distinguishes the kinds of nondeterministic choices an
 // execution makes. The schedule/bool/int kinds date from trace version 0;
 // the typed fault kinds (timer, crash, deliver) were introduced with
-// version 1, which is why decoding them out of a version-0 trace is a
+// version 1 and the crash-consistency persist kind with version 2, which
+// is why decoding a kind out of a trace version that predates it is a
 // strict error.
 type DecisionKind byte
 
@@ -30,12 +31,20 @@ const (
 	// Int is a DeliveryOutcome, N the outcome-space size, Machine the
 	// target machine.
 	DecisionDeliver DecisionKind = 'd'
+	// DecisionPersist records the crash state chosen for a crashing
+	// machine's un-synced staged writes: Machine is the crashed machine,
+	// Int the number of staged writes that survived (a prefix in Persist
+	// order), N the outcome-space size (staged count + 1).
+	DecisionPersist DecisionKind = 'p'
 )
 
 // faultKind reports whether k is one of the version-1 fault kinds.
 func (k DecisionKind) faultKind() bool {
 	return k == DecisionTimer || k == DecisionCrash || k == DecisionDeliver
 }
+
+// persistKind reports whether k is the version-2 crash-consistency kind.
+func (k DecisionKind) persistKind() bool { return k == DecisionPersist }
 
 // Decision is one resolved nondeterministic choice. The paper's "#NDC"
 // column (nondeterministic choices in the first buggy execution) counts
@@ -73,6 +82,8 @@ func (d Decision) String() string {
 		return fmt.Sprintf("crash(%d, choice %d/%d)", d.Machine, d.Int, d.N)
 	case DecisionDeliver:
 		return fmt.Sprintf("deliver(%d, %s)", d.Machine, DeliveryOutcome(d.Int))
+	case DecisionPersist:
+		return fmt.Sprintf("persist(%d, %d of %d staged survive)", d.Machine, d.Int, d.N-1)
 	default:
 		return fmt.Sprintf("decision(%q)", byte(d.Kind))
 	}
@@ -80,9 +91,11 @@ func (d Decision) String() string {
 
 // TraceVersion is the trace format version this build writes. Version 0
 // (PR-2 era, no version field) carried only schedule/bool/int decisions;
-// version 1 added the typed fault kinds. Decoding rejects versions this
-// build does not understand, and rejects fault kinds in version-0 traces.
-const TraceVersion = 1
+// version 1 added the typed fault kinds; version 2 added the persist kind
+// of the crash-consistency plane. Decoding rejects versions this build
+// does not understand, and rejects each kind in trace versions that
+// predate it.
+const TraceVersion = 2
 
 // Trace is the complete decision sequence of one execution, sufficient to
 // replay it exactly. In contrast to logs collected from a production
@@ -208,6 +221,11 @@ func (a *decArena) addDeliver(target MachineID, outcome, n int) {
 	a.n++
 }
 
+func (a *decArena) addPersist(victim MachineID, survivors, n int) {
+	a.words = append(a.words, decHeader(DecisionPersist, victim, false), uint64(survivors), uint64(n))
+	a.n++
+}
+
 // decode materializes the recorded sequence as a fresh []Decision the
 // caller owns (safe to hand to newTrace and to outlive the arena's next
 // reset). Returns nil for an empty arena, matching the old nil decisions
@@ -227,7 +245,7 @@ func (a *decArena) decode() []Decision {
 		d.Bool = h&decBoolBit != 0
 		i++
 		switch d.Kind {
-		case DecisionInt, DecisionCrash, DecisionDeliver:
+		case DecisionInt, DecisionCrash, DecisionDeliver, DecisionPersist:
 			d.Int = int(int64(w[i]))
 			d.N = int(int64(w[i+1]))
 			i += 2
@@ -259,7 +277,7 @@ func (d Decision) MarshalJSON() ([]byte, error) {
 	case DecisionTimer:
 		j.M = int32(d.Machine)
 		j.B = d.Bool
-	case DecisionCrash, DecisionDeliver:
+	case DecisionCrash, DecisionDeliver, DecisionPersist:
 		j.M = int32(d.Machine)
 		j.V = d.Int
 		j.N = d.N
@@ -290,7 +308,7 @@ func (d *Decision) UnmarshalJSON(b []byte) error {
 	case DecisionTimer:
 		d.Machine = MachineID(j.M)
 		d.Bool = j.B
-	case DecisionCrash, DecisionDeliver:
+	case DecisionCrash, DecisionDeliver, DecisionPersist:
 		d.Machine = MachineID(j.M)
 		d.Int = j.V
 		d.N = j.N
@@ -301,7 +319,16 @@ func (d *Decision) UnmarshalJSON(b []byte) error {
 }
 
 // Encode serializes the trace to JSON.
-func (t *Trace) Encode() ([]byte, error) { return json.MarshalIndent(t, "", " ") }
+func (t *Trace) Encode() ([]byte, error) {
+	// The written bytes always declare the current format version, even
+	// for a trace decoded from an older one: this build's encoder writes
+	// this build's format, which is a superset of every version it can
+	// decode. Version gating (which decision kinds are admissible) applies
+	// to the *decoded* version, before any re-encode.
+	out := *t
+	out.Version = TraceVersion
+	return json.MarshalIndent(&out, "", " ")
+}
 
 // DecodeTrace parses a trace previously produced by Encode. Decoding is
 // strict: a version this build does not know, an unknown decision kind, or
@@ -317,10 +344,15 @@ func DecodeTrace(data []byte) (*Trace, error) {
 			t.Version, TraceVersion)
 	}
 	// Unknown kinds were already rejected by Decision.UnmarshalJSON; what
-	// remains is version gating: fault kinds need a version-1 trace.
+	// remains is version gating: fault kinds need a version-1 trace, the
+	// persist kind a version-2 one.
 	for i, d := range t.Decisions {
 		if t.Version < 1 && d.Kind.faultKind() {
 			return nil, fmt.Errorf("core: decoding trace: decision %d kind %q requires trace version >= 1, trace declares %d",
+				i, string(d.Kind), t.Version)
+		}
+		if t.Version < 2 && d.Kind.persistKind() {
+			return nil, fmt.Errorf("core: decoding trace: decision %d kind %q requires trace version >= 2, trace declares %d",
 				i, string(d.Kind), t.Version)
 		}
 	}

@@ -9,7 +9,10 @@ import (
 )
 
 func TestTraceRoundTrip(t *testing.T) {
+	// Encode always stamps the writer's format version, so a round-tripped
+	// trace carries TraceVersion no matter what the in-memory struct held.
 	tr := &Trace{
+		Version:   TraceVersion,
 		Test:      "x",
 		Scheduler: "random",
 		Seed:      42,
@@ -91,7 +94,7 @@ func TestDecArenaRoundTrip(t *testing.T) {
 func TestTraceRoundTripProperty(t *testing.T) {
 	f := func(seed int64, n uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
-		tr := &Trace{Test: "p", Scheduler: "random", Seed: seed}
+		tr := &Trace{Version: TraceVersion, Test: "p", Scheduler: "random", Seed: seed}
 		for i := 0; i < int(n); i++ {
 			switch rng.Intn(3) {
 			case 0:

@@ -58,6 +58,44 @@ func TestLegacyTraceDecodesAndReplays(t *testing.T) {
 	}
 }
 
+// faultEraTraceFixture is a verbatim PR-8-era (version 1) trace of the
+// same fixture workload: it declares the fault-plane format but predates
+// the crash-consistency plane, so it carries no persist decisions. Its
+// bytes must keep decoding — and replaying — after the version-2 bump.
+const faultEraTraceFixture = `{
+ "version": 1,
+ "test": "trace-fixture",
+ "scheduler": "random",
+ "seed": 11,
+ "faults": {},
+ "decisions": [
+  {"k": "s"},
+  {"k": "b", "b": true},
+  {"k": "b", "b": true},
+  {"k": "i", "v": 2, "n": 3}
+ ]
+}`
+
+// TestFaultEraTraceDecodesAndReplays: version-1 traces written before the
+// crash-consistency plane still decode (as version 1) and replay to their
+// violation under the version-2 engine.
+func TestFaultEraTraceDecodesAndReplays(t *testing.T) {
+	tr, err := DecodeTrace([]byte(faultEraTraceFixture))
+	if err != nil {
+		t.Fatalf("version-1 trace no longer decodes: %v", err)
+	}
+	if tr.Version != 1 {
+		t.Fatalf("version-1 trace decoded as version %d, want 1", tr.Version)
+	}
+	rep, err := Replay(fixtureTest(), tr, Options{NoReplayLog: true})
+	if err != nil {
+		t.Fatalf("version-1 trace no longer replays: %v", err)
+	}
+	if rep == nil || !strings.Contains(rep.Message, "seeded fixture violation") {
+		t.Fatalf("version-1 trace replayed to %+v, want the seeded violation", rep)
+	}
+}
+
 // TestEncodeStampsCurrentVersion: engine-recorded traces carry the
 // current format version on the wire.
 func TestEncodeStampsCurrentVersion(t *testing.T) {
@@ -72,7 +110,7 @@ func TestEncodeStampsCurrentVersion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(data), `"version": 1`) {
+	if !strings.Contains(string(data), `"version": 2`) {
 		t.Fatalf("encoded trace lacks the version field:\n%.200s", data)
 	}
 	got, err := DecodeTrace(data)
@@ -123,6 +161,16 @@ func TestDecodeTraceStrictness(t *testing.T) {
 			`{"test": "x", "scheduler": "s", "seed": 1, "decisions": [{"k": "d", "m": 2, "v": 1, "n": 3}]}`,
 			`kind "d" requires trace version >= 1`,
 		},
+		{
+			"persist kind in version 0",
+			`{"test": "x", "scheduler": "s", "seed": 1, "decisions": [{"k": "p", "m": 2, "v": 1, "n": 3}]}`,
+			`kind "p" requires trace version >= 2`,
+		},
+		{
+			"persist kind in version 1",
+			`{"version": 1, "test": "x", "scheduler": "s", "seed": 1, "decisions": [{"k": "p", "m": 2, "v": 1, "n": 3}]}`,
+			`kind "p" requires trace version >= 2`,
+		},
 	}
 	for _, c := range cases {
 		c := c
@@ -148,6 +196,8 @@ func TestFaultDecisionJSONRoundTrip(t *testing.T) {
 		{Kind: DecisionCrash, Machine: NoMachine, Int: 0, N: 4},
 		{Kind: DecisionDeliver, Machine: 7, Int: int(Drop), N: 3},
 		{Kind: DecisionDeliver, Machine: 7, Int: int(Duplicate), N: 3},
+		{Kind: DecisionPersist, Machine: 4, Int: 0, N: 3},
+		{Kind: DecisionPersist, Machine: 4, Int: 2, N: 3},
 	})
 	data, err := tr.Encode()
 	if err != nil {

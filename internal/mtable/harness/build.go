@@ -26,6 +26,13 @@ type HarnessConfig struct {
 	// fault scenario, not the default workload. Best explored under the
 	// random scheduler: pct may starve everything but the timer.
 	TimerPacedMigrator bool
+	// CrashMigrator routes the migrator's completion through the
+	// crash-consistency plane — a done marker Persisted and Synced before
+	// completion is observable — and adds a crash injector that may crash
+	// the migrator once it is done, restarting it with a recovery
+	// incarnation that asserts the checkpoint survived. The scenario gains
+	// a one-crash fault budget; the default workload is untouched.
+	CrashMigrator bool
 }
 
 func (hc HarnessConfig) withDefaults() HarnessConfig {
@@ -51,7 +58,10 @@ func Test(hc HarnessConfig) core.Test {
 	if hc.TimerPacedMigrator {
 		name += "-paced"
 	}
-	return core.Test{
+	if hc.CrashMigrator {
+		name += "-crash"
+	}
+	t := core.Test{
 		Name: name,
 		Entry: func(ctx *core.Context) {
 			tables := &tablesMachine{
@@ -73,7 +83,12 @@ func Test(hc HarnessConfig) core.Test {
 				svc := newServiceMachine(name, tablesID, guard, int64(i+1), hc.Bugs, hc.OpsPerService, seeded)
 				serviceIDs = append(serviceIDs, ctx.CreateMachine(svc, name))
 			}
-			migID := ctx.CreateMachine(newMigratorMachine(tablesID, guard, hc.Bugs, hc.TimerPacedMigrator), "Migrator")
+			migM := newMigratorMachine(tablesID, guard, hc.Bugs, hc.TimerPacedMigrator)
+			migID := ctx.CreateMachine(migM, "Migrator")
+			if hc.CrashMigrator {
+				migM.crashable = true
+				migM.wake = ctx.CreateMachine(&migratorCrashInjector{mig: migID, offers: 4}, "Injector")
+			}
 
 			// Release everyone; the scheduler decides who moves first.
 			for _, id := range serviceIDs {
@@ -82,6 +97,10 @@ func Test(hc HarnessConfig) core.Test {
 			ctx.Send(migID, startEvent{})
 		},
 	}
+	if hc.CrashMigrator {
+		t.Faults = core.Faults{MaxCrashes: 1}
+	}
+	return t
 }
 
 // seedData populates the old table (with virtual etags), the reference

@@ -332,6 +332,11 @@ type migratorMachine struct {
 	paced bool
 	timer core.TimerID
 	done  bool
+	// crashable (HarnessConfig.CrashMigrator): durably checkpoint
+	// completion through the crash-consistency plane, then wake the crash
+	// injector at wake so the scheduler may crash this machine.
+	crashable bool
+	wake      core.MachineID
 }
 
 func newMigratorMachine(tablesID core.MachineID, guard *mtable.StreamGuard, bugs mtable.Bugs, paced bool) *migratorMachine {
@@ -374,9 +379,19 @@ func (m *migratorMachine) step(ctx *core.Context) {
 	m.stub.settle()
 	ctx.Assert(err == nil, "migrator failed: %v", err)
 	if done {
+		if m.crashable {
+			// Checkpoint completion before exposing it: the marker must be
+			// synced by the time anyone (including the crash injector) can
+			// observe the migration as done.
+			ctx.Persist(migDoneKey, []byte{1})
+			ctx.Sync()
+		}
 		m.done = true
 		if m.paced {
 			ctx.StopTimer(m.timer)
+		}
+		if m.crashable {
+			ctx.Send(m.wake, core.Signal("offer"))
 		}
 		return
 	}
@@ -384,3 +399,45 @@ func (m *migratorMachine) step(ctx *core.Context) {
 		ctx.Send(ctx.ID(), stepEvent{})
 	}
 }
+
+// migDoneKey is the migrator's durable completion marker.
+const migDoneKey = "migration/done"
+
+// migratorCrashInjector crashes the migrator after it has durably
+// checkpointed completion. It stays passive until the migrator's wake
+// signal — crashing the migrator mid-protocol would leave the Tables
+// machine blocked on a linearization-point decision that never comes —
+// then offers the scheduler a bounded number of crash points, restarting
+// the victim with the checkpoint-recovery incarnation.
+type migratorCrashInjector struct {
+	mig    core.MachineID
+	offers int
+}
+
+func (in *migratorCrashInjector) Init(*core.Context) {}
+
+func (in *migratorCrashInjector) Handle(ctx *core.Context, ev core.Event) {
+	if in.offers <= 0 || ctx.CrashBudget() <= 0 {
+		ctx.Halt()
+	}
+	in.offers--
+	if victim := ctx.CrashPoint(in.mig); victim != core.NoMachine {
+		ctx.Restart(victim, &recoveredMigrator{})
+	}
+	ctx.Send(ctx.ID(), core.Signal("offer"))
+}
+
+// recoveredMigrator is the crashed migrator's next incarnation. The
+// migration completed and was durably checkpointed before the crash was
+// ever offered, so recovery must find the marker — its absence would mean
+// an un-synced write masqueraded as a durable checkpoint. There is
+// nothing to resume; the incarnation idles.
+type recoveredMigrator struct{}
+
+func (r *recoveredMigrator) Init(ctx *core.Context) {
+	durable := ctx.Recover()
+	ctx.Assert(len(durable[migDoneKey]) > 0,
+		"migrator restarted after its completion checkpoint, but the done marker did not survive")
+}
+
+func (r *recoveredMigrator) Handle(*core.Context, core.Event) {}

@@ -43,10 +43,12 @@ type timerTick struct{}
 
 func (timerTick) Name() string { return "TimerTick" }
 
-// Names of the two specification monitors of Figure 2.
+// Names of the two specification monitors of Figure 2, plus the
+// crash-consistency oracle registered by DurableNodes scenarios.
 const (
-	SafetyMonitorName   = "ReplicaSafety"
-	LivenessMonitorName = "RequestProgress"
+	SafetyMonitorName     = "ReplicaSafety"
+	LivenessMonitorName   = "RequestProgress"
+	DurabilityMonitorName = "NodeDurability"
 )
 
 // Monitors selects which specification monitors a scenario registers.
@@ -105,11 +107,16 @@ func (s *serverMachine) Handle(ctx *core.Context, ev core.Event) {
 
 // storageNodeMachine is the modeled storage node: it stores replicated
 // values in memory and reports its log to the server when its timer fires.
+// With durable set (ScenarioConfig.DurableNodes) it write-ahead persists
+// each replicated value through the crash-consistency plane before
+// applying it: Persist then Sync per append, so every applied value is
+// durably committed by the time the node reports it.
 type storageNodeMachine struct {
 	node     NodeID
 	serverID core.MachineID
 	log      []int
 	mons     Monitors
+	durable  bool
 }
 
 func (sn *storageNodeMachine) Init(*core.Context) {}
@@ -118,6 +125,13 @@ func (sn *storageNodeMachine) Handle(ctx *core.Context, ev core.Event) {
 	switch e := ev.(type) {
 	case msgEvent:
 		if repl, ok := e.Msg.(ReplReq); ok {
+			if sn.durable {
+				seq := len(sn.log)
+				ctx.Monitor(DurabilityMonitorName, notifyDurAppend{Node: sn.node, Seq: seq, Val: repl.Val})
+				ctx.Persist(logKey(seq), []byte{byte(repl.Val)})
+				ctx.Sync()
+				ctx.Monitor(DurabilityMonitorName, notifyDurSynced{Node: sn.node, Seq: seq})
+			}
 			sn.log = append(sn.log, repl.Val)
 			if sn.mons&WithSafety != 0 {
 				ctx.Monitor(SafetyMonitorName, notifyStored{Node: sn.node, Val: repl.Val})
@@ -126,6 +140,151 @@ func (sn *storageNodeMachine) Handle(ctx *core.Context, ev core.Event) {
 	case timerTick:
 		logCopy := append([]int(nil), sn.log...)
 		ctx.Send(sn.serverID, msgEvent{Msg: Sync{Node: sn.node, Log: logCopy}})
+	}
+}
+
+// logKey names a durable node's i-th log slot. Recovery scans densely
+// from zero, never iterating the durable map.
+func logKey(i int) string { return fmt.Sprintf("log/%d", i) }
+
+// Durability-oracle notification events (DurableNodes scenarios only).
+
+// notifyDurAppend: node started persisting log slot Seq with value Val.
+type notifyDurAppend struct {
+	Node NodeID
+	Seq  int
+	Val  int
+}
+
+func (notifyDurAppend) Name() string { return "durAppend" }
+
+// notifyDurSynced: the Sync covering slot Seq returned.
+type notifyDurSynced struct {
+	Node NodeID
+	Seq  int
+}
+
+func (notifyDurSynced) Name() string { return "durSynced" }
+
+// notifyDurRecovered: a restarted node rebuilt this log from Recover.
+type notifyDurRecovered struct {
+	Node NodeID
+	Vals []int
+}
+
+func (notifyDurRecovered) Name() string { return "durRecovered" }
+
+// recoveredStorageNode is a crashed storage node's next incarnation: it
+// rebuilds the log from the surviving durable map, reports it to the
+// durability oracle, and resumes normal storage-node service — the sync
+// timer attached to the machine keeps ticking across the restart, so the
+// server's re-replication path heals whatever the crash lost.
+type recoveredStorageNode struct {
+	inner storageNodeMachine
+}
+
+func (r *recoveredStorageNode) Init(ctx *core.Context) {
+	durable := ctx.Recover()
+	var vals []int
+	for i := 0; ; i++ {
+		b, ok := durable[logKey(i)]
+		if !ok {
+			break
+		}
+		vals = append(vals, int(b[0]))
+	}
+	ctx.Monitor(DurabilityMonitorName, notifyDurRecovered{Node: r.inner.node, Vals: vals})
+	// The recovered values are genuinely stored at this node — including a
+	// torn-surviving write the pre-crash incarnation never got to report.
+	// Replay them to the safety monitor so its view matches what the node
+	// will report to the server.
+	if r.inner.mons&WithSafety != 0 {
+		for _, v := range vals {
+			ctx.Monitor(SafetyMonitorName, notifyStored{Node: r.inner.node, Val: v})
+		}
+	}
+	r.inner.log = vals
+}
+
+func (r *recoveredStorageNode) Handle(ctx *core.Context, ev core.Event) {
+	r.inner.Handle(ctx, ev)
+}
+
+// nodeCrashInjector offers the scheduler a bounded number of chances to
+// crash a storage node, restarting the victim with the recovery
+// incarnation. Bounded offers (rather than core.FaultInjector's
+// budget-only cutoff) let clean executions quiesce.
+type nodeCrashInjector struct {
+	victims []core.MachineID
+	nodes   map[core.MachineID]*storageNodeMachine
+	offers  int
+}
+
+func (in *nodeCrashInjector) Init(ctx *core.Context) {
+	ctx.Send(ctx.ID(), core.Signal("offer"))
+}
+
+func (in *nodeCrashInjector) Handle(ctx *core.Context, ev core.Event) {
+	if in.offers <= 0 || ctx.CrashBudget() <= 0 {
+		ctx.Halt()
+	}
+	in.offers--
+	if victim := ctx.CrashPoint(in.victims...); victim != core.NoMachine {
+		tmpl := in.nodes[victim]
+		ctx.Restart(victim, &recoveredStorageNode{inner: storageNodeMachine{
+			node: tmpl.node, serverID: tmpl.serverID, mons: tmpl.mons, durable: true,
+		}})
+	}
+	ctx.Send(ctx.ID(), core.Signal("offer"))
+}
+
+// durabilityMonitor is the per-node recovery oracle: every synced slot
+// must survive a crash, and every recovered slot must carry the value
+// that was actually written there — never torn garbage. After a recovery
+// it rebaselines to the recovered log, which is the durable state the
+// next incarnation builds on.
+type durabilityMonitor struct {
+	nodes map[NodeID]*nodeDurState
+}
+
+type nodeDurState struct {
+	intents []int
+	synced  int
+}
+
+func (m *durabilityMonitor) Name() string              { return DurabilityMonitorName }
+func (m *durabilityMonitor) Init(*core.MonitorContext) {}
+
+func (m *durabilityMonitor) state(n NodeID) *nodeDurState {
+	st, ok := m.nodes[n]
+	if !ok {
+		st = &nodeDurState{}
+		m.nodes[n] = st
+	}
+	return st
+}
+
+func (m *durabilityMonitor) Handle(mc *core.MonitorContext, ev core.Event) {
+	switch e := ev.(type) {
+	case notifyDurAppend:
+		st := m.state(e.Node)
+		mc.Assert(e.Seq == len(st.intents), "node %d: append intent for slot %d, expected %d",
+			e.Node, e.Seq, len(st.intents))
+		st.intents = append(st.intents, e.Val)
+	case notifyDurSynced:
+		st := m.state(e.Node)
+		mc.Assert(e.Seq == st.synced, "node %d: sync for slot %d, expected %d", e.Node, e.Seq, st.synced)
+		st.synced = e.Seq + 1
+	case notifyDurRecovered:
+		st := m.state(e.Node)
+		mc.Assert(len(e.Vals) >= st.synced,
+			"node %d: recovery lost synced slots: %d recovered, %d synced", e.Node, len(e.Vals), st.synced)
+		for i, v := range e.Vals {
+			mc.Assert(i < len(st.intents) && v == st.intents[i],
+				"node %d: recovery surfaced slot %d with value %d, which was never written", e.Node, i, v)
+		}
+		st.intents = append(st.intents[:0], e.Vals...)
+		st.synced = len(e.Vals)
 	}
 }
 
@@ -213,6 +372,12 @@ type ScenarioConfig struct {
 	Nodes int
 	// Monitors selects the registered specifications (default both).
 	Monitors Monitors
+	// DurableNodes routes every storage-node append through the
+	// crash-consistency plane (Persist + Sync per value), adds a bounded
+	// crash injector over the storage nodes with Restart-based recovery,
+	// and registers the NodeDurability oracle. The scenario gains a crash
+	// and torn-crash fault budget; the default scenario is untouched.
+	DurableNodes bool
 }
 
 func (sc ScenarioConfig) withDefaults() ScenarioConfig {
@@ -232,21 +397,29 @@ func (sc ScenarioConfig) withDefaults() ScenarioConfig {
 // configuration.
 func Scenario(sc ScenarioConfig) core.Test {
 	sc = sc.withDefaults()
+	name := "replsys"
+	if sc.DurableNodes {
+		name = "replsys-durable"
+	}
 	t := core.Test{
-		Name: "replsys",
+		Name: name,
 		Entry: func(ctx *core.Context) {
 			srv := &serverMachine{mons: sc.Monitors, route: make(map[NodeID]core.MachineID)}
 			serverID := ctx.CreateMachine(srv, "Server")
 
 			var nodeIDs []NodeID
 			var snMachines []*storageNodeMachine
+			snByID := make(map[core.MachineID]*storageNodeMachine)
+			var snIDs []core.MachineID
 			for i := 0; i < sc.Nodes; i++ {
-				snm := &storageNodeMachine{serverID: serverID, mons: sc.Monitors}
+				snm := &storageNodeMachine{serverID: serverID, mons: sc.Monitors, durable: sc.DurableNodes}
 				id := ctx.CreateMachine(snm, fmt.Sprintf("SN%d", i))
 				snm.node = NodeID(id)
 				srv.route[NodeID(id)] = id
 				nodeIDs = append(nodeIDs, NodeID(id))
 				snMachines = append(snMachines, snm)
+				snByID[id] = snm
+				snIDs = append(snIDs, id)
 			}
 			srv.server = NewServer(sc.Server, srv, nodeIDs)
 
@@ -257,6 +430,12 @@ func Scenario(sc ScenarioConfig) core.Test {
 				ctx.StartTimer(fmt.Sprintf("Timer%d", i), srv.route[snm.node], timerTick{})
 			}
 
+			if sc.DurableNodes {
+				ctx.CreateMachine(&nodeCrashInjector{
+					victims: snIDs, nodes: snByID, offers: 4 * sc.Requests * sc.Nodes,
+				}, "Injector")
+			}
+
 			client := &clientMachine{serverID: serverID, requests: sc.Requests}
 			clientID := ctx.CreateMachine(client, "Client")
 			client.node = NodeID(clientID)
@@ -264,6 +443,12 @@ func Scenario(sc ScenarioConfig) core.Test {
 			// All routes are wired; release the client.
 			ctx.Send(clientID, core.Signal("start"))
 		},
+	}
+	if sc.DurableNodes {
+		t.Faults = core.Faults{MaxCrashes: 1, MaxTornCrashes: 1}
+		t.Monitors = append(t.Monitors, func() core.Monitor {
+			return &durabilityMonitor{nodes: make(map[NodeID]*nodeDurState)}
+		})
 	}
 	if sc.Monitors&WithSafety != 0 {
 		t.Monitors = append(t.Monitors, newSafetyMonitor(sc.Server.target()))
