@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gostorm/gostorm/internal/catalog"
+	"github.com/gostorm/gostorm/internal/core"
+)
+
+// distBinaries compiles gostormd and gostorm-agent once per test binary.
+// Running the artifacts directly preserves the real exit codes.
+var distBinaries = struct {
+	once  sync.Once
+	dir   string
+	coord string
+	agent string
+	err   error
+}{}
+
+func buildBinaries(t *testing.T) (coord, agent string) {
+	t.Helper()
+	b := &distBinaries
+	b.once.Do(func() {
+		dir, err := os.MkdirTemp("", "gostormd-cli")
+		if err != nil {
+			b.err = err
+			return
+		}
+		b.dir = dir
+		b.coord = filepath.Join(dir, "gostormd")
+		b.agent = filepath.Join(dir, "gostorm-agent")
+		if out, err := exec.Command("go", "build", "-o", b.coord, ".").CombinedOutput(); err != nil {
+			b.err = fmt.Errorf("go build gostormd: %v\n%s", err, out)
+			return
+		}
+		if out, err := exec.Command("go", "build", "-o", b.agent, "../gostorm-agent").CombinedOutput(); err != nil {
+			b.err = fmt.Errorf("go build gostorm-agent: %v\n%s", err, out)
+		}
+	})
+	if b.err != nil {
+		t.Fatal(b.err)
+	}
+	return b.coord, b.agent
+}
+
+var listenRE = regexp.MustCompile(`on (http://[^\s]+)`)
+
+// TestDistributedSmoke runs the real control plane end to end: gostormd
+// plus two gostorm-agent processes shard a buggy scenario on localhost,
+// and the fleet's winner must be byte-identical to a single-process
+// Explore of the same plan.
+func TestDistributedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the real binaries")
+	}
+	coordBin, agentBin := buildBinaries(t)
+
+	// The in-process reference the fleet must reproduce bit-for-bit.
+	entry, err := catalog.Get("wal-torn-tail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := entry.Options
+	opts.Scheduler = "random"
+	opts.Seed = 1
+	opts.Iterations = 400
+	opts.NoReplayLog = true
+	ref := core.MustExplore(entry.Build(), opts)
+	if !ref.BugFound {
+		t.Fatal("reference run found no bug")
+	}
+	wantTrace, err := ref.Report.Trace.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trace := filepath.Join(t.TempDir(), "winner.trace")
+	coord := exec.Command(coordBin,
+		"-test", "wal-torn-tail", "-scheduler", "random",
+		"-seed", "1", "-iterations", "400",
+		"-addr", "127.0.0.1:0", "-lease", "8", "-linger", "3s",
+		"-trace-out", trace)
+	stdout, err := coord.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Stderr = coord.Stdout
+	if err := coord.Start(); err != nil {
+		t.Fatalf("starting gostormd: %v", err)
+	}
+	defer coord.Process.Kill()
+
+	// The banner carries the ephemeral address.
+	var coordOut bytes.Buffer
+	sc := bufio.NewScanner(stdout)
+	var url string
+	for sc.Scan() {
+		line := sc.Text()
+		coordOut.WriteString(line + "\n")
+		if m := listenRE.FindStringSubmatch(line); m != nil {
+			url = m[1]
+			break
+		}
+	}
+	if url == "" {
+		t.Fatalf("gostormd printed no listen address:\n%s", coordOut.String())
+	}
+	// Keep draining so the pipe never blocks the coordinator.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for sc.Scan() {
+			coordOut.WriteString(sc.Text() + "\n")
+		}
+	}()
+
+	agents := make([]*exec.Cmd, 2)
+	agentOut := make([]bytes.Buffer, 2)
+	for i := range agents {
+		agents[i] = exec.Command(agentBin,
+			"-coordinator", url, "-name", fmt.Sprintf("smoke-%d", i), "-workers", "2")
+		agents[i].Stdout = &agentOut[i]
+		agents[i].Stderr = &agentOut[i]
+		if err := agents[i].Start(); err != nil {
+			t.Fatalf("starting agent %d: %v", i, err)
+		}
+	}
+
+	coordErr := make(chan error, 1)
+	go func() { coordErr <- coord.Wait() }()
+	select {
+	case err := <-coordErr:
+		<-drained
+		if code := exitCode(err); code != 1 {
+			t.Fatalf("gostormd exit = %d, want 1 (bug found):\n%s", code, coordOut.String())
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatalf("gostormd did not finish:\n%s", coordOut.String())
+	}
+	for i, a := range agents {
+		if err := a.Wait(); err != nil {
+			t.Errorf("agent %d exit: %v\n%s", i, err, agentOut[i].String())
+		}
+	}
+
+	out := coordOut.String()
+	if !strings.Contains(out, fmt.Sprintf("iteration %d", ref.Report.Iteration)) {
+		t.Fatalf("gostormd attribution does not match reference iteration %d:\n%s", ref.Report.Iteration, out)
+	}
+	if !strings.Contains(out, "trace written to") {
+		t.Fatalf("gostormd did not write the trace:\n%s", out)
+	}
+	got, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("reading winner trace: %v", err)
+	}
+	if !bytes.Equal(got, wantTrace) {
+		t.Fatalf("fleet trace diverges from single-process run:\n got %s\nwant %s", got, wantTrace)
+	}
+}
+
+// TestCoordinatorConfigErrors: flag and plan validation fails fast with
+// exit 2 before any control plane comes up.
+func TestCoordinatorConfigErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the real binary")
+	}
+	coordBin, agentBin := buildBinaries(t)
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing test", nil, "-test is required"},
+		{"unknown scenario", []string{"-test", "nope"}, "unknown scenario"},
+		{"sequential scheduler", []string{"-test", "wal-torn-tail", "-scheduler", "dfs"}, "cannot be sharded"},
+		{"conflicting flags", []string{"-test", "wal-torn-tail", "-scheduler", "pct", "-portfolio", "random,pct"}, "-portfolio conflicts"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command(coordBin, tc.args...).CombinedOutput()
+			if code := exitCode(err); code != 2 {
+				t.Fatalf("exit = %d, want 2:\n%s", code, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Fatalf("output %q does not mention %q", out, tc.want)
+			}
+		})
+	}
+	// The agent validates its flags the same way.
+	out, err := exec.Command(agentBin, "-coordinator", "").CombinedOutput()
+	if code := exitCode(err); code != 2 {
+		t.Fatalf("agent exit = %d, want 2:\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "Coordinator is required") {
+		t.Fatalf("agent output %q lacks the config error", out)
+	}
+}
+
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	return -1
+}

@@ -53,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faults      = fs.String("faults", "", "fault budget override, e.g. crashes=1,drops=2,dups=1 (empty = scenario default; all zeros = disable)")
 		maxCrashes  = fs.Int("max-crashes", 0, "adjust the crashes component of the fault budget, keeping the scenario's other allowances (0 = scenario default)")
 		maxTorn     = fs.Int("max-torn-crashes", 0, "adjust the torn-crash component of the fault budget: crashes that may keep un-synced persisted writes (0 = scenario default)")
+		shard       = fs.String("shard", "", "explore only shard i/n of the schedule plan (e.g. 0/4); the union of all n shards covers the full run")
 		traceOut    = fs.String("trace-out", "", "write the buggy trace to this file")
 		replay      = fs.String("replay", "", "replay a trace file instead of exploring")
 		verbose     = fs.Bool("v", false, "print the detailed execution log of the violation")
@@ -89,6 +90,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	faultsOverride, err := parseFaults(*faults, *maxCrashes, *maxTorn)
 	if err != nil {
 		fmt.Fprintln(stderr, "systest:", err)
+		return 2
+	}
+	shardIdx, shardN, err := parseShard(*shard)
+	if err != nil {
+		fmt.Fprintln(stderr, "systest:", err)
+		return 2
+	}
+	if shardN > 0 && *replay != "" {
+		fmt.Fprintln(stderr, "systest: -shard selects a slice of the exploration plan and conflicts with -replay")
 		return 2
 	}
 	if *test == "" {
@@ -208,6 +218,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	if shardN > 0 {
+		return runShard(stdout, stderr, target, sc.Name, cfg, opts, shardIdx, shardN, *traceOut, *verbose)
+	}
+
 	if len(cfg.Portfolio) > 0 {
 		// The engine gives every member at least one worker, so the true
 		// fleet size is in the per-member lines below; the banner reports
@@ -250,6 +264,76 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintln(stdout, "trace written to", *traceOut)
+	}
+	return 1
+}
+
+// parseShard parses the -shard i/n spec. n == 0 means the flag was not
+// set. The whole pair is validated here, up front, like every other flag:
+// a malformed spec must fail before any execution starts.
+func parseShard(spec string) (i, n int64, err error) {
+	if strings.TrimSpace(spec) == "" {
+		return 0, 0, nil
+	}
+	if _, err := fmt.Sscanf(spec, "%d/%d", &i, &n); err != nil {
+		return 0, 0, fmt.Errorf("-shard must be i/n (e.g. 0/4), got %q", spec)
+	}
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("-shard %s: shard count must be positive", spec)
+	}
+	if i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("-shard %s: shard index must be in [0, %d)", spec, n)
+	}
+	return i, n, nil
+}
+
+// runShard explores one slice of the schedule plan via the public
+// sharding hook — the by-hand form of what the gostormd fleet automates.
+// The union of all n shards' outcomes equals the full run: the lowest
+// reported global position wins, with a bit-identical trace.
+func runShard(stdout, stderr io.Writer, target gostorm.Test, scenario string, cfg gostorm.Config, opts []gostorm.Option, idx, n int64, traceOut string, verbose bool) int {
+	total, err := gostorm.PlanSize(opts...)
+	if err != nil {
+		fmt.Fprintln(stderr, "systest:", err)
+		return 2
+	}
+	from := idx * total / n
+	to := (idx + 1) * total / n
+	if from == to {
+		fmt.Fprintf(stdout, "shard %d/%d owns no positions of the %d-position plan\n", idx, n, total)
+		return 0
+	}
+	sched := cfg.Scheduler
+	if len(cfg.Portfolio) > 0 {
+		sched = "portfolio " + strings.Join(cfg.Portfolio, "+")
+	}
+	fmt.Fprintf(stdout, "exploring shard %d/%d of %s: positions [%d, %d) of %d (%s, seed %d, faults %s)\n",
+		idx, n, scenario, from, to, total, sched, cfg.Seed, cfg.Faults)
+	res, err := gostorm.ExploreShard(target, gostorm.Shard{From: from, To: to}, opts...)
+	if err != nil {
+		fmt.Fprintln(stderr, "systest:", err)
+		return 2
+	}
+	if !res.BugFound {
+		fmt.Fprintf(stdout, "shard %d/%d clean: resolved [%d, %d), %d executions, %d total steps, %.2fs\n",
+			idx, n, res.From, res.ResolvedTo, res.Executions, res.TotalSteps, res.Elapsed.Seconds())
+		return 0
+	}
+	fmt.Fprintf(stdout, "bug found at global position %d (member %d, iteration %d): %s\n",
+		res.BugPos, res.Member, res.Report.Iteration, res.Report.Error())
+	if verbose {
+		fmt.Fprintln(stdout, res.Report.FormatLog())
+	}
+	if traceOut != "" {
+		data, err := res.Report.Trace.Encode()
+		if err == nil {
+			err = os.WriteFile(traceOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "systest: writing trace:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "trace written to", traceOut)
 	}
 	return 1
 }

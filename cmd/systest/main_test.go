@@ -243,3 +243,92 @@ func TestCLIValidatesFlagsUpFront(t *testing.T) {
 		})
 	}
 }
+
+// TestCLIShard drives -shard end to end: the shard owning the winning
+// position must report the identical trace a full run reports, and that
+// trace must replay bit-identically in a fresh process.
+func TestCLIShard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the real binary")
+	}
+	full := filepath.Join(t.TempDir(), "full.trace")
+	out, code := runSystest(t,
+		"-test", "wal-torn-tail", "-scheduler", "random",
+		"-seed", "1", "-iterations", "400", "-trace-out", full)
+	if code != 1 {
+		t.Fatalf("full run exit = %d, want 1:\n%s", code, out)
+	}
+	want, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The union of the shards reproduces the winner: the first shard (in
+	// position order) that reports a bug holds the lowest global position,
+	// and its trace must be byte-identical to the full run's.
+	const n = 4
+	winner := ""
+	for i := 0; i < n; i++ {
+		trace := filepath.Join(t.TempDir(), fmt.Sprintf("shard%d.trace", i))
+		out, code := runSystest(t,
+			"-test", "wal-torn-tail", "-scheduler", "random",
+			"-seed", "1", "-iterations", "400",
+			"-shard", fmt.Sprintf("%d/%d", i, n), "-trace-out", trace)
+		if !strings.Contains(out, fmt.Sprintf("shard %d/%d", i, n)) {
+			t.Fatalf("banner does not name the shard:\n%s", out)
+		}
+		switch code {
+		case 0:
+			continue
+		case 1:
+			if winner == "" {
+				winner = trace
+			}
+		default:
+			t.Fatalf("shard %d/%d exit = %d:\n%s", i, n, code, out)
+		}
+	}
+	if winner == "" {
+		t.Fatal("no shard found the bug the full run found")
+	}
+	got, err := os.ReadFile(winner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("winning shard trace diverges from the full run:\n got %s\nwant %s", got, want)
+	}
+
+	// Fresh-process replay of the shard's trace reproduces the violation.
+	out, code = runSystest(t, "-test", "wal-torn-tail", "-replay", winner)
+	if code != 0 || !strings.Contains(out, "replay reproduced:") {
+		t.Fatalf("replay failed (exit %d):\n%s", code, out)
+	}
+}
+
+// TestCLIShardFlagValidation: the -shard pair fails fast on malformed
+// specs, out-of-range indices, and conflicting modes.
+func TestCLIShardFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs the real binary")
+	}
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-test", "wal-torn-tail", "-shard", "banana"}, "-shard must be i/n"},
+		{[]string{"-test", "wal-torn-tail", "-shard", "3/3"}, "shard index must be in [0, 3)"},
+		{[]string{"-test", "wal-torn-tail", "-shard", "-1/3"}, "shard index must be in [0, 3)"},
+		{[]string{"-test", "wal-torn-tail", "-shard", "0/0"}, "shard count must be positive"},
+		{[]string{"-test", "wal-torn-tail", "-shard", "0/2", "-replay", "x.trace"}, "conflicts with -replay"},
+		{[]string{"-test", "wal-torn-tail", "-shard", "0/2", "-scheduler", "dfs"}, "cannot explore a sub-range"},
+	} {
+		out, code := runSystest(t, tc.args...)
+		if code != 2 {
+			t.Fatalf("%v exit = %d, want 2:\n%s", tc.args, code, out)
+		}
+		if !strings.Contains(out, tc.want) {
+			t.Fatalf("%v output %q does not mention %q", tc.args, out, tc.want)
+		}
+	}
+}

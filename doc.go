@@ -181,6 +181,47 @@
 // un-synced tail); the replsys DurableNodes and mtable CrashMigrator
 // configurations route those harnesses through the same plane.
 //
+// # Distributed exploration
+//
+// A run's schedule plan — PlanSize(opts) global positions, position g
+// belonging to portfolio member g % members at iteration g / members —
+// is a pure function of the options, and every position's outcome is a
+// pure function of the position. ExploreShard exploits that: it explores
+// just the sub-range [From, To) of the plan, and for any partition of
+// the plan into shards, run in any order across any mix of processes,
+// the lowest ShardResult.BugPos identifies a winner whose member,
+// iteration, and encoded trace bytes are bit-identical to what a
+// single-process Explore reports. `systest -shard i/n` exposes the hook
+// for by-hand sharding.
+//
+// cmd/gostormd and cmd/gostorm-agent build a full control plane on that
+// surface. The coordinator owns the plan and serves a versioned
+// HTTP+JSON protocol — POST /v1/join (protocol/scenario handshake),
+// POST /v1/lease (pull-model work stealing: bounded position spans
+// granted lowest-first), POST /v1/report (resolved prefix, bug, corpus
+// candidates), GET /v1/status, plus /healthz and Prometheus-style
+// /metrics — and never executes the scenario itself. Agents are thin
+// and stateless: join, pull a lease, run it through ExploreShard, report,
+// repeat. A lease not reported within its TTL is re-issued, so agents
+// may be killed at any moment; when a bug is reported the coordinator
+// pushes a stop bound through lease grants and status polls so the
+// fleet abandons positions above it, but the bug only wins once every
+// position below it has been resolved — first-bug-wins is "lowest
+// global position", not "first report to arrive". The coordinator
+// cross-checks duplicate reports for the same position byte-for-byte
+// and counts any divergence as a determinism violation.
+//
+// The resulting contract mirrors the worker-count contract: for a fixed
+// seed and plan, the winning (member, iteration, trace bytes) — and, on
+// clean runs, the canonical execution statistics — are bit-identical
+// whatever the fleet size, lease size, agent arrival order, or agent
+// churn. Feedback schedulers carry the one caveat documented on
+// ExploreShard: their schedules depend on the corpus snapshot each
+// generation observes, so cross-partition bit-identity holds only when
+// shards observe the same corpus schedule; corpus merging over the wire
+// is best-effort (canonical order up to the resolved frontier), and any
+// bug reported is still real with a trace that replays exactly.
+//
 // # Performance and pooling
 //
 // Repeated execution is the engine's fast path: bug probability is a

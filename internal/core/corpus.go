@@ -1,5 +1,10 @@
 package core
 
+import (
+	"encoding/json"
+	"fmt"
+)
+
 // This file is the exploration corpus: the bounded set of "interesting"
 // trace prefixes that coverage-guided (feedback) schedulers mutate. An
 // execution is interesting when its coverage fingerprint (Runtime.cov —
@@ -97,4 +102,81 @@ func (c *Corpus) add(fp uint64, iteration int, decisions []Decision) bool {
 	c.seen[fp] = true
 	c.entries = append(c.entries, corpusEntry{fingerprint: fp, iteration: iteration, decisions: decisions})
 	return true
+}
+
+// NewCorpus returns an empty corpus with the given capacity (<= 0 means
+// the default) — the constructor a distributed coordinator uses to rebuild
+// a fleet-wide corpus from shard candidates.
+func NewCorpus(cap int) *Corpus { return newCorpus(cap) }
+
+// Add records an entry, refusing duplicates, empty decision sequences and
+// capacity overflow, and reports whether it was admitted. Exported for the
+// distributed coordinator's canonical-order merge; within the engine only
+// generation barriers call it (via add).
+func (c *Corpus) Add(fp uint64, iteration int, decisions []Decision) bool {
+	return c.add(fp, iteration, decisions)
+}
+
+// CorpusVersion is the corpus serialization format version written by
+// Encode. Like traces, corpora are versioned so a coordinator and its
+// agents fail loudly on a format they do not share.
+const CorpusVersion = 1
+
+// corpusJSON is the wire form of a corpus; entries reuse the versioned
+// Decision encoding traces use.
+type corpusJSON struct {
+	Version int               `json:"version"`
+	Cap     int               `json:"cap"`
+	Entries []corpusEntryJSON `json:"entries"`
+}
+
+type corpusEntryJSON struct {
+	Fingerprint uint64     `json:"fp"`
+	Iteration   int        `json:"it"`
+	Decisions   []Decision `json:"d"`
+}
+
+// Encode serializes the corpus — capacity, entries in canonical insertion
+// order, each with its fingerprint, recording iteration, and full decision
+// sequence — so a coordinator can ship interesting prefixes to agents.
+func (c *Corpus) Encode() ([]byte, error) {
+	out := corpusJSON{Version: CorpusVersion, Cap: c.cap, Entries: make([]corpusEntryJSON, len(c.entries))}
+	for i, e := range c.entries {
+		out.Entries[i] = corpusEntryJSON{Fingerprint: e.fingerprint, Iteration: e.iteration, Decisions: e.decisions}
+	}
+	return json.Marshal(&out)
+}
+
+// DecodeCorpus parses a corpus previously produced by Encode. Decoding is
+// strict, like DecodeTrace: an unknown version, a malformed or unknown
+// decision kind, an empty decision sequence, or a duplicate fingerprint
+// are all errors — a corpus that cannot be fully understood cannot be
+// faithfully mutated.
+func DecodeCorpus(data []byte) (*Corpus, error) {
+	var in corpusJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("core: decoding corpus: %w", err)
+	}
+	if in.Version < 1 || in.Version > CorpusVersion {
+		return nil, fmt.Errorf("core: decoding corpus: unknown corpus version %d (this build understands 1..%d)",
+			in.Version, CorpusVersion)
+	}
+	cap := in.Cap
+	if cap <= 0 {
+		cap = defaultCorpusSize
+	}
+	if len(in.Entries) > cap {
+		return nil, fmt.Errorf("core: decoding corpus: %d entries exceed declared capacity %d", len(in.Entries), cap)
+	}
+	c := newCorpus(cap)
+	for i, e := range in.Entries {
+		if len(e.Decisions) == 0 {
+			return nil, fmt.Errorf("core: decoding corpus: entry %d has no decisions", i)
+		}
+		if c.seen[e.Fingerprint] {
+			return nil, fmt.Errorf("core: decoding corpus: duplicate fingerprint %#x at entry %d", e.Fingerprint, i)
+		}
+		c.add(e.Fingerprint, e.Iteration, e.Decisions)
+	}
+	return c, nil
 }

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// encodeTrace is a test helper: the winner-attribution contract is stated
+// over encoded trace bytes, so that is what the tests compare.
+func encodeTrace(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	data, err := tr.Encode()
+	if err != nil {
+		t.Fatalf("encoding trace: %v", err)
+	}
+	return data
+}
+
+// TestShardFullRangeMatchesExplore: a single shard covering the whole plan
+// must reproduce Explore bit for bit — winner position, trace bytes, and
+// the canonical statistics — for every scheduler family (pure, adaptive,
+// feedback) and for a portfolio.
+func TestShardFullRangeMatchesExplore(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"random", Options{Scheduler: "random", Iterations: 2000, Seed: 7}},
+		{"pct", Options{Scheduler: "pct", Iterations: 1000, Seed: 42}},
+		{"mutational", Options{Scheduler: "mutational", Iterations: 300, Seed: 13}},
+		{"portfolio", Options{Portfolio: []string{"random", "pct"}, Iterations: 1000, Seed: 42}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			o := c.opts
+			o.NoReplayLog = true
+			o.Workers = 4
+			ref := MustExplore(raceTest(), o)
+			if !ref.BugFound {
+				t.Fatal("reference run found no bug")
+			}
+			for _, workers := range []int{1, 4} {
+				so := o
+				so.Workers = workers
+				res, err := ExploreShard(raceTest(), so, Shard{From: 0, To: PlanSize(so)})
+				if err != nil {
+					t.Fatalf("ExploreShard(workers=%d): %v", workers, err)
+				}
+				if !res.BugFound {
+					t.Fatalf("workers=%d: no bug", workers)
+				}
+				wantMember := 0
+				if ref.Portfolio != nil {
+					wantMember = ref.Winner
+				}
+				if res.Member != wantMember || res.Report.Iteration != ref.Report.Iteration {
+					t.Fatalf("workers=%d: winner (member %d, iteration %d), want (member %d, iteration %d)",
+						workers, res.Member, res.Report.Iteration, wantMember, ref.Report.Iteration)
+				}
+				if !bytes.Equal(encodeTrace(t, res.Report.Trace), encodeTrace(t, ref.Report.Trace)) {
+					t.Fatalf("workers=%d: trace bytes diverge from Explore", workers)
+				}
+				if res.Executions != ref.Executions || res.TotalSteps != ref.TotalSteps || res.Choices != ref.Choices {
+					t.Fatalf("workers=%d: stats (%d execs, %d steps, %d choices), want (%d, %d, %d)",
+						workers, res.Executions, res.TotalSteps, res.Choices,
+						ref.Executions, ref.TotalSteps, ref.Choices)
+				}
+			}
+		})
+	}
+}
+
+// TestShardFullRangeCorpusMatchesExplore: the candidates a full-range
+// feedback shard merges are exactly Result.Corpus — same fingerprints, same
+// canonical order — so a coordinator rebuilding a corpus from shard
+// candidates converges to the single-process corpus.
+func TestShardFullRangeCorpusMatchesExplore(t *testing.T) {
+	o := Options{Scheduler: "mutational", Iterations: 300, Seed: 13, Workers: 4, NoReplayLog: true}
+	ref := MustExplore(cleanChoiceTest(), o)
+	res, err := ExploreShard(cleanChoiceTest(), o, Shard{From: 0, To: PlanSize(o)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BugFound || ref.BugFound {
+		t.Fatal("clean workload reported a bug")
+	}
+	if len(res.Candidates) != len(ref.Corpus) {
+		t.Fatalf("candidates = %d entries, Result.Corpus = %d", len(res.Candidates), len(ref.Corpus))
+	}
+	for i, cand := range res.Candidates {
+		if cand.Fingerprint != ref.Corpus[i] {
+			t.Fatalf("candidate %d fingerprint %#x, want %#x", i, cand.Fingerprint, ref.Corpus[i])
+		}
+	}
+}
+
+// TestShardPartitionUnionMatchesExplore is the distributed determinism
+// contract at the engine level: cut the plan into shards any which way,
+// run every shard independently (any worker count, no shared state), and
+// the lowest winning position across shards — member, iteration, trace
+// bytes — is the Explore winner.
+func TestShardPartitionUnionMatchesExplore(t *testing.T) {
+	plans := []struct {
+		name string
+		opts Options
+	}{
+		{"random", Options{Scheduler: "random", Iterations: 2000, Seed: 7}},
+		{"portfolio-adaptive", Options{Portfolio: []string{"pct", "random"}, Iterations: 1000, Seed: 42}},
+	}
+	for _, p := range plans {
+		t.Run(p.name, func(t *testing.T) {
+			o := p.opts
+			o.NoReplayLog = true
+			o.Workers = 2
+			ref := MustExplore(raceTest(), o)
+			if !ref.BugFound {
+				t.Fatal("reference run found no bug")
+			}
+			total := PlanSize(o)
+			for _, shards := range []int{1, 2, 3, 5} {
+				var (
+					bestPos            = total
+					bestMember, bestIt = -1, -1
+					bestTrace          []byte
+				)
+				for s := 0; s < shards; s++ {
+					from := int64(s) * total / int64(shards)
+					to := int64(s+1) * total / int64(shards)
+					so := o
+					so.Workers = 1 + s%3
+					res, err := ExploreShard(raceTest(), so, Shard{From: from, To: to})
+					if err != nil {
+						t.Fatalf("shard %d/%d: %v", s, shards, err)
+					}
+					if res.BugFound && res.BugPos < bestPos {
+						bestPos = res.BugPos
+						bestMember = res.Member
+						bestIt = res.Report.Iteration
+						bestTrace = encodeTrace(t, res.Report.Trace)
+					}
+				}
+				wantMember := 0
+				if ref.Portfolio != nil {
+					wantMember = ref.Winner
+				}
+				if bestMember != wantMember || bestIt != ref.Report.Iteration {
+					t.Fatalf("%d shards: winner (member %d, iteration %d), want (member %d, iteration %d)",
+						shards, bestMember, bestIt, wantMember, ref.Report.Iteration)
+				}
+				if !bytes.Equal(bestTrace, encodeTrace(t, ref.Report.Trace)) {
+					t.Fatalf("%d shards: winning trace bytes diverge from Explore", shards)
+				}
+			}
+		})
+	}
+}
+
+// TestShardStopBoundPrunes: an external stop bound below the shard's bug
+// position suppresses the bug and caps the resolved prefix — the
+// coordinator's cancel-on-first-bug lever.
+func TestShardStopBoundPrunes(t *testing.T) {
+	o := Options{Scheduler: "random", Iterations: 2000, Seed: 7, Workers: 2, NoReplayLog: true}
+	full, err := ExploreShard(raceTest(), o, Shard{From: 0, To: PlanSize(o)})
+	if err != nil || !full.BugFound {
+		t.Fatalf("full shard: err=%v bug=%v", err, full.BugFound)
+	}
+	stop := full.BugPos // prune the winning position itself
+	res, err := ExploreShard(raceTest(), o, Shard{
+		From: 0, To: PlanSize(o),
+		Stop: func() int64 { return stop },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BugFound {
+		t.Fatalf("bug at position %d reported despite stop bound %d", res.BugPos, stop)
+	}
+	if res.ResolvedTo != stop {
+		t.Fatalf("ResolvedTo = %d, want %d (everything below the bound completes)", res.ResolvedTo, stop)
+	}
+}
+
+// TestShardLengthHintsReplaceCalibration: a shard that does not own an
+// adaptive member's iteration 0 re-runs it purely for the length hint;
+// passing the hint from a previous result of the same plan skips that
+// execution without changing the outcome.
+func TestShardLengthHintsReplaceCalibration(t *testing.T) {
+	// Seed 4 puts the pct bug at iteration 6, leaving room for a later
+	// sub-shard that does not own the calibration position.
+	o := Options{Scheduler: "pct", Iterations: 1000, Seed: 4, Workers: 2, NoReplayLog: true}
+	total := PlanSize(o)
+	full, err := ExploreShard(raceTest(), o, Shard{From: 0, To: total})
+	if err != nil || !full.BugFound {
+		t.Fatalf("full shard: err=%v bug=%v", err, full.BugFound)
+	}
+	if full.LengthHints[0] == 0 {
+		t.Fatal("full shard pinned no length hint")
+	}
+	from := full.BugPos - 2
+	if from < 1 {
+		t.Fatalf("bug at position %d leaves no later sub-shard", full.BugPos)
+	}
+	cold, err := ExploreShard(raceTest(), o, Shard{From: from, To: total})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := ExploreShard(raceTest(), o, Shard{From: from, To: total, LengthHints: full.LengthHints})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cold.BugFound || !warm.BugFound || cold.BugPos != full.BugPos || warm.BugPos != full.BugPos {
+		t.Fatalf("sub-shard winners diverge: cold=(%v,%d) warm=(%v,%d) want pos %d",
+			cold.BugFound, cold.BugPos, warm.BugFound, warm.BugPos, full.BugPos)
+	}
+	if !bytes.Equal(encodeTrace(t, cold.Report.Trace), encodeTrace(t, warm.Report.Trace)) {
+		t.Fatal("hinted and unhinted sub-shards disagree on the trace")
+	}
+	if warm.Executions != cold.Executions-1 {
+		t.Fatalf("hint did not skip the calibration execution: cold=%d warm=%d",
+			cold.Executions, warm.Executions)
+	}
+}
+
+// TestShardRejectsBadConfig: sequential schedulers and malformed ranges
+// fail up front with typed ConfigErrors.
+func TestShardRejectsBadConfig(t *testing.T) {
+	o := Options{Scheduler: "random", Iterations: 100, Seed: 1}
+	cases := []struct {
+		name string
+		o    Options
+		sh   Shard
+		want string
+	}{
+		{"sequential", Options{Scheduler: "dfs", Iterations: 100}, Shard{From: 0, To: 10}, "cannot explore a sub-range"},
+		{"empty range", o, Shard{From: 5, To: 5}, "non-empty sub-range"},
+		{"negative from", o, Shard{From: -1, To: 10}, "non-empty sub-range"},
+		{"beyond plan", o, Shard{From: 0, To: 101}, "non-empty sub-range"},
+		{"bad hints", o, Shard{From: 0, To: 10, LengthHints: []int{1, 2}}, "hints"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ExploreShard(raceTest(), c.o, c.sh)
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if _, ok := err.(*ConfigError); !ok {
+				t.Fatalf("error type %T, want *ConfigError", err)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q lacks %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestCorpusCodecRoundTrip: Encode/DecodeCorpus preserve capacity, order,
+// fingerprints and decision sequences exactly.
+func TestCorpusCodecRoundTrip(t *testing.T) {
+	c := newCorpus(8)
+	c.add(0xdead, 3, []Decision{{Kind: DecisionSchedule, Machine: 2}, {Kind: DecisionBool, Bool: true}})
+	c.add(0xbeef, 7, []Decision{{Kind: DecisionInt, Int: 2, N: 4}})
+	c.add(0xf00d, 9, []Decision{{Kind: DecisionCrash, Machine: 1, Int: 0, N: 3}})
+	data, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCorpus(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.cap != c.cap || got.Len() != c.Len() {
+		t.Fatalf("cap/len = %d/%d, want %d/%d", got.cap, got.Len(), c.cap, c.Len())
+	}
+	for i := 0; i < c.Len(); i++ {
+		wfp, wdec := c.Entry(i)
+		gfp, gdec := got.Entry(i)
+		if wfp != gfp || len(wdec) != len(gdec) {
+			t.Fatalf("entry %d diverges", i)
+		}
+		for j := range wdec {
+			if wdec[j] != gdec[j] {
+				t.Fatalf("entry %d decision %d: %v vs %v", i, j, gdec[j], wdec[j])
+			}
+		}
+		if got.entries[i].iteration != c.entries[i].iteration {
+			t.Fatalf("entry %d iteration %d, want %d", i, got.entries[i].iteration, c.entries[i].iteration)
+		}
+	}
+	// A decoded corpus keeps deduplicating.
+	if got.add(0xbeef, 1, []Decision{{Kind: DecisionBool}}) {
+		t.Fatal("decoded corpus accepted a duplicate fingerprint")
+	}
+}
+
+// TestCorpusCodecStrict: unknown versions and malformed payloads are
+// errors, never silent truncation.
+func TestCorpusCodecStrict(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"future version", `{"version": 99, "cap": 4, "entries": []}`, "unknown corpus version"},
+		{"version zero", `{"version": 0, "cap": 4, "entries": []}`, "unknown corpus version"},
+		{"empty decisions", `{"version": 1, "cap": 4, "entries": [{"fp": 1, "it": 0, "d": []}]}`, "no decisions"},
+		{"duplicate fingerprint", `{"version": 1, "cap": 4, "entries": [
+			{"fp": 1, "it": 0, "d": [{"k": "b"}]}, {"fp": 1, "it": 1, "d": [{"k": "b"}]}]}`, "duplicate fingerprint"},
+		{"over capacity", `{"version": 1, "cap": 1, "entries": [
+			{"fp": 1, "it": 0, "d": [{"k": "b"}]}, {"fp": 2, "it": 1, "d": [{"k": "b"}]}]}`, "exceed declared capacity"},
+		{"unknown decision kind", `{"version": 1, "cap": 4, "entries": [{"fp": 1, "it": 0, "d": [{"k": "z"}]}]}`, "bad decision kind"},
+		{"garbage", `{"version": `, "decoding corpus"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := DecodeCorpus([]byte(c.data))
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q lacks %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestShardSeededCorpusRoundTrips: seeding a feedback shard with a decoded
+// snapshot of a previous shard's corpus state is equivalent to handing it
+// the live corpus — the wire hop is invisible.
+func TestShardSeededCorpusRoundTrips(t *testing.T) {
+	o := Options{Scheduler: "mutational", Iterations: 128, Seed: 13, Workers: 2, NoReplayLog: true}
+	first, err := ExploreShard(cleanChoiceTest(), o, Shard{From: 0, To: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the corpus the first shard ended with from its candidates.
+	live := newCorpus(o.CorpusSize)
+	for _, cand := range first.Candidates {
+		live.add(cand.Fingerprint, int(cand.Position), cand.Decisions)
+	}
+	snap, err := live.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeCorpus(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := newCorpus(o.CorpusSize)
+	for _, cand := range first.Candidates {
+		rebuilt.add(cand.Fingerprint, int(cand.Position), cand.Decisions)
+	}
+	a, err := ExploreShard(cleanChoiceTest(), o, Shard{From: 64, To: 128, Corpus: rebuilt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExploreShard(cleanChoiceTest(), o, Shard{From: 64, To: 128, Corpus: decoded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Executions != b.Executions || a.TotalSteps != b.TotalSteps || len(a.Candidates) != len(b.Candidates) {
+		t.Fatalf("decoded corpus changed the outcome: %+v vs %+v", a, b)
+	}
+	for i := range a.Candidates {
+		if a.Candidates[i].Fingerprint != b.Candidates[i].Fingerprint {
+			t.Fatalf("candidate %d fingerprint diverges: %#x vs %#x",
+				i, a.Candidates[i].Fingerprint, b.Candidates[i].Fingerprint)
+		}
+	}
+}
+
+// TestPlanSize pins the position arithmetic shards and coordinators share.
+func TestPlanSize(t *testing.T) {
+	if got := PlanSize(Options{Scheduler: "random", Iterations: 100}); got != 100 {
+		t.Fatalf("single-scheduler plan = %d, want 100", got)
+	}
+	if got := PlanSize(Options{Portfolio: []string{"random", "pct", "rr"}, Iterations: 100}); got != 300 {
+		t.Fatalf("portfolio plan = %d, want 300", got)
+	}
+	if got := PlanSize(Options{}); got != 10000 {
+		t.Fatalf("defaulted plan = %d, want 10000", got)
+	}
+}

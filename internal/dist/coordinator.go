@@ -1,0 +1,464 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/gostorm/gostorm/internal/core"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Scenario is the catalog name agents build the test from. The
+	// coordinator never runs the test itself — it only owns the plan.
+	Scenario string
+	// Options is the exploration plan (seed, budget, scheduler/portfolio,
+	// bounds). Validated and defaulted by New.
+	Options core.Options
+	// LeaseSize is the number of global positions per lease (default 256).
+	LeaseSize int64
+	// LeaseTTL is how long an agent may sit on a lease before it is
+	// re-issued to someone else (default 10s).
+	LeaseTTL time.Duration
+	// RetryMs is the backoff agents are told when no lease is pending
+	// (default 200).
+	RetryMs int
+	// Log, when non-nil, receives one line per control-plane event.
+	Log func(format string, args ...any)
+}
+
+// Result is the fleet-wide outcome, available once Done() closes.
+type Result struct {
+	BugFound bool
+	// BugPos is the winning global position; Member and Iteration the
+	// deterministic attribution; Trace the decoded winning trace and
+	// TraceBytes its exact wire bytes.
+	BugPos     int64
+	Member     int
+	Iteration  int
+	Kind       core.BugKind
+	Message    string
+	Machine    string
+	Step       int
+	Trace      *core.Trace
+	TraceBytes []byte
+	// Executions / TotalSteps aggregate the work the fleet reported.
+	Executions int64
+	TotalSteps int64
+	Elapsed    time.Duration
+	// Corpus is the fleet-merged corpus fingerprints in canonical order.
+	Corpus []uint64
+	// Mismatches counts determinism-contract violations (two reports for
+	// one position with different trace bytes); FirstMismatch describes
+	// the first. Always zero for a deterministic system under test.
+	Mismatches    int
+	FirstMismatch string
+}
+
+// Coordinator owns one exploration plan and serves the control-plane API:
+//
+//	POST /v1/join    JoinRequest    -> JoinResponse
+//	POST /v1/lease   LeaseRequest   -> LeaseResponse
+//	POST /v1/report  ReportRequest  -> ReportResponse
+//	GET  /v1/status                 -> StatusResponse
+//	GET  /healthz                   -> "ok"
+//	GET  /metrics                   -> Prometheus-style text
+type Coordinator struct {
+	cfg      Config
+	plan     PlanConfig
+	total    int64
+	feedback bool
+	start    time.Time
+
+	mu         sync.Mutex
+	lt         *leaseTable
+	resolved   intervals
+	bugPos     int64 // total = no bug yet
+	bug        *WireBug
+	executions int64
+	steps      int64
+	agents     map[string]time.Time
+	corpus     *core.Corpus
+	corpusEnc  []byte // cached Encode of corpus; nil = stale
+	pendCands  []WireCandidate
+	mismatches int
+	mismatch   string
+	done       bool
+	doneCh     chan struct{}
+}
+
+// New validates the plan and builds a coordinator. The same rules as
+// core.ExploreShard apply: every member must be a registered,
+// non-sequential scheduler.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Scenario == "" {
+		return nil, fmt.Errorf("dist: Config.Scenario is required")
+	}
+	if err := cfg.Options.Validate(); err != nil {
+		return nil, err
+	}
+	o := cfg.Options.WithDefaults()
+	members := o.Portfolio
+	if len(members) == 0 {
+		members = []string{o.Scheduler}
+	}
+	feedback := false
+	for _, name := range members {
+		f, err := core.NewSchedulerFactory(name, o.PCTDepth)
+		if err != nil {
+			return nil, err
+		}
+		if f.Sequential() {
+			return nil, fmt.Errorf("dist: scheduler %q is sequential and cannot be sharded across agents", name)
+		}
+		if f.Feedback() {
+			feedback = true
+		}
+	}
+	if cfg.LeaseSize <= 0 {
+		cfg.LeaseSize = 256
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 10 * time.Second
+	}
+	if cfg.RetryMs <= 0 {
+		cfg.RetryMs = 200
+	}
+	cfg.Options = o
+	total := core.PlanSize(o)
+	co := &Coordinator{
+		cfg:      cfg,
+		plan:     planConfigFor(cfg.Scenario, o),
+		total:    total,
+		feedback: feedback,
+		start:    time.Now(),
+		lt:       newLeaseTable(total, cfg.LeaseSize, cfg.LeaseTTL),
+		bugPos:   total,
+		agents:   make(map[string]time.Time),
+		corpus:   nil,
+		doneCh:   make(chan struct{}),
+	}
+	return co, nil
+}
+
+// Plan returns the wire plan the coordinator publishes.
+func (co *Coordinator) Plan() PlanConfig { return co.plan }
+
+// Done closes when every position below the winning bug (or the whole
+// plan) has resolved.
+func (co *Coordinator) Done() <-chan struct{} { return co.doneCh }
+
+func (co *Coordinator) logf(format string, args ...any) {
+	if co.cfg.Log != nil {
+		co.cfg.Log(format, args...)
+	}
+}
+
+// Result assembles the fleet outcome. Meaningful once Done() has closed,
+// but safe to call any time.
+func (co *Coordinator) Result() Result {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	res := Result{
+		Executions:    co.executions,
+		TotalSteps:    co.steps,
+		Elapsed:       time.Since(co.start),
+		Mismatches:    co.mismatches,
+		FirstMismatch: co.mismatch,
+	}
+	if co.corpus != nil {
+		res.Corpus = co.corpus.Fingerprints()
+	}
+	if co.bug != nil {
+		res.BugFound = true
+		res.BugPos = co.bug.Pos
+		res.Member = co.bug.Member
+		res.Iteration = co.bug.Iteration
+		res.Kind = core.BugKind(co.bug.Kind)
+		res.Message = co.bug.Message
+		res.Machine = co.bug.Machine
+		res.Step = co.bug.Step
+		res.TraceBytes = co.bug.Trace
+		if tr, err := core.DecodeTrace(co.bug.Trace); err == nil {
+			res.Trace = tr
+		}
+	}
+	return res
+}
+
+// Handler returns the control-plane HTTP handler.
+func (co *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/join", co.handleJoin)
+	mux.HandleFunc("POST /v1/lease", co.handleLease)
+	mux.HandleFunc("POST /v1/report", co.handleReport)
+	mux.HandleFunc("GET /v1/status", co.handleStatus)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /metrics", co.handleMetrics)
+	return mux
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (co *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Protocol != ProtocolVersion {
+		http.Error(w, fmt.Sprintf("protocol version %d not supported (coordinator speaks %d)",
+			req.Protocol, ProtocolVersion), http.StatusBadRequest)
+		return
+	}
+	co.mu.Lock()
+	co.agents[req.Agent] = time.Now()
+	co.mu.Unlock()
+	co.logf("agent %s joined", req.Agent)
+	writeJSON(w, JoinResponse{Plan: co.plan})
+}
+
+func (co *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	now := time.Now()
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.agents[req.Agent] = now
+	if co.done {
+		writeJSON(w, LeaseResponse{Done: true})
+		return
+	}
+	if n := co.lt.expire(now); n > 0 {
+		co.logf("re-issued %d expired lease(s)", n)
+	}
+	l, ok := co.lt.grant(req.Agent, now)
+	if !ok {
+		writeJSON(w, LeaseResponse{None: true, RetryMs: co.cfg.RetryMs, Stop: co.bugPos})
+		return
+	}
+	resp := LeaseResponse{Lease: l.id, From: l.span.from, To: l.span.to, Stop: co.bugPos}
+	if co.feedback {
+		resp.Corpus = co.corpusSnapshotLocked()
+	}
+	writeJSON(w, resp)
+}
+
+func (co *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
+	var req ReportRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	now := time.Now()
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.agents[req.Agent] = now
+
+	resolvedTo := req.ResolvedTo
+	if resolvedTo > req.To {
+		resolvedTo = req.To
+	}
+	// Duplicate reports (an expired lease re-issued, both agents finishing)
+	// carry identical deterministic data; only the first contributes to the
+	// statistics.
+	before := co.resolved.total()
+	co.resolved.add(req.From, resolvedTo)
+	fresh := co.resolved.total() > before
+	if fresh {
+		co.executions += int64(req.Executions)
+		co.steps += req.TotalSteps
+	}
+	co.lt.complete(req.Lease, resolvedTo)
+	co.lt.resolve(req.From, resolvedTo)
+
+	if req.Bug != nil {
+		co.ingestBugLocked(req.Agent, req.Bug)
+	}
+	if co.feedback && len(req.Candidates) > 0 && fresh {
+		co.pendCands = append(co.pendCands, req.Candidates...)
+		sort.SliceStable(co.pendCands, func(i, j int) bool {
+			return co.pendCands[i].Position < co.pendCands[j].Position
+		})
+	}
+	co.mergeCorpusLocked()
+	co.checkDoneLocked()
+	writeJSON(w, ReportResponse{Done: co.done, Stop: co.bugPos})
+}
+
+// ingestBugLocked applies first-bug-wins: the lowest position wins; two
+// reports at one position must agree byte-for-byte or the system under
+// test is nondeterministic.
+func (co *Coordinator) ingestBugLocked(agent string, b *WireBug) {
+	switch {
+	case b.Pos < co.bugPos:
+		co.bugPos = b.Pos
+		co.bug = b
+		co.lt.prune(b.Pos)
+		co.logf("agent %s reported bug at position %d (member %d, iteration %d): %s",
+			agent, b.Pos, b.Member, b.Iteration, b.Message)
+	case b.Pos == co.bugPos && co.bug != nil:
+		if !bytes.Equal(b.Trace, co.bug.Trace) {
+			co.mismatches++
+			if co.mismatch == "" {
+				co.mismatch = fmt.Sprintf("position %d reported with two different traces (agent %s) — is the system under test deterministic?",
+					b.Pos, agent)
+			}
+			co.logf("determinism violation: %s", co.mismatch)
+		}
+	}
+}
+
+// mergeCorpusLocked merges buffered candidates into the fleet corpus in
+// canonical position order, up to the contiguous resolved frontier — the
+// distributed analogue of runFeedback's generation barrier.
+func (co *Coordinator) mergeCorpusLocked() {
+	if !co.feedback || len(co.pendCands) == 0 {
+		return
+	}
+	if co.corpus == nil {
+		co.corpus = core.NewCorpus(co.cfg.Options.CorpusSize)
+	}
+	frontier := co.resolved.frontier()
+	merged := 0
+	for merged < len(co.pendCands) && co.pendCands[merged].Position < frontier {
+		c := co.pendCands[merged]
+		if co.corpus.Add(c.Fingerprint, int(c.Position), c.Decisions) {
+			co.corpusEnc = nil
+		}
+		merged++
+	}
+	co.pendCands = co.pendCands[merged:]
+}
+
+// corpusSnapshotLocked returns the cached encoded corpus (nil when empty).
+func (co *Coordinator) corpusSnapshotLocked() []byte {
+	if co.corpus == nil || co.corpus.Len() == 0 {
+		return nil
+	}
+	if co.corpusEnc == nil {
+		data, err := co.corpus.Encode()
+		if err != nil {
+			co.logf("corpus encode failed: %v", err)
+			return nil
+		}
+		co.corpusEnc = data
+	}
+	return co.corpusEnc
+}
+
+// checkDoneLocked closes doneCh once the winner is confirmed: a bug wins
+// only when every lower position has resolved; a clean run ends when the
+// whole plan has.
+func (co *Coordinator) checkDoneLocked() {
+	if co.done {
+		return
+	}
+	target := co.total
+	if co.bug != nil {
+		target = co.bugPos + 1
+		if target > co.total {
+			target = co.total
+		}
+	}
+	if !co.resolved.covered(target) {
+		return
+	}
+	co.done = true
+	close(co.doneCh)
+	if co.bug != nil {
+		co.logf("done: bug confirmed at position %d after %d execution(s)", co.bugPos, co.executions)
+	} else {
+		co.logf("done: no bug in %d execution(s)", co.executions)
+	}
+}
+
+// statusLocked builds the shared snapshot for /v1/status and /metrics.
+func (co *Coordinator) statusLocked(now time.Time) StatusResponse {
+	elapsed := now.Sub(co.start).Seconds()
+	live := 0
+	window := 3 * co.cfg.LeaseTTL
+	for _, seen := range co.agents {
+		if now.Sub(seen) <= window {
+			live++
+		}
+	}
+	st := StatusResponse{
+		Done:        co.done,
+		Total:       co.total,
+		Resolved:    co.resolved.total(),
+		Frontier:    co.resolved.frontier(),
+		Stop:        co.bugPos,
+		BugFound:    co.bug != nil,
+		Executions:  co.executions,
+		TotalSteps:  co.steps,
+		Leases:      co.lt.outstanding(),
+		AgentsLive:  live,
+		ElapsedSecs: elapsed,
+	}
+	if co.bug != nil {
+		st.BugPos = co.bugPos
+	}
+	if co.corpus != nil {
+		st.CorpusLen = co.corpus.Len()
+	}
+	if elapsed > 0 {
+		st.PerSecond = float64(co.executions) / elapsed
+	}
+	return st
+}
+
+func (co *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	co.mu.Lock()
+	st := co.statusLocked(time.Now())
+	co.mu.Unlock()
+	writeJSON(w, st)
+}
+
+func (co *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	co.mu.Lock()
+	st := co.statusLocked(time.Now())
+	co.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP gostorm_leases_outstanding Leases currently held by agents.\n")
+	fmt.Fprintf(w, "# TYPE gostorm_leases_outstanding gauge\n")
+	fmt.Fprintf(w, "gostorm_leases_outstanding %d\n", st.Leases)
+	fmt.Fprintf(w, "# HELP gostorm_agents_live Agents seen within three lease TTLs.\n")
+	fmt.Fprintf(w, "# TYPE gostorm_agents_live gauge\n")
+	fmt.Fprintf(w, "gostorm_agents_live %d\n", st.AgentsLive)
+	fmt.Fprintf(w, "# HELP gostorm_iterations_total Executions reported by the fleet.\n")
+	fmt.Fprintf(w, "# TYPE gostorm_iterations_total counter\n")
+	fmt.Fprintf(w, "gostorm_iterations_total %d\n", st.Executions)
+	fmt.Fprintf(w, "# HELP gostorm_iterations_per_second Fleet execution rate since start.\n")
+	fmt.Fprintf(w, "# TYPE gostorm_iterations_per_second gauge\n")
+	fmt.Fprintf(w, "gostorm_iterations_per_second %g\n", st.PerSecond)
+	fmt.Fprintf(w, "# HELP gostorm_positions_resolved Global positions resolved.\n")
+	fmt.Fprintf(w, "# TYPE gostorm_positions_resolved gauge\n")
+	fmt.Fprintf(w, "gostorm_positions_resolved %d\n", st.Resolved)
+	fmt.Fprintf(w, "# HELP gostorm_bug_found Whether a winning bug has been reported.\n")
+	fmt.Fprintf(w, "# TYPE gostorm_bug_found gauge\n")
+	if st.BugFound {
+		fmt.Fprintf(w, "gostorm_bug_found 1\n")
+	} else {
+		fmt.Fprintf(w, "gostorm_bug_found 0\n")
+	}
+}

@@ -1,0 +1,482 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gostorm/gostorm/internal/core"
+)
+
+// rareOrderTest has a bug only when all n senders' signals arrive in exact
+// reverse order — probability ~1/n! per execution under random scheduling,
+// so the discovering iteration is deep enough that a distributed run spans
+// many leases before the winner appears.
+func rareOrderTest(n int) core.Test {
+	return core.Test{
+		Name: "rare-order",
+		Entry: func(ctx *core.Context) {
+			var got []string
+			collector := ctx.CreateMachine(&core.FuncMachine{
+				OnEvent: func(ctx *core.Context, ev core.Event) {
+					got = append(got, ev.Name())
+					if len(got) < n {
+						return
+					}
+					rev := true
+					for i := range got {
+						if got[i] != fmt.Sprintf("s%d", n-1-i) {
+							rev = false
+							break
+						}
+					}
+					ctx.Assert(!rev, "senders arrived in exact reverse order")
+					ctx.Halt()
+				},
+			}, "collector")
+			for i := 0; i < n; i++ {
+				name := fmt.Sprintf("s%d", i)
+				ctx.CreateMachine(&core.FuncMachine{
+					OnInit: func(ctx *core.Context) { ctx.Send(collector, core.Signal(name)) },
+				}, name+"-sender")
+			}
+		},
+	}
+}
+
+// choiceTest is bug-free but branches on nondeterministic choices, giving
+// a feedback scheduler novel coverage fingerprints to put in the corpus.
+func choiceTest() core.Test {
+	return core.Test{
+		Name: "choices",
+		Entry: func(ctx *core.Context) {
+			ctx.RandomBool()
+			ctx.RandomInt(4)
+		},
+	}
+}
+
+func startCoordinator(t *testing.T, cfg Config, wrap func(http.Handler) http.Handler) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	h := co.Handler()
+	if wrap != nil {
+		h = wrap(h)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return co, srv
+}
+
+// dropReportsFrom simulates an agent death mid-lease deterministically: the
+// named agent's reports are rejected at the wire, so its leased work is
+// done but never lands and the lease must expire and be re-issued. The 400
+// makes the agent give up immediately instead of retrying.
+func dropReportsFrom(victim string) func(http.Handler) http.Handler {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/report" {
+				data, _ := io.ReadAll(r.Body)
+				var req ReportRequest
+				json.Unmarshal(data, &req)
+				if req.Agent == victim {
+					http.Error(w, "connection torn down", http.StatusBadRequest)
+					return
+				}
+				r.Body = io.NopCloser(bytes.NewReader(data))
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+func runAgents(t *testing.T, url string, test core.Test, names []string, victims ...string) *sync.WaitGroup {
+	t.Helper()
+	var wg sync.WaitGroup
+	for _, name := range names {
+		a, err := NewAgent(AgentConfig{
+			Coordinator: url,
+			Name:        name,
+			Workers:     2,
+			Poll:        15 * time.Millisecond,
+			BuildTest:   func(string) (core.Test, error) { return test, nil },
+		})
+		if err != nil {
+			t.Fatalf("NewAgent(%s): %v", name, err)
+		}
+		victim := false
+		for _, v := range victims {
+			victim = victim || name == v
+		}
+		ctx := context.Background()
+		if victim {
+			// Best-effort extra chaos on top of the report blackhole: the
+			// context dies mid-run, exercising the silent-death path when
+			// the timing lands mid-lease.
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, 150*time.Millisecond)
+			t.Cleanup(cancel)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := a.Run(ctx)
+			if err != nil && !victim && ctx.Err() == nil {
+				t.Errorf("agent %s: %v", a.cfg.Name, err)
+			}
+		}()
+	}
+	return &wg
+}
+
+func waitDone(t *testing.T, co *Coordinator, wg *sync.WaitGroup) Result {
+	t.Helper()
+	select {
+	case <-co.Done():
+	case <-time.After(90 * time.Second):
+		t.Fatal("coordinator did not finish in time")
+	}
+	wg.Wait()
+	return co.Result()
+}
+
+// TestChaosDeterministicAttribution is the distributed determinism
+// contract: the same seed and shard plan run with 1, 2, and 4 agents —
+// one of which is killed mid-run so its leases expire and are re-issued —
+// must attribute the identical winner (member, iteration, trace bytes) as
+// a single-process Explore of the same plan.
+func TestChaosDeterministicAttribution(t *testing.T) {
+	test := rareOrderTest(4)
+	opts := core.Options{Scheduler: "random", Iterations: 3000, Seed: 11, MaxSteps: 500, NoReplayLog: true}
+
+	ref := core.MustExplore(test, opts)
+	if !ref.BugFound {
+		t.Fatal("reference run found no bug; pick a different seed")
+	}
+	wantTrace, err := ref.Report.Trace.Encode()
+	if err != nil {
+		t.Fatalf("encoding reference trace: %v", err)
+	}
+	t.Logf("reference: bug at iteration %d", ref.Report.Iteration)
+
+	for _, tc := range []struct {
+		agents []string
+		kill   string
+	}{
+		{agents: []string{"solo"}},
+		{agents: []string{"a1", "a2"}},
+		{agents: []string{"a1", "a2", "a3", "a4"}, kill: "a3"},
+	} {
+		name := fmt.Sprintf("%dagents", len(tc.agents))
+		if tc.kill != "" {
+			name += "-1killed"
+		}
+		t.Run(name, func(t *testing.T) {
+			var wrap func(http.Handler) http.Handler
+			if tc.kill != "" {
+				wrap = dropReportsFrom(tc.kill)
+			}
+			co, srv := startCoordinator(t, Config{
+				Scenario:  "rare-order",
+				Options:   opts,
+				LeaseSize: 64,
+				LeaseTTL:  300 * time.Millisecond,
+				RetryMs:   10,
+			}, wrap)
+			wg := runAgents(t, srv.URL, test, tc.agents, tc.kill)
+			res := waitDone(t, co, wg)
+
+			if !res.BugFound {
+				t.Fatal("fleet found no bug")
+			}
+			if res.Member != 0 {
+				t.Fatalf("winning member = %d, want 0", res.Member)
+			}
+			if res.Iteration != ref.Report.Iteration {
+				t.Fatalf("winning iteration = %d, want %d", res.Iteration, ref.Report.Iteration)
+			}
+			if !bytes.Equal(res.TraceBytes, wantTrace) {
+				t.Fatalf("winning trace bytes diverge from single-process run:\n got %s\nwant %s",
+					res.TraceBytes, wantTrace)
+			}
+			if res.Mismatches != 0 {
+				t.Fatalf("determinism violations reported: %d (%s)", res.Mismatches, res.FirstMismatch)
+			}
+			if res.Trace == nil {
+				t.Fatal("winning trace did not decode")
+			}
+			// The winning trace replays to the same violation.
+			rep, err := core.Replay(test, res.Trace, opts)
+			if err != nil {
+				t.Fatalf("replaying winning trace: %v", err)
+			}
+			if rep == nil {
+				t.Fatal("winning trace replayed clean")
+			}
+			if rep.Message != ref.Report.Message {
+				t.Fatalf("replayed message %q, want %q", rep.Message, ref.Report.Message)
+			}
+		})
+	}
+}
+
+// TestPortfolioDistributedMatchesExplore shards a portfolio plan across
+// two agents and checks the attribution triple against Explore.
+func TestPortfolioDistributedMatchesExplore(t *testing.T) {
+	test := rareOrderTest(3)
+	opts := core.Options{Portfolio: []string{"pct", "random"}, Iterations: 500, Seed: 7, MaxSteps: 500, NoReplayLog: true}
+
+	ref := core.MustExplore(test, opts)
+	if !ref.BugFound {
+		t.Fatal("reference run found no bug; pick a different seed")
+	}
+	wantTrace, err := ref.Report.Trace.Encode()
+	if err != nil {
+		t.Fatalf("encoding reference trace: %v", err)
+	}
+
+	co, srv := startCoordinator(t, Config{
+		Scenario:  "rare-order",
+		Options:   opts,
+		LeaseSize: 32,
+		LeaseTTL:  time.Second,
+		RetryMs:   10,
+	}, nil)
+	wg := runAgents(t, srv.URL, test, []string{"a1", "a2"})
+	res := waitDone(t, co, wg)
+
+	if !res.BugFound {
+		t.Fatal("fleet found no bug")
+	}
+	if res.Member != ref.Winner {
+		t.Fatalf("winning member = %d, want %d", res.Member, ref.Winner)
+	}
+	if res.Iteration != ref.Report.Iteration {
+		t.Fatalf("winning iteration = %d, want %d", res.Iteration, ref.Report.Iteration)
+	}
+	if !bytes.Equal(res.TraceBytes, wantTrace) {
+		t.Fatalf("winning trace bytes diverge from single-process run:\n got %s\nwant %s", res.TraceBytes, wantTrace)
+	}
+}
+
+// TestCleanRunCompletes: a plan with no bug resolves every position and
+// reports a clean fleet result with exact canonical statistics.
+func TestCleanRunCompletes(t *testing.T) {
+	test := choiceTest()
+	opts := core.Options{Scheduler: "random", Iterations: 200, Seed: 5, MaxSteps: 100, NoReplayLog: true}
+	ref := core.MustExplore(test, opts)
+	if ref.BugFound {
+		t.Fatal("reference run unexpectedly found a bug")
+	}
+
+	co, srv := startCoordinator(t, Config{
+		Scenario:  "choices",
+		Options:   opts,
+		LeaseSize: 64,
+		LeaseTTL:  time.Second,
+		RetryMs:   10,
+	}, nil)
+	wg := runAgents(t, srv.URL, test, []string{"a1", "a2"})
+	res := waitDone(t, co, wg)
+
+	if res.BugFound {
+		t.Fatal("clean plan reported a bug")
+	}
+	if res.Executions != int64(ref.Executions) {
+		t.Fatalf("fleet executions = %d, want %d", res.Executions, ref.Executions)
+	}
+	if res.TotalSteps != ref.TotalSteps {
+		t.Fatalf("fleet total steps = %d, want %d", res.TotalSteps, ref.TotalSteps)
+	}
+}
+
+// TestCorpusShipping: a feedback plan merges shard candidates into a
+// fleet corpus and ships the snapshot with later leases (the agent would
+// fail loudly on an undecodable snapshot).
+func TestCorpusShipping(t *testing.T) {
+	test := choiceTest()
+	opts := core.Options{Scheduler: "mutational", Iterations: 400, Seed: 3, MaxSteps: 100, CorpusSize: 16, NoReplayLog: true}
+
+	co, srv := startCoordinator(t, Config{
+		Scenario:  "choices",
+		Options:   opts,
+		LeaseSize: 100,
+		LeaseTTL:  time.Second,
+		RetryMs:   10,
+	}, nil)
+	wg := runAgents(t, srv.URL, test, []string{"a1"})
+	res := waitDone(t, co, wg)
+
+	if res.BugFound {
+		t.Fatal("clean feedback plan reported a bug")
+	}
+	if len(res.Corpus) == 0 {
+		t.Fatal("fleet corpus is empty; candidates were not merged")
+	}
+	// choiceTest has exactly 2*4 distinct decision paths.
+	if len(res.Corpus) > 8 {
+		t.Fatalf("fleet corpus has %d entries, want <= 8", len(res.Corpus))
+	}
+}
+
+// TestLeaseExpiryOverHTTP: a granted lease that is never reported expires
+// and is re-issued to the next asker; a late report for the expired lease
+// is still accepted.
+func TestLeaseExpiryOverHTTP(t *testing.T) {
+	_, srv := startCoordinator(t, Config{
+		Scenario: "choices",
+		Options:  core.Options{Scheduler: "random", Iterations: 100, NoReplayLog: true},
+		LeaseTTL: 50 * time.Millisecond,
+		RetryMs:  10,
+	}, nil)
+
+	lease := func(agent string) LeaseResponse {
+		t.Helper()
+		body, _ := json.Marshal(LeaseRequest{Agent: agent})
+		resp, err := http.Post(srv.URL+"/v1/lease", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("lease: %v", err)
+		}
+		defer resp.Body.Close()
+		var lr LeaseResponse
+		if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+			t.Fatalf("decoding lease: %v", err)
+		}
+		return lr
+	}
+
+	l1 := lease("slow")
+	if l1.None || l1.Done || l1.From != 0 {
+		t.Fatalf("first lease = %+v, want a grant from 0", l1)
+	}
+	time.Sleep(120 * time.Millisecond)
+	l2 := lease("fast")
+	if l2.None || l2.Done {
+		t.Fatalf("expired lease was not re-issued: %+v", l2)
+	}
+	if l2.From != l1.From || l2.To != l1.To {
+		t.Fatalf("re-issued lease = [%d, %d), want [%d, %d)", l2.From, l2.To, l1.From, l1.To)
+	}
+
+	// The slow agent's late report is still accepted (results are
+	// deterministic, duplicates identical).
+	body, _ := json.Marshal(ReportRequest{Agent: "slow", Lease: l1.Lease, From: l1.From, To: l1.To, ResolvedTo: l1.To})
+	resp, err := http.Post(srv.URL+"/v1/report", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("late report: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("late report status = %s, want 200", resp.Status)
+	}
+}
+
+// TestProtocolVersionMismatch: a join with the wrong protocol version is
+// rejected with a loud 400, and the agent gives up rather than retrying.
+func TestProtocolVersionMismatch(t *testing.T) {
+	_, srv := startCoordinator(t, Config{
+		Scenario: "choices",
+		Options:  core.Options{Scheduler: "random", Iterations: 10, NoReplayLog: true},
+	}, nil)
+	body, _ := json.Marshal(JoinRequest{Protocol: 99, Agent: "future"})
+	resp, err := http.Post(srv.URL+"/v1/join", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %s, want 400", resp.Status)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "protocol version 99 not supported") {
+		t.Fatalf("body = %q, want a protocol version rejection", buf.String())
+	}
+}
+
+// TestSequentialSchedulerRejected: dfs enumerates statefully and cannot be
+// sharded across agents.
+func TestSequentialSchedulerRejected(t *testing.T) {
+	_, err := New(Config{
+		Scenario: "choices",
+		Options:  core.Options{Scheduler: "dfs", Iterations: 10},
+	})
+	if err == nil || !strings.Contains(err.Error(), "cannot be sharded") {
+		t.Fatalf("New(dfs) error = %v, want a sharding rejection", err)
+	}
+}
+
+// TestHealthzAndMetrics: the operational endpoints answer in their
+// documented formats.
+func TestHealthzAndMetrics(t *testing.T) {
+	test := choiceTest()
+	opts := core.Options{Scheduler: "random", Iterations: 50, Seed: 1, MaxSteps: 100, NoReplayLog: true}
+	co, srv := startCoordinator(t, Config{
+		Scenario: "choices",
+		Options:  opts,
+		RetryMs:  10,
+	}, nil)
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(buf.String()) != "ok" {
+		t.Fatalf("healthz = %s %q, want 200 ok", resp.Status, buf.String())
+	}
+
+	wg := runAgents(t, srv.URL, test, []string{"a1"})
+	res := waitDone(t, co, wg)
+	if res.BugFound {
+		t.Fatal("clean plan reported a bug")
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/status")
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	var st StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding status: %v", err)
+	}
+	resp.Body.Close()
+	if !st.Done || st.Resolved != st.Total || st.Total != 50 {
+		t.Fatalf("status = %+v, want done with 50/50 resolved", st)
+	}
+	if st.Executions == 0 {
+		t.Fatal("status reports zero executions after a full run")
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	buf.Reset()
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	metrics := buf.String()
+	for _, want := range []string{
+		"gostorm_iterations_total 50",
+		"gostorm_positions_resolved 50",
+		"gostorm_bug_found 0",
+		"# TYPE gostorm_iterations_per_second gauge",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, metrics)
+		}
+	}
+}

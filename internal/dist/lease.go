@@ -1,0 +1,214 @@
+package dist
+
+import (
+	"sort"
+	"time"
+)
+
+// span is a half-open global position range [from, to).
+type span struct {
+	from, to int64
+}
+
+// lease is one outstanding grant of a span to an agent.
+type lease struct {
+	id      int64
+	span    span
+	agent   string
+	expires time.Time
+}
+
+// leaseTable owns the undone portion of the plan: pending spans (sorted by
+// from, disjoint, never overlapping an outstanding lease) and outstanding
+// leases with expiry. All methods require external locking — the
+// coordinator serializes access under its own mutex.
+//
+// Work-stealing is pull-model and lowest-first: grant pops the lowest
+// pending span, so the positions that decide first-bug-wins resolve
+// earliest and straggler re-issues converge on the frontier.
+type leaseTable struct {
+	ttl     time.Duration
+	nextID  int64
+	pending []span
+	out     map[int64]*lease
+}
+
+// newLeaseTable cuts [0, total) into leaseSize-position spans.
+func newLeaseTable(total, leaseSize int64, ttl time.Duration) *leaseTable {
+	lt := &leaseTable{ttl: ttl, nextID: 1, out: make(map[int64]*lease)}
+	for from := int64(0); from < total; from += leaseSize {
+		to := from + leaseSize
+		if to > total {
+			to = total
+		}
+		lt.pending = append(lt.pending, span{from, to})
+	}
+	return lt
+}
+
+// grant leases the lowest pending span to the agent; ok is false when
+// nothing is pending (outstanding leases may still be in flight).
+func (lt *leaseTable) grant(agent string, now time.Time) (*lease, bool) {
+	if len(lt.pending) == 0 {
+		return nil, false
+	}
+	l := &lease{id: lt.nextID, span: lt.pending[0], agent: agent, expires: now.Add(lt.ttl)}
+	lt.nextID++
+	lt.pending = lt.pending[1:]
+	lt.out[l.id] = l
+	return l, true
+}
+
+// expire re-queues every lease past its TTL, returning how many. A late
+// report for an expired lease is still ingested (results are
+// deterministic, so duplicates are identical); resolve() then removes the
+// re-queued overlap so the work is not run a third time.
+func (lt *leaseTable) expire(now time.Time) int {
+	n := 0
+	for id, l := range lt.out {
+		if now.After(l.expires) {
+			delete(lt.out, id)
+			lt.requeue(l.span)
+			n++
+		}
+	}
+	return n
+}
+
+// complete drops a lease after its report. Unresolved tail [resolvedTo,
+// to) is re-queued. Unknown ids (already expired and re-issued) are fine.
+func (lt *leaseTable) complete(id int64, resolvedTo int64) {
+	l, ok := lt.out[id]
+	if !ok {
+		return
+	}
+	delete(lt.out, id)
+	if resolvedTo < l.span.to {
+		from := resolvedTo
+		if from < l.span.from {
+			from = l.span.from
+		}
+		lt.requeue(span{from, l.span.to})
+	}
+}
+
+// resolve removes [from, to) from the pending set — positions another
+// lease's (possibly duplicate) report already covered.
+func (lt *leaseTable) resolve(from, to int64) {
+	var next []span
+	for _, s := range lt.pending {
+		if s.to <= from || s.from >= to {
+			next = append(next, s)
+			continue
+		}
+		if s.from < from {
+			next = append(next, span{s.from, from})
+		}
+		if s.to > to {
+			next = append(next, span{to, s.to})
+		}
+	}
+	lt.pending = next
+}
+
+// prune drops pending spans at or beyond limit and trims straddlers — work
+// a winning bug made irrelevant. Outstanding leases are left alone; their
+// agents see the lowered stop bound and abandon the tail themselves.
+func (lt *leaseTable) prune(limit int64) {
+	var next []span
+	for _, s := range lt.pending {
+		if s.from >= limit {
+			continue
+		}
+		if s.to > limit {
+			s.to = limit
+		}
+		next = append(next, s)
+	}
+	lt.pending = next
+}
+
+// requeue inserts a span keeping pending sorted by from and coalesced.
+func (lt *leaseTable) requeue(s span) {
+	if s.from >= s.to {
+		return
+	}
+	i := sort.Search(len(lt.pending), func(i int) bool { return lt.pending[i].from >= s.from })
+	lt.pending = append(lt.pending, span{})
+	copy(lt.pending[i+1:], lt.pending[i:])
+	lt.pending[i] = s
+	// Coalesce with neighbors (adjacent or overlapping).
+	var next []span
+	for _, cur := range lt.pending {
+		if n := len(next); n > 0 && next[n-1].to >= cur.from {
+			if cur.to > next[n-1].to {
+				next[n-1].to = cur.to
+			}
+			continue
+		}
+		next = append(next, cur)
+	}
+	lt.pending = next
+}
+
+// outstanding is the number of live leases.
+func (lt *leaseTable) outstanding() int { return len(lt.out) }
+
+// pendingPositions sums the positions waiting to be leased.
+func (lt *leaseTable) pendingPositions() int64 {
+	var n int64
+	for _, s := range lt.pending {
+		n += s.to - s.from
+	}
+	return n
+}
+
+// intervals is a sorted, disjoint, coalesced set of resolved spans, used
+// by the coordinator to track global coverage and the contiguous frontier.
+type intervals struct {
+	spans []span
+}
+
+// add merges [from, to) into the set.
+func (iv *intervals) add(from, to int64) {
+	if from >= to {
+		return
+	}
+	i := sort.Search(len(iv.spans), func(i int) bool { return iv.spans[i].from > from })
+	iv.spans = append(iv.spans, span{})
+	copy(iv.spans[i+1:], iv.spans[i:])
+	iv.spans[i] = span{from, to}
+	var next []span
+	for _, cur := range iv.spans {
+		if n := len(next); n > 0 && next[n-1].to >= cur.from {
+			if cur.to > next[n-1].to {
+				next[n-1].to = cur.to
+			}
+			continue
+		}
+		next = append(next, cur)
+	}
+	iv.spans = next
+}
+
+// frontier is the end of contiguous coverage from 0.
+func (iv *intervals) frontier() int64 {
+	if len(iv.spans) == 0 || iv.spans[0].from > 0 {
+		return 0
+	}
+	return iv.spans[0].to
+}
+
+// covered reports whether [0, limit) is fully resolved.
+func (iv *intervals) covered(limit int64) bool {
+	return iv.frontier() >= limit
+}
+
+// total sums the resolved positions.
+func (iv *intervals) total() int64 {
+	var n int64
+	for _, s := range iv.spans {
+		n += s.to - s.from
+	}
+	return n
+}

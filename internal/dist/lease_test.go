@@ -1,0 +1,135 @@
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLeaseTableGrantLowestFirst(t *testing.T) {
+	now := time.Now()
+	lt := newLeaseTable(100, 32, time.Second)
+	var froms []int64
+	for {
+		l, ok := lt.grant("a", now)
+		if !ok {
+			break
+		}
+		froms = append(froms, l.span.from)
+	}
+	want := []int64{0, 32, 64, 96}
+	if len(froms) != len(want) {
+		t.Fatalf("granted %d leases, want %d", len(froms), len(want))
+	}
+	for i, f := range froms {
+		if f != want[i] {
+			t.Fatalf("lease %d starts at %d, want %d", i, f, want[i])
+		}
+	}
+	if lt.outstanding() != 4 {
+		t.Fatalf("outstanding = %d, want 4", lt.outstanding())
+	}
+	if lt.pendingPositions() != 0 {
+		t.Fatalf("pendingPositions = %d, want 0", lt.pendingPositions())
+	}
+}
+
+func TestLeaseTableExpireRequeues(t *testing.T) {
+	now := time.Now()
+	lt := newLeaseTable(64, 32, 100*time.Millisecond)
+	l1, _ := lt.grant("a", now)
+	lt.grant("b", now)
+	if n := lt.expire(now.Add(50 * time.Millisecond)); n != 0 {
+		t.Fatalf("expired %d leases before TTL, want 0", n)
+	}
+	if n := lt.expire(now.Add(200 * time.Millisecond)); n != 2 {
+		t.Fatalf("expired %d leases after TTL, want 2", n)
+	}
+	// Re-queued spans coalesce back into the full range and grant again,
+	// lowest first.
+	l3, ok := lt.grant("c", now.Add(200*time.Millisecond))
+	if !ok || l3.span.from != l1.span.from {
+		t.Fatalf("re-granted span starts at %d, want %d", l3.span.from, l1.span.from)
+	}
+}
+
+func TestLeaseTableCompleteRequeuesTail(t *testing.T) {
+	now := time.Now()
+	lt := newLeaseTable(32, 32, time.Second)
+	l, _ := lt.grant("a", now)
+	lt.complete(l.id, 20) // [20, 32) unresolved
+	if lt.outstanding() != 0 {
+		t.Fatalf("outstanding = %d after complete, want 0", lt.outstanding())
+	}
+	l2, ok := lt.grant("b", now)
+	if !ok || l2.span.from != 20 || l2.span.to != 32 {
+		t.Fatalf("tail lease = [%d, %d), want [20, 32)", l2.span.from, l2.span.to)
+	}
+	// Completing an unknown (already expired) id is a no-op.
+	lt.complete(999, 0)
+}
+
+func TestLeaseTableResolveSplitsPending(t *testing.T) {
+	lt := newLeaseTable(100, 100, time.Second)
+	lt.resolve(40, 60)
+	if got := lt.pendingPositions(); got != 80 {
+		t.Fatalf("pendingPositions = %d after resolve, want 80", got)
+	}
+	now := time.Now()
+	l1, _ := lt.grant("a", now)
+	if l1.span.from != 0 || l1.span.to != 40 {
+		t.Fatalf("first split = [%d, %d), want [0, 40)", l1.span.from, l1.span.to)
+	}
+	l2, _ := lt.grant("a", now)
+	if l2.span.from != 60 || l2.span.to != 100 {
+		t.Fatalf("second split = [%d, %d), want [60, 100)", l2.span.from, l2.span.to)
+	}
+}
+
+func TestLeaseTablePrune(t *testing.T) {
+	lt := newLeaseTable(100, 10, time.Second)
+	lt.prune(25)
+	if got := lt.pendingPositions(); got != 25 {
+		t.Fatalf("pendingPositions = %d after prune(25), want 25", got)
+	}
+	now := time.Now()
+	var last int64
+	for {
+		l, ok := lt.grant("a", now)
+		if !ok {
+			break
+		}
+		last = l.span.to
+	}
+	if last != 25 {
+		t.Fatalf("highest granted position = %d, want 25", last)
+	}
+}
+
+func TestIntervals(t *testing.T) {
+	var iv intervals
+	if iv.frontier() != 0 || iv.total() != 0 {
+		t.Fatal("empty intervals should have zero frontier and total")
+	}
+	iv.add(10, 20)
+	if iv.frontier() != 0 {
+		t.Fatalf("frontier = %d with a gap at 0, want 0", iv.frontier())
+	}
+	iv.add(0, 5)
+	if iv.frontier() != 5 {
+		t.Fatalf("frontier = %d, want 5", iv.frontier())
+	}
+	iv.add(5, 10) // bridges the gap
+	if iv.frontier() != 20 {
+		t.Fatalf("frontier = %d after bridging, want 20", iv.frontier())
+	}
+	if iv.total() != 20 {
+		t.Fatalf("total = %d, want 20", iv.total())
+	}
+	iv.add(3, 12) // fully contained overlap
+	if iv.total() != 20 || len(iv.spans) != 1 {
+		t.Fatalf("overlap re-add changed coverage: total=%d spans=%d", iv.total(), len(iv.spans))
+	}
+	if !iv.covered(20) || iv.covered(21) {
+		t.Fatal("covered() disagrees with frontier")
+	}
+}
